@@ -1,0 +1,36 @@
+# Standard entry points for the dynalloc reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments experiments-full cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/tvest/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Quick-scale pass over every experiment table.
+experiments: build
+	$(GO) run ./cmd/recoverysim -exp=all
+
+# The paper-scale sweeps recorded in EXPERIMENTS.md (several minutes).
+experiments-full: build
+	$(GO) run ./cmd/recoverysim -exp=all -full -seed 1998
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	$(GO) clean ./...

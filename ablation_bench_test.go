@@ -1,0 +1,129 @@
+package dynalloc
+
+// Ablation benchmarks for the implementation's design choices:
+//   - Fenwick-tree weighted removal vs the O(n) prefix scan,
+//   - adaptive-rule probe depth vs fixed d,
+//   - the coupled step's O(n) inverse-CDF removal vs the free chain's
+//     O(log n) step,
+//   - the exact Definition 6.3 metric vs the L1 surrogate.
+// Run with: go test -bench=Ablation -benchmem
+
+import (
+	"testing"
+
+	"dynalloc/internal/core"
+	"dynalloc/internal/dist"
+	"dynalloc/internal/edgeorient"
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+const ablationN = 4096
+
+func BenchmarkAblationRemovalScan(b *testing.B) {
+	v := loadvec.Random(ablationN, ablationN, rng.New(1))
+	r := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.SampleBallOwner(v, r)
+	}
+}
+
+func BenchmarkAblationRemovalFenwick(b *testing.B) {
+	v := loadvec.Random(ablationN, ablationN, rng.New(1))
+	tr := dist.NewTree(v.N(), v)
+	r := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Sample(r)
+	}
+}
+
+func benchChoose(b *testing.B, rule rules.Rule) {
+	v := loadvec.Random(ablationN, ablationN, rng.New(1))
+	r := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rule.Choose(v, rules.NewSample(v.N(), r))
+	}
+}
+
+func BenchmarkAblationChooseABKU2(b *testing.B) { benchChoose(b, rules.NewABKU(2)) }
+
+func BenchmarkAblationChooseABKU8(b *testing.B) { benchChoose(b, rules.NewABKU(8)) }
+
+func BenchmarkAblationChooseADAP(b *testing.B) {
+	benchChoose(b, rules.NewAdaptive(rules.SliceThresholds{1, 2, 4, 8, 16}))
+}
+
+func BenchmarkAblationChooseMixed(b *testing.B) { benchChoose(b, rules.NewMixed(0.5)) }
+
+func BenchmarkAblationFreeStep(b *testing.B) {
+	p := process.New(process.ScenarioA, rules.NewABKU(2), loadvec.Balanced(ablationN, ablationN), rng.New(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func BenchmarkAblationCoupledStepA(b *testing.B) {
+	v, u := loadvec.ExtremePair(ablationN, ablationN)
+	c := core.NewCoupledAlloc(process.ScenarioA, rules.NewABKU(2), v, u, rng.New(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func BenchmarkAblationCoupledStepB(b *testing.B) {
+	v, u := loadvec.ExtremePair(ablationN, ablationN)
+	c := core.NewCoupledAlloc(process.ScenarioB, rules.NewABKU(2), v, u, rng.New(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func BenchmarkAblationEdgeCoupledStep(b *testing.B) {
+	c := edgeorient.NewCoupled(
+		edgeorient.AdversarialState(256, 64),
+		edgeorient.NewState(256),
+		rng.New(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func BenchmarkAblationMetricExact(b *testing.B) {
+	r := rng.New(6)
+	x, y := edgeorient.GAdjacentPair(8, r, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := edgeorient.DeltaBFS(x, y, 3); !ok {
+			b.Fatal("metric failed")
+		}
+	}
+}
+
+func BenchmarkAblationMetricL1Surrogate(b *testing.B) {
+	r := rng.New(6)
+	x, y := edgeorient.GAdjacentPair(8, r, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += x.L1(y)
+	}
+	_ = sink
+}

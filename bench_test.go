@@ -1,0 +1,101 @@
+package dynalloc
+
+// One benchmark per experiment of DESIGN.md. Each runs the quick-scale
+// version of the corresponding table; `go run ./cmd/recoverysim -exp=<id>
+// -full` regenerates the paper-scale sweep recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"dynalloc/internal/exper"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	r, err := exper.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := r.Run(exper.Options{Seed: uint64(i) + 1, Full: false})
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced an empty table", id)
+		}
+	}
+}
+
+// BenchmarkE1ScenarioACoalescence regenerates E1: Theorem 1 — Scenario A
+// coalescence times grow like m ln m.
+func BenchmarkE1ScenarioACoalescence(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2ScenarioARecovery regenerates E2: Theorem 1 tightness —
+// max-load recovery from the one-tower state.
+func BenchmarkE2ScenarioARecovery(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3ScenarioBCoalescence regenerates E3: Claim 5.3 — Scenario B
+// is polynomially slower.
+func BenchmarkE3ScenarioBCoalescence(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4ContractionB regenerates E4: the Section 5 coupling's
+// (beta, alpha) on Gamma pairs.
+func BenchmarkE4ContractionB(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5EdgeOrientRecovery regenerates E5: Corollary 6.4/Theorem 2 —
+// edge orientation recovery.
+func BenchmarkE5EdgeOrientRecovery(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Unfairness regenerates E6: stationary unfairness
+// Theta(log log n).
+func BenchmarkE6Unfairness(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7ContractionA regenerates E7: Corollary 4.2 contraction.
+func BenchmarkE7ContractionA(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8InitialStates regenerates E8: recovery time independence of
+// the initial state.
+func BenchmarkE8InitialStates(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9RightOriented regenerates E9: Lemma 3.4 verification.
+func BenchmarkE9RightOriented(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10ExactMixing regenerates E10: exact mixing times vs the
+// paper's bounds.
+func BenchmarkE10ExactMixing(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11MaxLoad regenerates E11: fluid-limit vs simulated
+// stationary max load.
+func BenchmarkE11MaxLoad(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12OpenProcess regenerates E12: Section 7 extensions.
+func BenchmarkE12OpenProcess(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13MixingBracket regenerates E13: projected-TV lower estimate
+// vs coalescence upper bound vs Theorem 1.
+func BenchmarkE13MixingBracket(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14ExactHitting regenerates E14: exact expected recovery
+// times via hitting-time solves.
+func BenchmarkE14ExactHitting(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15TwoPhase regenerates E15: Theorem 2's two-phase structure.
+func BenchmarkE15TwoPhase(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16DelayedCoupling regenerates E16: geometric compounding of
+// the Scenario A contraction factor.
+func BenchmarkE16DelayedCoupling(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17RuleUniversality regenerates E17: every right-oriented
+// rule recovers in Theta(m ln m).
+func BenchmarkE17RuleUniversality(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkE18ExhaustiveLemmas regenerates E18: exact verification of
+// Corollary 4.2 and Claims 5.1/5.2 over every Gamma pair.
+func BenchmarkE18ExhaustiveLemmas(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkE19ProbeCost regenerates E19: probes per insertion vs
+// stationary max load (the ADAP efficiency frontier).
+func BenchmarkE19ProbeCost(b *testing.B) { benchExperiment(b, "E19") }
+
+// BenchmarkE20Carpool regenerates E20: carpool fairness via the edge
+// orientation reduction.
+func BenchmarkE20Carpool(b *testing.B) { benchExperiment(b, "E20") }

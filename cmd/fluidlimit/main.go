@@ -1,0 +1,96 @@
+// Command fluidlimit integrates the Mitzenmacher fluid-limit ODEs for a
+// closed dynamic allocation process and prints the stationary load
+// distribution and max-load prediction — the "typical state" the
+// recovery experiments target.
+//
+// Usage:
+//
+//	fluidlimit -d 2 -scenario A -n 1000000
+//	fluidlimit -beta 0.5 -n 100000          # the (1+beta)-choice mixture
+//	fluidlimit -adapt 1,2,4 -trace          # ADAP(x), with trajectory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynalloc/internal/fluid"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rules"
+)
+
+func main() {
+	var (
+		d        = flag.Int("d", 2, "ABKU probe count (ignored when -adapt or -beta is set)")
+		adapt    = flag.String("adapt", "", "comma-separated ADAP(x) threshold sequence, e.g. 1,2,4")
+		beta     = flag.Float64("beta", -1, "(1+beta)-choice mixture parameter in [0,1]")
+		scenario = flag.String("scenario", "A", "removal scenario: A or B")
+		n        = flag.Int("n", 1000000, "number of bins for the max-load prediction")
+		rho      = flag.Float64("rho", 1, "mean load m/n")
+		cap      = flag.Int("cap", 40, "load cap of the ODE system")
+		dt       = flag.Float64("dt", 0.05, "RK4 step size")
+		trace    = flag.Bool("trace", false, "print the max-load trajectory while converging")
+	)
+	flag.Parse()
+
+	var sc process.Scenario
+	switch strings.ToUpper(*scenario) {
+	case "A":
+		sc = process.ScenarioA
+	case "B":
+		sc = process.ScenarioB
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	var model *fluid.Model
+	var name string
+	switch {
+	case *beta >= 0:
+		model = fluid.NewMixedModel(*beta, sc, *cap)
+		name = fmt.Sprintf("Mixed(%.2f)", *beta)
+	case *adapt != "":
+		parts := strings.Split(*adapt, ",")
+		xs := make(rules.SliceThresholds, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad threshold %q: %v\n", p, err)
+				os.Exit(2)
+			}
+			xs = append(xs, v)
+		}
+		model = fluid.NewModel(xs, sc, *cap)
+		name = fmt.Sprintf("ADAP(%s)", *adapt)
+	default:
+		model = fluid.NewModel(rules.ConstThresholds(*d), sc, *cap)
+		name = fmt.Sprintf("ABKU[%d]", *d)
+	}
+
+	p := fluid.InitialBalanced(*rho, *cap)
+	fmt.Printf("fluid limit of I_%s-%s at mean load %.2f\n", strings.ToUpper(*scenario), name, *rho)
+	if *trace {
+		for it := 0; it < 200; it++ {
+			p = model.RK4(p, *dt, 20)
+			fmt.Printf("  t=%6.1f  predicted max load (n=%d): %d\n",
+				float64((it+1)*20)**dt, *n, fluid.PredictedMaxLoad(p, *n))
+		}
+	}
+	p, err := model.FixedPoint(p, *dt, 1e-8, 1_000_000)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("stationary load fractions (levels with mass > 1e-9):\n")
+	for l, x := range p {
+		if x > 1e-9 {
+			fmt.Printf("  load %2d: %.6g\n", l, x)
+		}
+	}
+	fmt.Printf("mean load: %.4f\n", fluid.Mean(p))
+	fmt.Printf("predicted max load for n=%d bins: %d\n", *n, fluid.PredictedMaxLoad(p, *n))
+}

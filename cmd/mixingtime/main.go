@@ -1,0 +1,110 @@
+// Command mixingtime computes exact mixing times for small allocation
+// chains: it enumerates Omega_m, builds the transition matrix of the
+// chosen process, and reports tau(eps) together with the paper's
+// path-coupling bound.
+//
+// Usage:
+//
+//	mixingtime -n 4 -m 6 -scenario A -d 2 -eps 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynalloc/internal/core"
+	"dynalloc/internal/markov"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rules"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 4, "number of bins")
+		m        = flag.Int("m", 6, "number of balls")
+		scenario = flag.String("scenario", "A", "removal scenario: A (random ball) or B (random nonempty bin)")
+		d        = flag.Int("d", 2, "ABKU probe count")
+		eps      = flag.Float64("eps", 0.25, "variation distance target")
+		horizon  = flag.Int("horizon", 100000, "maximum time to search")
+		bounded  = flag.Bool("bounded", false, "analyze the Section 7 bounded open process (m is the ball bound)")
+	)
+	flag.Parse()
+
+	if *bounded {
+		analyzeBoundedOpen(*n, *m, *d, *eps, *horizon)
+		return
+	}
+
+	var sc process.Scenario
+	switch *scenario {
+	case "A", "a":
+		sc = process.ScenarioA
+	case "B", "b":
+		sc = process.ScenarioB
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	chain := markov.NewAllocChain(sc, rules.NewABKU(*d), *n, *m)
+	fmt.Printf("chain I_%s-ABKU[%d] on Omega_%d with %d bins: %d states\n",
+		*scenario, *d, *m, *n, chain.NumStates())
+
+	mat := markov.MustBuild(chain)
+	if !mat.IsErgodic(10 * *m) {
+		fmt.Fprintln(os.Stderr, "warning: ergodicity check did not confirm within horizon")
+	}
+	pi, err := mat.Stationary(1e-12, 10_000_000)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Stationary expected max load.
+	expMax := 0.0
+	for s := 0; s < chain.NumStates(); s++ {
+		expMax += pi[s] * float64(chain.State(s).MaxLoad())
+	}
+	fmt.Printf("stationary expected max load: %.4f\n", expMax)
+
+	tau, ok := mat.MixingTime(pi, *eps, *horizon)
+	if !ok {
+		fmt.Printf("tau(%g) > %d (horizon exceeded)\n", *eps, *horizon)
+		os.Exit(1)
+	}
+	fmt.Printf("exact tau(%g) = %d\n", *eps, tau)
+	switch sc {
+	case process.ScenarioA:
+		fmt.Printf("Theorem 1 bound: %g\n", core.Theorem1Bound(*m, *eps))
+	case process.ScenarioB:
+		fmt.Printf("Claim 5.3 bound: %g\n", core.Claim53Bound(*n, *m, *eps))
+	}
+}
+
+// analyzeBoundedOpen handles the Section 7 bounded open process.
+func analyzeBoundedOpen(n, maxBalls, d int, eps float64, horizon int) {
+	chain := markov.NewBoundedOpenChain(rules.NewABKU(d), n, maxBalls)
+	fmt.Printf("bounded open chain, %d bins, ball bound %d: %d states\n",
+		n, maxBalls, chain.NumStates())
+	mat := markov.MustBuild(chain)
+	pi, err := mat.Stationary(1e-12, 10_000_000)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Stationary ball-count marginal.
+	byCount := make([]float64, maxBalls+1)
+	for s := 0; s < chain.NumStates(); s++ {
+		byCount[chain.State(s).Total()] += pi[s]
+	}
+	fmt.Println("stationary ball-count marginal:")
+	for cnt, p := range byCount {
+		fmt.Printf("  m=%2d: %.6f\n", cnt, p)
+	}
+	tau, ok := mat.MixingTime(pi, eps, horizon)
+	if !ok {
+		fmt.Printf("tau(%g) > %d (horizon exceeded)\n", eps, horizon)
+		os.Exit(1)
+	}
+	fmt.Printf("exact tau(%g) = %d\n", eps, tau)
+}

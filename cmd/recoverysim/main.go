@@ -1,0 +1,85 @@
+// Command recoverysim runs the reproduction experiments of DESIGN.md and
+// prints their tables.
+//
+// Usage:
+//
+//	recoverysim -exp=E1            # one experiment, quick scale
+//	recoverysim -exp=E1 -full      # paper-scale sweep
+//	recoverysim -exp=all -full     # everything (minutes)
+//	recoverysim -list              # list experiments and claims
+//	recoverysim -exp=E3 -csv       # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynalloc/internal/exper"
+	"dynalloc/internal/table"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id (E1..E16) or 'all'")
+		full = flag.Bool("full", false, "run the paper-scale parameter sweep")
+		seed = flag.Uint64("seed", 1998, "experiment seed (trials use derived streams)")
+		csv  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		out  = flag.String("out", "", "directory to also write per-experiment CSV files into")
+		list = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, id := range exper.IDs() {
+			r, _ := exper.Get(id)
+			fmt.Printf("  %-4s %s\n", r.ID, r.Claim)
+		}
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nselect one with -exp=<id> (or -exp=all)")
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = exper.IDs()
+	}
+	opts := exper.Options{Seed: *seed, Full: *full}
+	for _, id := range ids {
+		r, err := exper.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("# %s — %s\n", r.ID, r.Claim)
+		tb := r.Run(opts)
+		if *csv {
+			tb.CSV(os.Stdout)
+		} else {
+			tb.Render(os.Stdout)
+		}
+		if *out != "" {
+			if err := writeCSVFile(*out, r.ID, tb); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func writeCSVFile(dir, id string, tb *table.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	tb.CSV(f)
+	return f.Close()
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynalloc/internal/table"
+)
+
+func TestWriteCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	tb := table.New("t", "a", "b")
+	tb.AddRow(1, 2)
+	if err := writeCSVFile(dir, "E1", tb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "E1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Fatalf("CSV file = %q", string(data))
+	}
+}
+
+func TestWriteCSVFileCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	tb := table.New("t", "x")
+	tb.AddRow("v")
+	if err := writeCSVFile(dir, "E2", tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "E2.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCSVFileBadDir(t *testing.T) {
+	// A file where the directory should be.
+	base := t.TempDir()
+	blocker := filepath.Join(base, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb := table.New("t", "x")
+	if err := writeCSVFile(blocker, "E3", tb); err == nil {
+		t.Fatal("expected error writing into a file path")
+	} else if !strings.Contains(err.Error(), "blocker") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestBitsLen(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 4: 2, 8: 3, 1024: 10}
+	for m, want := range cases {
+		if got := bitsLen(m); got != want {
+			t.Errorf("bitsLen(%d) = %d, want %d", m, got, want)
+		}
+	}
+}

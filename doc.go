@@ -1,0 +1,22 @@
+// Package dynalloc reproduces "Recovery Time of Dynamic Allocation
+// Processes" (Artur Czumaj, SPAA 1998): a path-coupling framework for
+// bounding how fast dynamic balls-into-bins processes and the edge
+// orientation problem recover from arbitrarily bad states.
+//
+// The implementation lives in internal packages, layered bottom-up:
+//
+//	rng, par, loadvec, dist, stats,
+//	table, trace                       — substrates
+//	rules                              — right-oriented insertion rules (Section 3.2)
+//	process, markov, fluid             — dynamic processes, exact chains, fluid limits
+//	edgeorient, carpool, cluster       — Section 6 and the Section 1.1 applications
+//	tvest                              — simulation-scale mixing estimation
+//	core                               — the paper's contribution: path coupling,
+//	                                     the Section 4/5 couplings, recovery estimation
+//	exper                              — the experiment harness (E1-E20 of DESIGN.md)
+//
+// Entry points: cmd/recoverysim (experiment tables), cmd/mixingtime
+// (exact chains), cmd/edgeorient (edge orientation), and the runnable
+// walkthroughs under examples/. The benchmarks in bench_test.go
+// regenerate every experiment; EXPERIMENTS.md records paper-vs-measured.
+package dynalloc

@@ -1,0 +1,72 @@
+// Open systems (Section 7 of the paper).
+//
+// The number of balls need not be fixed: start two copies of the open
+// process — one from an adversarial pile of 2n balls, one empty — and
+// couple them by sharing all randomness (the coin, the removal quantile
+// and the insertion sample, the latter per Lemma 3.3). The time until
+// the copies coincide is the open-system analogue of the recovery time;
+// the conclusions of the paper sketch exactly this experiment.
+package main
+
+import (
+	"fmt"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// removeQuantile removes the ball at cumulative rank u from v (a no-op
+// on an empty system) — the inverse-CDF coupling of the removal halves.
+func removeQuantile(v *loadvec.Vector, u float64) {
+	m := v.Total()
+	if m == 0 {
+		return
+	}
+	t := int(u * float64(m))
+	if t >= m {
+		t = m - 1
+	}
+	acc := 0
+	for i, x := range *v {
+		acc += x
+		if t < acc {
+			v.Remove(i)
+			return
+		}
+	}
+}
+
+func main() {
+	const n = 64
+	r := rng.New(11)
+
+	// A single open process: watch the ball count wander.
+	o := process.NewOpen(rules.NewABKU(2), loadvec.New(n), r)
+	for i := 0; i < 10*n; i++ {
+		o.Step()
+	}
+	fmt.Printf("open process after %d steps: %d balls, max load %d\n",
+		o.Steps(), o.M(), o.State().MaxLoad())
+
+	// Coupled copies from extreme starts.
+	rule := rules.NewABKU(2)
+	x := loadvec.OneTower(n, 2*n)
+	y := loadvec.New(n)
+	rc := rng.New(99)
+	var t int64
+	for ; !x.Equal(y); t++ {
+		if rc.Bool() {
+			u := rc.Float64()
+			removeQuantile(&x, u)
+			removeQuantile(&y, u)
+		} else {
+			s := rules.NewSample(n, rc)
+			x.Add(rule.Choose(x, s))
+			y.Add(rule.Choose(y, rule.Phi(s)))
+		}
+	}
+	fmt.Printf("coupled copies coalesced after %d steps (both now hold %d balls)\n", t, x.Total())
+	fmt.Printf("per-ball recovery cost: %.1f steps\n", float64(t)/float64(2*n))
+}

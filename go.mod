@@ -1,0 +1,3 @@
+module dynalloc
+
+go 1.22

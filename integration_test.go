@@ -1,0 +1,115 @@
+package dynalloc
+
+// End-to-end integration test: the complete paper pipeline on one
+// instance, crossing every module boundary —
+// fluid limit (typical state) -> dynamic process (recovery) ->
+// coupling (mixing upper bound) -> exact chain (ground truth) ->
+// theorem bounds (the paper's formulas cap everything).
+
+import (
+	"testing"
+
+	"dynalloc/internal/core"
+	"dynalloc/internal/fluid"
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/markov"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+func TestPaperPipelineScenarioA(t *testing.T) {
+	const n, m = 5, 8
+
+	// 1. Mitzenmacher: where does I_A-ABKU[2] settle?
+	model := fluid.NewModel(rules.ConstThresholds(2), process.ScenarioA, 20)
+	pf, err := model.FixedPoint(fluid.InitialBalanced(float64(m)/n, 20), 0.05, 1e-8, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean := fluid.Mean(pf); mean < 1.4 || mean > 1.8 {
+		t.Fatalf("fluid mean load %v, want ~1.6", mean)
+	}
+
+	// 2. Exact ground truth: stationary distribution and mixing time.
+	chain := markov.NewAllocChain(process.ScenarioA, rules.NewABKU(2), n, m)
+	mat := markov.MustBuild(chain)
+	if !mat.IsErgodic(20 * m) {
+		t.Fatal("chain not ergodic")
+	}
+	pi, err := mat.Stationary(1e-12, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, ok := mat.MixingTime(pi, 0.25, 10_000)
+	if !ok {
+		t.Fatal("mixing horizon exceeded")
+	}
+
+	// 3. The paper's Theorem 1 bound caps the exact mixing time.
+	bound := core.Theorem1Bound(m, 0.25)
+	if float64(tau) > bound {
+		t.Fatalf("exact tau %d exceeds Theorem 1 bound %v", tau, bound)
+	}
+
+	// 4. Coupling: the coalescence-time 75th percentile also caps tau
+	// (coupling inequality), and is itself capped by the bound's scale.
+	q75 := core.QuantileCoalescence(func(r *rng.RNG) core.Coupling {
+		v, u := loadvec.ExtremePair(n, m)
+		return core.NewCoupledAlloc(process.ScenarioA, rules.NewABKU(2), v, u, r)
+	}, 5, 400, 1_000_000, 0.75)
+	if float64(tau) > 4*q75+8 {
+		t.Fatalf("exact tau %d not controlled by coalescence q75 %v", tau, q75)
+	}
+
+	// 5. Operational recovery: the simulated process reaches the exact
+	// chain's typical max load from the worst state well within the
+	// bound's scale.
+	expMax := 0.0
+	for s := 0; s < chain.NumStates(); s++ {
+		expMax += pi[s] * float64(chain.State(s).MaxLoad())
+	}
+	target := int(expMax + 1)
+	p := process.New(process.ScenarioA, rules.NewABKU(2), loadvec.OneTower(n, m), rng.New(6))
+	steps, reached := p.RunUntil(func(v loadvec.Vector) bool { return v.MaxLoad() <= target }, int64(100*bound))
+	if !reached {
+		t.Fatalf("no recovery to max load %d within %v steps", target, 100*bound)
+	}
+	if steps < 0 {
+		t.Fatal("negative steps")
+	}
+}
+
+func TestPaperPipelineScenarioB(t *testing.T) {
+	const n, m = 4, 6
+	chain := markov.NewAllocChain(process.ScenarioB, rules.NewABKU(2), n, m)
+	mat := markov.MustBuild(chain)
+	pi, err := mat.Stationary(1e-12, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, ok := mat.MixingTime(pi, 0.25, 50_000)
+	if !ok {
+		t.Fatal("mixing horizon exceeded")
+	}
+	if float64(tau) > core.Claim53Bound(n, m, 0.25) {
+		t.Fatalf("exact tau %d exceeds Claim 5.3 bound", tau)
+	}
+	// The exact expected recovery (hitting time) is finite and larger
+	// for B than for A on the same instance.
+	typicalB := func(s int) bool { return chain.State(s).Gap() <= 1 }
+	worstB, _, err := mat.WorstHittingTime(typicalB, 1e-10, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainA := markov.NewAllocChain(process.ScenarioA, rules.NewABKU(2), n, m)
+	matA := markov.MustBuild(chainA)
+	typicalA := func(s int) bool { return chainA.State(s).Gap() <= 1 }
+	worstA, _, err := matA.WorstHittingTime(typicalA, 1e-10, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worstB <= worstA {
+		t.Fatalf("Scenario B expected recovery %v not above Scenario A %v", worstB, worstA)
+	}
+}

@@ -1,0 +1,157 @@
+// Package carpool implements the fair allocation problem of Section 1.1:
+// the carpool problem of Fagin and Williams, in the uniform-subsets
+// model analyzed via the edge orientation reduction of Ajtai et al.
+//
+// n participants share rides. Each trip, a subset of k participants
+// rides together and one of them drives. Fairness bookkeeping: the
+// driver "pays" 1 and every rider in the trip "owes" 1/k, so
+// participant i's discrepancy after a history of trips is
+//
+//	disc(i) = drives(i) - trips(i)/k,
+//
+// and the unfairness of a state is max_i |disc(i)|. The greedy protocol
+// always lets the participant with the smallest discrepancy drive.
+//
+// For k = 2 with uniformly random pairs, this IS the edge orientation
+// problem: the trip is an edge, the driver is the tail, and
+// disc = (outdeg - indeg)/2 — which is the "price of doubling the
+// expected fairness" in Ajtai et al.'s reduction, made concrete. The
+// package stores discrepancies scaled by k so all arithmetic is exact
+// integer arithmetic.
+package carpool
+
+import (
+	"fmt"
+	"sort"
+
+	"dynalloc/internal/rng"
+)
+
+// Pool is a carpool instance: n participants, trips of size k.
+type Pool struct {
+	k int
+	// scaled[i] = k*drives(i) - trips(i): the discrepancy times k.
+	scaled []int64
+	trips  int64
+}
+
+// New returns a pool of n participants with trip size k (2 <= k <= n).
+func New(n, k int) *Pool {
+	if k < 2 || k > n {
+		panic(fmt.Sprintf("carpool: need 2 <= k <= n, got k=%d n=%d", k, n))
+	}
+	return &Pool{k: k, scaled: make([]int64, n)}
+}
+
+// N returns the number of participants.
+func (p *Pool) N() int { return len(p.scaled) }
+
+// K returns the trip size.
+func (p *Pool) K() int { return p.k }
+
+// Trips returns the number of trips taken.
+func (p *Pool) Trips() int64 { return p.trips }
+
+// ScaledDisc returns k * disc(i) (exact integer bookkeeping).
+func (p *Pool) ScaledDisc(i int) int64 { return p.scaled[i] }
+
+// Unfairness returns max_i |disc(i)| = max_i |scaled(i)| / k.
+func (p *Pool) Unfairness() float64 {
+	var worst int64
+	for _, s := range p.scaled {
+		if s < 0 {
+			s = -s
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return float64(worst) / float64(p.k)
+}
+
+// TotalDiscrepancy returns sum_i disc(i) * k, which is invariantly zero:
+// each trip adds k for the driver and subtracts 1 from each of the k
+// participants.
+func (p *Pool) TotalDiscrepancy() int64 {
+	var s int64
+	for _, x := range p.scaled {
+		s += x
+	}
+	return s
+}
+
+// Trip runs one trip with the given distinct participants: the greedy
+// protocol picks the participant with the smallest discrepancy as the
+// driver (ties broken toward the first listed). It panics on duplicate
+// or out-of-range participants.
+func (p *Pool) Trip(riders []int) {
+	if len(riders) != p.k {
+		panic(fmt.Sprintf("carpool: trip of %d riders, want %d", len(riders), p.k))
+	}
+	driver := -1
+	var best int64
+	seen := make(map[int]bool, p.k)
+	for _, r := range riders {
+		if r < 0 || r >= len(p.scaled) {
+			panic(fmt.Sprintf("carpool: rider %d out of range", r))
+		}
+		if seen[r] {
+			panic(fmt.Sprintf("carpool: duplicate rider %d", r))
+		}
+		seen[r] = true
+		if driver < 0 || p.scaled[r] < best {
+			driver = r
+			best = p.scaled[r]
+		}
+	}
+	for _, r := range riders {
+		p.scaled[r]-- // everyone owes 1/k
+	}
+	p.scaled[driver] += int64(p.k) // the driver pays 1
+	p.trips++
+}
+
+// Step runs one trip with a uniformly random k-subset of participants.
+func (p *Pool) Step(r *rng.RNG) {
+	riders := sampleSubset(len(p.scaled), p.k, r)
+	p.Trip(riders)
+}
+
+// sampleSubset draws a uniform k-subset of [0, n) by partial
+// Fisher-Yates on a scratch index table (allocated per call; trips are
+// cheap relative to the bookkeeping).
+func sampleSubset(n, k int, r *rng.RNG) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// SetDiscrepancies installs an adversarial state: scaled discrepancies
+// must sum to zero.
+func (p *Pool) SetDiscrepancies(scaled []int64) {
+	if len(scaled) != len(p.scaled) {
+		panic("carpool: wrong state size")
+	}
+	var sum int64
+	for _, s := range scaled {
+		sum += s
+	}
+	if sum != 0 {
+		panic("carpool: discrepancies must sum to zero")
+	}
+	copy(p.scaled, scaled)
+}
+
+// SortedScaled returns the scaled discrepancies in descending order (the
+// exchangeable-state projection).
+func (p *Pool) SortedScaled() []int64 {
+	out := append([]int64(nil), p.scaled...)
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}

@@ -1,0 +1,172 @@
+package carpool
+
+import (
+	"testing"
+
+	"dynalloc/internal/edgeorient"
+	"dynalloc/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range [][2]int{{3, 1}, {3, 4}, {1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d) accepted", bad[0], bad[1])
+				}
+			}()
+			New(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestTripBookkeeping(t *testing.T) {
+	p := New(4, 2)
+	p.Trip([]int{0, 1}) // equal discs: first listed (0) drives
+	if p.ScaledDisc(0) != 1 || p.ScaledDisc(1) != -1 {
+		t.Fatalf("discs after first trip: %d, %d", p.ScaledDisc(0), p.ScaledDisc(1))
+	}
+	p.Trip([]int{0, 1}) // now 1 has smaller disc: 1 drives
+	if p.ScaledDisc(0) != 0 || p.ScaledDisc(1) != 0 {
+		t.Fatalf("discs after second trip: %d, %d", p.ScaledDisc(0), p.ScaledDisc(1))
+	}
+	if p.Trips() != 2 {
+		t.Fatalf("trips = %d", p.Trips())
+	}
+}
+
+func TestTripPanics(t *testing.T) {
+	p := New(4, 3)
+	for _, riders := range [][]int{{0, 1}, {0, 1, 1}, {0, 1, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Trip(%v) accepted", riders)
+				}
+			}()
+			p.Trip(riders)
+		}()
+	}
+}
+
+func TestInvariants(t *testing.T) {
+	r := rng.New(1)
+	for _, k := range []int{2, 3, 5} {
+		p := New(9, k)
+		for i := 0; i < 5000; i++ {
+			p.Step(r)
+			if p.TotalDiscrepancy() != 0 {
+				t.Fatalf("k=%d: discrepancies unbalanced at trip %d", k, i)
+			}
+		}
+	}
+}
+
+// TestMatchesEdgeOrientation is the Ajtai et al. reduction, exactly:
+// the k = 2 carpool run IS the edge orientation process with
+// disc = (outdeg - indeg)/2, so the carpool unfairness is half the
+// edge-orientation unfairness on the same trip sequence.
+func TestMatchesEdgeOrientation(t *testing.T) {
+	const n = 8
+	p := New(n, 2)
+	g := edgeorient.NewGraph(n)
+	r := rng.New(2)
+	rEdge := rng.New(3)
+	for trip := 0; trip < 20000; trip++ {
+		a, b := r.DistinctPair(n)
+		p.Trip([]int{a, b})
+		// Greedy edge orientation: tail = smaller discrepancy. The
+		// carpool driver (smaller disc, tie toward first listed = lower
+		// index since DistinctPair returns a < b) matches Graph's greedy
+		// tie-break toward its first argument.
+		g.AddEdge(a, b, edgeorient.Greedy, rEdge)
+		for v := 0; v < n; v++ {
+			if p.ScaledDisc(v) != int64(g.Disc(v)) {
+				t.Fatalf("trip %d vertex %d: carpool scaled %d vs edge disc %d",
+					trip, v, p.ScaledDisc(v), g.Disc(v))
+			}
+		}
+	}
+	if p.Unfairness() != float64(g.Unfairness())/2 {
+		t.Fatalf("unfairness %v != edge unfairness %d / 2", p.Unfairness(), g.Unfairness())
+	}
+}
+
+// TestGreedyKeepsFairness: for every k the greedy protocol keeps the
+// long-run unfairness tiny.
+func TestGreedyKeepsFairness(t *testing.T) {
+	r := rng.New(4)
+	for _, k := range []int{2, 3, 4} {
+		p := New(32, k)
+		worst := 0.0
+		for i := 0; i < 60000; i++ {
+			p.Step(r)
+			if u := p.Unfairness(); u > worst {
+				worst = u
+			}
+		}
+		if worst > 4 {
+			t.Fatalf("k=%d: unfairness reached %v", k, worst)
+		}
+	}
+}
+
+// TestRecoveryFromAdversarial: an unfair history heals under greedy.
+func TestRecoveryFromAdversarial(t *testing.T) {
+	const n = 16
+	p := New(n, 2)
+	bad := make([]int64, n)
+	for i := 0; i < n/2; i++ {
+		bad[i] = 20
+		bad[n-1-i] = -20
+	}
+	p.SetDiscrepancies(bad)
+	r := rng.New(5)
+	var steps int
+	for steps = 0; steps < 2_000_000 && p.Unfairness() > 2; steps++ {
+		p.Step(r)
+	}
+	if p.Unfairness() > 2 {
+		t.Fatalf("carpool did not recover (unfairness %v)", p.Unfairness())
+	}
+}
+
+func TestSetDiscrepanciesPanics(t *testing.T) {
+	p := New(3, 2)
+	for _, bad := range [][]int64{{1, 0}, {1, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetDiscrepancies(%v) accepted", bad)
+				}
+			}()
+			p.SetDiscrepancies(bad)
+		}()
+	}
+}
+
+func TestSortedScaled(t *testing.T) {
+	p := New(3, 2)
+	p.SetDiscrepancies([]int64{-2, 2, 0})
+	s := p.SortedScaled()
+	if s[0] != 2 || s[1] != 0 || s[2] != -2 {
+		t.Fatalf("sorted = %v", s)
+	}
+}
+
+func TestSampleSubset(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 2000; trial++ {
+		s := sampleSubset(10, 4, r)
+		if len(s) != 4 {
+			t.Fatalf("size %d", len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 10 || seen[v] {
+				t.Fatalf("bad subset %v", s)
+			}
+			seen[v] = true
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package carpool_test
+
+import (
+	"fmt"
+
+	"dynalloc/internal/carpool"
+)
+
+// The greedy protocol keeps the carpool fair: the participant with the
+// smallest discrepancy drives.
+func ExamplePool_Trip() {
+	p := carpool.New(4, 2)
+	p.Trip([]int{0, 1}) // equal discs: 0 drives
+	p.Trip([]int{0, 1}) // now 1 owes less driving? no — 1 has smaller disc, 1 drives
+	fmt.Println("unfairness after a fair exchange:", p.Unfairness())
+	// Output: unfairness after a fair exchange: 0
+}

@@ -1,0 +1,232 @@
+// Package cluster is the concrete face of the paper's Dynamic Resource
+// Allocation application (Section 1.1): n identical servers, jobs with
+// identities, d-choice dispatch, and the two job-completion semantics
+// the paper analyzes (a random JOB finishes — Scenario A; a random
+// SERVER finishes one job — Scenario B).
+//
+// Whereas internal/process works on the exchangeable load vector (the
+// Markov-chain state the paper couples), Cluster tracks which job runs
+// where. Its sorted-load projection evolves with exactly the law of the
+// corresponding process — tested statistically — so everything the
+// paper proves about I_A/I_B transfers verbatim to this system, which is
+// the form a scheduler implementer would actually use.
+package cluster
+
+import (
+	"fmt"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+)
+
+// Job identifies one unit of work and where it is running.
+type Job struct {
+	ID     int64
+	Server int
+}
+
+type jobPos struct {
+	server int
+	pos    int // index within the server's stack
+}
+
+// Cluster is a set of servers with running jobs.
+type Cluster struct {
+	stacks [][]int64 // job IDs per server
+	where  map[int64]jobPos
+	all    []int64 // all job IDs (swap-removal order)
+	allPos map[int64]int
+	nextID int64
+	r      *rng.RNG
+}
+
+// New returns an empty cluster of n servers (n >= 1).
+func New(n int, r *rng.RNG) *Cluster {
+	if n < 1 {
+		panic("cluster: need at least one server")
+	}
+	return &Cluster{
+		stacks: make([][]int64, n),
+		where:  make(map[int64]jobPos),
+		allPos: make(map[int64]int),
+		r:      r,
+	}
+}
+
+// N returns the number of servers.
+func (c *Cluster) N() int { return len(c.stacks) }
+
+// Jobs returns the number of running jobs.
+func (c *Cluster) Jobs() int { return len(c.all) }
+
+// Load returns the number of jobs on server i.
+func (c *Cluster) Load(i int) int { return len(c.stacks[i]) }
+
+// MaxLoad returns the largest server load.
+func (c *Cluster) MaxLoad() int {
+	max := 0
+	for _, s := range c.stacks {
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	return max
+}
+
+// LoadVector returns the exchangeable-state projection: the normalized
+// load vector the paper's Markov chains live on.
+func (c *Cluster) LoadVector() loadvec.Vector {
+	loads := make([]int, len(c.stacks))
+	for i, s := range c.stacks {
+		loads[i] = len(s)
+	}
+	return loadvec.FromLoads(loads)
+}
+
+// place puts a new job on server i.
+func (c *Cluster) place(server int) Job {
+	id := c.nextID
+	c.nextID++
+	c.where[id] = jobPos{server, len(c.stacks[server])}
+	c.stacks[server] = append(c.stacks[server], id)
+	c.allPos[id] = len(c.all)
+	c.all = append(c.all, id)
+	return Job{ID: id, Server: server}
+}
+
+// Submit dispatches a new job with the ABKU[d] rule: probe d servers
+// independently and uniformly at random (with replacement) and run the
+// job on the least loaded probe (first probe wins ties).
+func (c *Cluster) Submit(d int) Job {
+	if d < 1 {
+		panic("cluster: need d >= 1 probes")
+	}
+	best := c.r.Intn(len(c.stacks))
+	for p := 1; p < d; p++ {
+		s := c.r.Intn(len(c.stacks))
+		if len(c.stacks[s]) < len(c.stacks[best]) {
+			best = s
+		}
+	}
+	return c.place(best)
+}
+
+// SubmitTo runs a job on an explicit server (for adversarial or replay
+// workloads).
+func (c *Cluster) SubmitTo(server int) Job {
+	if server < 0 || server >= len(c.stacks) {
+		panic(fmt.Sprintf("cluster: server %d out of range", server))
+	}
+	return c.place(server)
+}
+
+// remove deletes a specific job, fixing both swap-removal indexes.
+func (c *Cluster) remove(id int64) Job {
+	jp, ok := c.where[id]
+	if !ok {
+		panic(fmt.Sprintf("cluster: job %d not running", id))
+	}
+	// Remove from the server stack (swap with last).
+	stack := c.stacks[jp.server]
+	last := len(stack) - 1
+	moved := stack[last]
+	stack[jp.pos] = moved
+	c.stacks[jp.server] = stack[:last]
+	if moved != id {
+		mp := c.where[moved]
+		mp.pos = jp.pos
+		c.where[moved] = mp
+	}
+	delete(c.where, id)
+	// Remove from the global list (swap with last).
+	gpos := c.allPos[id]
+	gl := len(c.all) - 1
+	gmoved := c.all[gl]
+	c.all[gpos] = gmoved
+	c.all = c.all[:gl]
+	if gmoved != id {
+		c.allPos[gmoved] = gpos
+	}
+	delete(c.allPos, id)
+	return Job{ID: id, Server: jp.server}
+}
+
+// CompleteRandomJob finishes a job chosen uniformly among all running
+// jobs — the Scenario A removal. Returns false on an empty cluster.
+func (c *Cluster) CompleteRandomJob() (Job, bool) {
+	if len(c.all) == 0 {
+		return Job{}, false
+	}
+	id := c.all[c.r.Intn(len(c.all))]
+	return c.remove(id), true
+}
+
+// CompleteAtRandomServer finishes one job at a nonempty server chosen
+// uniformly among nonempty servers — the Scenario B removal. Returns
+// false on an empty cluster.
+func (c *Cluster) CompleteAtRandomServer() (Job, bool) {
+	if len(c.all) == 0 {
+		return Job{}, false
+	}
+	// Uniform nonempty server: draw among nonempty indices.
+	nonEmpty := make([]int, 0, len(c.stacks))
+	for i, s := range c.stacks {
+		if len(s) > 0 {
+			nonEmpty = append(nonEmpty, i)
+		}
+	}
+	server := nonEmpty[c.r.Intn(len(nonEmpty))]
+	stack := c.stacks[server]
+	id := stack[len(stack)-1]
+	return c.remove(id), true
+}
+
+// Complete finishes a specific job (for replay workloads). It panics if
+// the job is not running.
+func (c *Cluster) Complete(id int64) Job { return c.remove(id) }
+
+// ChurnA runs k phases of Scenario A churn with d-choice dispatch:
+// finish a random job, submit a new one.
+func (c *Cluster) ChurnA(k, d int) {
+	for i := 0; i < k; i++ {
+		if _, ok := c.CompleteRandomJob(); !ok {
+			panic("cluster: churn on an empty cluster")
+		}
+		c.Submit(d)
+	}
+}
+
+// ChurnB runs k phases of Scenario B churn.
+func (c *Cluster) ChurnB(k, d int) {
+	for i := 0; i < k; i++ {
+		if _, ok := c.CompleteAtRandomServer(); !ok {
+			panic("cluster: churn on an empty cluster")
+		}
+		c.Submit(d)
+	}
+}
+
+// CheckInvariants verifies internal consistency (for tests and debug
+// builds): every job indexed exactly once, positions correct, counts
+// agreeing. Returns nil when consistent.
+func (c *Cluster) CheckInvariants() error {
+	total := 0
+	for server, stack := range c.stacks {
+		total += len(stack)
+		for pos, id := range stack {
+			jp, ok := c.where[id]
+			if !ok || jp.server != server || jp.pos != pos {
+				return fmt.Errorf("cluster: job %d indexed at %+v, stored at (%d,%d)", id, jp, server, pos)
+			}
+		}
+	}
+	if total != len(c.all) {
+		return fmt.Errorf("cluster: %d jobs in stacks, %d in the global list", total, len(c.all))
+	}
+	for pos, id := range c.all {
+		if c.allPos[id] != pos {
+			return fmt.Errorf("cluster: job %d global index broken", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"dynalloc/internal/cluster"
+	"dynalloc/internal/rng"
+)
+
+// A cluster dispatches jobs with the power of two choices and heals
+// under churn; its load-vector projection is the paper's Markov chain.
+func ExampleCluster() {
+	c := cluster.New(8, rng.New(1))
+	for i := 0; i < 8; i++ {
+		c.SubmitTo(0) // a crash crammed every job onto one server
+	}
+	fmt.Println("after the crash: max load", c.MaxLoad())
+	c.ChurnA(2000, 2) // Scenario A churn with two-choice dispatch
+	fmt.Println("after churn: max load", c.MaxLoad(), "— jobs still:", c.Jobs())
+	// Output:
+	// after the crash: max load 8
+	// after churn: max load 2 — jobs still: 8
+}

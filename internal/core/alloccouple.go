@@ -1,0 +1,210 @@
+package core
+
+import (
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// positionByBallIndex maps a ball index t in [0, m) to the position of
+// the bin holding that ball in the normalized vector v — the inverse-CDF
+// map of the distribution A(v).
+func positionByBallIndex(v loadvec.Vector, t int) int {
+	acc := 0
+	for i, x := range v {
+		acc += x
+		if t < acc {
+			return i
+		}
+	}
+	panic("core: ball index beyond total load")
+}
+
+// CoupledAlloc couples two copies of a closed allocation process on
+// ARBITRARY state pairs by sharing all randomness:
+//
+//   - Removal. Scenario A: both copies remove the ball with the same
+//     shared uniform ball index (the inverse-CDF coupling of A(v) and
+//     A(u); the totals are equal in a closed process). Scenario B: both
+//     copies apply the inverse-CDF coupling of B: a shared uniform
+//     u in [0,1) picks rank floor(u*s) among each copy's s nonempty bins.
+//   - Insertion. Both copies consult the same lazily-drawn sample of the
+//     right-oriented rule, one of them through Phi (Lemma 3.3), so the
+//     insertion never increases ||X - Y||_1.
+//
+// Each copy in isolation performs exactly its process's step, so this is
+// a faithful coupling and its coalescence time upper-bounds the mixing
+// time. On distance-1 pairs the Scenario A removal coupling coincides
+// with the paper's Section 4 construction in distribution.
+type CoupledAlloc struct {
+	Scenario process.Scenario
+	Rule     rules.Rule
+	X, Y     loadvec.Vector
+	r        *rng.RNG
+	steps    int64
+}
+
+// NewCoupledAlloc couples the two (copied) start states, which must
+// belong to the same Omega_m.
+func NewCoupledAlloc(sc process.Scenario, rule rules.Rule, x, y loadvec.Vector, r *rng.RNG) *CoupledAlloc {
+	if x.N() != y.N() || x.Total() != y.Total() {
+		panic("core: coupled states must share n and m")
+	}
+	if x.Total() < 1 {
+		panic("core: closed coupling needs at least one ball")
+	}
+	return &CoupledAlloc{Scenario: sc, Rule: rule, X: x.Clone(), Y: y.Clone(), r: r}
+}
+
+// Steps returns the number of coupled steps executed.
+func (c *CoupledAlloc) Steps() int64 { return c.steps }
+
+// Coalesced implements Coupling.
+func (c *CoupledAlloc) Coalesced() bool { return c.X.Equal(c.Y) }
+
+// Distance implements Coupling: Delta(X, Y) = (1/2)||X - Y||_1.
+func (c *CoupledAlloc) Distance() int { return c.X.Delta(c.Y) }
+
+// Step implements Coupling.
+func (c *CoupledAlloc) Step() {
+	switch c.Scenario {
+	case process.ScenarioA:
+		t := c.r.Intn(c.X.Total())
+		c.X.Remove(positionByBallIndex(c.X, t))
+		c.Y.Remove(positionByBallIndex(c.Y, t))
+	case process.ScenarioB:
+		u := c.r.Float64()
+		s1, s2 := c.X.NonEmpty(), c.Y.NonEmpty()
+		i := int(u * float64(s1))
+		if i >= s1 {
+			i = s1 - 1
+		}
+		j := int(u * float64(s2))
+		if j >= s2 {
+			j = s2 - 1
+		}
+		c.X.Remove(i)
+		c.Y.Remove(j)
+	default:
+		panic("core: unknown scenario")
+	}
+	s := rules.NewSample(c.X.N(), c.r)
+	c.X.Add(c.Rule.Choose(c.X, s))
+	c.Y.Add(c.Rule.Choose(c.Y, c.Rule.Phi(s)))
+	c.steps++
+}
+
+// findGammaOrientation identifies lambda < delta with v = u + e_lambda -
+// e_delta for a pair at Delta distance 1, possibly swapping the roles of
+// the inputs. Returns (upper, lower, lambda, delta) with upper = lower +
+// e_lambda - e_delta. It panics if Delta(v, u) != 1.
+func findGammaOrientation(v, u loadvec.Vector) (upper, lower loadvec.Vector, lambda, delta int) {
+	if v.Delta(u) != 1 {
+		panic("core: pair is not at Delta distance 1")
+	}
+	plus, minus := -1, -1
+	for i := range v {
+		switch v[i] - u[i] {
+		case 1:
+			plus = i
+		case -1:
+			minus = i
+		}
+	}
+	if plus < minus {
+		return v, u, plus, minus
+	}
+	// v = u + e_plus - e_minus with plus > minus means u = v + e_minus -
+	// e_plus with minus < plus: swap roles.
+	return u, v, minus, plus
+}
+
+// GammaStepA performs ONE step of the paper's Section 4 coupling on a
+// pair (v, u) at Delta distance 1 and returns the coupled successors.
+// The removal halves are coupled as in the paper: draw i from A(upper);
+// if i != lambda both copies remove at the matching index, and if
+// i = lambda the lower copy removes at delta with probability
+// 1/upper[lambda] (which makes the marginals exact and coalesces the
+// pair). The insertion halves share a sample via Lemma 3.3.
+//
+// Lemma 4.1 asserts Delta of the result is at most 1, with coalescence
+// whenever the removal indices split; Corollary 4.2 gives
+// E[Delta'] <= 1 - 1/m.
+func GammaStepA(rule rules.Rule, v, u loadvec.Vector, r *rng.RNG) (loadvec.Vector, loadvec.Vector) {
+	upper, lower, lambda, delta := findGammaOrientation(v, u)
+	x := upper.Clone()
+	y := lower.Clone()
+	m := x.Total()
+
+	t := r.Intn(m)
+	i := positionByBallIndex(x, t)
+	j := i
+	if i == lambda {
+		// With probability 1/x[lambda], remove at delta in the lower copy.
+		if r.Intn(x[lambda]) == 0 {
+			j = delta
+		}
+	}
+	x.Remove(i)
+	y.Remove(j)
+
+	s := rules.NewSample(x.N(), r)
+	x.Add(rule.Choose(x, s))
+	y.Add(rule.Choose(y, rule.Phi(s)))
+	return x, y
+}
+
+// GammaStepB performs ONE step of the paper's Section 5 coupling on a
+// pair at Delta distance 1 under Scenario B, returning the coupled
+// successors. Writing upper = lower + e_lambda - e_delta (lambda <
+// delta) and s1 = nonempty(upper), s2 = nonempty(lower):
+//
+//   - if s1 == s2, draw i uniform on [s1] for the upper copy and mirror
+//     lambda <-> delta for the lower copy;
+//   - if s1 != s2 (then s1 = s2 - 1: the lower copy's bin at position
+//     delta holds the single ball the upper copy moved away), draw i*
+//     uniform on [s2] for the lower copy; the upper copy uses i = i*
+//     except i* = delta maps to lambda and i* = lambda re-draws uniform
+//     on [s1].
+//
+// The insertion halves share a sample via Lemma 3.3. Claims 5.1/5.2
+// assert E[Delta'] <= 1 and Pr[Delta' != 1] >= 1/(2n).
+func GammaStepB(rule rules.Rule, v, u loadvec.Vector, r *rng.RNG) (loadvec.Vector, loadvec.Vector) {
+	upper, lower, lambda, delta := findGammaOrientation(v, u)
+	x := upper.Clone()
+	y := lower.Clone()
+	s1, s2 := x.NonEmpty(), y.NonEmpty()
+
+	var i, j int
+	if s1 == s2 {
+		i = r.Intn(s1)
+		switch i {
+		case lambda:
+			j = delta
+		case delta:
+			j = lambda
+		default:
+			j = i
+		}
+	} else {
+		// The only way the supports differ for a distance-1 pair:
+		// lower has one extra nonempty bin, at position delta.
+		j = r.Intn(s2)
+		switch j {
+		case delta:
+			i = lambda
+		case lambda:
+			i = r.Intn(s1)
+		default:
+			i = j
+		}
+	}
+	x.Remove(i)
+	y.Remove(j)
+
+	s := rules.NewSample(x.N(), r)
+	x.Add(rule.Choose(x, s))
+	y.Add(rule.Choose(y, rule.Phi(s)))
+	return x, y
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+	"dynalloc/internal/stats"
+)
+
+func TestPositionByBallIndex(t *testing.T) {
+	v := loadvec.Vector{3, 2, 0, 1}
+	// Not normalized on purpose? No — must be; use a normalized one.
+	v = loadvec.Vector{3, 2, 1, 0}
+	want := []int{0, 0, 0, 1, 1, 2}
+	for ball, pos := range want {
+		if got := positionByBallIndex(v, ball); got != pos {
+			t.Fatalf("ball %d -> %d, want %d", ball, got, pos)
+		}
+	}
+}
+
+func TestCoupledAllocInvariants(t *testing.T) {
+	r := rng.New(1)
+	for _, sc := range []process.Scenario{process.ScenarioA, process.ScenarioB} {
+		c := NewCoupledAlloc(sc, rules.NewABKU(2), loadvec.OneTower(6, 12), loadvec.Balanced(6, 12), r)
+		for i := 0; i < 3000; i++ {
+			c.Step()
+			if c.X.Total() != 12 || c.Y.Total() != 12 {
+				t.Fatalf("scenario %v: totals drifted", sc)
+			}
+			if !c.X.IsNormalized() || !c.Y.IsNormalized() {
+				t.Fatalf("scenario %v: states denormalized", sc)
+			}
+		}
+	}
+}
+
+// TestInsertionNeverIncreasesL1 is Lemma 3.3 on the live coupling: track
+// the L1 distance across insertion halves only. We check the weaker
+// full-step property on Scenario A distance: Delta is non-increasing in
+// expectation (statistically).
+func TestCoupledDistanceShrinks(t *testing.T) {
+	r := rng.New(2)
+	c := NewCoupledAlloc(process.ScenarioA, rules.NewABKU(2), loadvec.OneTower(8, 16), loadvec.Balanced(8, 16), r)
+	start := c.Distance()
+	for i := 0; i < 20000 && !c.Coalesced(); i++ {
+		c.Step()
+	}
+	if !c.Coalesced() && c.Distance() >= start {
+		t.Fatalf("distance did not shrink: %d -> %d", start, c.Distance())
+	}
+}
+
+func TestCoupledCoalescesAndStays(t *testing.T) {
+	r := rng.New(3)
+	for _, sc := range []process.Scenario{process.ScenarioA, process.ScenarioB} {
+		c := NewCoupledAlloc(sc, rules.NewABKU(2), loadvec.OneTower(6, 6), loadvec.Balanced(6, 6), r)
+		steps, ok := CoalescenceTime(c, 2_000_000)
+		if !ok {
+			t.Fatalf("scenario %v: no coalescence in 2M steps (distance %d)", sc, c.Distance())
+		}
+		if steps <= 0 {
+			t.Fatalf("scenario %v: zero coalescence time from distinct states", sc)
+		}
+		for i := 0; i < 1000; i++ {
+			c.Step()
+			if !c.Coalesced() {
+				t.Fatalf("scenario %v: coupling diverged after coalescing", sc)
+			}
+		}
+	}
+}
+
+// TestCoupledMarginalFaithful: each copy of CoupledAlloc, viewed alone,
+// must step exactly like the free process.
+func TestCoupledMarginalFaithful(t *testing.T) {
+	x0 := loadvec.Vector{3, 1, 1, 1}
+	y0 := loadvec.Vector{2, 2, 2, 0}
+	const trials = 200000
+	for _, sc := range []process.Scenario{process.ScenarioA, process.ScenarioB} {
+		rc := rng.New(4)
+		coupled := make(map[string]int)
+		for i := 0; i < trials; i++ {
+			c := NewCoupledAlloc(sc, rules.NewABKU(2), x0, y0, rc)
+			c.Step()
+			coupled[c.Y.Key()]++
+		}
+		rf := rng.New(5)
+		free := make(map[string]int)
+		for i := 0; i < trials; i++ {
+			p := process.New(sc, rules.NewABKU(2), y0, rf)
+			p.Step()
+			free[p.State().Key()]++
+		}
+		if d := stats.TVDistanceCounts(coupled, free); d > 0.01 {
+			t.Fatalf("scenario %v: coupled Y marginal off by TV %.4f", sc, d)
+		}
+	}
+}
+
+// TestGammaStepAMarginals: both halves of the Section 4 coupling must be
+// faithful one-step copies of I_A.
+func TestGammaStepAMarginals(t *testing.T) {
+	r := rng.New(6)
+	u := loadvec.Vector{2, 2, 1, 1}
+	v := u.Clone()
+	v.Remove(3)
+	v.Add(0) // v = u + e_top - e_bottom
+	if v.Delta(u) != 1 {
+		t.Fatal("setup: pair not at distance 1")
+	}
+	const trials = 300000
+	rule := rules.NewABKU(2)
+	gotV := make(map[string]int)
+	gotU := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		x, y := GammaStepA(rule, v, u, r)
+		gotV[x.Key()]++
+		gotU[y.Key()]++
+	}
+	rf := rng.New(7)
+	freeV := make(map[string]int)
+	freeU := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		p := process.New(process.ScenarioA, rule, v, rf)
+		p.Step()
+		freeV[p.State().Key()]++
+		q := process.New(process.ScenarioA, rule, u, rf)
+		q.Step()
+		freeU[q.State().Key()]++
+	}
+	if d := stats.TVDistanceCounts(gotV, freeV); d > 0.01 {
+		t.Fatalf("upper marginal off by TV %.4f", d)
+	}
+	if d := stats.TVDistanceCounts(gotU, freeU); d > 0.01 {
+		t.Fatalf("lower marginal off by TV %.4f", d)
+	}
+}
+
+// TestGammaStepBMarginals: same for the Section 5 coupling, including
+// the s1 != s2 branch (the pair below has supports of different sizes).
+func TestGammaStepBMarginals(t *testing.T) {
+	r := rng.New(8)
+	u := loadvec.Vector{2, 1, 1}
+	v := loadvec.Vector{3, 1, 0} // v = u + e_0 - e_2; s1=2, s2=3
+	if v.Delta(u) != 1 {
+		t.Fatal("setup: pair not at distance 1")
+	}
+	const trials = 300000
+	rule := rules.NewABKU(2)
+	gotV := make(map[string]int)
+	gotU := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		x, y := GammaStepB(rule, v, u, r)
+		gotV[x.Key()]++
+		gotU[y.Key()]++
+	}
+	rf := rng.New(9)
+	freeV := make(map[string]int)
+	freeU := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		p := process.New(process.ScenarioB, rule, v, rf)
+		p.Step()
+		freeV[p.State().Key()]++
+		q := process.New(process.ScenarioB, rule, u, rf)
+		q.Step()
+		freeU[q.State().Key()]++
+	}
+	if d := stats.TVDistanceCounts(gotV, freeV); d > 0.01 {
+		t.Fatalf("upper marginal off by TV %.4f", d)
+	}
+	if d := stats.TVDistanceCounts(gotU, freeU); d > 0.01 {
+		t.Fatalf("lower marginal off by TV %.4f", d)
+	}
+}
+
+// TestGammaStepBEqualSupports exercises the s1 == s2 branch marginals.
+func TestGammaStepBEqualSupports(t *testing.T) {
+	r := rng.New(10)
+	u := loadvec.Vector{3, 2, 1}
+	v := loadvec.Vector{4, 1, 1} // +1 at 0, -1 at 1; both supports = 3
+	if v.Delta(u) != 1 {
+		t.Fatal("setup: not distance 1")
+	}
+	const trials = 200000
+	rule := rules.NewUniform()
+	gotU := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		_, y := GammaStepB(rule, v, u, r)
+		gotU[y.Key()]++
+	}
+	rf := rng.New(11)
+	freeU := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		q := process.New(process.ScenarioB, rule, u, rf)
+		q.Step()
+		freeU[q.State().Key()]++
+	}
+	if d := stats.TVDistanceCounts(gotU, freeU); d > 0.01 {
+		t.Fatalf("lower marginal off by TV %.4f", d)
+	}
+}
+
+// TestLemma41NeverGrows: the Section 4 coupling never takes a Gamma pair
+// beyond distance 1 (Lemma 4.1: Delta' <= 1, and i != j coalesces).
+func TestLemma41NeverGrows(t *testing.T) {
+	r := rng.New(12)
+	rule := rules.NewABKU(2)
+	for trial := 0; trial < 20000; trial++ {
+		v, u := loadvec.AdjacentPair(3+r.Intn(5), 2+r.Intn(12), r)
+		x, y := GammaStepA(rule, v, u, r)
+		if d := x.Delta(y); d > 1 {
+			t.Fatalf("Delta' = %d > 1 from %v, %v -> %v, %v", d, v, u, x, y)
+		}
+	}
+}
+
+// TestCorollary42Contraction: E[Delta'] <= 1 - 1/m with coalescence
+// probability about 1/m.
+func TestCorollary42Contraction(t *testing.T) {
+	r := rng.New(13)
+	const n, m, trials = 6, 12, 200000
+	est := MeasureContractionA(rules.NewABKU(2), n, m, trials, r)
+	bound := 1 - 1.0/float64(m)
+	// Allow 3-sigma statistical slack above the bound.
+	slack := 3 * 0.3 / 141.0 // ~3*sd/sqrt(trials), sd < 0.3
+	if est.MeanDelta > bound+slack {
+		t.Fatalf("E[Delta'] = %.5f exceeds Corollary 4.2 bound %.5f", est.MeanDelta, bound)
+	}
+	if est.Coalesced == 0 {
+		t.Fatal("coupling never coalesced on Gamma pairs")
+	}
+	if est.MaxDelta > 1 {
+		t.Fatalf("MaxDelta = %d", est.MaxDelta)
+	}
+}
+
+// TestClaim51Contraction: Scenario B coupling keeps E[Delta'] <= 1 and
+// moves the distance with probability at least about 1/(2n).
+func TestClaim51Contraction(t *testing.T) {
+	r := rng.New(14)
+	const n, m, trials = 6, 12, 200000
+	est := MeasureContractionB(rules.NewABKU(2), n, m, trials, r)
+	if est.MeanDelta > 1+0.01 {
+		t.Fatalf("E[Delta'] = %.5f > 1", est.MeanDelta)
+	}
+	if est.AlphaFreq < 1/(2.0*float64(n))-0.02 {
+		t.Fatalf("alpha = %.5f below 1/(2n) = %.5f", est.AlphaFreq, 1/(2.0*float64(n)))
+	}
+	if est.MaxDelta > 2 {
+		t.Fatalf("Scenario B coupling produced Delta' = %d > 2", est.MaxDelta)
+	}
+}
+
+func TestFindGammaOrientation(t *testing.T) {
+	u := loadvec.Vector{3, 1}
+	v := loadvec.Vector{2, 2}
+	upper, lower, lambda, delta := findGammaOrientation(v, u)
+	// u = v + e_0 - e_1, so u is the upper one.
+	if !upper.Equal(u) || !lower.Equal(v) || lambda != 0 || delta != 1 {
+		t.Fatalf("orientation = %v %v %d %d", upper, lower, lambda, delta)
+	}
+	// And with arguments swapped the answer is the same.
+	upper2, lower2, l2, d2 := findGammaOrientation(u, v)
+	if !upper2.Equal(upper) || !lower2.Equal(lower) || l2 != lambda || d2 != delta {
+		t.Fatal("orientation not symmetric in argument order")
+	}
+}
+
+func TestFindGammaOrientationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	findGammaOrientation(loadvec.Vector{2, 0}, loadvec.Vector{0, 2})
+}
+
+func TestNewCoupledAllocPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() {
+			NewCoupledAlloc(process.ScenarioA, rules.NewUniform(), loadvec.Vector{1, 0}, loadvec.Vector{1, 1}, rng.New(1))
+		},
+		func() {
+			NewCoupledAlloc(process.ScenarioA, rules.NewUniform(), loadvec.Vector{0, 0}, loadvec.Vector{0, 0}, rng.New(1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

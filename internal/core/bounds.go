@@ -1,0 +1,124 @@
+package core
+
+import "math"
+
+// PathCouplingContraction is case (1) of the Path Coupling Lemma
+// (Lemma 3.1): if on adjacent pairs E[Delta(X', Y')] <= beta *
+// Delta(X, Y) with beta < 1, and the metric diameter is D, then
+//
+//	tau(eps) <= ln(D / eps) / (1 - beta).
+//
+// It panics unless 0 <= beta < 1, D >= 1 and 0 < eps < 1.
+func PathCouplingContraction(diameter, beta, eps float64) float64 {
+	if beta < 0 || beta >= 1 {
+		panic("core: contraction case needs 0 <= beta < 1")
+	}
+	if diameter < 1 || eps <= 0 || eps >= 1 {
+		panic("core: bad diameter or epsilon")
+	}
+	return math.Ceil(math.Log(diameter/eps) / (1 - beta))
+}
+
+// PathCouplingVariance is case (2) of the Path Coupling Lemma: if
+// E[Delta(X', Y')] <= Delta(X, Y) (beta = 1) but the distance moves with
+// probability at least alpha on adjacent pairs, then
+//
+//	tau(eps) <= ceil(e * D^2 / alpha) * ceil(ln(1/eps)).
+//
+// It panics unless 0 < alpha <= 1, D >= 1 and 0 < eps < 1.
+func PathCouplingVariance(diameter, alpha, eps float64) float64 {
+	if alpha <= 0 || alpha > 1 {
+		panic("core: variance case needs 0 < alpha <= 1")
+	}
+	if diameter < 1 || eps <= 0 || eps >= 1 {
+		panic("core: bad diameter or epsilon")
+	}
+	return math.Ceil(math.E*diameter*diameter/alpha) * math.Ceil(math.Log(1/eps))
+}
+
+// Theorem1Bound is the paper's Theorem 1: for Scenario A with any
+// right-oriented insertion rule, tau(eps) = ceil(m * ln(m / eps)).
+// The coupling contracts with beta = 1 - 1/m on a metric of diameter
+// at most m - ceil(m/n) <= m.
+func Theorem1Bound(m int, eps float64) float64 {
+	if m < 1 || eps <= 0 || eps >= 1 {
+		panic("core: bad arguments to Theorem1Bound")
+	}
+	return math.Ceil(float64(m) * math.Log(float64(m)/eps))
+}
+
+// Claim53Bound is the paper's Claim 5.3: for Scenario B,
+// tau(eps) = O(n * m^2 * ln(1/eps)). The constant follows from the
+// variance case of the Path Coupling Lemma with diameter D <= m and
+// alpha >= 1/(2n) (the coupling's distance moves whenever the shared
+// removal index hits one of the two differing bins).
+func Claim53Bound(n, m int, eps float64) float64 {
+	if n < 1 || m < 1 || eps <= 0 || eps >= 1 {
+		panic("core: bad arguments to Claim53Bound")
+	}
+	return PathCouplingVariance(float64(m), 1/(2*float64(n)), eps)
+}
+
+// Corollary64Bound is the paper's Corollary 6.4 for the edge orientation
+// chain: tau(eps) = O(n^3 (ln n + ln(1/eps))). It instantiates the
+// contraction case with diameter n and
+// beta = 1 - (1/n) * (n choose 2)^{-1}, the bound obtained from
+// Lemmas 6.2/6.3 together with Delta <= n on adjacent pairs.
+func Corollary64Bound(n int, eps float64) float64 {
+	if n < 2 || eps <= 0 || eps >= 1 {
+		panic("core: bad arguments to Corollary64Bound")
+	}
+	pairs := float64(n) * float64(n-1) / 2
+	beta := 1 - 1/(float64(n)*pairs)
+	return PathCouplingContraction(float64(n), beta, eps)
+}
+
+// Theorem2Bound is the shape of the paper's Theorem 2:
+// tau(1/4) = O(n^2 ln^2 n) for the edge orientation chain, obtained by
+// first arguing the discrepancies shrink to O(ln n) within O(n^2 ln n)
+// steps and then path-coupling on the smaller effective diameter. The
+// constant c multiplies the asymptotic shape; c = 1 reports the bare
+// shape for table columns.
+func Theorem2Bound(n int, c float64) float64 {
+	if n < 2 {
+		panic("core: bad n in Theorem2Bound")
+	}
+	ln := math.Log(float64(n))
+	return c * float64(n) * float64(n) * ln * ln
+}
+
+// AzarRecoveryBound is the prior-work baseline the paper improves for
+// Scenario A: Azar et al. showed recovery within O(n^3) steps for
+// m = n. The paper's Theorem 1 replaces this with Theta(n ln n).
+func AzarRecoveryBound(n int) float64 {
+	return float64(n) * float64(n) * float64(n)
+}
+
+// AjtaiRecoveryBound is the prior-work baseline for the edge
+// orientation problem: at least O(n^5) in Ajtai et al.; the paper's
+// Theorem 2 replaces it with O(n^2 ln^2 n).
+func AjtaiRecoveryBound(n int) float64 {
+	return math.Pow(float64(n), 5)
+}
+
+// ScenarioALowerBound is the matching lower bound discussed after
+// Theorem 1: the recovery time of Scenario A is Omega(m ln m) (the bound
+// is tight up to lower-order terms).
+func ScenarioALowerBound(m int) float64 {
+	if m < 2 {
+		return 1
+	}
+	return float64(m) * math.Log(float64(m))
+}
+
+// ScenarioBLowerBounds returns the two lower bounds stated after
+// Claim 5.3: Omega(n*m) and, for sufficiently large m, Omega(m^2).
+func ScenarioBLowerBounds(n, m int) (nm, m2 float64) {
+	return float64(n) * float64(m), float64(m) * float64(m)
+}
+
+// EdgeOrientLowerBound is the Omega(n^2) lower bound noted after
+// Theorem 2.
+func EdgeOrientLowerBound(n int) float64 {
+	return float64(n) * float64(n)
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPathCouplingContraction(t *testing.T) {
+	// D = 10, beta = 0.9, eps = 0.01: ln(1000)/0.1 ~ 69.07 -> 70.
+	got := PathCouplingContraction(10, 0.9, 0.01)
+	if got != math.Ceil(math.Log(1000)/0.1) {
+		t.Fatalf("bound = %v", got)
+	}
+	// Stronger contraction gives a smaller bound.
+	if PathCouplingContraction(10, 0.5, 0.01) >= got {
+		t.Fatal("bound not monotone in beta")
+	}
+}
+
+func TestPathCouplingVariance(t *testing.T) {
+	got := PathCouplingVariance(10, 0.1, 0.25)
+	want := math.Ceil(math.E*100/0.1) * math.Ceil(math.Log(4))
+	if got != want {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+	if PathCouplingVariance(10, 0.5, 0.25) >= got {
+		t.Fatal("bound not monotone in alpha")
+	}
+}
+
+func TestBoundPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { PathCouplingContraction(10, 1, 0.1) },
+		func() { PathCouplingContraction(10, -0.1, 0.1) },
+		func() { PathCouplingContraction(0.5, 0.9, 0.1) },
+		func() { PathCouplingContraction(10, 0.9, 0) },
+		func() { PathCouplingVariance(10, 0, 0.1) },
+		func() { PathCouplingVariance(10, 2, 0.1) },
+		func() { Theorem1Bound(0, 0.1) },
+		func() { Claim53Bound(0, 1, 0.1) },
+		func() { Corollary64Bound(1, 0.1) },
+		func() { Theorem2Bound(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTheorem1BoundValues(t *testing.T) {
+	// m = 100, eps = 1/4: 100 * ln(400) ~ 599.15 -> 600.
+	got := Theorem1Bound(100, 0.25)
+	if got != 600 {
+		t.Fatalf("Theorem1Bound = %v, want 600", got)
+	}
+	// Grows like m ln m: ratio between m and 2m is a bit over 2.
+	r := Theorem1Bound(2000, 0.25) / Theorem1Bound(1000, 0.25)
+	if r < 2 || r > 2.5 {
+		t.Fatalf("Theorem 1 growth ratio = %v", r)
+	}
+}
+
+func TestClaim53Shape(t *testing.T) {
+	// O(n m^2): doubling n with m fixed doubles the bound (within
+	// ceiling slack); doubling m quadruples it.
+	b := Claim53Bound(100, 100, 0.25)
+	bn := Claim53Bound(200, 100, 0.25)
+	bm := Claim53Bound(100, 200, 0.25)
+	if r := bn / b; r < 1.9 || r > 2.1 {
+		t.Fatalf("n-scaling ratio = %v", r)
+	}
+	if r := bm / b; r < 3.9 || r > 4.1 {
+		t.Fatalf("m-scaling ratio = %v", r)
+	}
+}
+
+// TestHeadlineComparisons encodes the paper's improvement claims: for
+// m = n the Theorem 1 bound is far below Azar et al.'s O(n^3), and the
+// Theorem 2 shape is far below Ajtai et al.'s O(n^5).
+func TestHeadlineComparisons(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		if Theorem1Bound(n, 0.25) >= AzarRecoveryBound(n) {
+			t.Fatalf("n=%d: Theorem 1 bound does not beat the O(n^3) baseline", n)
+		}
+		if Theorem2Bound(n, 1) >= AjtaiRecoveryBound(n) {
+			t.Fatalf("n=%d: Theorem 2 shape does not beat the O(n^5) baseline", n)
+		}
+		if Corollary64Bound(n, 0.25) >= AjtaiRecoveryBound(n) {
+			t.Fatalf("n=%d: Corollary 6.4 does not beat the O(n^5) baseline", n)
+		}
+	}
+}
+
+func TestCorollary64Shape(t *testing.T) {
+	// O(n^3 ln n): ratio between n and 2n is about 8 (times log factor).
+	r := Corollary64Bound(512, 0.25) / Corollary64Bound(256, 0.25)
+	if r < 7.5 || r > 10 {
+		t.Fatalf("Corollary 6.4 growth ratio = %v", r)
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	if ScenarioALowerBound(1) != 1 {
+		t.Fatal("degenerate lower bound")
+	}
+	if got := ScenarioALowerBound(100); math.Abs(got-100*math.Log(100)) > 1e-9 {
+		t.Fatalf("ScenarioALowerBound = %v", got)
+	}
+	nm, m2 := ScenarioBLowerBounds(10, 20)
+	if nm != 200 || m2 != 400 {
+		t.Fatalf("ScenarioBLowerBounds = %v, %v", nm, m2)
+	}
+	if EdgeOrientLowerBound(10) != 100 {
+		t.Fatal("EdgeOrientLowerBound wrong")
+	}
+	// Consistency: upper bounds dominate the corresponding lower bounds.
+	for _, n := range []int{16, 64, 256} {
+		if Theorem1Bound(n, 0.25) < ScenarioALowerBound(n) {
+			t.Fatalf("n=%d: Theorem 1 upper bound below its lower bound", n)
+		}
+		if Theorem2Bound(n, 1) < EdgeOrientLowerBound(n) {
+			t.Fatalf("n=%d: Theorem 2 shape below Omega(n^2)", n)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"dynalloc/internal/par"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/stats"
+)
+
+// Coupling is a pair of faithfully-coupled copies of one Markov chain.
+// Implementations: CoupledAlloc (Scenarios A/B, this package) and
+// edgeorient.Coupled (Section 6).
+type Coupling interface {
+	// Step advances both copies by one coupled transition.
+	Step()
+	// Coalesced reports whether the copies coincide. Once true it must
+	// stay true: couplings here keep coalesced copies identical.
+	Coalesced() bool
+	// Distance returns the current distance between the copies in the
+	// coupling's working metric (used for progress diagnostics).
+	Distance() int
+}
+
+// CoalescenceTime steps a coupling until the copies coincide, returning
+// the number of steps taken, or (maxSteps, false) on timeout. By the
+// coupling inequality, the distribution of this time upper-bounds the
+// mixing time: Pr[T_coal > t] >= max-TV distance at time t.
+func CoalescenceTime(c Coupling, maxSteps int64) (int64, bool) {
+	if c.Coalesced() {
+		return 0, true
+	}
+	for t := int64(1); t <= maxSteps; t++ {
+		c.Step()
+		if c.Coalesced() {
+			return t, true
+		}
+	}
+	return maxSteps, false
+}
+
+// CoalescenceResult aggregates repeated coalescence measurements.
+type CoalescenceResult struct {
+	Times    stats.Summary // coalescence times of successful trials
+	Timeouts int           // trials that hit maxSteps
+}
+
+// EstimateCoalescence runs `trials` independent couplings produced by
+// factory (which receives a derived RNG stream per trial) and aggregates
+// their coalescence times. Trials run on all CPUs; because each trial's
+// randomness is a pure function of (seed, trial) and results are reduced
+// in trial order, the aggregate is identical to a sequential run.
+func EstimateCoalescence(factory func(r *rng.RNG) Coupling, seed uint64, trials int, maxSteps int64) CoalescenceResult {
+	type outcome struct {
+		t  int64
+		ok bool
+	}
+	outs := par.Map(trials, 0, func(trial int) outcome {
+		c := factory(rng.NewStream(seed, uint64(trial)))
+		t, ok := CoalescenceTime(c, maxSteps)
+		return outcome{t, ok}
+	})
+	var res CoalescenceResult
+	for _, o := range outs {
+		if !o.ok {
+			res.Timeouts++
+			continue
+		}
+		res.Times.AddInt(int(o.t))
+	}
+	return res
+}
+
+// QuantileCoalescence runs trials in parallel and returns the q-th
+// quantile of the coalescence times (all trials must coalesce; it panics
+// on timeout so a too-small horizon is loud, not silently biased).
+func QuantileCoalescence(factory func(r *rng.RNG) Coupling, seed uint64, trials int, maxSteps int64, q float64) float64 {
+	times := par.Map(trials, 0, func(trial int) float64 {
+		c := factory(rng.NewStream(seed, uint64(trial)))
+		t, ok := CoalescenceTime(c, maxSteps)
+		if !ok {
+			panic("core: coalescence timed out; raise maxSteps")
+		}
+		return float64(t)
+	})
+	return stats.Quantile(times, q)
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// TestEstimateCoalescenceDeterministic: the parallel estimator must
+// produce bit-identical aggregates across repeated runs (per-trial
+// streams + in-order reduction).
+func TestEstimateCoalescenceDeterministic(t *testing.T) {
+	run := func() CoalescenceResult {
+		return EstimateCoalescence(func(r *rng.RNG) Coupling {
+			v, u := loadvec.ExtremePair(8, 8)
+			return NewCoupledAlloc(process.ScenarioA, rules.NewABKU(2), v, u, r)
+		}, 99, 24, 1_000_000)
+	}
+	a := run()
+	b := run()
+	if a.Times.Mean() != b.Times.Mean() || a.Times.Var() != b.Times.Var() ||
+		a.Times.N() != b.Times.N() || a.Timeouts != b.Timeouts {
+		t.Fatalf("parallel estimator not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMeasureRecoveryDeterministic(t *testing.T) {
+	spec := RecoverySpec{
+		Scenario:  process.ScenarioA,
+		Rule:      func() rules.Rule { return rules.NewABKU(2) },
+		Initial:   func() loadvec.Vector { return loadvec.OneTower(8, 8) },
+		GapTarget: 1,
+		MaxSteps:  1_000_000,
+	}
+	a := MeasureRecovery(spec, 7, 16)
+	b := MeasureRecovery(spec, 7, 16)
+	if a.Times.Mean() != b.Times.Mean() || a.Times.N() != b.Times.N() {
+		t.Fatal("recovery estimator not deterministic")
+	}
+	// A different seed gives a different (but valid) answer.
+	c := MeasureRecovery(spec, 8, 16)
+	if c.Times.N() != 16 {
+		t.Fatalf("trials lost: %d", c.Times.N())
+	}
+}
+
+// TestQuantileCoalescenceMonotone: higher quantiles are larger.
+func TestQuantileCoalescenceMonotone(t *testing.T) {
+	factory := func(r *rng.RNG) Coupling {
+		v, u := loadvec.ExtremePair(8, 8)
+		return NewCoupledAlloc(process.ScenarioA, rules.NewABKU(2), v, u, r)
+	}
+	q25 := QuantileCoalescence(factory, 11, 40, 1_000_000, 0.25)
+	q75 := QuantileCoalescence(factory, 11, 40, 1_000_000, 0.75)
+	if q25 > q75 {
+		t.Fatalf("q25 %v > q75 %v", q25, q75)
+	}
+}

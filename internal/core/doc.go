@@ -1,0 +1,38 @@
+// Package core implements the paper's contribution: the path-coupling
+// framework for bounding the recovery time of dynamic allocation
+// processes.
+//
+// The pipeline mirrors the paper exactly:
+//
+//  1. A dynamic allocation process is an ergodic Markov chain on
+//     normalized load vectors (internal/process, internal/loadvec); its
+//     recovery time — the number of steps needed to get from an
+//     arbitrary state to a typical one w.h.p. — is the chain's mixing
+//     time (Section 2.1).
+//
+//  2. The Path Coupling Lemma of Bubley and Dyer (Lemma 3.1) turns a
+//     one-step contraction estimate on ADJACENT state pairs into a
+//     mixing-time bound. Bounds.go provides both cases of the lemma and
+//     the paper's closed-form results: Theorem 1 (Scenario A,
+//     tau(eps) = ceil(m ln(m/eps))), Claim 5.3 (Scenario B,
+//     O(n m^2 ln(1/eps))), Corollary 6.4 and Theorem 2 (edge
+//     orientation, O(n^3 (ln n + ln(1/eps))) and O(n^2 ln^2 n)), plus
+//     the prior-work baselines they improve on (O(n^3) by Azar et al.,
+//     O(n^5) by Ajtai et al.).
+//
+//  3. The couplings themselves: Section 4's coupling for Scenario A
+//     (remove-a-random-ball, where the removal halves are matched with
+//     the 1/v_lambda trick and the insertion halves share a sample of a
+//     right-oriented rule per Lemma 3.3) and Section 5's coupling for
+//     Scenario B (uniform nonempty bin, with the s1 = s2 / s1 != s2 case
+//     split). GammaStepA/GammaStepB execute one exact paper-coupling
+//     step on a distance-1 pair so experiments can measure the
+//     contraction factors the lemmas assert; CoupledAlloc extends the
+//     shared-randomness idea to arbitrary pairs so experiments can
+//     measure full coalescence times, which upper-bound mixing times by
+//     the coupling inequality.
+//
+// The edge-orientation coupling of Section 6 lives with its data
+// structures in internal/edgeorient; this package's estimators accept it
+// through the Coupling interface.
+package core

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+
+	"dynalloc/internal/loadvec"
+)
+
+// ExactContraction is the exactly-computed one-step behavior of a Gamma
+// coupling on one distance-1 pair: the full expectation over removal
+// randomness, coupling branches and insertion randomness.
+type ExactContraction struct {
+	MeanDelta float64 // E[Delta']
+	AlphaFreq float64 // Pr[Delta' != 1]
+	ZeroFreq  float64 // Pr[Delta' == 0] (coalescence)
+	MaxDelta  int     // largest Delta' with positive probability
+}
+
+// abkuInsertProbs returns the shared insertion distribution of ABKU[d]
+// over positions: the position choice max(b) of d uniform probes is
+// state-independent in normalized-position space, so both coupled copies
+// insert at the SAME position g with probability ((g+1)^d - g^d)/n^d.
+// That state-independence is what makes the coupling exactly enumerable.
+func abkuInsertProbs(n, d int) []float64 {
+	p := make([]float64, n)
+	nd := math.Pow(float64(n), float64(d))
+	for g := 0; g < n; g++ {
+		p[g] = (math.Pow(float64(g+1), float64(d)) - math.Pow(float64(g), float64(d))) / nd
+	}
+	return p
+}
+
+// accumulate folds one weighted outcome into the running contraction.
+func (e *ExactContraction) accumulate(w float64, delta int) {
+	e.MeanDelta += w * float64(delta)
+	if delta != 1 {
+		e.AlphaFreq += w
+	}
+	if delta == 0 {
+		e.ZeroFreq += w
+	}
+	if delta > e.MaxDelta {
+		e.MaxDelta = delta
+	}
+}
+
+// MixedInsertProbs returns the state-independent position distribution
+// of the (1+beta)-choice rule: the beta-mixture of the one- and
+// two-probe laws.
+func MixedInsertProbs(n int, beta float64) []float64 {
+	one := abkuInsertProbs(n, 1)
+	two := abkuInsertProbs(n, 2)
+	out := make([]float64, n)
+	for g := range out {
+		out[g] = (1-beta)*one[g] + beta*two[g]
+	}
+	return out
+}
+
+// ExactGammaA computes the Section 4 coupling's one-step law exactly for
+// ABKU[d] on a pair at Delta distance 1, by enumerating the removal
+// position (probability v[i]/m), the 1/v[lambda] coupling branch, and
+// the shared insertion position. Corollary 4.2 asserts
+// MeanDelta <= 1 - 1/m for every such pair; TestCorollary42Exhaustive
+// checks that over ALL Gamma pairs of small state spaces.
+func ExactGammaA(d int, vIn, uIn loadvec.Vector) ExactContraction {
+	return ExactGammaAProbs(abkuInsertProbs(vIn.N(), d), vIn, uIn)
+}
+
+// ExactGammaAProbs is ExactGammaA for ANY rule whose position choice is
+// state-independent (ABKU[d], Uniform, the Mixed mixture): ins[g] is the
+// probability both coupled copies insert at position g.
+func ExactGammaAProbs(ins []float64, vIn, uIn loadvec.Vector) ExactContraction {
+	upper, lower, lambda, delta := findGammaOrientation(vIn, uIn)
+	n := upper.N()
+	m := upper.Total()
+	if len(ins) != n {
+		panic("core: insertion distribution length mismatch")
+	}
+	var out ExactContraction
+	for i := 0; i < n; i++ {
+		pRem := float64(upper[i]) / float64(m)
+		if pRem == 0 {
+			continue
+		}
+		type branch struct {
+			j int
+			w float64
+		}
+		branches := []branch{{i, 1}}
+		if i == lambda {
+			w := 1 / float64(upper[lambda])
+			branches = []branch{{delta, w}, {lambda, 1 - w}}
+		}
+		for _, br := range branches {
+			x := upper.Clone()
+			x.Remove(i)
+			y := lower.Clone()
+			y.Remove(br.j)
+			for g := 0; g < n; g++ {
+				if ins[g] == 0 {
+					continue
+				}
+				xx := x.Clone()
+				xx.Add(g)
+				yy := y.Clone()
+				yy.Add(g)
+				out.accumulate(pRem*br.w*ins[g], xx.Delta(yy))
+			}
+		}
+	}
+	return out
+}
+
+// ExactGammaB computes the Section 5 coupling's one-step law exactly for
+// ABKU[d] on a pair at Delta distance 1 (both support cases). Claims
+// 5.1/5.2 assert MeanDelta <= 1 and AlphaFreq >= 1/(2n);
+// TestClaims51Exhaustive checks that over ALL Gamma pairs of small state
+// spaces.
+func ExactGammaB(d int, vIn, uIn loadvec.Vector) ExactContraction {
+	return ExactGammaBProbs(abkuInsertProbs(vIn.N(), d), vIn, uIn)
+}
+
+// ExactGammaBProbs is ExactGammaB for any state-independent insertion
+// distribution.
+func ExactGammaBProbs(ins []float64, vIn, uIn loadvec.Vector) ExactContraction {
+	upper, lower, lambda, delta := findGammaOrientation(vIn, uIn)
+	n := upper.N()
+	s1, s2 := upper.NonEmpty(), lower.NonEmpty()
+	if len(ins) != n {
+		panic("core: insertion distribution length mismatch")
+	}
+	var out ExactContraction
+
+	type branch struct {
+		i, j int
+		w    float64
+	}
+	var branches []branch
+	if s1 == s2 {
+		for i := 0; i < s1; i++ {
+			j := i
+			switch i {
+			case lambda:
+				j = delta
+			case delta:
+				j = lambda
+			}
+			branches = append(branches, branch{i, j, 1 / float64(s1)})
+		}
+	} else {
+		// s1 = s2 - 1: enumerate j uniform on [s2].
+		for j := 0; j < s2; j++ {
+			w := 1 / float64(s2)
+			switch j {
+			case delta:
+				branches = append(branches, branch{lambda, j, w})
+			case lambda:
+				for i := 0; i < s1; i++ {
+					branches = append(branches, branch{i, j, w / float64(s1)})
+				}
+			default:
+				branches = append(branches, branch{j, j, w})
+			}
+		}
+	}
+	for _, br := range branches {
+		x := upper.Clone()
+		x.Remove(br.i)
+		y := lower.Clone()
+		y.Remove(br.j)
+		for g := 0; g < n; g++ {
+			if ins[g] == 0 {
+				continue
+			}
+			xx := x.Clone()
+			xx.Add(g)
+			yy := y.Clone()
+			yy.Add(g)
+			out.accumulate(br.w*ins[g], xx.Delta(yy))
+		}
+	}
+	return out
+}
+
+// AllGammaPairs enumerates every unordered pair of Omega_m states at
+// Delta distance exactly 1, for exhaustive lemma verification.
+func AllGammaPairs(n, m int) [][2]loadvec.Vector {
+	states := loadvec.Enumerate(n, m)
+	var out [][2]loadvec.Vector
+	for a := 0; a < len(states); a++ {
+		for b := a + 1; b < len(states); b++ {
+			if states[a].Delta(states[b]) == 1 {
+				out = append(out, [2]loadvec.Vector{states[a], states[b]})
+			}
+		}
+	}
+	return out
+}

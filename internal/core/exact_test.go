@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+func TestAbkuInsertProbs(t *testing.T) {
+	p := abkuInsertProbs(4, 2)
+	want := []float64{1.0 / 16, 3.0 / 16, 5.0 / 16, 7.0 / 16}
+	sum := 0.0
+	for g := range p {
+		if math.Abs(p[g]-want[g]) > 1e-12 {
+			t.Fatalf("g=%d: %v, want %v", g, p[g], want[g])
+		}
+		sum += p[g]
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("sum %v", sum)
+	}
+}
+
+func TestAllGammaPairs(t *testing.T) {
+	pairs := AllGammaPairs(3, 4)
+	// Omega_4 with 3 bins: {400, 310, 220, 211}; distance-1 pairs:
+	// 400-310, 310-220, 310-211, 220-211 -> 4 pairs.
+	if len(pairs) != 4 {
+		t.Fatalf("found %d pairs: %v", len(pairs), pairs)
+	}
+	for _, pr := range pairs {
+		if pr[0].Delta(pr[1]) != 1 {
+			t.Fatalf("non-adjacent pair %v", pr)
+		}
+	}
+}
+
+// TestCorollary42Exhaustive verifies Corollary 4.2 EXACTLY on every
+// Gamma pair of several small state spaces: the Section 4 coupling's
+// one-step expected distance never exceeds 1 - 1/m, its coalescence
+// probability is at least 1/m, and the distance never exceeds 1.
+func TestCorollary42Exhaustive(t *testing.T) {
+	for _, inst := range [][2]int{{3, 5}, {4, 6}, {4, 8}, {5, 7}} {
+		n, m := inst[0], inst[1]
+		bound := 1 - 1/float64(m)
+		for _, d := range []int{1, 2, 3} {
+			for _, pr := range AllGammaPairs(n, m) {
+				ec := ExactGammaA(d, pr[0], pr[1])
+				if ec.MeanDelta > bound+1e-12 {
+					t.Fatalf("n=%d m=%d d=%d pair %v/%v: E[Delta'] = %.12f > %.12f",
+						n, m, d, pr[0], pr[1], ec.MeanDelta, bound)
+				}
+				if ec.ZeroFreq < 1/float64(m)-1e-12 {
+					t.Fatalf("n=%d m=%d d=%d pair %v/%v: coalescence prob %.12f < 1/m",
+						n, m, d, pr[0], pr[1], ec.ZeroFreq)
+				}
+				if ec.MaxDelta > 1 {
+					t.Fatalf("n=%d m=%d d=%d pair %v/%v: Delta' reached %d",
+						n, m, d, pr[0], pr[1], ec.MaxDelta)
+				}
+			}
+		}
+	}
+}
+
+// TestClaims51Exhaustive verifies Claims 5.1/5.2 exactly on every Gamma
+// pair: E[Delta'] <= 1, Pr[Delta' != 1] >= 1/(2n), Delta' <= 2.
+func TestClaims51Exhaustive(t *testing.T) {
+	for _, inst := range [][2]int{{3, 5}, {4, 6}, {4, 8}, {5, 7}} {
+		n, m := inst[0], inst[1]
+		for _, d := range []int{1, 2, 3} {
+			for _, pr := range AllGammaPairs(n, m) {
+				ec := ExactGammaB(d, pr[0], pr[1])
+				if ec.MeanDelta > 1+1e-12 {
+					t.Fatalf("n=%d m=%d d=%d pair %v/%v: E[Delta'] = %.12f > 1",
+						n, m, d, pr[0], pr[1], ec.MeanDelta)
+				}
+				if ec.AlphaFreq < 1/(2*float64(n))-1e-12 {
+					t.Fatalf("n=%d m=%d d=%d pair %v/%v: alpha = %.12f < 1/(2n)",
+						n, m, d, pr[0], pr[1], ec.AlphaFreq)
+				}
+				if ec.MaxDelta > 2 {
+					t.Fatalf("n=%d m=%d d=%d pair %v/%v: Delta' reached %d",
+						n, m, d, pr[0], pr[1], ec.MaxDelta)
+				}
+			}
+		}
+	}
+}
+
+// TestMixedExhaustive: the exhaustive lemma checks hold for the
+// (1+beta)-choice mixture too — its position choice is also
+// state-independent, so the same exact enumeration applies.
+func TestMixedExhaustive(t *testing.T) {
+	for _, inst := range [][2]int{{3, 5}, {4, 6}} {
+		n, m := inst[0], inst[1]
+		boundA := 1 - 1/float64(m)
+		for _, beta := range []float64{0, 0.3, 0.7, 1} {
+			ins := MixedInsertProbs(n, beta)
+			for _, pr := range AllGammaPairs(n, m) {
+				a := ExactGammaAProbs(ins, pr[0], pr[1])
+				if a.MeanDelta > boundA+1e-12 || a.MaxDelta > 1 {
+					t.Fatalf("beta=%.1f n=%d m=%d pair %v/%v: A law violated (%+v)",
+						beta, n, m, pr[0], pr[1], a)
+				}
+				b := ExactGammaBProbs(ins, pr[0], pr[1])
+				if b.MeanDelta > 1+1e-12 || b.AlphaFreq < 1/(2*float64(n))-1e-12 {
+					t.Fatalf("beta=%.1f n=%d m=%d pair %v/%v: B law violated (%+v)",
+						beta, n, m, pr[0], pr[1], b)
+				}
+			}
+		}
+	}
+}
+
+func TestMixedInsertProbsEndpoints(t *testing.T) {
+	n := 5
+	p0 := MixedInsertProbs(n, 0)
+	p1 := MixedInsertProbs(n, 1)
+	one := abkuInsertProbs(n, 1)
+	two := abkuInsertProbs(n, 2)
+	for g := 0; g < n; g++ {
+		if math.Abs(p0[g]-one[g]) > 1e-12 || math.Abs(p1[g]-two[g]) > 1e-12 {
+			t.Fatalf("mixture endpoints wrong at g=%d", g)
+		}
+	}
+}
+
+// TestExactMatchesMonteCarloA: the exact computation agrees with the
+// Monte-Carlo GammaStepA on a fixed pair.
+func TestExactMatchesMonteCarloA(t *testing.T) {
+	u := loadvec.Vector{2, 2, 1, 1}
+	v := loadvec.Vector{3, 2, 1, 0}
+	ec := ExactGammaA(2, v, u)
+	r := rng.New(17)
+	const trialCount = 400000
+	sum, zeros := 0, 0
+	rule := rules.NewABKU(2)
+	for i := 0; i < trialCount; i++ {
+		x, y := GammaStepA(rule, v, u, r)
+		dd := x.Delta(y)
+		sum += dd
+		if dd == 0 {
+			zeros++
+		}
+	}
+	mcMean := float64(sum) / trialCount
+	mcZero := float64(zeros) / trialCount
+	if math.Abs(mcMean-ec.MeanDelta) > 0.004 {
+		t.Fatalf("MC mean %.5f vs exact %.5f", mcMean, ec.MeanDelta)
+	}
+	if math.Abs(mcZero-ec.ZeroFreq) > 0.004 {
+		t.Fatalf("MC zero freq %.5f vs exact %.5f", mcZero, ec.ZeroFreq)
+	}
+}
+
+// TestExactMatchesMonteCarloB: same for Scenario B on an
+// unequal-supports pair.
+func TestExactMatchesMonteCarloB(t *testing.T) {
+	u := loadvec.Vector{2, 1, 1}
+	v := loadvec.Vector{3, 1, 0}
+	ec := ExactGammaB(2, v, u)
+	r := rng.New(19)
+	const trialCount = 400000
+	sum, moved := 0, 0
+	rule := rules.NewABKU(2)
+	for i := 0; i < trialCount; i++ {
+		x, y := GammaStepB(rule, v, u, r)
+		dd := x.Delta(y)
+		sum += dd
+		if dd != 1 {
+			moved++
+		}
+	}
+	mcMean := float64(sum) / trialCount
+	mcAlpha := float64(moved) / trialCount
+	if math.Abs(mcMean-ec.MeanDelta) > 0.004 {
+		t.Fatalf("MC mean %.5f vs exact %.5f", mcMean, ec.MeanDelta)
+	}
+	if math.Abs(mcAlpha-ec.AlphaFreq) > 0.004 {
+		t.Fatalf("MC alpha %.5f vs exact %.5f", mcAlpha, ec.AlphaFreq)
+	}
+}

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dynalloc/internal/core"
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// The Path Coupling Lemma turns contraction on adjacent pairs into a
+// mixing-time bound; Theorem 1 instantiates it for Scenario A.
+func ExampleTheorem1Bound() {
+	fmt.Println(core.Theorem1Bound(100, 0.25))
+	// The same number from the lemma's raw ingredients: D = m = 100,
+	// beta = 1 - 1/m.
+	fmt.Println(core.PathCouplingContraction(100, 1-1.0/100, 0.25))
+	// Output:
+	// 600
+	// 600
+}
+
+// A coupled pair of Scenario A chains coalesces; by the coupling
+// inequality the coalescence time upper-bounds the mixing time.
+func ExampleCoalescenceTime() {
+	v, u := loadvec.ExtremePair(8, 8)
+	c := core.NewCoupledAlloc(process.ScenarioA, rules.NewABKU(2), v, u, rng.New(3))
+	_, ok := core.CoalescenceTime(c, 1_000_000)
+	fmt.Println("coalesced:", ok, "distance now:", c.Distance())
+	// Output: coalesced: true distance now: 0
+}
+
+// One exact Section 4 coupling step on a distance-1 pair never increases
+// the distance (Lemma 4.1).
+func ExampleGammaStepA() {
+	u := loadvec.Vector{2, 2, 1, 1}
+	v := loadvec.Vector{3, 2, 1, 0}
+	x, y := core.GammaStepA(rules.NewABKU(2), v, u, rng.New(4))
+	fmt.Println("Delta after one coupled step is at most 1:", x.Delta(y) <= 1)
+	// Output: Delta after one coupled step is at most 1: true
+}

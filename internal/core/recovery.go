@@ -1,0 +1,108 @@
+package core
+
+import (
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/par"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+	"dynalloc/internal/stats"
+)
+
+// RecoverySpec describes one max-load recovery experiment: start a
+// closed process from a given bad state and record how many phases it
+// needs until the imbalance (max load above fair share) falls to
+// GapTarget.
+type RecoverySpec struct {
+	Scenario  process.Scenario
+	Rule      func() rules.Rule // fresh rule per trial (rules are stateless but cheap)
+	Initial   func() loadvec.Vector
+	GapTarget int
+	MaxSteps  int64
+}
+
+// RecoveryResult aggregates recovery times over independent trials.
+type RecoveryResult struct {
+	Times    stats.Summary
+	Timeouts int
+}
+
+// MeasureRecovery runs `trials` independent recoveries (in parallel,
+// with per-trial derived streams and in-order reduction, so the result
+// is identical to a sequential run) and aggregates the hitting times of
+// the target gap. This is the operational form of the paper's recovery
+// time: the time to go from an arbitrary (here: adversarial) state to a
+// typical state.
+func MeasureRecovery(spec RecoverySpec, seed uint64, trials int) RecoveryResult {
+	type outcome struct {
+		t  int64
+		ok bool
+	}
+	outs := par.Map(trials, 0, func(trial int) outcome {
+		r := rng.NewStream(seed, uint64(trial))
+		p := process.New(spec.Scenario, spec.Rule(), spec.Initial(), r)
+		t, ok := p.RecoveryTime(spec.GapTarget, spec.MaxSteps)
+		return outcome{t, ok}
+	})
+	var res RecoveryResult
+	for _, o := range outs {
+		if !o.ok {
+			res.Timeouts++
+			continue
+		}
+		res.Times.AddInt(int(o.t))
+	}
+	return res
+}
+
+// ContractionEstimate measures the one-step contraction of a Gamma-pair
+// coupling: it generates `trials` fresh pairs at Delta distance 1,
+// applies one coupled step, and returns the empirical E[Delta'] together
+// with the fraction of trials where Delta' != 1 (the alpha of the Path
+// Coupling Lemma's variance case).
+type ContractionEstimate struct {
+	MeanDelta float64
+	AlphaFreq float64 // Pr[Delta' != 1]
+	MaxDelta  int
+	Coalesced int // trials with Delta' == 0
+	Trials    int
+}
+
+// MeasureContractionA estimates the Section 4 coupling's contraction on
+// random Gamma pairs from Omega_m. Corollary 4.2 predicts
+// E[Delta'] <= 1 - 1/m.
+func MeasureContractionA(rule rules.Rule, n, m, trials int, r *rng.RNG) ContractionEstimate {
+	return measureContraction(rule, n, m, trials, r, GammaStepA)
+}
+
+// MeasureContractionB estimates the Section 5 coupling's contraction.
+// Claims 5.1/5.2 predict E[Delta'] <= 1 and Pr[Delta' != 1] >= 1/(2n).
+func MeasureContractionB(rule rules.Rule, n, m, trials int, r *rng.RNG) ContractionEstimate {
+	return measureContraction(rule, n, m, trials, r, GammaStepB)
+}
+
+func measureContraction(rule rules.Rule, n, m, trials int, r *rng.RNG,
+	step func(rules.Rule, loadvec.Vector, loadvec.Vector, *rng.RNG) (loadvec.Vector, loadvec.Vector)) ContractionEstimate {
+	var est ContractionEstimate
+	sum := 0
+	moved := 0
+	for trial := 0; trial < trials; trial++ {
+		v, u := loadvec.AdjacentPair(n, m, r)
+		x, y := step(rule, v, u, r)
+		d := x.Delta(y)
+		sum += d
+		if d != 1 {
+			moved++
+		}
+		if d == 0 {
+			est.Coalesced++
+		}
+		if d > est.MaxDelta {
+			est.MaxDelta = d
+		}
+	}
+	est.Trials = trials
+	est.MeanDelta = float64(sum) / float64(trials)
+	est.AlphaFreq = float64(moved) / float64(trials)
+	return est
+}

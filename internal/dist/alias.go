@@ -1,0 +1,81 @@
+package dist
+
+import "dynalloc/internal/rng"
+
+// Alias is a Walker alias-method sampler: O(n) construction, O(1) draws
+// from a fixed categorical distribution. The harness uses it for static
+// workload mixtures and for sampling from exact-chain stationary
+// distributions when estimating variation distances empirically.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds a sampler for the distribution proportional to weights.
+// It panics if weights is empty, contains a negative entry, or sums to a
+// non-positive value.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("dist: NewAlias with no weights")
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("dist: NewAlias with negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("dist: NewAlias with zero total weight")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	// Scaled probabilities; the classic two-worklist construction.
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		// Numerical leftovers: these are probability ~1 columns.
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// N returns the number of categories.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws a category index in O(1).
+func (a *Alias) Sample(r *rng.RNG) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

@@ -1,0 +1,73 @@
+// Package dist implements the probability distributions of Section 3.2
+// of the paper and the sampling substrates the simulators use to draw
+// from them efficiently.
+//
+// Definition 3.2: A(v) is the distribution on bin positions with
+// Pr[A(v) = i] = v[i]/m — the bin of a ball chosen uniformly among all
+// m balls. Scenario A removes according to A(v).
+//
+// Definition 3.3: B(v) is the uniform distribution on the s nonempty
+// positions of v. Scenario B removes according to B(v).
+//
+// Both are defined on *normalized* load vectors, so "position" means
+// rank in the sorted order, which is all the Markov chains of the paper
+// ever need.
+package dist
+
+import (
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+)
+
+// SampleBallOwner draws from A(v): it returns position i with probability
+// v[i]/m. It panics if v is empty of balls (A(v) is undefined on Omega_0).
+// The scan runs in O(NonEmpty(v)) which is the right tool for one-shot
+// draws; long-running processes should maintain a Tree instead.
+func SampleBallOwner(v loadvec.Vector, r *rng.RNG) int {
+	m := v.Total()
+	if m <= 0 {
+		panic("dist: SampleBallOwner on an empty system")
+	}
+	ball := r.Intn(m)
+	acc := 0
+	for i, x := range v {
+		acc += x
+		if ball < acc {
+			return i
+		}
+	}
+	panic("dist: unreachable — ball index beyond total load")
+}
+
+// SampleNonEmpty draws from B(v): a uniform position among the s nonempty
+// bins. It panics if there is no nonempty bin.
+func SampleNonEmpty(v loadvec.Vector, r *rng.RNG) int {
+	s := v.NonEmpty()
+	if s == 0 {
+		panic("dist: SampleNonEmpty on an empty system")
+	}
+	return r.Intn(s)
+}
+
+// ProbBallOwner returns Pr[A(v) = i] = v[i]/m as a float, for exact-chain
+// construction.
+func ProbBallOwner(v loadvec.Vector, i int) float64 {
+	m := v.Total()
+	if m <= 0 {
+		panic("dist: ProbBallOwner on an empty system")
+	}
+	return float64(v[i]) / float64(m)
+}
+
+// ProbNonEmpty returns Pr[B(v) = i], i.e. 1/s for the nonempty positions
+// and 0 otherwise.
+func ProbNonEmpty(v loadvec.Vector, i int) float64 {
+	s := v.NonEmpty()
+	if s == 0 {
+		panic("dist: ProbNonEmpty on an empty system")
+	}
+	if i >= s {
+		return 0
+	}
+	return 1 / float64(s)
+}

@@ -1,0 +1,261 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+)
+
+func TestSampleBallOwnerMarginals(t *testing.T) {
+	v := loadvec.Vector{5, 3, 2, 0}
+	r := rng.New(1)
+	const draws = 100000
+	counts := make([]int, len(v))
+	for i := 0; i < draws; i++ {
+		counts[SampleBallOwner(v, r)]++
+	}
+	m := float64(v.Total())
+	for i, x := range v {
+		want := float64(x) / m
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("position %d: empirical %.4f, want %.4f", i, got, want)
+		}
+	}
+	if counts[3] != 0 {
+		t.Errorf("empty bin sampled %d times", counts[3])
+	}
+}
+
+func TestSampleBallOwnerPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty system")
+		}
+	}()
+	SampleBallOwner(loadvec.Vector{0, 0}, rng.New(1))
+}
+
+func TestSampleNonEmptyMarginals(t *testing.T) {
+	v := loadvec.Vector{7, 1, 1, 0, 0}
+	r := rng.New(2)
+	const draws = 60000
+	counts := make([]int, len(v))
+	for i := 0; i < draws; i++ {
+		counts[SampleNonEmpty(v, r)]++
+	}
+	for i := 0; i < 3; i++ {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-1.0/3) > 0.01 {
+			t.Errorf("nonempty position %d: empirical %.4f, want 1/3", i, got)
+		}
+	}
+	if counts[3]+counts[4] != 0 {
+		t.Error("empty bins were sampled")
+	}
+}
+
+func TestSampleNonEmptyPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty system")
+		}
+	}()
+	SampleNonEmpty(loadvec.Vector{0}, rng.New(1))
+}
+
+func TestProbFunctions(t *testing.T) {
+	v := loadvec.Vector{3, 1, 0}
+	if p := ProbBallOwner(v, 0); math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("ProbBallOwner(0) = %v", p)
+	}
+	if p := ProbBallOwner(v, 2); p != 0 {
+		t.Errorf("ProbBallOwner(empty) = %v", p)
+	}
+	if p := ProbNonEmpty(v, 1); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("ProbNonEmpty(1) = %v", p)
+	}
+	if p := ProbNonEmpty(v, 2); p != 0 {
+		t.Errorf("ProbNonEmpty(empty) = %v", p)
+	}
+	// A(v) and B(v) are probability distributions.
+	sumA, sumB := 0.0, 0.0
+	for i := range v {
+		sumA += ProbBallOwner(v, i)
+		sumB += ProbNonEmpty(v, i)
+	}
+	if math.Abs(sumA-1) > 1e-12 || math.Abs(sumB-1) > 1e-12 {
+		t.Errorf("distributions do not sum to 1: A=%v B=%v", sumA, sumB)
+	}
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr := NewTree(5, []int{3, 0, 2, 1, 0})
+	if tr.Total() != 6 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+	wantPrefix := []int{3, 3, 5, 6, 6}
+	for i, w := range wantPrefix {
+		if got := tr.PrefixSum(i); got != w {
+			t.Fatalf("PrefixSum(%d) = %d, want %d", i, got, w)
+		}
+	}
+	for i, w := range []int{3, 0, 2, 1, 0} {
+		if got := tr.Weight(i); got != w {
+			t.Fatalf("Weight(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestTreeFindByCumulative(t *testing.T) {
+	tr := NewTree(4, []int{2, 0, 3, 1})
+	want := []int{0, 0, 2, 2, 2, 3}
+	for target, pos := range want {
+		if got := tr.FindByCumulative(target); got != pos {
+			t.Fatalf("FindByCumulative(%d) = %d, want %d", target, got, pos)
+		}
+	}
+}
+
+func TestTreeAddAndSample(t *testing.T) {
+	tr := NewTree(3, []int{1, 1, 1})
+	tr.Add(0, 4) // weights now 5,1,1
+	r := rng.New(3)
+	const draws = 70000
+	counts := make([]int, 3)
+	for i := 0; i < draws; i++ {
+		counts[tr.Sample(r)]++
+	}
+	wants := []float64{5.0 / 7, 1.0 / 7, 1.0 / 7}
+	for i, w := range wants {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-w) > 0.01 {
+			t.Errorf("position %d: empirical %.4f, want %.4f", i, got, w)
+		}
+	}
+}
+
+// TestTreeMatchesScan cross-checks Tree sampling against the O(n) scan on
+// a shared RNG state transcript: both must implement the same A(v).
+func TestTreeMatchesScan(t *testing.T) {
+	v := loadvec.Vector{4, 4, 2, 1, 0, 0}
+	tr := NewTree(v.N(), v)
+	rA := rng.New(77)
+	rB := rng.New(77)
+	for i := 0; i < 5000; i++ {
+		a := SampleBallOwner(v, rA)
+		b := tr.Sample(rB)
+		if a != b {
+			t.Fatalf("draw %d: scan says %d, tree says %d", i, a, b)
+		}
+	}
+}
+
+func TestTreeMirrorsVectorOps(t *testing.T) {
+	r := rng.New(9)
+	v := loadvec.Random(8, 20, r)
+	tr := NewTree(v.N(), v)
+	for step := 0; step < 3000; step++ {
+		// Random remove + add, mirrored into the tree via reported slots.
+		i := SampleBallOwner(v, r)
+		slot := v.Remove(i)
+		tr.Add(slot, -1)
+		j := r.Intn(v.N())
+		slot = v.Add(j)
+		tr.Add(slot, 1)
+		if tr.Total() != v.Total() {
+			t.Fatalf("step %d: totals diverged", step)
+		}
+	}
+	for i := range v {
+		if tr.Weight(i) != v[i] {
+			t.Fatalf("tree weight %d = %d, vector %d", i, tr.Weight(i), v[i])
+		}
+	}
+}
+
+func TestTreePanics(t *testing.T) {
+	tr := NewTree(2, nil)
+	for _, f := range []func(){
+		func() { tr.Add(-1, 1) },
+		func() { tr.Add(2, 1) },
+		func() { tr.Sample(rng.New(1)) },
+		func() { tr.FindByCumulative(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAliasMarginals(t *testing.T) {
+	weights := []float64{1, 2, 3, 0, 4}
+	a := NewAlias(weights)
+	if a.N() != 5 {
+		t.Fatalf("N = %d", a.N())
+	}
+	r := rng.New(4)
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		got := float64(counts[i]) / draws
+		want := w / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d: empirical %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a := NewAlias([]float64{3.5})
+	r := rng.New(5)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-category alias sampled nonzero")
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	cases := [][]float64{{}, {-1, 2}, {0, 0}}
+	for _, ws := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewAlias(%v) did not panic", ws)
+				}
+			}()
+			NewAlias(ws)
+		}()
+	}
+}
+
+func BenchmarkTreeSample(b *testing.B) {
+	v := loadvec.Random(1024, 1024, rng.New(1))
+	tr := NewTree(v.N(), v)
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Sample(r)
+	}
+}
+
+func BenchmarkScanSample(b *testing.B) {
+	v := loadvec.Random(1024, 1024, rng.New(1))
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleBallOwner(v, r)
+	}
+}

@@ -1,0 +1,103 @@
+package dist
+
+import "dynalloc/internal/rng"
+
+// Tree is a Fenwick (binary indexed) tree over bin positions, maintaining
+// the load vector's prefix sums so that a draw from A(v) costs O(log n)
+// instead of the O(n) scan of SampleBallOwner. Long simulations (the
+// recovery-time sweeps run hundreds of millions of steps) keep one Tree
+// synchronized with the load vector: loadvec.Vector.Add/Remove report the
+// position actually changed, which is fed to Tree.Add.
+type Tree struct {
+	n     int
+	total int
+	node  []int // 1-based internal array
+}
+
+// NewTree returns a Fenwick tree initialized from loads (position i gets
+// weight loads[i]); pass nil for an all-zero tree over n positions.
+func NewTree(n int, loads []int) *Tree {
+	if n < 0 {
+		panic("dist: NewTree with negative size")
+	}
+	t := &Tree{n: n, node: make([]int, n+1)}
+	if loads != nil {
+		if len(loads) != n {
+			panic("dist: NewTree loads length mismatch")
+		}
+		for i, x := range loads {
+			t.Add(i, x)
+		}
+	}
+	return t
+}
+
+// N returns the number of positions.
+func (t *Tree) N() int { return t.n }
+
+// Total returns the sum of all weights (the total load m).
+func (t *Tree) Total() int { return t.total }
+
+// Add adds delta to the weight at position i (0-based).
+func (t *Tree) Add(i, delta int) {
+	if i < 0 || i >= t.n {
+		panic("dist: Tree.Add position out of range")
+	}
+	t.total += delta
+	for j := i + 1; j <= t.n; j += j & (-j) {
+		t.node[j] += delta
+	}
+}
+
+// PrefixSum returns the sum of weights at positions [0, i].
+func (t *Tree) PrefixSum(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= t.n {
+		i = t.n - 1
+	}
+	s := 0
+	for j := i + 1; j > 0; j -= j & (-j) {
+		s += t.node[j]
+	}
+	return s
+}
+
+// Weight returns the weight at position i.
+func (t *Tree) Weight(i int) int {
+	return t.PrefixSum(i) - t.PrefixSum(i-1)
+}
+
+// FindByCumulative returns the smallest position p whose prefix sum
+// exceeds target, i.e. the position owning the (target+1)-th unit of
+// weight. It panics if target is out of [0, Total()).
+func (t *Tree) FindByCumulative(target int) int {
+	if target < 0 || target >= t.total {
+		panic("dist: FindByCumulative target out of range")
+	}
+	pos := 0
+	// Largest power of two <= n.
+	bit := 1
+	for bit<<1 <= t.n {
+		bit <<= 1
+	}
+	rem := target
+	for ; bit > 0; bit >>= 1 {
+		next := pos + bit
+		if next <= t.n && t.node[next] <= rem {
+			rem -= t.node[next]
+			pos = next
+		}
+	}
+	return pos // 0-based position (pos counts full nodes skipped)
+}
+
+// Sample draws a position with probability proportional to its weight —
+// a draw from A(v) when the tree mirrors the load vector. O(log n).
+func (t *Tree) Sample(r *rng.RNG) int {
+	if t.total <= 0 {
+		panic("dist: Sample from an empty tree")
+	}
+	return t.FindByCumulative(r.Intn(t.total))
+}

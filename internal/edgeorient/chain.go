@@ -1,0 +1,98 @@
+package edgeorient
+
+import (
+	"fmt"
+
+	"dynalloc/internal/markov"
+)
+
+// Chain is the exact Markov chain of Section 6 for small n: the lazy
+// edge-orientation chain restricted to Psi, the set of states reachable
+// from the all-zero state. Anderson et al. (cited by the paper) show the
+// discrepancies stay within a bounded window on Psi, so the closure is
+// finite; NewChain computes it by breadth-first closure over the
+// transition relation.
+type Chain struct {
+	n      int
+	states []State
+	index  map[string]int
+}
+
+// NewChain enumerates Psi for n vertices. It panics if the closure
+// exceeds maxStates (use small n; the space grows quickly).
+func NewChain(n, maxStates int) *Chain {
+	c := &Chain{n: n, index: make(map[string]int)}
+	zero := NewState(n)
+	c.add(zero)
+	for head := 0; head < len(c.states); head++ {
+		s := c.states[head]
+		for phi := 0; phi < n-1; phi++ {
+			for psi := phi + 1; psi < n; psi++ {
+				t := s.Clone()
+				t.Orient(phi, psi)
+				if _, seen := c.index[t.Key()]; !seen {
+					c.add(t)
+					if len(c.states) > maxStates {
+						panic(fmt.Sprintf("edgeorient: Psi for n=%d exceeds %d states", n, maxStates))
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (c *Chain) add(s State) {
+	c.index[s.Key()] = len(c.states)
+	c.states = append(c.states, s)
+}
+
+// NumStates implements markov.Chain.
+func (c *Chain) NumStates() int { return len(c.states) }
+
+// State returns the state with id i.
+func (c *Chain) State(i int) State { return c.states[i] }
+
+// Index returns the id of a state, which must be in Psi.
+func (c *Chain) Index(s State) int {
+	i, ok := c.index[s.Key()]
+	if !ok {
+		panic(fmt.Sprintf("edgeorient: state %v not reachable from zero", s))
+	}
+	return i
+}
+
+// Transitions implements markov.Chain: with probability 1/2 the lazy bit
+// skips the step; otherwise a uniform pair of ranks is oriented.
+func (c *Chain) Transitions(s int) []markov.Edge {
+	cur := c.states[s]
+	n := c.n
+	pairs := n * (n - 1) / 2
+	acc := map[int]float64{s: 0.5}
+	per := 0.5 / float64(pairs)
+	for phi := 0; phi < n-1; phi++ {
+		for psi := phi + 1; psi < n; psi++ {
+			t := cur.Clone()
+			t.Orient(phi, psi)
+			acc[c.Index(t)] += per
+		}
+	}
+	edges := make([]markov.Edge, 0, len(acc))
+	for to, p := range acc {
+		edges = append(edges, markov.Edge{To: to, P: p})
+	}
+	return edges
+}
+
+// ExpectedUnfairness returns the expectation of the unfairness under a
+// distribution over Psi.
+func (c *Chain) ExpectedUnfairness(p []float64) float64 {
+	if len(p) != len(c.states) {
+		panic("edgeorient: distribution length mismatch")
+	}
+	e := 0.0
+	for i, w := range p {
+		e += w * float64(c.states[i].Unfairness())
+	}
+	return e
+}

@@ -1,0 +1,127 @@
+package edgeorient
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/markov"
+	"dynalloc/internal/rng"
+)
+
+func TestChainClosureSmall(t *testing.T) {
+	c := NewChain(3, 10000)
+	if c.NumStates() < 2 {
+		t.Fatalf("Psi for n=3 has only %d states", c.NumStates())
+	}
+	// The zero state is state 0 and indexes round-trip.
+	if !c.State(0).Equal(NewState(3)) {
+		t.Fatal("state 0 is not the zero state")
+	}
+	for i := 0; i < c.NumStates(); i++ {
+		if c.Index(c.State(i)) != i {
+			t.Fatalf("index round trip failed at %d", i)
+		}
+		if !c.State(i).IsValid() {
+			t.Fatalf("invalid state %v", c.State(i))
+		}
+	}
+}
+
+// TestChainBoundedDiscrepancies: on Psi the discrepancies stay within
+// the window cited by the paper (|disc| <= ceil(n/2)).
+func TestChainBoundedDiscrepancies(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		c := NewChain(n, 200000)
+		bound := (n + 1) / 2
+		for i := 0; i < c.NumStates(); i++ {
+			if u := c.State(i).Unfairness(); u > bound {
+				t.Fatalf("n=%d: reachable state %v has unfairness %d > %d", n, c.State(i), u, bound)
+			}
+		}
+	}
+}
+
+func TestChainStochasticAndErgodic(t *testing.T) {
+	c := NewChain(4, 200000)
+	m, err := markov.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsErgodic(300) {
+		t.Fatal("lazy edge-orientation chain should be ergodic")
+	}
+}
+
+// TestChainMatchesSimulation: empirical one-step distribution from a
+// fixed state matches the exact transition row.
+func TestChainMatchesSimulation(t *testing.T) {
+	c := NewChain(4, 200000)
+	start := FromDiscrepancies([]int{1, 1, -1, -1})
+	sID := c.Index(start)
+	want := make(map[int]float64)
+	for _, e := range c.Transitions(sID) {
+		want[e.To] = e.P
+	}
+	r := rng.New(11)
+	const trials = 300000
+	counts := make(map[int]int)
+	for i := 0; i < trials; i++ {
+		s := start.Clone()
+		s.Step(r)
+		counts[c.Index(s)]++
+	}
+	for to, p := range want {
+		got := float64(counts[to]) / trials
+		if math.Abs(got-p) > 0.005 {
+			t.Errorf("transition to %v: empirical %.4f vs exact %.4f", c.State(to), got, p)
+		}
+	}
+	for to := range counts {
+		if _, ok := want[to]; !ok {
+			t.Errorf("simulation reached %v marked unreachable", c.State(to))
+		}
+	}
+}
+
+// TestStationaryUnfairnessSmall: exact stationary expected unfairness is
+// small (Theta(log log n) regime) for tiny n.
+func TestStationaryUnfairnessSmall(t *testing.T) {
+	c := NewChain(4, 200000)
+	m := markov.MustBuild(c)
+	pi, err := m.Stationary(1e-11, 2000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := c.ExpectedUnfairness(pi)
+	if e <= 0 || e > 2 {
+		t.Fatalf("stationary expected unfairness = %v, want in (0, 2]", e)
+	}
+}
+
+// TestExactMixingTimeFinite: the chain mixes; tau(1/4) is finite and
+// small for n = 3.
+func TestExactMixingTimeFinite(t *testing.T) {
+	c := NewChain(3, 10000)
+	m := markov.MustBuild(c)
+	pi, err := m.Stationary(1e-11, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, ok := m.MixingTime(pi, 0.25, 2000)
+	if !ok {
+		t.Fatal("mixing time not reached within horizon")
+	}
+	if tau < 1 {
+		t.Fatalf("tau = %d", tau)
+	}
+}
+
+func TestExpectedUnfairnessPanics(t *testing.T) {
+	c := NewChain(3, 10000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.ExpectedUnfairness([]float64{1})
+}

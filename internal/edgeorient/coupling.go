@@ -1,0 +1,163 @@
+package edgeorient
+
+import "dynalloc/internal/rng"
+
+// multisetDiff returns the values present in x but not y (xExtra) and
+// vice versa (yExtra), with multiplicity, walking the two sorted vectors.
+// If more than limit total differences accumulate it returns ok = false
+// (the caller only cares about small differences).
+func multisetDiff(x, y State, limit int) (xExtra, yExtra []int, ok bool) {
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] == y[j]:
+			i++
+			j++
+		case x[i] > y[j]:
+			xExtra = append(xExtra, x[i])
+			i++
+		default:
+			yExtra = append(yExtra, y[j])
+			j++
+		}
+		if len(xExtra)+len(yExtra) > limit {
+			return nil, nil, false
+		}
+	}
+	for ; i < len(x); i++ {
+		xExtra = append(xExtra, x[i])
+	}
+	for ; j < len(y); j++ {
+		yExtra = append(yExtra, y[j])
+	}
+	if len(xExtra)+len(yExtra) > limit {
+		return nil, nil, false
+	}
+	return xExtra, yExtra, true
+}
+
+// gAdjacent reports whether x = y + "split at disc d" — i.e. y has two
+// vertices at discrepancy d where x instead has one at d+1 and one at
+// d-1 (Definition 6.1: y is in G(x) with x = y + e_l - 2e_{l+1} +
+// e_{l+2}). Returns the split disc d.
+func gAdjacent(x, y State) (d int, ok bool) {
+	xe, ye, ok := multisetDiff(x, y, 4)
+	if !ok || len(xe) != 2 || len(ye) != 2 {
+		return 0, false
+	}
+	// xe sorted descending by construction; need xe = {d+1, d-1}, ye = {d, d}.
+	if ye[0] != ye[1] {
+		return 0, false
+	}
+	d = ye[0]
+	if xe[0] == d+1 && xe[1] == d-1 {
+		return d, true
+	}
+	return 0, false
+}
+
+// Coupled runs two copies of the Section 6 Markov chain under the
+// paper's coupling: both copies see the same uniform rank pair
+// (phi, psi) and the same lazy bit, EXCEPT in the special coalescing
+// case of Lemma 6.2 (case 7) where the second copy flips its bit:
+// when X and Y are G-adjacent with split disc d and the drawn ranks hit
+// exactly the differing vertices (X at d+1 and d-1, Y at d and d), the
+// two moves are mirror images, so giving Y the complemented bit makes
+// the pair coalesce no matter how the bit lands.
+//
+// Each copy, viewed alone, performs exactly the lazy chain's step, so
+// this is a faithful coupling; the time until X and Y coincide upper
+// bounds the mixing time by the coupling inequality.
+type Coupled struct {
+	X, Y  State
+	r     *rng.RNG
+	steps int64
+}
+
+// NewCoupled returns a coupled pair from the two (copied) start states.
+// The states must have the same number of vertices.
+func NewCoupled(x, y State, r *rng.RNG) *Coupled {
+	if x.N() != y.N() {
+		panic("edgeorient: coupled states must have equal sizes")
+	}
+	return &Coupled{X: x.Clone(), Y: y.Clone(), r: r}
+}
+
+// Steps returns the number of coupled steps executed.
+func (c *Coupled) Steps() int64 { return c.steps }
+
+// Coalesced reports whether the two copies coincide.
+func (c *Coupled) Coalesced() bool { return c.X.Equal(c.Y) }
+
+// Distance returns the rank-wise L1 distance between the copies, a cheap
+// progress surrogate for the composite metric of Definition 6.3.
+func (c *Coupled) Distance() int { return c.X.L1(c.Y) }
+
+// Step advances both copies by one coupled transition.
+func (c *Coupled) Step() {
+	phi, psi := c.r.DistinctPair(c.X.N())
+	b := c.r.Bool()
+	bStar := b
+	if d, ok := gAdjacent(c.X, c.Y); ok {
+		if c.X[phi] == d+1 && c.X[psi] == d-1 && c.Y[phi] == d && c.Y[psi] == d {
+			bStar = !b
+		}
+	} else if d, ok := gAdjacent(c.Y, c.X); ok {
+		if c.Y[phi] == d+1 && c.Y[psi] == d-1 && c.X[phi] == d && c.X[psi] == d {
+			bStar = !b
+		}
+	}
+	if b {
+		c.X.Orient(phi, psi)
+	}
+	if bStar {
+		c.Y.Orient(phi, psi)
+	}
+	c.steps++
+}
+
+// CoalescenceTime runs the coupling until the copies coincide and
+// returns the number of steps, or (maxSteps, false) on timeout.
+func (c *Coupled) CoalescenceTime(maxSteps int64) (int64, bool) {
+	if c.Coalesced() {
+		return 0, true
+	}
+	for t := int64(1); t <= maxSteps; t++ {
+		c.Step()
+		if c.Coalesced() {
+			return t, true
+		}
+	}
+	return maxSteps, false
+}
+
+// GAdjacentPair builds a pair (x, y) at metric distance 1: y is a
+// reachable-looking random state with at least two vertices at one
+// discrepancy, and x splits such a pair. These are the Gamma pairs of
+// Lemma 6.2, used for contraction measurements.
+func GAdjacentPair(n int, r *rng.RNG, warmup int) (x, y State) {
+	for {
+		y = RandomReachable(n, warmup, r)
+		// Find discs with multiplicity >= 2; pick one uniformly.
+		var candidates []int
+		for i := 0; i < n; {
+			j := i
+			for j < n && y[j] == y[i] {
+				j++
+			}
+			if j-i >= 2 {
+				candidates = append(candidates, y[i])
+			}
+			i = j
+		}
+		if len(candidates) == 0 {
+			continue // extremely unlikely for n >= 3
+		}
+		d := candidates[r.Intn(len(candidates))]
+		x = y.Clone()
+		x.decAtValue(d)
+		x.incAtValue(d)
+		// After dec one d became d-1; after inc one (other) d became d+1.
+		return x, y
+	}
+}

@@ -1,0 +1,158 @@
+package edgeorient
+
+import (
+	"testing"
+
+	"dynalloc/internal/rng"
+	"dynalloc/internal/stats"
+)
+
+func TestCoupledFaithfulMarginals(t *testing.T) {
+	// Each copy of the coupling, viewed alone, must perform the lazy
+	// chain's step: compare the empirical one-step distribution of the Y
+	// copy under coupling against an independent chain, from a start
+	// where the flip rule fires (a G-adjacent pair).
+	y := State{1, 1, 0, -2}
+	x := State{2, 0, 0, -2} // split of the two 1s
+	if _, ok := gAdjacent(x, y); !ok {
+		t.Fatal("test setup: pair not G-adjacent")
+	}
+	const trials = 300000
+	rc := rng.New(21)
+	coupledCounts := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		c := NewCoupled(x, y, rc)
+		c.Step()
+		coupledCounts[c.Y.Key()]++
+	}
+	ri := rng.New(22)
+	freeCounts := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		s := y.Clone()
+		s.Step(ri)
+		freeCounts[s.Key()]++
+	}
+	if d := stats.TVDistanceCounts(coupledCounts, freeCounts); d > 0.01 {
+		t.Fatalf("coupled marginal deviates from free chain: TV = %.4f", d)
+	}
+}
+
+func TestCoupledXMarginalFaithful(t *testing.T) {
+	y := State{1, 1, 0, -2}
+	x := State{2, 0, 0, -2}
+	const trials = 300000
+	rc := rng.New(23)
+	coupledCounts := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		c := NewCoupled(x, y, rc)
+		c.Step()
+		coupledCounts[c.X.Key()]++
+	}
+	ri := rng.New(24)
+	freeCounts := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		s := x.Clone()
+		s.Step(ri)
+		freeCounts[s.Key()]++
+	}
+	if d := stats.TVDistanceCounts(coupledCounts, freeCounts); d > 0.01 {
+		t.Fatalf("coupled X marginal deviates: TV = %.4f", d)
+	}
+}
+
+func TestCoupledNeverDiverges(t *testing.T) {
+	// Once coalesced, the coupling keeps the copies identical forever
+	// (same randomness, no flip case on equal states).
+	r := rng.New(25)
+	c := NewCoupled(NewState(6), NewState(6), r)
+	for i := 0; i < 2000; i++ {
+		c.Step()
+		if !c.Coalesced() {
+			t.Fatalf("coalesced pair diverged at step %d", i)
+		}
+	}
+}
+
+func TestCoalescenceHappens(t *testing.T) {
+	r := rng.New(26)
+	x := AdversarialState(6, 3)
+	y := NewState(6)
+	c := NewCoupled(x, y, r)
+	steps, ok := c.CoalescenceTime(5_000_000)
+	if !ok {
+		t.Fatalf("no coalescence for n=6 within 5M steps (L1 still %d)", c.X.L1(c.Y))
+	}
+	if steps == 0 {
+		t.Fatal("distinct states cannot coalesce in zero steps")
+	}
+	if !c.Coalesced() {
+		t.Fatal("CoalescenceTime returned ok but states differ")
+	}
+}
+
+func TestCoalescenceTimeImmediate(t *testing.T) {
+	r := rng.New(27)
+	c := NewCoupled(NewState(4), NewState(4), r)
+	steps, ok := c.CoalescenceTime(10)
+	if !ok || steps != 0 {
+		t.Fatalf("CoalescenceTime on equal states = (%d, %v)", steps, ok)
+	}
+}
+
+// TestContractionOnGammaPairs is the Monte-Carlo form of Lemma 6.2: on
+// pairs at distance 1 the coupled step must not increase the expected
+// distance, and with probability about 2(1+x_{l+1})/(n(n-1)) it strictly
+// decreases it.
+func TestContractionOnGammaPairs(t *testing.T) {
+	r := rng.New(28)
+	const n = 5
+	var sum stats.Summary
+	zeros := 0
+	const trials = 4000
+	for trial := 0; trial < trials; trial++ {
+		x, y := GAdjacentPair(n, r, 15)
+		c := NewCoupled(x, y, r)
+		c.Step()
+		d, ok := DeltaBFS(c.X, c.Y, 4)
+		if !ok {
+			t.Fatalf("post-step distance exceeded 4 from a Gamma pair: %v vs %v", c.X, c.Y)
+		}
+		if d > 2 {
+			t.Fatalf("Lemma 6.2 case analysis violated: distance %d > 2", d)
+		}
+		if d == 0 {
+			zeros++
+		}
+		sum.AddInt(d)
+	}
+	// Lemma 6.2's quantitative form: E[Delta'] <= 1 - 2/(n(n-1)).
+	bound := 1 - 2/(float64(n)*float64(n-1))
+	if sum.Mean() > bound+3*sum.SE() {
+		t.Fatalf("expected distance after coupled step = %.4f exceeds Lemma 6.2 bound %.4f", sum.Mean(), bound)
+	}
+	if zeros == 0 {
+		t.Fatal("coupling never coalesced a Gamma pair in one step")
+	}
+}
+
+func TestGAdjacentPairGenerator(t *testing.T) {
+	r := rng.New(29)
+	for trial := 0; trial < 200; trial++ {
+		x, y := GAdjacentPair(4+r.Intn(5), r, 10)
+		if _, ok := gAdjacent(x, y); !ok {
+			t.Fatalf("generator produced non-adjacent pair %v, %v", x, y)
+		}
+		if d, ok := DeltaBFS(x, y, 2); !ok || d != 1 {
+			t.Fatalf("Gamma pair has distance %d (ok=%v)", d, ok)
+		}
+	}
+}
+
+func TestNewCoupledPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCoupled(NewState(3), NewState(4), rng.New(1))
+}

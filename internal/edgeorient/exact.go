@@ -1,0 +1,92 @@
+package edgeorient
+
+// Exact one-step analysis of the Section 6 coupling, the analogue of
+// core.ExactGammaA/B for the edge orientation chain: the coupling's
+// randomness is just (phi, psi, b) — a uniform rank pair and a fair
+// bit — so its one-step law on a given pair can be enumerated outright
+// and the Lemma 6.2 contraction verified without Monte Carlo.
+
+// ExactEdgeContraction is the exactly-computed one-step law of the
+// Section 6 coupling on one state pair.
+type ExactEdgeContraction struct {
+	MeanDelta float64 // E[Delta'] under the Definition 6.3 metric
+	ZeroFreq  float64 // Pr[coalesced]
+	MaxDelta  int
+}
+
+// ExactGammaEdge enumerates every (phi, psi, b) outcome of the coupled
+// step on (x, y) and computes the exact expected post-step distance
+// under the Definition 6.3 metric (capped at metricCap; it panics if a
+// successor pair exceeds the cap, so results are exact, never clipped).
+// Lemma 6.2 asserts E[Delta'] <= 1 - 2/(n(n-1)) when Delta(x, y) = 1;
+// TestLemma62Exhaustive checks that over every split pair of the
+// reachable space for small n.
+func ExactGammaEdge(x, y State, metricCap int) ExactEdgeContraction {
+	if x.N() != y.N() {
+		panic("edgeorient: exact coupling on different sizes")
+	}
+	n := x.N()
+	pairs := n * (n - 1) / 2
+	w := 1.0 / float64(2*pairs) // each (phi, psi, b) outcome
+	var out ExactEdgeContraction
+	for phi := 0; phi < n-1; phi++ {
+		for psi := phi + 1; psi < n; psi++ {
+			for _, b := range []bool{false, true} {
+				bStar := b
+				if d, ok := gAdjacent(x, y); ok &&
+					x[phi] == d+1 && x[psi] == d-1 && y[phi] == d && y[psi] == d {
+					bStar = !b
+				} else if d, ok := gAdjacent(y, x); ok &&
+					y[phi] == d+1 && y[psi] == d-1 && x[phi] == d && x[psi] == d {
+					bStar = !b
+				}
+				xn := x.Clone()
+				yn := y.Clone()
+				if b {
+					xn.Orient(phi, psi)
+				}
+				if bStar {
+					yn.Orient(phi, psi)
+				}
+				d, ok := DeltaBFS(xn, yn, metricCap)
+				if !ok {
+					panic("edgeorient: successor pair exceeded the metric cap; raise it")
+				}
+				out.MeanDelta += w * float64(d)
+				if d == 0 {
+					out.ZeroFreq += w
+				}
+				if d > out.MaxDelta {
+					out.MaxDelta = d
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AllSplitPairs enumerates every Gamma pair (x, y) with x a split of y
+// (Delta = 1) where y ranges over the reachable space Psi for n
+// vertices. Used for exhaustive Lemma 6.2 verification.
+func AllSplitPairs(n, maxStates int) [][2]State {
+	chain := NewChain(n, maxStates)
+	var out [][2]State
+	for s := 0; s < chain.NumStates(); s++ {
+		y := chain.State(s)
+		// Every disc with multiplicity >= 2 yields one split pair.
+		for i := 0; i < n; {
+			j := i
+			for j < n && y[j] == y[i] {
+				j++
+			}
+			if j-i >= 2 {
+				x := y.Clone()
+				x.decAtValue(y[i])
+				x.incAtValue(y[i])
+				out = append(out, [2]State{x, y})
+			}
+			i = j
+		}
+	}
+	return out
+}

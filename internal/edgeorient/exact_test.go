@@ -1,0 +1,101 @@
+package edgeorient
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/rng"
+)
+
+func TestAllSplitPairs(t *testing.T) {
+	pairs := AllSplitPairs(4, 200000)
+	if len(pairs) == 0 {
+		t.Fatal("no split pairs found")
+	}
+	for _, pr := range pairs {
+		if _, ok := gAdjacent(pr[0], pr[1]); !ok {
+			t.Fatalf("pair %v / %v not G-adjacent", pr[0], pr[1])
+		}
+		if d, ok := DeltaBFS(pr[0], pr[1], 2); !ok || d != 1 {
+			t.Fatalf("pair %v / %v has distance %d", pr[0], pr[1], d)
+		}
+	}
+}
+
+// TestLemma62Exhaustive verifies Lemma 6.2 EXACTLY on every split pair
+// of the reachable spaces for n = 3, 4: the coupled step's expected
+// distance never exceeds 1 - 2/(n(n-1)), coalescence has positive
+// probability, and the distance never exceeds 2.
+func TestLemma62Exhaustive(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		bound := 1 - 2/(float64(n)*float64(n-1))
+		for _, pr := range AllSplitPairs(n, 200000) {
+			ec := ExactGammaEdge(pr[0], pr[1], 5)
+			if ec.MeanDelta > bound+1e-12 {
+				t.Fatalf("n=%d pair %v/%v: E[Delta'] = %.12f > %.12f",
+					n, pr[0], pr[1], ec.MeanDelta, bound)
+			}
+			if ec.ZeroFreq <= 0 {
+				t.Fatalf("n=%d pair %v/%v: no coalescence mass", n, pr[0], pr[1])
+			}
+			if ec.MaxDelta > 2 {
+				t.Fatalf("n=%d pair %v/%v: Delta' reached %d", n, pr[0], pr[1], ec.MaxDelta)
+			}
+		}
+	}
+}
+
+// TestExactGammaEdgeMatchesMonteCarlo cross-validates the enumeration
+// against the simulated coupling on one pair.
+func TestExactGammaEdgeMatchesMonteCarlo(t *testing.T) {
+	y := FromDiscrepancies([]int{1, 1, 0, -2})
+	x := FromDiscrepancies([]int{2, 0, 0, -2})
+	ec := ExactGammaEdge(x, y, 5)
+	r := rng.New(62)
+	const trials = 200000
+	sum, zeros := 0, 0
+	for i := 0; i < trials; i++ {
+		c := NewCoupled(x, y, r)
+		c.Step()
+		d, ok := DeltaBFS(c.X, c.Y, 5)
+		if !ok {
+			t.Fatal("MC successor exceeded cap")
+		}
+		sum += d
+		if d == 0 {
+			zeros++
+		}
+	}
+	if diff := math.Abs(float64(sum)/trials - ec.MeanDelta); diff > 0.005 {
+		t.Fatalf("MC mean %.5f vs exact %.5f", float64(sum)/trials, ec.MeanDelta)
+	}
+	if diff := math.Abs(float64(zeros)/trials - ec.ZeroFreq); diff > 0.005 {
+		t.Fatalf("MC zero freq %.5f vs exact %.5f", float64(zeros)/trials, ec.ZeroFreq)
+	}
+}
+
+// TestClaim61FiniteOnPsi: Claim 6.1 includes that Delta(x, y) is finite
+// for every pair of reachable states; verify exhaustively for n = 4.
+func TestClaim61FiniteOnPsi(t *testing.T) {
+	chain := NewChain(4, 200000)
+	states := make([]State, chain.NumStates())
+	for i := range states {
+		states[i] = chain.State(i)
+	}
+	for a := 0; a < len(states); a++ {
+		for b := a + 1; b < len(states); b++ {
+			if _, ok := DeltaBFS(states[a], states[b], 12); !ok {
+				t.Fatalf("Delta(%v, %v) not within 12", states[a], states[b])
+			}
+		}
+	}
+}
+
+func TestExactGammaEdgePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ExactGammaEdge(NewState(3), NewState(4), 3)
+}

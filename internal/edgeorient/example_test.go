@@ -1,0 +1,38 @@
+package edgeorient_test
+
+import (
+	"fmt"
+
+	"dynalloc/internal/edgeorient"
+	"dynalloc/internal/rng"
+)
+
+// The greedy protocol orients each arriving edge from the endpoint with
+// the smaller discrepancy to the larger, keeping the state balanced.
+func ExampleState_Orient() {
+	s := edgeorient.FromDiscrepancies([]int{2, 0, -2})
+	s.Orient(0, 2) // edge between the extreme vertices
+	fmt.Println(s, "unfairness:", s.Unfairness())
+	// Output: [1,0,-1] unfairness: 1
+}
+
+// The composite metric of Definitions 6.1-6.3: a split pair is at
+// distance 1.
+func ExampleDeltaBFS() {
+	y := edgeorient.FromDiscrepancies([]int{1, 1, 0, -2})
+	x := edgeorient.FromDiscrepancies([]int{2, 0, 0, -2})
+	d, ok := edgeorient.DeltaBFS(x, y, 4)
+	fmt.Println(d, ok)
+	// Output: 1 true
+}
+
+// The Section 6 coupling coalesces from any pair of starts.
+func ExampleCoupled() {
+	c := edgeorient.NewCoupled(
+		edgeorient.AdversarialState(6, 2),
+		edgeorient.NewState(6),
+		rng.New(5))
+	_, ok := c.CoalescenceTime(10_000_000)
+	fmt.Println("coalesced:", ok)
+	// Output: coalesced: true
+}

@@ -1,0 +1,138 @@
+package edgeorient
+
+import (
+	"fmt"
+
+	"dynalloc/internal/rng"
+)
+
+// Protocol selects how an arriving undirected edge is oriented.
+type Protocol int
+
+const (
+	// Greedy orients from the endpoint with the smaller discrepancy to
+	// the larger — the protocol of Ajtai et al. analyzed by the paper.
+	Greedy Protocol = iota
+	// RandomOrient flips a fair coin per edge: the no-information
+	// baseline, whose unfairness grows like the square root of time.
+	RandomOrient
+	// AntiGreedy orients from the larger discrepancy to the smaller —
+	// the adversarial baseline, driving unfairness up as fast as a
+	// local rule can.
+	AntiGreedy
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case Greedy:
+		return "greedy"
+	case RandomOrient:
+		return "random"
+	case AntiGreedy:
+		return "anti-greedy"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Graph is the concrete multigraph view of the edge orientation problem:
+// unlike State (which exploits vertex exchangeability and keeps only the
+// sorted discrepancy vector), Graph tracks every vertex identity, the
+// number of edges, and per-vertex in/out degree. It exists to validate
+// the exchangeability reduction — the law of Graph's sorted discrepancy
+// vector must equal the law of State — and to compare orientation
+// protocols.
+type Graph struct {
+	outdeg []int64
+	indeg  []int64
+	edges  int64
+}
+
+// NewGraph returns the edge-less multigraph on n vertices (n >= 2).
+func NewGraph(n int) *Graph {
+	if n < 2 {
+		panic("edgeorient: need at least 2 vertices")
+	}
+	return &Graph{outdeg: make([]int64, n), indeg: make([]int64, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.outdeg) }
+
+// Edges returns the number of edges added so far.
+func (g *Graph) Edges() int64 { return g.edges }
+
+// Disc returns the discrepancy (outdeg - indeg) of vertex v.
+func (g *Graph) Disc(v int) int { return int(g.outdeg[v] - g.indeg[v]) }
+
+// AddEdge adds an undirected edge {a, b} oriented by the protocol
+// (ties in Greedy/AntiGreedy are broken toward a->b). The chosen tail
+// gains an out-edge (+1 discrepancy), the head an in-edge (-1).
+func (g *Graph) AddEdge(a, b int, p Protocol, r *rng.RNG) {
+	if a == b || a < 0 || b < 0 || a >= g.N() || b >= g.N() {
+		panic(fmt.Sprintf("edgeorient: bad edge (%d, %d)", a, b))
+	}
+	da, db := g.Disc(a), g.Disc(b)
+	tail, head := a, b
+	switch p {
+	case Greedy:
+		if da > db {
+			tail, head = b, a
+		}
+	case AntiGreedy:
+		if da < db {
+			tail, head = b, a
+		}
+	case RandomOrient:
+		if r.Bool() {
+			tail, head = b, a
+		}
+	default:
+		panic("edgeorient: unknown protocol")
+	}
+	g.outdeg[tail]++
+	g.indeg[head]++
+	g.edges++
+}
+
+// Step adds one uniformly random edge under the protocol.
+func (g *Graph) Step(p Protocol, r *rng.RNG) {
+	a, b := r.DistinctPair(g.N())
+	g.AddEdge(a, b, p, r)
+}
+
+// Unfairness returns max_v |outdeg(v) - indeg(v)|.
+func (g *Graph) Unfairness() int {
+	u := 0
+	for v := range g.outdeg {
+		d := g.Disc(v)
+		if d < 0 {
+			d = -d
+		}
+		if d > u {
+			u = d
+		}
+	}
+	return u
+}
+
+// DiscState returns the exchangeable-state projection of the graph: the
+// sorted discrepancy vector as a State.
+func (g *Graph) DiscState() State {
+	d := make([]int, g.N())
+	for v := range d {
+		d[v] = g.Disc(v)
+	}
+	return FromDiscrepancies(d)
+}
+
+// TotalDiscrepancy returns the sum of discrepancies, which is invariantly
+// zero (every edge adds +1 and -1).
+func (g *Graph) TotalDiscrepancy() int64 {
+	var s int64
+	for v := range g.outdeg {
+		s += g.outdeg[v] - g.indeg[v]
+	}
+	return s
+}

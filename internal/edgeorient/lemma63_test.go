@@ -1,0 +1,76 @@
+package edgeorient
+
+import (
+	"testing"
+
+	"dynalloc/internal/rng"
+	"dynalloc/internal/stats"
+)
+
+// skPairFixtures returns hand-built pairs (x, y, k) with y in Shat_k(x),
+// verified against skDistance, for the Lemma 6.3 contraction check.
+func skPairFixtures(t *testing.T) []struct {
+	x, y State
+	k    int
+} {
+	fixtures := []struct {
+		x, y State
+		k    int
+	}{
+		// n = 4, k = 2: x extras {2, -1}, y extras {1, 0}, gap empty in x.
+		{State{2, 2, -1, -3}, State{2, 1, 0, -3}, 2},
+		// n = 5, k = 2: same move embedded in a larger state.
+		{State{3, 2, -1, -1, -3}, State{3, 1, 0, -1, -3}, 2},
+		// n = 4, k = 3: x extras {2, -2}, y extras {1, -1}, discs -1..1
+		// empty in x.
+		{State{3, 2, -2, -3}, State{3, 1, -1, -3}, 3},
+	}
+	for i := range fixtures {
+		f := &fixtures[i]
+		f.x = FromDiscrepancies(f.x)
+		f.y = FromDiscrepancies(f.y)
+		k, ok := skDistance(f.x, f.y)
+		if !ok || k != f.k {
+			t.Fatalf("fixture %d is not an S_%d pair (got %d, %v): %v vs %v", i, f.k, k, ok, f.x, f.y)
+		}
+	}
+	return fixtures
+}
+
+// TestLemma63Contraction is the executable Lemma 6.3: on pairs at
+// distance k (S_k related), one coupled step keeps the distance within
+// the case-analysis window [k-2, k+1] and does not increase it in
+// expectation.
+func TestLemma63Contraction(t *testing.T) {
+	r := rng.New(63)
+	for i, f := range skPairFixtures(t) {
+		var sum stats.Summary
+		const trialCount = 6000
+		for trial := 0; trial < trialCount; trial++ {
+			c := NewCoupled(f.x, f.y, r)
+			c.Step()
+			d, ok := DeltaBFS(c.X, c.Y, f.k+3)
+			if !ok {
+				t.Fatalf("fixture %d: post-step distance above %d: %v vs %v", i, f.k+3, c.X, c.Y)
+			}
+			if d > f.k+1 || d < f.k-2 {
+				t.Fatalf("fixture %d: Delta' = %d outside [k-2, k+1] for k = %d", i, d, f.k)
+			}
+			sum.AddInt(d)
+		}
+		// E[Delta'] <= Delta = k, with slack for Monte Carlo noise.
+		if sum.Mean() > float64(f.k)+3*sum.SE()+1e-9 {
+			t.Fatalf("fixture %d: E[Delta'] = %.4f exceeds k = %d", i, sum.Mean(), f.k)
+		}
+	}
+}
+
+// TestSkDistanceFixtureSymmetry: the fixtures are symmetric relations.
+func TestSkDistanceFixtureSymmetry(t *testing.T) {
+	for i, f := range skPairFixtures(t) {
+		k, ok := skDistance(f.y, f.x)
+		if !ok || k != f.k {
+			t.Fatalf("fixture %d not symmetric: (%d, %v)", i, k, ok)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package edgeorient
+
+import "sort"
+
+// This file implements the composite path-coupling metric of
+// Definitions 6.1-6.3.
+//
+// In level-count language, y is in G(x) when x = y + e_l - 2e_{l+1} +
+// e_{l+2}: two vertices of y sharing a discrepancy d split into d+1 and
+// d-1. y is in S_k(x) when x = y + e_l - e_{l+1} - e_{l+k} + e_{l+k+1}
+// with x empty on the k levels strictly between: in discrepancy language
+// x has extra vertices at discs {a, c} with a - c = k + 1 >= 2, y has
+// extras at {a-1, c+1}, and x has no vertex at any disc in (c, a).
+//
+// Definition 6.3 sets Delta(x, y) = 0 if equal; 1 if y in Ghat(x); and
+// otherwise min( k if y in Shat_k(x), min_{z in Ghat(x)} 1 + Delta(z, y) ).
+// Unrolled, Delta is the cheapest way to walk from x to y through
+// G-edges of cost 1, optionally finishing with one S_k hop of cost k.
+// DeltaBFS below computes exactly that by breadth-first search, capped.
+
+// hasAnyInOpenRange reports whether s contains a vertex with
+// discrepancy strictly between lo and hi (exclusive). s is sorted
+// descending.
+func hasAnyInOpenRange(s State, lo, hi int) bool {
+	// First index with value <= hi-1 (i.e. < hi).
+	i := sort.Search(len(s), func(t int) bool { return s[t] < hi })
+	return i < len(s) && s[i] > lo
+}
+
+// skDistance returns the smallest k such that y is in Shat_k(x)
+// (either orientation), or 0, false if no such k exists. Since the two
+// orientations give the same k when both apply, checking both and
+// taking any hit is correct.
+func skDistance(x, y State) (int, bool) {
+	xe, ye, ok := multisetDiff(x, y, 4)
+	if !ok || len(xe) != 2 || len(ye) != 2 {
+		return 0, false
+	}
+	// Orientation 1: x plays the paper's x. xe = {a, c}, ye = {a-1, c+1},
+	// a - c >= 2, x empty strictly between c and a.
+	if k, ok := skOriented(xe, ye, x); ok {
+		return k, true
+	}
+	// Orientation 2: y plays the paper's x.
+	if k, ok := skOriented(ye, xe, y); ok {
+		return k, true
+	}
+	return 0, false
+}
+
+// skOriented checks the one-directional S_k pattern: extras of the
+// "upper" state are {a, c}, extras of the other are {a-1, c+1}, and the
+// upper state has no vertices strictly between c and a.
+func skOriented(upperExtra, lowerExtra []int, upper State) (int, bool) {
+	a, c := upperExtra[0], upperExtra[1] // sorted descending
+	if a-c < 2 {
+		return 0, false
+	}
+	hi, lo := lowerExtra[0], lowerExtra[1]
+	if hi != a-1 || lo != c+1 {
+		return 0, false
+	}
+	if hasAnyInOpenRange(upper, c, a) {
+		return 0, false
+	}
+	return a - c - 1, true
+}
+
+// gNeighbors returns every state in Ghat(s): all single split moves
+// ({d, d} -> {d+1, d-1}) and all single merge moves
+// ({d+1, d-1} -> {d, d}).
+func gNeighbors(s State) []State {
+	var out []State
+	n := len(s)
+	// Distinct values with their counts, descending.
+	type block struct{ val, count int }
+	var blocks []block
+	for i := 0; i < n; {
+		j := i
+		for j < n && s[j] == s[i] {
+			j++
+		}
+		blocks = append(blocks, block{s[i], j - i})
+		i = j
+	}
+	count := func(v int) int {
+		for _, b := range blocks {
+			if b.val == v {
+				return b.count
+			}
+		}
+		return 0
+	}
+	for _, b := range blocks {
+		// Split: need two at b.val.
+		if b.count >= 2 {
+			t := s.Clone()
+			t.decAtValue(b.val)
+			t.incAtValue(b.val)
+			out = append(out, t)
+		}
+		// Merge {b.val, b.val-2} -> {b.val-1, b.val-1}. The middle level
+		// b.val-1 need not be occupied, so enumerate merges by their top
+		// value rather than their center.
+		if count(b.val-2) >= 1 {
+			t := s.Clone()
+			t.decAtValue(b.val)
+			t.incAtValue(b.val - 2)
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// sNeighbor is one Shat_k move out of a state, with its cost k.
+type sNeighbor struct {
+	s State
+	k int
+}
+
+// sNeighbors enumerates every state reachable by one Shat_k relation
+// (either orientation) together with its cost k. In discrepancy terms:
+//
+//   - "pull inward": two occupied discs a > c with nothing strictly
+//     between move to a-1 and c+1; cost k = a - c - 1 (requires k >= 1,
+//     i.e. a - c >= 2). The emptiness condition is on the CURRENT state.
+//   - "push outward": vertices at discs b >= d whose closed interval
+//     [d, b] contains no other vertex move to b+1 and d-1; the resulting
+//     state is empty on [d, b], satisfying the upper state's emptiness;
+//     cost k = b - d + 1.
+func sNeighbors(s State) []sNeighbor {
+	var out []sNeighbor
+	n := len(s)
+	// Occupied discs descending with counts.
+	type block struct{ val, count int }
+	var blocks []block
+	for i := 0; i < n; {
+		j := i
+		for j < n && s[j] == s[i] {
+			j++
+		}
+		blocks = append(blocks, block{s[i], j - i})
+		i = j
+	}
+	// Pull inward: consecutive occupied blocks with a gap of >= 2.
+	for bi := 0; bi+1 < len(blocks); bi++ {
+		a, c := blocks[bi].val, blocks[bi+1].val
+		if a-c >= 2 {
+			t := s.Clone()
+			t.decAtValue(a)
+			t.incAtValue(c)
+			out = append(out, sNeighbor{t, a - c - 1})
+		}
+	}
+	// Push outward: an isolated pair within one block (count exactly 2,
+	// b == d) or two adjacent blocks that are alone on [d, b] (counts
+	// exactly 1 each).
+	for bi, b := range blocks {
+		if b.count == 2 {
+			t := s.Clone()
+			t.decAtValue(b.val) // one down...
+			// decAtValue moved the LAST of the pair to val-1; now move
+			// the other UP.
+			t.incAtValue(b.val)
+			// That is a split {v,v} -> {v+1, v-1}: cost k = 1 — but that
+			// coincides with a Ghat edge with the emptiness condition;
+			// still a valid S_1 move.
+			out = append(out, sNeighbor{t, 1})
+		}
+		if b.count == 1 && bi+1 < len(blocks) && blocks[bi+1].count == 1 {
+			d := blocks[bi+1].val
+			// No other vertex strictly between is automatic (blocks are
+			// consecutive); the moved pair must be alone on [d, b],
+			// which holds since both counts are 1.
+			t := s.Clone()
+			t.incAtValue(b.val) // b -> b+1
+			t.decAtValue(d)     // d -> d-1
+			out = append(out, sNeighbor{t, b.val - d + 1})
+		}
+	}
+	return out
+}
+
+// DeltaBFS computes the metric Delta(x, y) of Definition 6.3 exactly as
+// a shortest path over the union graph (Ghat edges of weight 1, Shat_k
+// relations of weight k — the Lemma 6.3 case analysis composes both
+// anywhere along a path), by uniform-cost search capped at maxDist.
+// Returns (Delta, true) on success or (0, false) if Delta(x, y) >
+// maxDist. Exponential in maxDist; intended for the verification tests
+// and contraction experiments, where distances are tiny.
+func DeltaBFS(x, y State, maxDist int) (int, bool) {
+	if x.N() != y.N() {
+		panic("edgeorient: DeltaBFS on different sizes")
+	}
+	if x.Equal(y) {
+		return 0, true
+	}
+	// Dijkstra with small integer costs: bucket queue by distance.
+	dist := map[string]int{x.Key(): 0}
+	buckets := make([][]State, maxDist+1)
+	buckets[0] = []State{x}
+	targetKey := y.Key()
+	for d := 0; d <= maxDist; d++ {
+		for len(buckets[d]) > 0 {
+			cur := buckets[d][len(buckets[d])-1]
+			buckets[d] = buckets[d][:len(buckets[d])-1]
+			ck := cur.Key()
+			if dist[ck] != d {
+				continue // stale entry
+			}
+			if ck == targetKey {
+				return d, true
+			}
+			relax := func(nb State, cost int) {
+				nd := d + cost
+				if nd > maxDist {
+					return
+				}
+				key := nb.Key()
+				if old, seen := dist[key]; !seen || nd < old {
+					dist[key] = nd
+					buckets[nd] = append(buckets[nd], nb)
+				}
+			}
+			for _, nb := range gNeighbors(cur) {
+				relax(nb, 1)
+			}
+			for _, sn := range sNeighbors(cur) {
+				relax(sn.s, sn.k)
+			}
+		}
+	}
+	return 0, false
+}

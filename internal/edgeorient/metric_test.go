@@ -1,0 +1,169 @@
+package edgeorient
+
+import (
+	"testing"
+
+	"dynalloc/internal/rng"
+)
+
+func TestMultisetDiff(t *testing.T) {
+	x := State{3, 1, 0, -4}
+	y := State{2, 2, 0, -4}
+	xe, ye, ok := multisetDiff(x, y, 4)
+	if !ok {
+		t.Fatal("diff bailed out")
+	}
+	if len(xe) != 2 || xe[0] != 3 || xe[1] != 1 {
+		t.Fatalf("xExtra = %v", xe)
+	}
+	if len(ye) != 2 || ye[0] != 2 || ye[1] != 2 {
+		t.Fatalf("yExtra = %v", ye)
+	}
+	// Limit respected.
+	if _, _, ok := multisetDiff(State{5, 0, -1, -4}, State{2, 1, 1, -4}, 2); ok {
+		t.Fatal("limit not enforced")
+	}
+	// Identical states: empty diff.
+	xe, ye, ok = multisetDiff(x, x, 4)
+	if !ok || len(xe) != 0 || len(ye) != 0 {
+		t.Fatalf("self diff = %v %v", xe, ye)
+	}
+}
+
+func TestGAdjacent(t *testing.T) {
+	y := State{2, 2, 0, -4}
+	x := State{3, 1, 0, -4} // split the two 2s
+	d, ok := gAdjacent(x, y)
+	if !ok || d != 2 {
+		t.Fatalf("gAdjacent = (%d, %v)", d, ok)
+	}
+	// Not adjacent the other way round (y is a merge of x, not a split).
+	if _, ok := gAdjacent(y, x); ok {
+		t.Fatal("reverse direction should not match the split pattern")
+	}
+	// Unrelated states.
+	if _, ok := gAdjacent(State{1, 0, -1}, State{2, -1, -1}); ok {
+		t.Fatal("non-adjacent states matched")
+	}
+	if _, ok := gAdjacent(x, x); ok {
+		t.Fatal("identical states are not G-adjacent")
+	}
+}
+
+func TestSkDistance(t *testing.T) {
+	// Construct an S_2 pair: x extras {a=2, c=-1} (a-c=3, k=2), y extras
+	// {1, 0}, and x empty strictly between -1 and 2 (discs 0 and 1).
+	x := State{2, 2, -1, -3}
+	y := State{2, 1, 0, -3}
+	k, ok := skDistance(x, y)
+	if !ok || k != 2 {
+		t.Fatalf("skDistance = (%d, %v), want (2, true)", k, ok)
+	}
+	// Symmetric call must agree (Shat is symmetrized).
+	k, ok = skDistance(y, x)
+	if !ok || k != 2 {
+		t.Fatalf("reverse skDistance = (%d, %v)", k, ok)
+	}
+	// Violating the emptiness condition kills the relation: add a vertex
+	// at disc 1 to x (and compensate in both states).
+	x2 := State{2, 2, 1, -1, -4}
+	y2 := State{2, 1, 1, 0, -4}
+	if _, ok := skDistance(x2, y2); ok {
+		t.Fatal("emptiness condition not enforced")
+	}
+}
+
+func TestGNeighborsSymmetric(t *testing.T) {
+	// Ghat is symmetric: z in gNeighbors(s) iff s in gNeighbors(z).
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		s := RandomReachable(2+r.Intn(5), r.Intn(20), r)
+		for _, z := range gNeighbors(s) {
+			back := false
+			for _, w := range gNeighbors(z) {
+				if w.Equal(s) {
+					back = true
+					break
+				}
+			}
+			if !back {
+				t.Fatalf("Ghat not symmetric: %v -> %v has no reverse", s, z)
+			}
+		}
+	}
+}
+
+func TestGNeighborsAreAdjacent(t *testing.T) {
+	s := State{1, 1, 0, -2}
+	for _, z := range gNeighbors(s) {
+		if !z.IsValid() {
+			t.Fatalf("invalid neighbor %v", z)
+		}
+		_, ok1 := gAdjacent(z, s)
+		_, ok2 := gAdjacent(s, z)
+		if !ok1 && !ok2 {
+			t.Fatalf("gNeighbors produced non-adjacent %v from %v", z, s)
+		}
+	}
+}
+
+func TestDeltaBFSBasics(t *testing.T) {
+	x := State{3, 1, 0, -4}
+	y := State{2, 2, 0, -4}
+	if d, ok := DeltaBFS(x, x, 3); !ok || d != 0 {
+		t.Fatalf("Delta(x,x) = (%d, %v)", d, ok)
+	}
+	if d, ok := DeltaBFS(x, y, 3); !ok || d != 1 {
+		t.Fatalf("Delta(adjacent) = (%d, %v)", d, ok)
+	}
+	if d, ok := DeltaBFS(y, x, 3); !ok || d != 1 {
+		t.Fatalf("Delta symmetric failed: (%d, %v)", d, ok)
+	}
+}
+
+func TestDeltaBFSSkPair(t *testing.T) {
+	// The S_2 pair above has distance exactly 2? Delta is min of the S_k
+	// value and any G-path; for this pair no single G-edge connects them,
+	// so Delta = 2.
+	x := State{2, 2, -1, -3}
+	y := State{2, 1, 0, -3}
+	d, ok := DeltaBFS(x, y, 4)
+	if !ok || d != 2 {
+		t.Fatalf("Delta(S_2 pair) = (%d, %v), want 2", d, ok)
+	}
+}
+
+// TestDeltaBFSMetricProperties: symmetry and triangle inequality on
+// random reachable triples of a small instance.
+func TestDeltaBFSMetricProperties(t *testing.T) {
+	r := rng.New(8)
+	const n, cap = 4, 6
+	for trial := 0; trial < 60; trial++ {
+		a := RandomReachable(n, r.Intn(8), r)
+		b := RandomReachable(n, r.Intn(8), r)
+		c := RandomReachable(n, r.Intn(8), r)
+		dab, ok1 := DeltaBFS(a, b, cap)
+		dba, ok2 := DeltaBFS(b, a, cap)
+		if ok1 != ok2 || (ok1 && dab != dba) {
+			t.Fatalf("asymmetric: Delta(%v,%v)=(%d,%v) vs (%d,%v)", a, b, dab, ok1, dba, ok2)
+		}
+		dac, ok3 := DeltaBFS(a, c, cap)
+		dbc, ok4 := DeltaBFS(b, c, cap)
+		if ok1 && ok3 && ok4 && dac > dab+dbc {
+			t.Fatalf("triangle violated: d(a,c)=%d > d(a,b)+d(b,c)=%d+%d", dac, dab, dbc)
+		}
+		if ok1 && dab == 0 && !a.Equal(b) {
+			t.Fatalf("zero distance for distinct states %v, %v", a, b)
+		}
+	}
+}
+
+func TestDeltaBFSCapRespected(t *testing.T) {
+	// Far-apart states: adversarial vs zero with height 6 needs many
+	// moves; a cap of 1 must report failure.
+	x := AdversarialState(6, 6)
+	y := NewState(6)
+	if _, ok := DeltaBFS(x, y, 1); ok {
+		t.Fatal("cap not respected")
+	}
+}

@@ -1,0 +1,265 @@
+// Package edgeorient implements the edge orientation problem of Ajtai,
+// Aspnes, Naor, Rabani, Schulman and Waarts, as analyzed in Section 6 of
+// the paper.
+//
+// Undirected edges over n vertices arrive one per step, each a uniformly
+// random pair of distinct vertices. The greedy protocol orients each
+// arriving edge from the endpoint with the smaller discrepancy
+// (outdegree - indegree) to the one with the larger discrepancy. The
+// unfairness of a state is max_v |outdeg(v) - indeg(v)|; Ajtai et al.
+// showed the greedy protocol keeps the expected unfairness at
+// Theta(log log n), and the paper bounds the recovery time: O(n^2 ln^2 n)
+// steps suffice to return from an arbitrary state to a typical one
+// (Theorem 2), improving the previous O(n^5) bound.
+//
+// Because vertices are exchangeable, a state is the sorted (descending)
+// vector of discrepancies — equivalently the level-count vector x of the
+// paper (x_i = number of vertices at the i-th highest discrepancy
+// level). Section 6's Markov chain adds a fair "lazy" bit b per step
+// (Remark 1) to make the chain ergodic; with b = 0 the step is skipped.
+// This package implements both the lazy chain and the original non-lazy
+// protocol.
+package edgeorient
+
+import (
+	"fmt"
+	"sort"
+
+	"dynalloc/internal/rng"
+)
+
+// State is a sorted-descending vector of vertex discrepancies
+// (outdegree - indegree), one entry per vertex, summing to zero.
+type State []int
+
+// NewState returns the all-zero state on n vertices (the empty
+// multigraph). It panics for n < 2, since edges need two endpoints.
+func NewState(n int) State {
+	if n < 2 {
+		panic("edgeorient: need at least 2 vertices")
+	}
+	return make(State, n)
+}
+
+// FromDiscrepancies returns the normalized state for an arbitrary
+// discrepancy assignment. It panics if the values do not sum to zero —
+// every orientation of every multigraph has balanced total discrepancy.
+func FromDiscrepancies(d []int) State {
+	s := make(State, len(d))
+	copy(s, d)
+	sum := 0
+	for _, x := range s {
+		sum += x
+	}
+	if sum != 0 {
+		panic(fmt.Sprintf("edgeorient: discrepancies sum to %d, want 0", sum))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(s)))
+	return s
+}
+
+// Clone returns an independent copy.
+func (s State) Clone() State {
+	c := make(State, len(s))
+	copy(c, s)
+	return c
+}
+
+// N returns the number of vertices.
+func (s State) N() int { return len(s) }
+
+// IsValid reports whether s is sorted descending and sums to zero.
+func (s State) IsValid() bool {
+	sum := 0
+	for i, x := range s {
+		sum += x
+		if i > 0 && x > s[i-1] {
+			return false
+		}
+	}
+	return sum == 0
+}
+
+// Unfairness returns max_v |disc(v)|, the fairness measure of Ajtai et
+// al. On a sorted vector this is max(|first|, |last|).
+func (s State) Unfairness() int {
+	if len(s) == 0 {
+		return 0
+	}
+	hi := s[0]
+	lo := -s[len(s)-1]
+	if hi < 0 {
+		hi = 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > lo {
+		return hi
+	}
+	return lo
+}
+
+// Equal reports whether two states are identical.
+func (s State) Equal(t State) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// L1 returns ||s - t||_1 over ranks, a convenient coalescence surrogate.
+func (s State) L1(t State) int {
+	if len(s) != len(t) {
+		panic("edgeorient: L1 on different sizes")
+	}
+	d := 0
+	for i := range s {
+		if s[i] >= t[i] {
+			d += s[i] - t[i]
+		} else {
+			d += t[i] - s[i]
+		}
+	}
+	return d
+}
+
+// Key returns a canonical string encoding for map keys.
+func (s State) Key() string {
+	b := make([]byte, 0, 4*len(s))
+	for i, x := range s {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, []byte(fmt.Sprintf("%d", x))...)
+	}
+	return string(b)
+}
+
+func (s State) String() string { return "[" + s.Key() + "]" }
+
+// decAtValue decrements one vertex currently at discrepancy val,
+// choosing the last rank of that value block so the vector stays sorted.
+// It panics if no vertex has that value.
+func (s State) decAtValue(val int) {
+	// Last index with s[i] == val: one before first index with s[i] < val.
+	j := sort.Search(len(s), func(t int) bool { return s[t] < val }) - 1
+	if j < 0 || s[j] != val {
+		panic(fmt.Sprintf("edgeorient: no vertex at discrepancy %d in %v", val, s))
+	}
+	s[j]--
+}
+
+// incAtValue increments one vertex currently at discrepancy val,
+// choosing the first rank of that value block.
+func (s State) incAtValue(val int) {
+	j := sort.Search(len(s), func(t int) bool { return s[t] <= val })
+	if j >= len(s) || s[j] != val {
+		panic(fmt.Sprintf("edgeorient: no vertex at discrepancy %d in %v", val, s))
+	}
+	s[j]++
+}
+
+// Orient applies one greedy edge arrival between the vertices at sorted
+// ranks phi < psi: the rank-phi vertex (weakly larger discrepancy)
+// receives the edge head (disc-1) and the rank-psi vertex the tail
+// (disc+1). The vector is re-normalized in place in O(log n).
+// When the two ranks hold equal discrepancies the orientation is
+// arbitrary and the resulting multiset is the same either way.
+func (s State) Orient(phi, psi int) {
+	if phi < 0 || psi >= len(s) || phi >= psi {
+		panic(fmt.Sprintf("edgeorient: bad ranks (%d, %d)", phi, psi))
+	}
+	hi := s[phi] // weakly larger discrepancy
+	lo := s[psi]
+	s.decAtValue(hi)
+	s.incAtValue(lo)
+}
+
+// Step performs one step of the lazy Markov chain of Section 6: draw a
+// uniform pair of distinct ranks and a fair bit; orient only if the bit
+// is set. Returns whether the edge was applied.
+func (s State) Step(r *rng.RNG) bool {
+	phi, psi := r.DistinctPair(len(s))
+	b := r.Bool()
+	if b {
+		s.Orient(phi, psi)
+	}
+	return b
+}
+
+// StepGreedy performs one step of the original (non-lazy) greedy
+// protocol: an edge always arrives. This is the process whose stationary
+// unfairness is Theta(log log n).
+func (s State) StepGreedy(r *rng.RNG) {
+	phi, psi := r.DistinctPair(len(s))
+	s.Orient(phi, psi)
+}
+
+// AdversarialState returns the "maximally unfair" state used as the
+// recovery workload: discrepancies +h for the first half of the vertices
+// and -h for the second half (with one zero when n is odd).
+func AdversarialState(n, h int) State {
+	if n < 2 {
+		panic("edgeorient: need at least 2 vertices")
+	}
+	if h < 0 {
+		panic("edgeorient: negative height")
+	}
+	s := make(State, n)
+	for i := 0; i < n/2; i++ {
+		s[i] = h
+		s[n-1-i] = -h
+	}
+	return s
+}
+
+// LevelCounts returns the paper's x-representation of the state
+// (Section 6): counts[i] is the number of vertices at the i-th highest
+// discrepancy level, where level 0 corresponds to discrepancy topDisc
+// and level i to topDisc - i. The window spans from the maximum to the
+// minimum discrepancy present, so counts always starts and ends with a
+// positive entry and sums to n.
+func (s State) LevelCounts() (counts []int, topDisc int) {
+	if len(s) == 0 {
+		return nil, 0
+	}
+	topDisc = s[0]
+	bottom := s[len(s)-1]
+	counts = make([]int, topDisc-bottom+1)
+	for _, d := range s {
+		counts[topDisc-d]++
+	}
+	return counts, topDisc
+}
+
+// FromLevelCounts reconstructs a State from the x-representation. It is
+// the inverse of LevelCounts and panics if the resulting discrepancies
+// do not sum to zero.
+func FromLevelCounts(counts []int, topDisc int) State {
+	var d []int
+	for i, c := range counts {
+		if c < 0 {
+			panic("edgeorient: negative level count")
+		}
+		for j := 0; j < c; j++ {
+			d = append(d, topDisc-i)
+		}
+	}
+	return FromDiscrepancies(d)
+}
+
+// RandomReachable returns a state sampled by running the non-lazy greedy
+// protocol for steps edges from the empty graph — a "typical" state.
+func RandomReachable(n, steps int, r *rng.RNG) State {
+	s := NewState(n)
+	for i := 0; i < steps; i++ {
+		s.StepGreedy(r)
+	}
+	return s
+}

@@ -1,0 +1,281 @@
+package edgeorient
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynalloc/internal/rng"
+)
+
+func TestNewState(t *testing.T) {
+	s := NewState(5)
+	if s.N() != 5 || !s.IsValid() || s.Unfairness() != 0 {
+		t.Fatalf("NewState(5) = %v", s)
+	}
+}
+
+func TestNewStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewState(1)
+}
+
+func TestFromDiscrepancies(t *testing.T) {
+	s := FromDiscrepancies([]int{-2, 3, 0, -1})
+	want := State{3, 0, -1, -2}
+	if !s.Equal(want) {
+		t.Fatalf("FromDiscrepancies = %v, want %v", s, want)
+	}
+}
+
+func TestFromDiscrepanciesPanicsOnUnbalanced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromDiscrepancies([]int{1, 0})
+}
+
+func TestUnfairness(t *testing.T) {
+	cases := []struct {
+		s    State
+		want int
+	}{
+		{State{0, 0, 0}, 0},
+		{State{2, 0, -2}, 2},
+		{State{1, 0, -1}, 1},
+		{State{3, -1, -1, -1}, 3},
+		{State{1, 1, 1, -3}, 3},
+	}
+	for _, c := range cases {
+		if got := c.s.Unfairness(); got != c.want {
+			t.Errorf("Unfairness(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+// TestOrientMatchesNaive cross-checks the O(log n) in-place Orient
+// against the naive "modify, then sort" implementation.
+func TestOrientMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 3000; trial++ {
+		n := 2 + r.Intn(8)
+		s := RandomReachable(n, r.Intn(30), r)
+		phi, psi := r.DistinctPair(n)
+		naive := append([]int(nil), s...)
+		naive[phi]--
+		naive[psi]++
+		want := FromDiscrepancies(naive)
+		got := s.Clone()
+		got.Orient(phi, psi)
+		if !got.Equal(want) {
+			t.Fatalf("Orient(%d,%d) on %v = %v, want %v", phi, psi, s, got, want)
+		}
+	}
+}
+
+func TestOrientPanicsOnBadRanks(t *testing.T) {
+	s := NewState(3)
+	for _, pair := range [][2]int{{-1, 1}, {0, 3}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Orient(%d,%d) did not panic", pair[0], pair[1])
+				}
+			}()
+			s.Orient(pair[0], pair[1])
+		}()
+	}
+}
+
+func TestStepKeepsInvariants(t *testing.T) {
+	r := rng.New(2)
+	s := AdversarialState(9, 5)
+	applied := 0
+	for i := 0; i < 5000; i++ {
+		if s.Step(r) {
+			applied++
+		}
+		if !s.IsValid() {
+			t.Fatalf("invalid state after step %d: %v", i, s)
+		}
+	}
+	// The lazy bit applies about half the steps.
+	if applied < 2000 || applied > 3000 {
+		t.Fatalf("lazy chain applied %d/5000 edges", applied)
+	}
+}
+
+// TestGreedyControlsUnfairness: the greedy protocol keeps unfairness
+// tiny (Theta(log log n)); a long run from zero must stay in single
+// digits for n = 64.
+func TestGreedyControlsUnfairness(t *testing.T) {
+	r := rng.New(3)
+	s := NewState(64)
+	maxU := 0
+	for i := 0; i < 200000; i++ {
+		s.StepGreedy(r)
+		if u := s.Unfairness(); u > maxU {
+			maxU = u
+		}
+	}
+	if maxU > 8 {
+		t.Fatalf("greedy unfairness reached %d on n=64", maxU)
+	}
+}
+
+// TestGreedyRecoversFromAdversarial: from a +h/-h split the unfairness
+// must decay back to the typical O(log log n) band.
+func TestGreedyRecoversFromAdversarial(t *testing.T) {
+	r := rng.New(4)
+	s := AdversarialState(16, 10)
+	for i := 0; i < 200000 && s.Unfairness() > 3; i++ {
+		s.StepGreedy(r)
+	}
+	if u := s.Unfairness(); u > 3 {
+		t.Fatalf("unfairness stuck at %d after 200000 greedy steps", u)
+	}
+}
+
+func TestAdversarialState(t *testing.T) {
+	s := AdversarialState(6, 4)
+	if !s.IsValid() {
+		t.Fatalf("invalid: %v", s)
+	}
+	if s.Unfairness() != 4 {
+		t.Fatalf("unfairness = %d", s.Unfairness())
+	}
+	odd := AdversarialState(5, 2)
+	if !odd.IsValid() || odd.Unfairness() != 2 {
+		t.Fatalf("odd n adversarial invalid: %v", odd)
+	}
+}
+
+func TestL1(t *testing.T) {
+	a := State{2, 0, -2}
+	b := State{1, 0, -1}
+	if d := a.L1(b); d != 2 {
+		t.Fatalf("L1 = %d", d)
+	}
+	if d := a.L1(a); d != 0 {
+		t.Fatalf("self L1 = %d", d)
+	}
+}
+
+func TestKeyAndEqual(t *testing.T) {
+	a := State{1, 0, -1}
+	b := State{1, 0, -1}
+	c := State{1, -1, 0} // not sorted; different key is fine — states are canonical
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Fatal("equal states disagree")
+	}
+	if a.Equal(c) {
+		t.Fatal("unequal states report equal")
+	}
+}
+
+func TestRandomReachableValid(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 100; trial++ {
+		s := RandomReachable(3+r.Intn(10), r.Intn(100), r)
+		if !s.IsValid() {
+			t.Fatalf("invalid reachable state %v", s)
+		}
+	}
+}
+
+func TestLevelCounts(t *testing.T) {
+	s := State{2, 2, 0, -1, -3}
+	counts, top := s.LevelCounts()
+	if top != 2 {
+		t.Fatalf("top = %d", top)
+	}
+	want := []int{2, 0, 1, 1, 0, 1} // discs 2,1,0,-1,-2,-3
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v", counts)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+// TestLevelCountsRoundTrip: FromLevelCounts inverts LevelCounts on
+// random reachable states — the Section 6 representation equivalence.
+func TestLevelCountsRoundTrip(t *testing.T) {
+	r := rng.New(81)
+	for trial := 0; trial < 500; trial++ {
+		s := RandomReachable(2+r.Intn(10), r.Intn(60), r)
+		counts, top := s.LevelCounts()
+		back := FromLevelCounts(counts, top)
+		if !back.Equal(s) {
+			t.Fatalf("round trip failed: %v -> %v/%d -> %v", s, counts, top, back)
+		}
+	}
+}
+
+func TestFromLevelCountsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { FromLevelCounts([]int{-1, 1}, 0) },
+		func() { FromLevelCounts([]int{2}, 1) }, // two vertices at disc 1: sum != 0
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestOrientProperty: quick-check that Orient preserves the zero-sum
+// invariant and sortedness from arbitrary reachable states.
+func TestOrientProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(10)
+		s := RandomReachable(n, r.Intn(50), r)
+		phi, psi := r.DistinctPair(n)
+		s.Orient(phi, psi)
+		return s.IsValid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnfairnessNeverJumps: one edge changes the unfairness by at most 1.
+func TestUnfairnessNeverJumps(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(8)
+		s := RandomReachable(n, r.Intn(40), r)
+		before := s.Unfairness()
+		s.StepGreedy(r)
+		after := s.Unfairness()
+		diff := after - before
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStepGreedy(b *testing.B) {
+	r := rng.New(1)
+	s := NewState(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.StepGreedy(r)
+	}
+}

@@ -1,0 +1,123 @@
+package exper
+
+import (
+	"dynalloc/internal/core"
+	"dynalloc/internal/edgeorient"
+	"dynalloc/internal/markov"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+	"dynalloc/internal/table"
+)
+
+func init() {
+	register("E9", "Lemmas 3.3/3.4: ABKU[d] and ADAP(x) are right-oriented; shared-sample insertion never grows ||v-u||_1", runE9)
+	register("E10", "Exact mixing times of small chains vs the paper's path-coupling bounds", runE10)
+}
+
+func runE9(o Options) *table.Table {
+	t := table.New("E9: right-orientation verification (Definition 3.4 + Lemma 3.3)",
+		"rule", "n", "m", "trials", "result")
+	ruleSet := []rules.Rule{
+		rules.NewUniform(),
+		rules.NewABKU(2),
+		rules.NewABKU(3),
+		rules.NewABKU(7),
+		rules.NewAdaptive(rules.SliceThresholds{1, 2, 4, 8}),
+		rules.NewAdaptive(rules.SliceThresholds{2, 2, 3, 5}),
+		rules.NewMixed(0.5),
+		rules.MinLoad{},
+	}
+	shapes := [][2]int{{4, 8}, {8, 8}, {16, 48}}
+	k := trials(o, 2000, 20000)
+	for _, rule := range ruleSet {
+		for _, nm := range shapes {
+			r := rng.NewStream(o.Seed, uint64(nm[0]*1000+nm[1]))
+			res := "PASS"
+			if err := rules.VerifyRule(rule, nm[0], nm[1], k, r); err != nil {
+				res = "FAIL: " + err.Error()
+			}
+			t.AddRow(rule.Name(), nm[0], nm[1], k, res)
+		}
+	}
+	return t
+}
+
+func runE10(o Options) *table.Table {
+	t := table.New("E10: exact mixing time tau(1/4) vs paper bounds (small enumerable chains)",
+		"chain", "n", "m", "states", "exact tau(1/4)", "paper bound", "bound/exact")
+	type inst struct{ n, m int }
+	instances := []inst{{3, 4}, {3, 6}, {4, 6}}
+	if o.Full {
+		instances = append(instances, inst{4, 8}, inst{5, 8})
+	}
+	horizon := 50000
+	for _, in := range instances {
+		// Scenario A.
+		ca := markov.NewAllocChain(process.ScenarioA, rules.NewABKU(2), in.n, in.m)
+		ma := markov.MustBuild(ca)
+		pia, err := ma.Stationary(1e-11, 5_000_000)
+		if err != nil {
+			t.AddNote("I_A n=%d m=%d: %v", in.n, in.m, err)
+			continue
+		}
+		tauA, okA := ma.MixingTime(pia, 0.25, horizon)
+		boundA := core.Theorem1Bound(in.m, 0.25)
+		rowA := "timeout"
+		ratioA := 0.0
+		if okA {
+			rowA = itoa(tauA)
+			if tauA > 0 {
+				ratioA = boundA / float64(tauA)
+			}
+		}
+		t.AddRow("I_A-ABKU[2]", in.n, in.m, ca.NumStates(), rowA, boundA, ratioA)
+
+		// Scenario B.
+		cb := markov.NewAllocChain(process.ScenarioB, rules.NewABKU(2), in.n, in.m)
+		mb := markov.MustBuild(cb)
+		pib, err := mb.Stationary(1e-11, 5_000_000)
+		if err != nil {
+			t.AddNote("I_B n=%d m=%d: %v", in.n, in.m, err)
+			continue
+		}
+		tauB, okB := mb.MixingTime(pib, 0.25, horizon)
+		boundB := core.Claim53Bound(in.n, in.m, 0.25)
+		rowB := "timeout"
+		ratioB := 0.0
+		if okB {
+			rowB = itoa(tauB)
+			if tauB > 0 {
+				ratioB = boundB / float64(tauB)
+			}
+		}
+		t.AddRow("I_B-ABKU[2]", in.n, in.m, cb.NumStates(), rowB, boundB, ratioB)
+	}
+	// Edge orientation, exact for tiny n.
+	eoSizes := []int{3, 4}
+	if o.Full {
+		eoSizes = append(eoSizes, 5)
+	}
+	for _, n := range eoSizes {
+		ch := edgeorient.NewChain(n, 500000)
+		m := markov.MustBuild(ch)
+		pi, err := m.Stationary(1e-11, 5_000_000)
+		if err != nil {
+			t.AddNote("edge orientation n=%d: %v", n, err)
+			continue
+		}
+		tau, ok := m.MixingTime(pi, 0.25, horizon)
+		bound := core.Corollary64Bound(n, 0.25)
+		row := "timeout"
+		ratio := 0.0
+		if ok {
+			row = itoa(tau)
+			if tau > 0 {
+				ratio = bound / float64(tau)
+			}
+		}
+		t.AddRow("edge orientation", n, 0, ch.NumStates(), row, bound, ratio)
+	}
+	t.AddNote("the paper's bounds are valid upper bounds (ratio >= 1) of the predicted shape")
+	return t
+}

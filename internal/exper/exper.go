@@ -1,0 +1,80 @@
+// Package exper is the benchmark harness: one runner per experiment in
+// DESIGN.md (E1-E12), each regenerating one of the paper's results as a
+// printed table. cmd/recoverysim drives the runners; bench_test.go wraps
+// them in testing.B benchmarks; EXPERIMENTS.md records their output
+// against the paper's claims.
+package exper
+
+import (
+	"fmt"
+	"sort"
+
+	"dynalloc/internal/table"
+)
+
+// Options configures a run.
+type Options struct {
+	// Seed makes every experiment reproducible; trials use derived
+	// streams.
+	Seed uint64
+	// Full selects the paper-scale parameter sweeps; false runs the
+	// quick versions used by benchmarks and smoke tests.
+	Full bool
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Claim string // the paper result being reproduced
+	Run   func(Options) *table.Table
+}
+
+var registry = map[string]Runner{}
+
+func register(id, claim string, run func(Options) *table.Table) {
+	if _, dup := registry[id]; dup {
+		panic("exper: duplicate experiment id " + id)
+	}
+	registry[id] = Runner{ID: id, Claim: claim, Run: run}
+}
+
+// Get returns the runner for an experiment id (e.g. "E1").
+func Get(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Runner{}, fmt.Errorf("exper: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r, nil
+}
+
+// IDs lists the registered experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// Numeric ordering: E1, E2, ..., E10 (not lexicographic).
+		var a, b int
+		fmt.Sscanf(ids[i], "E%d", &a)
+		fmt.Sscanf(ids[j], "E%d", &b)
+		return a < b
+	})
+	return ids
+}
+
+// sizes picks a sweep by scale.
+func sizes(o Options, quick, full []int) []int {
+	if o.Full {
+		return full
+	}
+	return quick
+}
+
+// trials picks a repeat count by scale.
+func trials(o Options, quick, full int) int {
+	if o.Full {
+		return full
+	}
+	return quick
+}

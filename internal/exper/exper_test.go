@@ -1,0 +1,121 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	r, err := Get("E1")
+	if err != nil || r.ID != "E1" || r.Claim == "" {
+		t.Fatalf("Get(E1) = %+v, %v", r, err)
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment at quick scale:
+// they must produce non-empty tables without panicking, and E9 must not
+// report any FAIL.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still takes seconds")
+	}
+	o := Options{Seed: 7, Full: false}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb := r.Run(o)
+			if tb == nil || len(tb.Rows) == 0 {
+				t.Fatalf("%s produced an empty table", id)
+			}
+			out := tb.String()
+			if id == "E9" && strings.Contains(out, "FAIL") {
+				t.Fatalf("E9 reported a right-orientation failure:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestCoupledOpenBasics(t *testing.T) {
+	r := rng.New(1)
+	c := newCoupledOpen(rules.NewABKU(2), loadvec.OneTower(4, 8), loadvec.New(4), r)
+	if c.Coalesced() {
+		t.Fatal("distinct open states reported coalesced")
+	}
+	start := c.Distance()
+	if start != 8 {
+		t.Fatalf("initial L1 = %d", start)
+	}
+	for i := 0; i < 200000 && !c.Coalesced(); i++ {
+		c.Step()
+		if !c.X.IsNormalized() || !c.Y.IsNormalized() {
+			t.Fatal("open coupling denormalized a state")
+		}
+	}
+	if !c.Coalesced() {
+		t.Fatalf("open coupling did not coalesce (distance %d)", c.Distance())
+	}
+	// Stays coalesced.
+	for i := 0; i < 1000; i++ {
+		c.Step()
+		if !c.Coalesced() {
+			t.Fatal("open coupling diverged after coalescence")
+		}
+	}
+}
+
+func TestCoupledOpenPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newCoupledOpen(rules.NewUniform(), loadvec.New(3), loadvec.New(4), rng.New(1))
+}
+
+func TestTypicalGapSane(t *testing.T) {
+	g := typicalGap(rules.ConstThresholds(2), process.ScenarioA, 1024, 1)
+	if g < 1 || g > 6 {
+		t.Fatalf("typical gap for ABKU[2] = %d, expected small", g)
+	}
+	g1 := typicalGap(rules.ConstThresholds(1), process.ScenarioA, 1024, 1)
+	if g1 <= g {
+		t.Fatalf("one-choice typical gap %d should exceed two-choice %d", g1, g)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		in   int
+		want string
+	}{{0, "0"}, {7, "7"}, {128, "128"}, {100000, "100000"}} {
+		if got := itoa(c.in); got != c.want {
+			t.Fatalf("itoa(%d) = %q", c.in, got)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package exper
+
+import (
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// coupledOpen couples two copies of the open process of Section 7 by
+// sharing the coin, the removal quantile and the insertion sample. The
+// ball counts follow the same reflected random walk, so they merge once
+// the smaller copy is pinned at zero while the larger keeps removing;
+// after the counts agree, Lemma 3.3 plus the shared removal quantile
+// drive the configurations together.
+type coupledOpen struct {
+	rule  rules.Rule
+	X, Y  loadvec.Vector
+	r     *rng.RNG
+	steps int64
+}
+
+func newCoupledOpen(rule rules.Rule, x, y loadvec.Vector, r *rng.RNG) *coupledOpen {
+	if x.N() != y.N() {
+		panic("exper: coupled open processes need equal bin counts")
+	}
+	return &coupledOpen{rule: rule, X: x.Clone(), Y: y.Clone(), r: r}
+}
+
+func (c *coupledOpen) Coalesced() bool { return c.X.Equal(c.Y) }
+
+func (c *coupledOpen) Distance() int { return c.X.L1(c.Y) }
+
+func (c *coupledOpen) Step() {
+	if c.r.Bool() {
+		// Shared removal quantile; no-op on an empty copy.
+		u := c.r.Float64()
+		removeQuantile(&c.X, u)
+		removeQuantile(&c.Y, u)
+	} else {
+		s := rules.NewSample(c.X.N(), c.r)
+		c.X.Add(c.rule.Choose(c.X, s))
+		c.Y.Add(c.rule.Choose(c.Y, c.rule.Phi(s)))
+	}
+	c.steps++
+}
+
+func removeQuantile(v *loadvec.Vector, u float64) {
+	m := v.Total()
+	if m == 0 {
+		return
+	}
+	t := int(u * float64(m))
+	if t >= m {
+		t = m - 1
+	}
+	acc := 0
+	for i, x := range *v {
+		acc += x
+		if t < acc {
+			v.Remove(i)
+			return
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package exper
+
+import (
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+	"dynalloc/internal/stats"
+)
+
+// TestCoupledOpenMarginalFaithful: each copy of the open coupling,
+// viewed alone, must step exactly like the free open process.
+func TestCoupledOpenMarginalFaithful(t *testing.T) {
+	start := loadvec.Vector{2, 1, 0, 0}
+	other := loadvec.Vector{1, 1, 1, 1}
+	const trialCount = 200000
+	rc := rng.New(41)
+	coupled := make(map[string]int)
+	for i := 0; i < trialCount; i++ {
+		c := newCoupledOpen(rules.NewABKU(2), other, start, rc)
+		c.Step()
+		coupled[c.Y.Key()]++
+	}
+	rf := rng.New(42)
+	free := make(map[string]int)
+	for i := 0; i < trialCount; i++ {
+		o := process.NewOpen(rules.NewABKU(2), start, rf)
+		o.Step()
+		free[o.State().Key()]++
+	}
+	if d := stats.TVDistanceCounts(coupled, free); d > 0.01 {
+		t.Fatalf("coupled open marginal off by TV %.4f", d)
+	}
+}
+
+// TestCoupledOpenEmptyRemoval: removal against an empty copy is a no-op
+// for that copy only.
+func TestCoupledOpenEmptyRemoval(t *testing.T) {
+	r := rng.New(43)
+	c := newCoupledOpen(rules.NewABKU(2), loadvec.OneTower(3, 5), loadvec.New(3), r)
+	for i := 0; i < 50; i++ {
+		c.Step()
+		if c.Y.Total() < 0 || c.X.Total() < 0 {
+			t.Fatal("negative ball count")
+		}
+	}
+}
+
+// TestCoupledOpenBallCountsContract: with shared coins, the ball-count
+// difference never increases (removal is a no-op only on the smaller
+// copy at zero, and insertions move both).
+func TestCoupledOpenBallCountsContract(t *testing.T) {
+	r := rng.New(44)
+	c := newCoupledOpen(rules.NewABKU(2), loadvec.OneTower(4, 12), loadvec.New(4), r)
+	gap := c.X.Total() - c.Y.Total()
+	if gap < 0 {
+		gap = -gap
+	}
+	for i := 0; i < 20000; i++ {
+		c.Step()
+		g := c.X.Total() - c.Y.Total()
+		if g < 0 {
+			g = -g
+		}
+		if g > gap {
+			t.Fatalf("ball-count gap grew from %d to %d at step %d", gap, g, i)
+		}
+		gap = g
+	}
+}

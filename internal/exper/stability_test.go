@@ -1,0 +1,73 @@
+package exper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestConclusionsSeedStable: the lemma-level conclusions must hold for
+// any seed, not just the default. Run the cheap contraction experiments
+// under several seeds and re-check the inequality columns.
+func TestConclusionsSeedStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for _, seed := range []uint64{1, 77, 123456789} {
+		o := Options{Seed: seed, Full: false}
+		// E7: E[Delta'] <= 1 - 1/m (+ noise).
+		tb := runE7(o)
+		for _, row := range tb.Rows {
+			mean := parseF(t, row[2])
+			bound := parseF(t, row[3])
+			if mean > bound+0.01 {
+				t.Errorf("seed %d: E7 row %v violates Corollary 4.2", seed, row)
+			}
+		}
+		// E4: E[Delta'] <= 1 and alpha >= 1/(2n) (+ noise).
+		tb = runE4(o)
+		for _, row := range tb.Rows {
+			if parseF(t, row[2]) > 1.01 {
+				t.Errorf("seed %d: E4 row %v violates Claim 5.1", seed, row)
+			}
+			if parseF(t, row[4]) < parseF(t, row[5])-0.01 {
+				t.Errorf("seed %d: E4 row %v violates the alpha bound", seed, row)
+			}
+		}
+	}
+}
+
+// TestQuickFullConsistency: quick and full scales of E7 agree on the
+// shared sizes (they use the same seeds per n).
+func TestQuickFullConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs E7 twice")
+	}
+	o := Options{Seed: 5}
+	quickTb := runE7(o)
+	o.Full = true
+	fullTb := runE7(o)
+	// Rows are keyed by n in column 0; shared sizes must produce similar
+	// contraction estimates (different trial counts, same law).
+	fullByN := map[string]float64{}
+	for _, row := range fullTb.Rows {
+		fullByN[row[0]] = parseF(t, row[2])
+	}
+	for _, row := range quickTb.Rows {
+		if fullMean, ok := fullByN[row[0]]; ok {
+			q := parseF(t, row[2])
+			if diff := q - fullMean; diff > 0.01 || diff < -0.01 {
+				t.Errorf("n=%s: quick mean %v vs full mean %v", row[0], q, fullMean)
+			}
+		}
+	}
+}
+
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}

@@ -1,0 +1,22 @@
+package fluid_test
+
+import (
+	"fmt"
+
+	"dynalloc/internal/fluid"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rules"
+)
+
+// The fluid limit predicts where a dynamic allocation process settles:
+// integrate to the fixed point and read off the maximum load whose tail
+// holds at least one bin in expectation.
+func ExampleModel_FixedPoint() {
+	m := fluid.NewModel(rules.ConstThresholds(2), process.ScenarioA, 30)
+	p, err := m.FixedPoint(fluid.InitialBalanced(1, 30), 0.05, 1e-8, 400000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("predicted max load for one million bins:", fluid.PredictedMaxLoad(p, 1_000_000))
+	// Output: predicted max load for one million bins: 4
+}

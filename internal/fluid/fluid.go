@@ -1,0 +1,291 @@
+// Package fluid implements Mitzenmacher's fluid-limit (density-dependent
+// jump Markov process) method, the companion technique the paper builds
+// on: differential equations whose fixed points predict the *stationary*
+// load distribution — and hence the typical maximum load — of the
+// dynamic allocation processes. The paper's own contribution (recovery
+// time) says nothing about the stationary state, so the reproduction
+// pairs the two exactly as Section 1 suggests: fluid limits for "where
+// does the process settle", path coupling for "how fast does it get
+// there".
+//
+// State: p[l] = fraction of bins with load exactly l, truncated at a cap
+// L. One time unit corresponds to n phases of the discrete process (each
+// bin is touched O(1) times per unit). Each phase removes one ball
+// (Scenario A: from a uniform ball's bin; Scenario B: from a uniform
+// nonempty bin) and inserts one ball with ADAP(x)/ABKU[d].
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"dynalloc/internal/process"
+	"dynalloc/internal/rules"
+)
+
+// Model is a closed dynamic allocation process in the fluid limit.
+type Model struct {
+	// X is the threshold sequence of the insertion rule
+	// (ConstThresholds(d) for ABKU[d]). Ignored when Law is set.
+	X rules.Thresholds
+	// Law, when non-nil, overrides the threshold DP as the insertion
+	// law: given bin-load fractions p it returns ins[l] = probability
+	// one insertion lands in a load-l bin. Used for rules that are not
+	// pure ADAP(x), e.g. the (1+beta)-choice mixture.
+	Law func(p []float64) []float64
+	// Scenario selects the removal dynamics.
+	Scenario process.Scenario
+	// L is the load cap: bins beyond load L are treated as load L. Choose
+	// L well above the expected maximum load.
+	L int
+}
+
+// NewModel validates and returns a model for an ADAP(x) insertion rule.
+func NewModel(x rules.Thresholds, sc process.Scenario, cap int) *Model {
+	if cap < 2 {
+		panic("fluid: load cap must be >= 2")
+	}
+	return &Model{X: x, Scenario: sc, L: cap}
+}
+
+// NewMixedModel returns the fluid model of the (1+beta)-choice rule:
+// its insertion law is the beta-mixture of the d=1 and d=2 laws.
+func NewMixedModel(beta float64, sc process.Scenario, cap int) *Model {
+	if beta < 0 || beta > 1 {
+		panic("fluid: beta out of [0,1]")
+	}
+	one := NewModel(rules.ConstThresholds(1), sc, cap)
+	two := NewModel(rules.ConstThresholds(2), sc, cap)
+	m := &Model{Scenario: sc, L: cap}
+	m.Law = func(p []float64) []float64 {
+		a := one.InsertProbs(p)
+		b := two.InsertProbs(p)
+		out := make([]float64, len(a))
+		for i := range out {
+			out[i] = (1-beta)*a[i] + beta*b[i]
+		}
+		return out
+	}
+	return m
+}
+
+// tails returns s[l] = sum_{j >= l} p[j] for l = 0..L+1.
+func tails(p []float64) []float64 {
+	s := make([]float64, len(p)+1)
+	for l := len(p) - 1; l >= 0; l-- {
+		s[l] = s[l+1] + p[l]
+	}
+	return s
+}
+
+// InsertProbs returns ins[l] = probability that one insertion under
+// ADAP(X) lands in a bin of load exactly l, given bin-load fractions p.
+// It runs the exact dynamic program over (probe count M, running
+// minimum sampled load): a probe sequence stops at the first M for
+// which the minimum load l seen so far satisfies X(l) <= M.
+func (m *Model) InsertProbs(p []float64) []float64 {
+	if m.Law != nil {
+		return m.Law(p)
+	}
+	L := len(p) - 1
+	ins := make([]float64, L+1)
+	// alive[l] = Pr[not yet stopped, running min = l].
+	alive := make([]float64, L+1)
+	// First probe.
+	for j := 0; j <= L; j++ {
+		alive[j] = p[j]
+	}
+	limit := m.X.X(L)
+	for M := 1; M <= limit; M++ {
+		// Stop rule at probe M.
+		done := true
+		for l := 0; l <= L; l++ {
+			if alive[l] == 0 {
+				continue
+			}
+			if m.X.X(l) <= M {
+				ins[l] += alive[l]
+				alive[l] = 0
+			} else {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		// Next probe: running min evolves.
+		next := make([]float64, L+1)
+		s := tails(p)
+		for l := 0; l <= L; l++ {
+			if alive[l] == 0 {
+				continue
+			}
+			// Probe j >= l keeps the min at l; probe j < l moves it to j.
+			next[l] += alive[l] * s[l]
+			for j := 0; j < l; j++ {
+				next[j] += alive[l] * p[j]
+			}
+		}
+		alive = next
+	}
+	return ins
+}
+
+// RemoveProbs returns rem[l] = probability the removal phase takes a
+// ball from a bin of load exactly l.
+func (m *Model) RemoveProbs(p []float64) []float64 {
+	L := len(p) - 1
+	rem := make([]float64, L+1)
+	switch m.Scenario {
+	case process.ScenarioA:
+		mean := 0.0
+		for l := 1; l <= L; l++ {
+			mean += float64(l) * p[l]
+		}
+		if mean <= 0 {
+			return rem // no balls: removal is a no-op
+		}
+		for l := 1; l <= L; l++ {
+			rem[l] = float64(l) * p[l] / mean
+		}
+	case process.ScenarioB:
+		nonEmpty := 1 - p[0]
+		if nonEmpty <= 0 {
+			return rem
+		}
+		for l := 1; l <= L; l++ {
+			rem[l] = p[l] / nonEmpty
+		}
+	default:
+		panic("fluid: unknown scenario")
+	}
+	return rem
+}
+
+// Deriv returns dp/dt: per unit time each bin participates in O(1)
+// phases; one phase inserts one ball (a load-l bin becomes l+1 with
+// probability ins[l]) and removes one (load-l becomes l-1 with
+// probability rem[l]). The cap L is absorbing upward: insertions into
+// load-L bins are dropped, which is harmless when L is far above the
+// operating regime.
+func (m *Model) Deriv(p []float64) []float64 {
+	L := len(p) - 1
+	ins := m.InsertProbs(p)
+	rem := m.RemoveProbs(p)
+	d := make([]float64, L+1)
+	for l := 0; l <= L; l++ {
+		if l < L {
+			d[l] -= ins[l] // load l -> l+1
+			d[l+1] += ins[l]
+		}
+		if l >= 1 {
+			d[l] -= rem[l] // load l -> l-1
+			d[l-1] += rem[l]
+		}
+	}
+	return d
+}
+
+// RK4 integrates the model with the classical fourth-order Runge-Kutta
+// scheme: `steps` steps of size dt starting from p0 (copied).
+func (m *Model) RK4(p0 []float64, dt float64, steps int) []float64 {
+	p := append([]float64(nil), p0...)
+	k := len(p)
+	add := func(a, b []float64, scale float64) []float64 {
+		out := make([]float64, k)
+		for i := range out {
+			out[i] = a[i] + scale*b[i]
+		}
+		return out
+	}
+	for s := 0; s < steps; s++ {
+		k1 := m.Deriv(p)
+		k2 := m.Deriv(add(p, k1, dt/2))
+		k3 := m.Deriv(add(p, k2, dt/2))
+		k4 := m.Deriv(add(p, k3, dt))
+		for i := range p {
+			p[i] += dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			if p[i] < 0 {
+				p[i] = 0 // numerical floor
+			}
+		}
+		renormalize(p)
+	}
+	return p
+}
+
+func renormalize(p []float64) {
+	sum := 0.0
+	for _, x := range p {
+		sum += x
+	}
+	if sum > 0 {
+		for i := range p {
+			p[i] /= sum
+		}
+	}
+}
+
+// FixedPoint integrates until ||dp/dt||_1 < tol or maxSteps RK4 steps of
+// size dt pass, returning the (approximate) stationary load-fraction
+// vector.
+func (m *Model) FixedPoint(p0 []float64, dt, tol float64, maxSteps int) ([]float64, error) {
+	p := append([]float64(nil), p0...)
+	for s := 0; s < maxSteps; s++ {
+		p = m.RK4(p, dt, 1)
+		norm := 0.0
+		for _, x := range m.Deriv(p) {
+			norm += math.Abs(x)
+		}
+		if norm < tol {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("fluid: no fixed point within %d steps", maxSteps)
+}
+
+// InitialBalanced returns the load-fraction vector of the balanced state
+// with mean load rho (mass on floor(rho) and ceil(rho)).
+func InitialBalanced(rho float64, cap int) []float64 {
+	if rho < 0 || rho > float64(cap) {
+		panic("fluid: mean load out of range")
+	}
+	p := make([]float64, cap+1)
+	lo := int(math.Floor(rho))
+	frac := rho - float64(lo)
+	if lo >= cap {
+		p[cap] = 1
+		return p
+	}
+	p[lo] = 1 - frac
+	p[lo+1] = frac
+	return p
+}
+
+// PredictedMaxLoad returns the fluid-limit prediction of the maximum
+// load among n bins: the largest level l whose tail fraction s_l is at
+// least 1/n (a tail thinner than 1/n means fewer than one bin in
+// expectation).
+func PredictedMaxLoad(p []float64, n int) int {
+	if n < 1 {
+		panic("fluid: n must be positive")
+	}
+	s := tails(p)
+	thresh := 1 / float64(n)
+	maxL := 0
+	for l := 0; l < len(s); l++ {
+		if s[l] >= thresh {
+			maxL = l
+		}
+	}
+	return maxL
+}
+
+// Mean returns the mean load of a fraction vector.
+func Mean(p []float64) float64 {
+	mu := 0.0
+	for l, x := range p {
+		mu += float64(l) * x
+	}
+	return mu
+}

@@ -1,0 +1,202 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+func TestInsertProbsMatchClosedFormABKU(t *testing.T) {
+	// For ABKU[d], ins[l] = s_l^d - s_{l+1}^d.
+	p := []float64{0.3, 0.4, 0.2, 0.1, 0}
+	for _, d := range []int{1, 2, 3} {
+		m := NewModel(rules.ConstThresholds(d), process.ScenarioA, len(p)-1)
+		ins := m.InsertProbs(p)
+		s := tails(p)
+		for l := range p {
+			want := math.Pow(s[l], float64(d)) - math.Pow(s[l+1], float64(d))
+			if math.Abs(ins[l]-want) > 1e-12 {
+				t.Fatalf("d=%d level %d: ins %v, want %v", d, l, ins[l], want)
+			}
+		}
+	}
+}
+
+func TestInsertProbsSumToOne(t *testing.T) {
+	p := []float64{0.25, 0.25, 0.25, 0.25, 0, 0}
+	for _, x := range []rules.Thresholds{
+		rules.ConstThresholds(1),
+		rules.ConstThresholds(2),
+		rules.SliceThresholds{1, 2, 4},
+		rules.SliceThresholds{2, 3},
+	} {
+		m := NewModel(x, process.ScenarioA, len(p)-1)
+		ins := m.InsertProbs(p)
+		sum := 0.0
+		for _, v := range ins {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("thresholds %v: insert probs sum to %v", x, sum)
+		}
+	}
+}
+
+func TestRemoveProbsScenarios(t *testing.T) {
+	p := []float64{0.5, 0.25, 0.25}
+	mA := NewModel(rules.ConstThresholds(2), process.ScenarioA, 2)
+	remA := mA.RemoveProbs(p)
+	// mean = 0.25 + 0.5 = 0.75; rem[1] = 0.25/0.75, rem[2] = 0.5/0.75.
+	if math.Abs(remA[1]-1.0/3) > 1e-12 || math.Abs(remA[2]-2.0/3) > 1e-12 {
+		t.Fatalf("scenario A rem = %v", remA)
+	}
+	mB := NewModel(rules.ConstThresholds(2), process.ScenarioB, 2)
+	remB := mB.RemoveProbs(p)
+	if math.Abs(remB[1]-0.5) > 1e-12 || math.Abs(remB[2]-0.5) > 1e-12 {
+		t.Fatalf("scenario B rem = %v", remB)
+	}
+	if remA[0] != 0 || remB[0] != 0 {
+		t.Fatal("empty bins must not be removal targets")
+	}
+}
+
+func TestDerivConservesMassAndMean(t *testing.T) {
+	p := InitialBalanced(1, 12)
+	for _, sc := range []process.Scenario{process.ScenarioA, process.ScenarioB} {
+		m := NewModel(rules.ConstThresholds(2), sc, 12)
+		d := m.Deriv(p)
+		mass, mean := 0.0, 0.0
+		for l, x := range d {
+			mass += x
+			mean += float64(l) * x
+		}
+		if math.Abs(mass) > 1e-12 {
+			t.Fatalf("scenario %v: mass flux %v", sc, mass)
+		}
+		// One insertion and one removal per phase: mean load is conserved
+		// (up to cap truncation, which is zero here).
+		if math.Abs(mean) > 1e-12 {
+			t.Fatalf("scenario %v: mean flux %v", sc, mean)
+		}
+	}
+}
+
+func TestFixedPointReached(t *testing.T) {
+	m := NewModel(rules.ConstThresholds(2), process.ScenarioA, 14)
+	p0 := InitialBalanced(1, 14)
+	p, err := m.FixedPoint(p0, 0.05, 1e-7, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the fixed point the derivative is tiny and the mean is still 1.
+	if mu := Mean(p); math.Abs(mu-1) > 0.02 {
+		t.Fatalf("fixed point drifted to mean %v", mu)
+	}
+}
+
+// TestTwoChoicesBeatsOneChoice is the headline comparison the paper's
+// applications rely on: the stationary tail of d=2 is doubly
+// exponential, so the predicted max load for n bins is far below d=1.
+func TestTwoChoicesBeatsOneChoice(t *testing.T) {
+	const n = 1 << 16
+	pred := func(d int) int {
+		m := NewModel(rules.ConstThresholds(d), process.ScenarioA, 40)
+		p, err := m.FixedPoint(InitialBalanced(1, 40), 0.05, 1e-8, 400000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return PredictedMaxLoad(p, n)
+	}
+	one := pred(1)
+	two := pred(2)
+	three := pred(3)
+	if !(one > two && two >= three) {
+		t.Fatalf("max load predictions not ordered: d=1:%d d=2:%d d=3:%d", one, two, three)
+	}
+	if two > 8 {
+		t.Fatalf("d=2 predicted max load %d is not in the ln ln n regime", two)
+	}
+	if one < 6 {
+		t.Fatalf("d=1 predicted max load %d is suspiciously small", one)
+	}
+}
+
+// TestFluidMatchesSimulation: the fixed-point tail fractions should be
+// close to the empirical stationary distribution of a large simulated
+// system.
+func TestFluidMatchesSimulation(t *testing.T) {
+	const n = 20000
+	m := NewModel(rules.ConstThresholds(2), process.ScenarioA, 16)
+	pf, err := m.FixedPoint(InitialBalanced(1, 16), 0.05, 1e-8, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := process.New(process.ScenarioA, rules.NewABKU(2), loadvec.Balanced(n, n), rng.New(77))
+	pr.Run(20 * n) // burn-in
+	counts := make([]float64, 17)
+	const samples = 40
+	for s := 0; s < samples; s++ {
+		pr.Run(n / 2)
+		for _, l := range pr.Peek() {
+			if l > 16 {
+				l = 16
+			}
+			counts[l]++
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(samples * n)
+	}
+	for l := 0; l <= 4; l++ {
+		if math.Abs(counts[l]-pf[l]) > 0.03 {
+			t.Fatalf("level %d: simulated %.4f vs fluid %.4f", l, counts[l], pf[l])
+		}
+	}
+}
+
+func TestInitialBalanced(t *testing.T) {
+	p := InitialBalanced(1.25, 4)
+	if math.Abs(p[1]-0.75) > 1e-12 || math.Abs(p[2]-0.25) > 1e-12 {
+		t.Fatalf("InitialBalanced(1.25) = %v", p)
+	}
+	if Mean(p) != 1.25 {
+		t.Fatalf("mean = %v", Mean(p))
+	}
+	whole := InitialBalanced(2, 4)
+	if whole[2] != 1 {
+		t.Fatalf("InitialBalanced(2) = %v", whole)
+	}
+}
+
+func TestPredictedMaxLoad(t *testing.T) {
+	p := []float64{0.5, 0.25, 0.2, 0.05}
+	// tails: 1, .5, .25, .05
+	if got := PredictedMaxLoad(p, 10); got != 2 {
+		t.Fatalf("PredictedMaxLoad(n=10) = %d, want 2", got)
+	}
+	if got := PredictedMaxLoad(p, 1000); got != 3 {
+		t.Fatalf("PredictedMaxLoad(n=1000) = %d, want 3", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewModel(rules.ConstThresholds(2), process.ScenarioA, 1) },
+		func() { InitialBalanced(-1, 4) },
+		func() { InitialBalanced(9, 4) },
+		func() { PredictedMaxLoad([]float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,76 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/process"
+	"dynalloc/internal/rules"
+)
+
+func TestMixedModelEndpoints(t *testing.T) {
+	p := []float64{0.3, 0.4, 0.2, 0.1, 0}
+	m0 := NewMixedModel(0, process.ScenarioA, len(p)-1)
+	one := NewModel(rules.ConstThresholds(1), process.ScenarioA, len(p)-1)
+	a := m0.InsertProbs(p)
+	b := one.InsertProbs(p)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("beta=0 level %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	m1 := NewMixedModel(1, process.ScenarioA, len(p)-1)
+	two := NewModel(rules.ConstThresholds(2), process.ScenarioA, len(p)-1)
+	a = m1.InsertProbs(p)
+	b = two.InsertProbs(p)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("beta=1 level %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMixedModelInsertSumsToOne(t *testing.T) {
+	p := []float64{0.25, 0.5, 0.25, 0, 0}
+	m := NewMixedModel(0.35, process.ScenarioA, len(p)-1)
+	sum := 0.0
+	for _, v := range m.InsertProbs(p) {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mixture insert probs sum to %v", sum)
+	}
+}
+
+// TestMixedModelInterpolatesMaxLoad: the (1+beta) fixed-point max load
+// sits between the d=1 and d=2 predictions.
+func TestMixedModelInterpolatesMaxLoad(t *testing.T) {
+	const n = 1 << 16
+	pred := func(m *Model) int {
+		p, err := m.FixedPoint(InitialBalanced(1, m.L), 0.05, 1e-8, 400000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return PredictedMaxLoad(p, n)
+	}
+	one := pred(NewModel(rules.ConstThresholds(1), process.ScenarioA, 40))
+	mix := pred(NewMixedModel(0.5, process.ScenarioA, 40))
+	two := pred(NewModel(rules.ConstThresholds(2), process.ScenarioA, 40))
+	if !(two <= mix && mix <= one) {
+		t.Fatalf("max loads not interpolated: d1=%d mix=%d d2=%d", one, mix, two)
+	}
+	// With half the insertions informed, the tail is polynomially thin
+	// rather than doubly exponential: strictly worse than pure d=2.
+	if mix == two {
+		t.Logf("note: mix prediction equals d=2 at this n (%d); acceptable but unusual", mix)
+	}
+}
+
+func TestNewMixedModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMixedModel(1.5, process.ScenarioA, 10)
+}

@@ -1,0 +1,104 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// TestScenarioBFixedPoint: the Scenario B fluid model also converges and
+// conserves the mean.
+func TestScenarioBFixedPoint(t *testing.T) {
+	m := NewModel(rules.ConstThresholds(2), process.ScenarioB, 14)
+	p, err := m.FixedPoint(InitialBalanced(1, 14), 0.05, 1e-7, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu := Mean(p); math.Abs(mu-1) > 0.02 {
+		t.Fatalf("scenario B fixed point mean %v", mu)
+	}
+}
+
+// TestScenarioBMatchesSimulation: the B-scenario fluid fixed point
+// matches the simulated stationary load fractions.
+func TestScenarioBMatchesSimulation(t *testing.T) {
+	const n = 20000
+	m := NewModel(rules.ConstThresholds(2), process.ScenarioB, 16)
+	pf, err := m.FixedPoint(InitialBalanced(1, 16), 0.05, 1e-8, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := process.New(process.ScenarioB, rules.NewABKU(2), loadvec.Balanced(n, n), rng.New(88))
+	pr.Run(20 * n)
+	counts := make([]float64, 17)
+	const samples = 40
+	for s := 0; s < samples; s++ {
+		pr.Run(n / 2)
+		for _, l := range pr.Peek() {
+			if l > 16 {
+				l = 16
+			}
+			counts[l]++
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(samples * n)
+	}
+	for l := 0; l <= 4; l++ {
+		if math.Abs(counts[l]-pf[l]) > 0.03 {
+			t.Fatalf("level %d: simulated %.4f vs fluid %.4f", l, counts[l], pf[l])
+		}
+	}
+}
+
+// TestFixedPointIndependentOfStart: the fluid dynamics have a unique
+// attracting fixed point at each mean load — different initial
+// distributions with the same mean converge to the same answer.
+func TestFixedPointIndependentOfStart(t *testing.T) {
+	m := NewModel(rules.ConstThresholds(2), process.ScenarioA, 16)
+	balanced := InitialBalanced(1, 16)
+	// A spread start with the same mean: half empty, half at load 2.
+	spread := make([]float64, 17)
+	spread[0] = 0.5
+	spread[2] = 0.5
+	p1, err := m.FixedPoint(balanced, 0.05, 1e-9, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.FixedPoint(spread, 0.05, 1e-9, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range p1 {
+		if math.Abs(p1[l]-p2[l]) > 1e-4 {
+			t.Fatalf("fixed points differ at level %d: %v vs %v", l, p1[l], p2[l])
+		}
+	}
+}
+
+// TestScenariosDifferInStationaryShape: removal semantics change the
+// stationary distribution (B removes uniformly across nonempty bins, so
+// highly loaded bins keep more mass than under A).
+func TestScenariosDifferInStationaryShape(t *testing.T) {
+	fp := func(sc process.Scenario) []float64 {
+		m := NewModel(rules.ConstThresholds(2), sc, 16)
+		p, err := m.FixedPoint(InitialBalanced(1, 16), 0.05, 1e-8, 400000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := fp(process.ScenarioA)
+	b := fp(process.ScenarioB)
+	diff := 0.0
+	for l := range a {
+		diff += math.Abs(a[l] - b[l])
+	}
+	if diff < 1e-3 {
+		t.Fatalf("scenario A and B fixed points are indistinguishable (L1 %v)", diff)
+	}
+}

@@ -1,0 +1,42 @@
+package loadvec_test
+
+import (
+	"fmt"
+
+	"dynalloc/internal/loadvec"
+)
+
+// A load vector is always kept normalized (non-increasing); the (+) and
+// (-) operations of Fact 3.2 re-normalize in O(log n).
+func ExampleVector_Add() {
+	v := loadvec.FromLoads([]int{2, 0, 3, 1})
+	fmt.Println("state:", v)
+	v.Add(3) // one more ball in the least loaded bin
+	fmt.Println("after (+) e_3:", v)
+	v.Remove(0) // one ball out of the fullest bin
+	fmt.Println("after (-) e_0:", v)
+	// Output:
+	// state: [3,2,1,0]
+	// after (+) e_3: [3,2,1,1]
+	// after (-) e_0: [2,2,1,1]
+}
+
+// Delta is the path-coupling metric of Sections 4 and 5: half the L1
+// distance between states of the same total load.
+func ExampleVector_Delta() {
+	v := loadvec.Vector{4, 2, 0}
+	u := loadvec.Vector{3, 2, 1}
+	fmt.Println(v.Delta(u))
+	// Output: 1
+}
+
+func ExampleEnumerate() {
+	for _, s := range loadvec.Enumerate(3, 4) {
+		fmt.Println(s)
+	}
+	// Output:
+	// [4,0,0]
+	// [3,1,0]
+	// [2,2,0]
+	// [2,1,1]
+}

@@ -1,0 +1,264 @@
+// Package loadvec implements the normalized load vectors of Section 3.1
+// of the paper.
+//
+// A state of a dynamic allocation process with n bins is a normalized
+// n-vector v with v[0] >= v[1] >= ... >= v[n-1] >= 0, where v[i] is the
+// load of the i-th fullest bin. The set of all such vectors with total
+// load m is the state space Omega_m. Because all scheduling rules in the
+// paper are symmetric in the bins, the load vector carries all relevant
+// information about the process state (the identity of the bins is
+// insignificant), which is exactly why the underlying Markov chains are
+// defined on Omega_m.
+//
+// The package provides the two transition primitives of the paper,
+// v (+) e_i (Add) and v (-) e_i (Remove), implemented with the fast paths
+// of Fact 3.2: adding a ball to position i re-normalizes by incrementing
+// the *first* position j holding the value v[i], and removing a ball
+// re-normalizes by decrementing the *last* position s holding v[i]. Both
+// run in O(log n) via binary search on the sorted vector.
+package loadvec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Vector is a normalized (non-increasing, non-negative) load vector.
+// Index 0 is the fullest bin. All methods other than Normalize assume
+// the receiver is normalized; constructors in this package guarantee it.
+type Vector []int
+
+// New returns the all-zero vector with n bins (the state 0 of Omega_0).
+func New(n int) Vector {
+	if n < 0 {
+		panic("loadvec: negative bin count")
+	}
+	return make(Vector, n)
+}
+
+// FromLoads returns the normalized vector of an arbitrary (possibly
+// unsorted) load assignment. The input is not modified. It panics on a
+// negative load, which cannot occur in any allocation process.
+func FromLoads(loads []int) Vector {
+	v := make(Vector, len(loads))
+	copy(v, loads)
+	for _, x := range v {
+		if x < 0 {
+			panic(fmt.Sprintf("loadvec: negative load %d", x))
+		}
+	}
+	v.Normalize()
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Normalize sorts v into non-increasing order in place.
+func (v Vector) Normalize() {
+	sort.Sort(sort.Reverse(sort.IntSlice(v)))
+}
+
+// IsNormalized reports whether v is non-increasing and non-negative.
+func (v Vector) IsNormalized() bool {
+	for i := range v {
+		if v[i] < 0 {
+			return false
+		}
+		if i > 0 && v[i] > v[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// N returns the number of bins.
+func (v Vector) N() int { return len(v) }
+
+// Total returns the total load m = ||v||_1.
+func (v Vector) Total() int {
+	m := 0
+	for _, x := range v {
+		m += x
+	}
+	return m
+}
+
+// MaxLoad returns the largest bin load (0 for an empty system).
+func (v Vector) MaxLoad() int {
+	if len(v) == 0 {
+		return 0
+	}
+	return v[0]
+}
+
+// MinLoad returns the smallest bin load (0 for an empty system).
+func (v Vector) MinLoad() int {
+	if len(v) == 0 {
+		return 0
+	}
+	return v[len(v)-1]
+}
+
+// NonEmpty returns s = |{i : v[i] > 0}|, the number of nonempty bins.
+// Because v is normalized these are exactly positions 0..s-1, the support
+// of the distribution B(v) used by Scenario B.
+func (v Vector) NonEmpty() int {
+	// First index with value <= 0 in the non-increasing vector.
+	return sort.Search(len(v), func(t int) bool { return v[t] <= 0 })
+}
+
+// Gap returns the imbalance max load - ceil(m/n), the "above fair share"
+// height used as the recovery measure for load balancing. It is 0 for a
+// perfectly balanced vector.
+func (v Vector) Gap() int {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v.Total()
+	fair := (m + len(v) - 1) / len(v)
+	return v.MaxLoad() - fair
+}
+
+// firstIndexOf returns min{t : v[t] == val} assuming val occurs in v.
+// In the non-increasing vector this is the first t with v[t] <= val.
+func (v Vector) firstIndexOf(val int) int {
+	return sort.Search(len(v), func(t int) bool { return v[t] <= val })
+}
+
+// lastIndexOf returns max{t : v[t] == val} assuming val occurs in v.
+// In the non-increasing vector this is one before the first t with
+// v[t] < val.
+func (v Vector) lastIndexOf(val int) int {
+	return sort.Search(len(v), func(t int) bool { return v[t] < val }) - 1
+}
+
+// Add performs v = v (+) e_i in place and returns the position j that was
+// actually incremented. Per Fact 3.2, j = min{t : v[t] == v[i]}, so the
+// vector stays normalized. It panics if i is out of range.
+func (v *Vector) Add(i int) int {
+	w := *v
+	if i < 0 || i >= len(w) {
+		panic(fmt.Sprintf("loadvec: Add index %d out of range [0,%d)", i, len(w)))
+	}
+	j := w.firstIndexOf(w[i])
+	w[j]++
+	return j
+}
+
+// Remove performs v = v (-) e_i in place and returns the position s that
+// was actually decremented. Per Fact 3.2, s = max{t : v[t] == v[i]}, so
+// the vector stays normalized. It panics if i is out of range or the bin
+// is empty (a process never removes from an empty bin).
+func (v *Vector) Remove(i int) int {
+	w := *v
+	if i < 0 || i >= len(w) {
+		panic(fmt.Sprintf("loadvec: Remove index %d out of range [0,%d)", i, len(w)))
+	}
+	if w[i] <= 0 {
+		panic(fmt.Sprintf("loadvec: Remove from empty bin %d", i))
+	}
+	s := w.lastIndexOf(w[i])
+	w[s]--
+	return s
+}
+
+// L1 returns ||v - u||_1. It panics if the vectors have different lengths.
+func (v Vector) L1(u Vector) int {
+	if len(v) != len(u) {
+		panic("loadvec: L1 on vectors of different length")
+	}
+	d := 0
+	for i := range v {
+		if v[i] >= u[i] {
+			d += v[i] - u[i]
+		} else {
+			d += u[i] - v[i]
+		}
+	}
+	return d
+}
+
+// Delta returns the path-coupling distance of Sections 4 and 5,
+// Delta(v, u) = (1/2)||v - u||_1 = sum_i max(v[i]-u[i], 0) for vectors of
+// equal total load. It panics if the vectors have different lengths or
+// different totals (the metric is only defined within one Omega_m).
+func (v Vector) Delta(u Vector) int {
+	if len(v) != len(u) {
+		panic("loadvec: Delta on vectors of different length")
+	}
+	pos, neg := 0, 0
+	for i := range v {
+		if v[i] >= u[i] {
+			pos += v[i] - u[i]
+		} else {
+			neg += u[i] - v[i]
+		}
+	}
+	if pos != neg {
+		panic("loadvec: Delta on vectors of different total load")
+	}
+	return pos
+}
+
+// Equal reports whether v and u are identical states.
+func (v Vector) Equal(u Vector) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i := range v {
+		if v[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string encoding of v, usable as a map key when
+// enumerating state spaces. Distinct normalized vectors have distinct
+// keys.
+func (v Vector) Key() string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// String renders the vector for logs and error messages.
+func (v Vector) String() string {
+	return "[" + v.Key() + "]"
+}
+
+// Histogram returns counts[l] = number of bins with load exactly l, for
+// l in [0, MaxLoad()]. This is the representation used by the fluid-limit
+// baseline and by the edge-orientation level chain.
+func (v Vector) Histogram() []int {
+	counts := make([]int, v.MaxLoad()+1)
+	for _, x := range v {
+		counts[x]++
+	}
+	return counts
+}
+
+// TailCounts returns tail[l] = number of bins with load >= l, for
+// l in [0, MaxLoad()+1] (the last entry is 0). This is the s_l statistic
+// of Mitzenmacher's fluid-limit method.
+func (v Vector) TailCounts() []int {
+	tail := make([]int, v.MaxLoad()+2)
+	for _, x := range v {
+		tail[x]++
+	}
+	for l := len(tail) - 2; l >= 0; l-- {
+		tail[l] += tail[l+1]
+	}
+	return tail
+}

@@ -1,0 +1,320 @@
+package loadvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynalloc/internal/rng"
+)
+
+// randomVector builds a random normalized vector for property tests,
+// driven by testing/quick's source.
+func randomVector(r *rand.Rand, n, maxLoad int) Vector {
+	loads := make([]int, n)
+	for i := range loads {
+		loads[i] = r.Intn(maxLoad + 1)
+	}
+	return FromLoads(loads)
+}
+
+func TestNewIsZero(t *testing.T) {
+	v := New(5)
+	if v.Total() != 0 || v.MaxLoad() != 0 || v.N() != 5 {
+		t.Fatalf("New(5) = %v", v)
+	}
+	if !v.IsNormalized() {
+		t.Fatal("zero vector must be normalized")
+	}
+}
+
+func TestFromLoadsNormalizes(t *testing.T) {
+	v := FromLoads([]int{1, 5, 3, 0, 2})
+	want := Vector{5, 3, 2, 1, 0}
+	if !v.Equal(want) {
+		t.Fatalf("FromLoads = %v, want %v", v, want)
+	}
+}
+
+func TestFromLoadsDoesNotAlias(t *testing.T) {
+	in := []int{3, 1, 2}
+	v := FromLoads(in)
+	v[0] = 99
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("FromLoads aliased its input: %v", in)
+	}
+}
+
+func TestFromLoadsPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromLoads with negative load did not panic")
+		}
+	}()
+	FromLoads([]int{1, -1})
+}
+
+func TestIsNormalized(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want bool
+	}{
+		{Vector{}, true},
+		{Vector{0}, true},
+		{Vector{3, 2, 2, 0}, true},
+		{Vector{2, 3}, false},
+		{Vector{1, 0, 1}, false},
+		{Vector{-1}, false},
+	}
+	for _, c := range cases {
+		if got := c.v.IsNormalized(); got != c.want {
+			t.Errorf("IsNormalized(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNonEmpty(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want int
+	}{
+		{Vector{}, 0},
+		{Vector{0, 0}, 0},
+		{Vector{5, 0, 0}, 1},
+		{Vector{3, 2, 1}, 3},
+		{Vector{1, 1, 0, 0}, 2},
+	}
+	for _, c := range cases {
+		if got := c.v.NonEmpty(); got != c.want {
+			t.Errorf("NonEmpty(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestGap(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want int
+	}{
+		{Vector{2, 2, 2}, 0},
+		{Vector{3, 2, 1}, 1},
+		{Vector{6, 0, 0}, 4},
+		{Vector{1, 1, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := c.v.Gap(); got != c.want {
+			t.Errorf("Gap(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestAddMatchesDefinition verifies Fact 3.2: v (+) e_i computed by the
+// O(log n) fast path equals "increment slot i, then sort".
+func TestAddMatchesDefinition(t *testing.T) {
+	r := rng.New(101)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + r.Intn(8)
+		v := Random(n, r.Intn(12), r)
+		i := r.Intn(n)
+		naive := v.Clone()
+		naive[i]++
+		naive.Normalize()
+		fast := v.Clone()
+		j := fast.Add(i)
+		if !fast.Equal(naive) {
+			t.Fatalf("Add(%d) on %v = %v, want %v", i, v, fast, naive)
+		}
+		if fast[j] != v[i]+1 {
+			t.Fatalf("Add(%d) on %v reported slot %d, but fast[%d]=%d want %d",
+				i, v, j, j, fast[j], v[i]+1)
+		}
+	}
+}
+
+// TestRemoveMatchesDefinition verifies the (-) half of Fact 3.2.
+func TestRemoveMatchesDefinition(t *testing.T) {
+	r := rng.New(103)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + r.Intn(8)
+		v := Random(n, 1+r.Intn(12), r)
+		s := v.NonEmpty()
+		if s == 0 {
+			continue
+		}
+		i := r.Intn(s)
+		naive := v.Clone()
+		naive[i]--
+		naive.Normalize()
+		fast := v.Clone()
+		j := fast.Remove(i)
+		if !fast.Equal(naive) {
+			t.Fatalf("Remove(%d) on %v = %v, want %v", i, v, fast, naive)
+		}
+		if fast[j] != v[i]-1 {
+			t.Fatalf("Remove(%d) on %v decremented slot %d badly", i, v, j)
+		}
+	}
+}
+
+func TestAddKeepsNormalized(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		v := Random(1+r.Intn(10), r.Intn(20), r)
+		before := v.Total()
+		v.Add(r.Intn(v.N()))
+		return v.IsNormalized() && v.Total() == before+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveKeepsNormalized(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		v := Random(1+r.Intn(10), 1+r.Intn(20), r)
+		s := v.NonEmpty()
+		before := v.Total()
+		v.Remove(r.Intn(s))
+		return v.IsNormalized() && v.Total() == before-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRemoveInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		v := Random(1+r.Intn(10), r.Intn(20), r)
+		orig := v.Clone()
+		j := v.Add(r.Intn(v.N()))
+		v.Remove(j)
+		return v.Equal(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemovePanicsOnEmptyBin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove from empty bin did not panic")
+		}
+	}()
+	v := Vector{2, 0}
+	v.Remove(1)
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	v := Vector{1}
+	v.Add(1)
+}
+
+func TestL1AndDelta(t *testing.T) {
+	v := Vector{4, 2, 0}
+	u := Vector{3, 2, 1}
+	if got := v.L1(u); got != 2 {
+		t.Fatalf("L1 = %d, want 2", got)
+	}
+	if got := v.Delta(u); got != 1 {
+		t.Fatalf("Delta = %d, want 1", got)
+	}
+	if got := u.Delta(v); got != 1 {
+		t.Fatalf("Delta is not symmetric: %d", got)
+	}
+}
+
+func TestDeltaPanicsOnDifferentTotals(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delta across different totals did not panic")
+		}
+	}()
+	Vector{2, 0}.Delta(Vector{1, 0})
+}
+
+// TestDeltaMetricProperties checks symmetry and the triangle inequality
+// on random triples from the same Omega_m.
+func TestDeltaMetricProperties(t *testing.T) {
+	r := rng.New(107)
+	for trial := 0; trial < 1000; trial++ {
+		n := 2 + r.Intn(6)
+		m := r.Intn(15)
+		a := Random(n, m, r)
+		b := Random(n, m, r)
+		c := Random(n, m, r)
+		if a.Delta(b) != b.Delta(a) {
+			t.Fatalf("Delta not symmetric on %v, %v", a, b)
+		}
+		if a.Delta(a) != 0 {
+			t.Fatalf("Delta(a,a) != 0 for %v", a)
+		}
+		if a.Delta(c) > a.Delta(b)+b.Delta(c) {
+			t.Fatalf("triangle inequality violated on %v, %v, %v", a, b, c)
+		}
+		if a.Delta(b) == 0 && !a.Equal(b) {
+			t.Fatalf("Delta = 0 for distinct %v, %v", a, b)
+		}
+	}
+}
+
+// TestDeltaBound checks the paper's bound Delta(v,u) <= m - ceil(m/n).
+func TestDeltaBound(t *testing.T) {
+	r := rng.New(109)
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + r.Intn(6)
+		m := 1 + r.Intn(15)
+		a := Random(n, m, r)
+		b := Random(n, m, r)
+		bound := m - (m+n-1)/n
+		if d := a.Delta(b); d > bound {
+			t.Fatalf("Delta(%v,%v) = %d exceeds bound %d", a, b, d, bound)
+		}
+	}
+}
+
+func TestKeyDistinguishesStates(t *testing.T) {
+	states := Enumerate(4, 6)
+	seen := make(map[string]bool, len(states))
+	for _, s := range states {
+		k := s.Key()
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestHistogramAndTailCounts(t *testing.T) {
+	v := Vector{3, 3, 1, 0}
+	h := v.Histogram()
+	wantH := []int{1, 1, 0, 2}
+	for l, c := range wantH {
+		if h[l] != c {
+			t.Fatalf("Histogram = %v, want %v", h, wantH)
+		}
+	}
+	tail := v.TailCounts()
+	wantT := []int{4, 3, 2, 2, 0}
+	for l, c := range wantT {
+		if tail[l] != c {
+			t.Fatalf("TailCounts = %v, want %v", tail, wantT)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := Vector{2, 1}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 2 {
+		t.Fatal("Clone aliased the original")
+	}
+}

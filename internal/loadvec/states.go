@@ -1,0 +1,176 @@
+package loadvec
+
+import "dynalloc/internal/rng"
+
+// Enumerate returns every state of Omega_m with n bins, i.e. every
+// partition of m into at most n parts, each as a normalized Vector. The
+// order is deterministic (lexicographically decreasing in the largest
+// part). The count grows like the partition function, so this is intended
+// for the exact-chain experiments with small n and m.
+func Enumerate(n, m int) []Vector {
+	if n < 0 || m < 0 {
+		panic("loadvec: Enumerate with negative arguments")
+	}
+	var out []Vector
+	cur := make([]int, 0, n)
+	var rec func(remaining, maxPart, binsLeft int)
+	rec = func(remaining, maxPart, binsLeft int) {
+		if remaining == 0 {
+			v := make(Vector, n)
+			copy(v, cur)
+			out = append(out, v)
+			return
+		}
+		if binsLeft == 0 {
+			return
+		}
+		hi := remaining
+		if maxPart < hi {
+			hi = maxPart
+		}
+		// The remaining load must fit in binsLeft bins of size <= part.
+		for part := hi; part >= 1; part-- {
+			if part*binsLeft < remaining {
+				break
+			}
+			cur = append(cur, part)
+			rec(remaining-part, part, binsLeft-1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	if m == 0 {
+		return []Vector{New(n)}
+	}
+	rec(m, m, n)
+	return out
+}
+
+// CountStates returns |Omega_m| for n bins (partitions of m into at most
+// n parts) without materializing the states, via the standard DP.
+func CountStates(n, m int) int {
+	if n < 0 || m < 0 {
+		panic("loadvec: CountStates with negative arguments")
+	}
+	// p[k][j] = partitions of j into at most k parts.
+	prev := make([]int, m+1)
+	prev[0] = 1
+	for k := 1; k <= n; k++ {
+		curRow := make([]int, m+1)
+		curRow[0] = 1
+		for j := 1; j <= m; j++ {
+			curRow[j] = prev[j] // use fewer than k parts
+			if j >= k {
+				curRow[j] += curRow[j-k] // every part >= 1: subtract 1 from each of k parts
+			}
+		}
+		prev = curRow
+	}
+	return prev[m]
+}
+
+// OneTower returns the most adversarial state of Omega_m: all m balls in
+// a single bin. This is the state v(0) = m*e_1 used in the paper's
+// tightness discussion after Theorem 1.
+func OneTower(n, m int) Vector {
+	if n < 1 {
+		panic("loadvec: OneTower needs at least one bin")
+	}
+	v := New(n)
+	v[0] = m
+	return v
+}
+
+// TwoTowers splits m balls as evenly as possible between two bins.
+func TwoTowers(n, m int) Vector {
+	if n < 2 {
+		panic("loadvec: TwoTowers needs at least two bins")
+	}
+	v := New(n)
+	v[0] = (m + 1) / 2
+	v[1] = m / 2
+	return v
+}
+
+// Staircase returns the state with loads n-1, n-2, ..., spread until the
+// budget m is exhausted (a maximally "spread but unbalanced" start).
+func Staircase(n, m int) Vector {
+	v := New(n)
+	remaining := m
+	for level := 0; remaining > 0; level++ {
+		for i := 0; i < n && remaining > 0; i++ {
+			// Fill diagonally so bin i ends close to proportional height.
+			if v[i] <= level && i <= level {
+				v[i]++
+				remaining--
+			}
+		}
+	}
+	v.Normalize()
+	return v
+}
+
+// Balanced returns the most balanced state of Omega_m: every bin holds
+// floor(m/n) or ceil(m/n) balls. This is the "typical" target state.
+func Balanced(n, m int) Vector {
+	if n < 1 {
+		panic("loadvec: Balanced needs at least one bin")
+	}
+	v := New(n)
+	q, r := m/n, m%n
+	for i := 0; i < n; i++ {
+		v[i] = q
+		if i < r {
+			v[i]++
+		}
+	}
+	return v
+}
+
+// Random returns the normalized vector of throwing m balls into n bins
+// independently and uniformly at random (the classical one-choice start).
+func Random(n, m int, r *rng.RNG) Vector {
+	if n < 1 {
+		panic("loadvec: Random needs at least one bin")
+	}
+	v := New(n)
+	for b := 0; b < m; b++ {
+		v[r.Intn(n)]++
+	}
+	v.Normalize()
+	return v
+}
+
+// AdjacentPair returns a worst-case pair of states at Delta distance 1:
+// v = u + e_lambda - e_delta with the ball moved from the bottom bin to
+// the top. Such pairs are the set Gamma on which the paper's couplings
+// are defined; coalescence experiments start from them.
+func AdjacentPair(n, m int, r *rng.RNG) (v, u Vector) {
+	if n < 2 || m < 1 {
+		panic("loadvec: AdjacentPair needs n >= 2, m >= 1")
+	}
+	u = Random(n, m, r)
+	v = u.Clone()
+	// Move one ball from the last nonempty bin to the first bin.
+	src := u.NonEmpty() - 1
+	v.Remove(src)
+	v.Add(0)
+	if v.Equal(u) {
+		// Degenerate: u has a single nonempty bin, so the move above was
+		// the identity. Move one ball out of the tower instead. This
+		// requires m >= 2; Omega_1 consists of a single state and has no
+		// pair at distance 1 at all.
+		if m < 2 {
+			panic("loadvec: AdjacentPair impossible for m == 1")
+		}
+		v = u.Clone()
+		v.Remove(0)
+		v.Add(n - 1)
+	}
+	return v, u
+}
+
+// ExtremePair returns the farthest-apart pair used to seed worst-case
+// coalescence runs: one tower versus the balanced state.
+func ExtremePair(n, m int) (v, u Vector) {
+	return OneTower(n, m), Balanced(n, m)
+}

@@ -1,0 +1,157 @@
+package loadvec
+
+import (
+	"testing"
+
+	"dynalloc/internal/rng"
+)
+
+func TestEnumerateSmall(t *testing.T) {
+	// Partitions of 4 into at most 3 parts: 4, 3+1, 2+2, 2+1+1 -> 4 states.
+	states := Enumerate(3, 4)
+	if len(states) != 4 {
+		t.Fatalf("Enumerate(3,4) has %d states, want 4", len(states))
+	}
+	for _, s := range states {
+		if !s.IsNormalized() || s.Total() != 4 || s.N() != 3 {
+			t.Fatalf("bad state %v", s)
+		}
+	}
+}
+
+func TestEnumerateZeroBalls(t *testing.T) {
+	states := Enumerate(3, 0)
+	if len(states) != 1 || !states[0].Equal(Vector{0, 0, 0}) {
+		t.Fatalf("Enumerate(3,0) = %v", states)
+	}
+}
+
+func TestEnumerateMatchesCount(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for m := 0; m <= 9; m++ {
+			got := len(Enumerate(n, m))
+			want := CountStates(n, m)
+			if got != want {
+				t.Fatalf("n=%d m=%d: Enumerate found %d states, CountStates says %d", n, m, got, want)
+			}
+		}
+	}
+}
+
+func TestCountStatesKnownValues(t *testing.T) {
+	// Partition numbers p(m) for n >= m.
+	known := map[int]int{0: 1, 1: 1, 2: 2, 3: 3, 4: 5, 5: 7, 6: 11, 7: 15, 8: 22}
+	for m, p := range known {
+		if got := CountStates(m+2, m); got != p {
+			t.Errorf("CountStates(%d,%d) = %d, want p(%d)=%d", m+2, m, got, m, p)
+		}
+	}
+	// Single bin: always exactly one state.
+	for m := 0; m <= 10; m++ {
+		if got := CountStates(1, m); got != 1 {
+			t.Errorf("CountStates(1,%d) = %d, want 1", m, got)
+		}
+	}
+}
+
+func TestEnumerateNoDuplicates(t *testing.T) {
+	states := Enumerate(5, 8)
+	seen := make(map[string]bool, len(states))
+	for _, s := range states {
+		k := s.Key()
+		if seen[k] {
+			t.Fatalf("duplicate state %v", s)
+		}
+		seen[k] = true
+	}
+}
+
+func TestInitialStates(t *testing.T) {
+	const n, m = 6, 10
+	cases := []struct {
+		name string
+		v    Vector
+	}{
+		{"OneTower", OneTower(n, m)},
+		{"TwoTowers", TwoTowers(n, m)},
+		{"Staircase", Staircase(n, m)},
+		{"Balanced", Balanced(n, m)},
+		{"Random", Random(n, m, rng.New(1))},
+	}
+	for _, c := range cases {
+		if !c.v.IsNormalized() {
+			t.Errorf("%s is not normalized: %v", c.name, c.v)
+		}
+		if c.v.Total() != m {
+			t.Errorf("%s has total %d, want %d", c.name, c.v.Total(), m)
+		}
+		if c.v.N() != n {
+			t.Errorf("%s has %d bins, want %d", c.name, c.v.N(), n)
+		}
+	}
+	if OneTower(n, m).MaxLoad() != m {
+		t.Error("OneTower max load wrong")
+	}
+	if Balanced(n, m).Gap() != 0 {
+		t.Error("Balanced should have zero gap")
+	}
+	if tw := TwoTowers(n, 9); tw[0] != 5 || tw[1] != 4 {
+		t.Errorf("TwoTowers(_,9) = %v", tw)
+	}
+}
+
+func TestAdjacentPairDistanceOne(t *testing.T) {
+	r := rng.New(55)
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + r.Intn(8)
+		m := 2 + r.Intn(20)
+		v, u := AdjacentPair(n, m, r)
+		if d := v.Delta(u); d != 1 {
+			t.Fatalf("AdjacentPair(%d,%d) = %v, %v with Delta %d", n, m, v, u, d)
+		}
+		if !v.IsNormalized() || !u.IsNormalized() {
+			t.Fatalf("AdjacentPair returned unnormalized states")
+		}
+	}
+}
+
+func TestExtremePair(t *testing.T) {
+	v, u := ExtremePair(4, 8)
+	if !v.Equal(Vector{8, 0, 0, 0}) {
+		t.Fatalf("ExtremePair tower = %v", v)
+	}
+	if !u.Equal(Vector{2, 2, 2, 2}) {
+		t.Fatalf("ExtremePair balanced = %v", u)
+	}
+	if v.Delta(u) != 6 {
+		t.Fatalf("ExtremePair Delta = %d, want 6", v.Delta(u))
+	}
+}
+
+// TestEnumerateComplete: every randomly generated normalized vector of
+// the right total appears in the enumeration (completeness, not just
+// soundness).
+func TestEnumerateComplete(t *testing.T) {
+	r := rng.New(71)
+	for _, nm := range [][2]int{{3, 7}, {5, 9}, {4, 12}} {
+		n, m := nm[0], nm[1]
+		index := make(map[string]bool)
+		for _, s := range Enumerate(n, m) {
+			index[s.Key()] = true
+		}
+		for trial := 0; trial < 2000; trial++ {
+			v := Random(n, m, r)
+			if !index[v.Key()] {
+				t.Fatalf("n=%d m=%d: reachable state %v missing from Enumerate", n, m, v)
+			}
+		}
+	}
+}
+
+func TestRandomReproducible(t *testing.T) {
+	a := Random(10, 30, rng.New(7))
+	b := Random(10, 30, rng.New(7))
+	if !a.Equal(b) {
+		t.Fatal("Random with the same seed differs")
+	}
+}

@@ -1,0 +1,105 @@
+package markov
+
+import (
+	"fmt"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rules"
+)
+
+// AllocChain is the exact Markov chain of a closed dynamic allocation
+// process on Omega_m (Section 3.3 of the paper): states are the
+// normalized load vectors, and one transition is a remove-then-insert
+// phase under the given scenario and rule.
+type AllocChain struct {
+	Scenario process.Scenario
+	Rule     rules.ExactRule
+	NBins    int
+	Balls    int
+
+	states []loadvec.Vector
+	index  map[string]int
+}
+
+// NewAllocChain enumerates Omega_m and returns the chain. It panics if
+// the state space would be enormous; the exact experiments use small
+// n and m on purpose.
+func NewAllocChain(sc process.Scenario, rule rules.ExactRule, n, m int) *AllocChain {
+	if m < 1 {
+		panic("markov: closed allocation chain needs m >= 1")
+	}
+	if count := loadvec.CountStates(n, m); count > 200000 {
+		panic(fmt.Sprintf("markov: Omega_%d with %d bins has %d states; too large for exact analysis", m, n, count))
+	}
+	states := loadvec.Enumerate(n, m)
+	index := make(map[string]int, len(states))
+	for i, s := range states {
+		index[s.Key()] = i
+	}
+	return &AllocChain{Scenario: sc, Rule: rule, NBins: n, Balls: m, states: states, index: index}
+}
+
+// NumStates implements Chain.
+func (c *AllocChain) NumStates() int { return len(c.states) }
+
+// State returns the load vector of state s.
+func (c *AllocChain) State(s int) loadvec.Vector { return c.states[s] }
+
+// Index returns the state id of a load vector.
+func (c *AllocChain) Index(v loadvec.Vector) int {
+	i, ok := c.index[v.Key()]
+	if !ok {
+		panic(fmt.Sprintf("markov: vector %v not in Omega_%d", v, c.Balls))
+	}
+	return i
+}
+
+// removalProbs returns the distribution over removal positions for v.
+func (c *AllocChain) removalProbs(v loadvec.Vector) []float64 {
+	n := v.N()
+	p := make([]float64, n)
+	switch c.Scenario {
+	case process.ScenarioA:
+		m := float64(v.Total())
+		for i, x := range v {
+			p[i] = float64(x) / m
+		}
+	case process.ScenarioB:
+		s := v.NonEmpty()
+		for i := 0; i < s; i++ {
+			p[i] = 1 / float64(s)
+		}
+	default:
+		panic("markov: unknown scenario")
+	}
+	return p
+}
+
+// Transitions implements Chain by composing the exact removal and
+// insertion distributions.
+func (c *AllocChain) Transitions(s int) []Edge {
+	v := c.states[s]
+	acc := make(map[int]float64)
+	for i, pRem := range c.removalProbs(v) {
+		if pRem == 0 {
+			continue
+		}
+		vStar := v.Clone()
+		vStar.Remove(i)
+		ins := c.Rule.ChoiceProbs(vStar)
+		for j, pIns := range ins {
+			if pIns == 0 {
+				continue
+			}
+			vEnd := vStar.Clone()
+			vEnd.Add(j)
+			acc[c.Index(vEnd)] += pRem * pIns
+		}
+	}
+	edges := make([]Edge, 0, len(acc))
+	for to, p := range acc {
+		edges = append(edges, Edge{To: to, P: p})
+	}
+	return edges
+}

@@ -1,0 +1,150 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+func TestAllocChainRowsStochastic(t *testing.T) {
+	for _, sc := range []process.Scenario{process.ScenarioA, process.ScenarioB} {
+		for _, rule := range []rules.ExactRule{rules.NewUniform(), rules.NewABKU(2), rules.MinLoad{}} {
+			c := NewAllocChain(sc, rule, 3, 5)
+			if _, err := Build(c); err != nil {
+				t.Errorf("scenario %v rule %s: %v", sc, rule.Name(), err)
+			}
+		}
+	}
+}
+
+func TestAllocChainErgodic(t *testing.T) {
+	c := NewAllocChain(process.ScenarioA, rules.NewABKU(2), 3, 4)
+	m := MustBuild(c)
+	if !m.IsErgodic(200) {
+		t.Fatal("I_A-ABKU[2] chain should be ergodic")
+	}
+}
+
+// TestAllocChainMatchesSimulation cross-validates the exact transition
+// probabilities against the step simulator: the empirical distribution of
+// one-step outcomes from a fixed state must match Transitions.
+func TestAllocChainMatchesSimulation(t *testing.T) {
+	for _, sc := range []process.Scenario{process.ScenarioA, process.ScenarioB} {
+		c := NewAllocChain(sc, rules.NewABKU(2), 3, 4)
+		start := loadvec.Vector{2, 1, 1}
+		s := c.Index(start)
+		want := make(map[int]float64)
+		for _, e := range c.Transitions(s) {
+			want[e.To] = e.P
+		}
+		r := rng.New(31)
+		const trials = 400000
+		counts := make(map[int]int)
+		for i := 0; i < trials; i++ {
+			p := process.New(sc, rules.NewABKU(2), start, r)
+			p.Step()
+			counts[c.Index(p.State())]++
+		}
+		for to, p := range want {
+			got := float64(counts[to]) / trials
+			if math.Abs(got-p) > 0.005 {
+				t.Errorf("scenario %v: transition to %v empirical %.4f vs exact %.4f",
+					sc, c.State(to), got, p)
+			}
+		}
+		total := 0
+		for to := range counts {
+			if _, ok := want[to]; !ok {
+				t.Errorf("scenario %v: simulator reached %v which exact chain says is unreachable", sc, c.State(to))
+			}
+			total += counts[to]
+		}
+		if total != trials {
+			t.Errorf("lost trials: %d", total)
+		}
+	}
+}
+
+// TestMinLoadChainStationary: with the omniscient MinLoad rule under
+// Scenario A, mass concentrates on the most balanced states; the max
+// load in stationarity must be near ceil(m/n).
+func TestMinLoadChainStationary(t *testing.T) {
+	c := NewAllocChain(process.ScenarioA, rules.MinLoad{}, 3, 6)
+	m := MustBuild(c)
+	pi, err := m.Stationary(1e-12, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected max load under pi.
+	exp := 0.0
+	for s, p := range pi {
+		exp += p * float64(c.State(s).MaxLoad())
+	}
+	if exp > 3.1 {
+		t.Fatalf("MinLoad stationary expected max load %v, want close to 2-3", exp)
+	}
+}
+
+// TestStationaryMaxLoadOrdering: more choice gives (weakly) smaller
+// stationary expected maximum load: Uniform >= ABKU[2] >= MinLoad.
+func TestStationaryMaxLoadOrdering(t *testing.T) {
+	expMax := func(rule rules.ExactRule) float64 {
+		c := NewAllocChain(process.ScenarioA, rule, 4, 8)
+		m := MustBuild(c)
+		pi, err := m.Stationary(1e-12, 2000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := 0.0
+		for s, p := range pi {
+			e += p * float64(c.State(s).MaxLoad())
+		}
+		return e
+	}
+	u := expMax(rules.NewUniform())
+	d2 := expMax(rules.NewABKU(2))
+	ml := expMax(rules.MinLoad{})
+	if !(u > d2 && d2 > ml) {
+		t.Fatalf("expected max loads not ordered: uniform %.3f, abku2 %.3f, minload %.3f", u, d2, ml)
+	}
+}
+
+// TestAllocStationarySolversAgree cross-validates the two stationary
+// solvers on a real allocation chain.
+func TestAllocStationarySolversAgree(t *testing.T) {
+	c := NewAllocChain(process.ScenarioB, rules.NewABKU(2), 4, 7)
+	m := MustBuild(c)
+	p1, err := m.Stationary(1e-12, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.StationaryLinear(1e-12, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TV(p1, p2) > 1e-8 {
+		t.Fatalf("solvers disagree: TV = %v", TV(p1, p2))
+	}
+}
+
+func TestAllocChainIndexRoundTrip(t *testing.T) {
+	c := NewAllocChain(process.ScenarioB, rules.NewUniform(), 4, 6)
+	for s := 0; s < c.NumStates(); s++ {
+		if c.Index(c.State(s)) != s {
+			t.Fatalf("index round trip failed at %d", s)
+		}
+	}
+}
+
+func TestAllocChainPanicsTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for huge state space")
+		}
+	}()
+	NewAllocChain(process.ScenarioA, rules.NewUniform(), 100, 100)
+}

@@ -1,0 +1,98 @@
+package markov
+
+import (
+	"fmt"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rules"
+)
+
+// BoundedOpenChain is the exact Markov chain of the bounded open process
+// of Section 7: the state space is the union of Omega_m for m = 0..Max,
+// and each step removes a uniform ball with probability 1/2 (no-op on
+// empty) or inserts with the rule (no-op at the bound).
+type BoundedOpenChain struct {
+	Rule  rules.ExactRule
+	NBins int
+	Max   int
+
+	states []loadvec.Vector
+	index  map[string]int
+}
+
+// NewBoundedOpenChain enumerates the state space. It panics if it would
+// be enormous.
+func NewBoundedOpenChain(rule rules.ExactRule, n, max int) *BoundedOpenChain {
+	if max < 1 {
+		panic("markov: bounded open chain needs max >= 1")
+	}
+	total := 0
+	for m := 0; m <= max; m++ {
+		total += loadvec.CountStates(n, m)
+	}
+	if total > 200000 {
+		panic(fmt.Sprintf("markov: bounded open space has %d states; too large", total))
+	}
+	c := &BoundedOpenChain{Rule: rule, NBins: n, Max: max, index: make(map[string]int, total)}
+	for m := 0; m <= max; m++ {
+		for _, s := range loadvec.Enumerate(n, m) {
+			c.index[s.Key()] = len(c.states)
+			c.states = append(c.states, s)
+		}
+	}
+	return c
+}
+
+// NumStates implements Chain.
+func (c *BoundedOpenChain) NumStates() int { return len(c.states) }
+
+// State returns the load vector of state s.
+func (c *BoundedOpenChain) State(s int) loadvec.Vector { return c.states[s] }
+
+// Index returns the state id of a vector.
+func (c *BoundedOpenChain) Index(v loadvec.Vector) int {
+	i, ok := c.index[v.Key()]
+	if !ok {
+		panic(fmt.Sprintf("markov: state %v outside the bounded space", v))
+	}
+	return i
+}
+
+// Transitions implements Chain.
+func (c *BoundedOpenChain) Transitions(s int) []Edge {
+	v := c.states[s]
+	m := v.Total()
+	acc := make(map[int]float64)
+	// Removal half (probability 1/2).
+	if m == 0 {
+		acc[s] += 0.5
+	} else {
+		for i, x := range v {
+			if x == 0 {
+				continue
+			}
+			w := 0.5 * float64(x) / float64(m)
+			next := v.Clone()
+			next.Remove(i)
+			acc[c.Index(next)] += w
+		}
+	}
+	// Insertion half (probability 1/2).
+	if m == c.Max {
+		acc[s] += 0.5
+	} else {
+		for j, p := range c.Rule.ChoiceProbs(v) {
+			if p == 0 {
+				continue
+			}
+			next := v.Clone()
+			next.Add(j)
+			acc[c.Index(next)] += 0.5 * p
+		}
+	}
+	edges := make([]Edge, 0, len(acc))
+	for to, p := range acc {
+		edges = append(edges, Edge{To: to, P: p})
+	}
+	return edges
+}

@@ -1,0 +1,148 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+	"dynalloc/internal/stats"
+)
+
+func TestBoundedOpenChainStochastic(t *testing.T) {
+	c := NewBoundedOpenChain(rules.NewABKU(2), 3, 5)
+	if _, err := Build(c); err != nil {
+		t.Fatal(err)
+	}
+	// State count = sum of partition counts.
+	want := 0
+	for m := 0; m <= 5; m++ {
+		want += loadvec.CountStates(3, m)
+	}
+	if c.NumStates() != want {
+		t.Fatalf("states = %d, want %d", c.NumStates(), want)
+	}
+}
+
+func TestBoundedOpenChainErgodic(t *testing.T) {
+	c := NewBoundedOpenChain(rules.NewABKU(2), 3, 4)
+	m := MustBuild(c)
+	if !m.IsErgodic(300) {
+		t.Fatal("bounded open chain should be ergodic")
+	}
+}
+
+// TestBoundedOpenMatchesSimulation: exact one-step law equals the
+// simulator's empirical law.
+func TestBoundedOpenMatchesSimulation(t *testing.T) {
+	const n, max = 3, 4
+	c := NewBoundedOpenChain(rules.NewABKU(2), n, max)
+	for _, start := range []loadvec.Vector{
+		{0, 0, 0}, // empty: removal is a no-op
+		{2, 1, 1}, // full: insertion is a no-op
+		{2, 1, 0}, // interior
+	} {
+		sID := c.Index(start)
+		want := make(map[int]float64)
+		for _, e := range c.Transitions(sID) {
+			want[e.To] = e.P
+		}
+		r := rng.New(101)
+		const trials = 300000
+		counts := make(map[int]int)
+		for i := 0; i < trials; i++ {
+			b := process.NewBoundedOpen(rules.NewABKU(2), start, max, r)
+			b.Step()
+			counts[c.Index(b.State())]++
+		}
+		for to, p := range want {
+			got := float64(counts[to]) / trials
+			if math.Abs(got-p) > 0.005 {
+				t.Errorf("start %v -> %v: empirical %.4f vs exact %.4f",
+					start, c.State(to), got, p)
+			}
+		}
+		for to := range counts {
+			if _, ok := want[to]; !ok {
+				t.Errorf("start %v: simulator reached unlisted %v", start, c.State(to))
+			}
+		}
+	}
+}
+
+// TestBoundedOpenStationaryBallCount: the ball count in stationarity is
+// the reflected lazy random walk on {0..max}; with symmetric rates its
+// marginal is uniform over ball counts.
+func TestBoundedOpenStationaryBallCount(t *testing.T) {
+	const n, max = 3, 5
+	c := NewBoundedOpenChain(rules.NewABKU(2), n, max)
+	m := MustBuild(c)
+	pi, err := m.Stationary(1e-12, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCount := make([]float64, max+1)
+	for s, p := range pi {
+		byCount[c.State(s).Total()] += p
+	}
+	for cnt, p := range byCount {
+		if math.Abs(p-1/float64(max+1)) > 1e-6 {
+			t.Fatalf("ball count %d has stationary mass %v, want uniform %v", cnt, p, 1/float64(max+1))
+		}
+	}
+}
+
+func TestBoundedOpenMixingFinite(t *testing.T) {
+	c := NewBoundedOpenChain(rules.NewABKU(2), 3, 4)
+	m := MustBuild(c)
+	pi, err := m.Stationary(1e-12, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, ok := m.MixingTime(pi, 0.25, 100000)
+	if !ok || tau < 1 {
+		t.Fatalf("tau = %d (ok=%v)", tau, ok)
+	}
+}
+
+func TestBoundedOpenProcessInvariants(t *testing.T) {
+	r := rng.New(5)
+	b := process.NewBoundedOpen(rules.NewABKU(2), loadvec.New(4), 7, r)
+	var seen stats.Summary
+	for i := 0; i < 20000; i++ {
+		b.Step()
+		if b.M() < 0 || b.M() > 7 {
+			t.Fatalf("ball bound violated: %d", b.M())
+		}
+		if !b.Peek().IsNormalized() {
+			t.Fatal("state denormalized")
+		}
+		seen.AddInt(b.M())
+	}
+	// The walk must actually wander (mean well inside (0, 7)).
+	if seen.Mean() < 1 || seen.Mean() > 6 {
+		t.Fatalf("ball count mean %v suspicious", seen.Mean())
+	}
+	if b.Name() != "BoundedOpen[7]-ABKU[2]" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+}
+
+func TestBoundedOpenPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { process.NewBoundedOpen(rules.NewUniform(), loadvec.New(2), 0, rng.New(1)) },
+		func() { process.NewBoundedOpen(rules.NewUniform(), loadvec.OneTower(2, 5), 4, rng.New(1)) },
+		func() { NewBoundedOpenChain(rules.NewUniform(), 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

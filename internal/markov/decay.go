@@ -1,0 +1,68 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// DecayRate estimates the asymptotic per-step decay factor rho of a
+// positive, geometrically decaying curve (such as the tail of a
+// TV-to-stationarity curve): TV(t) ~ C * rho^t. It uses the median of
+// the successive ratios over the last window entries that are above the
+// numerical floor. The associated relaxation time is -1/ln(rho)
+// (RelaxationTime); for an ergodic chain rho is the modulus of the
+// second-largest transition-matrix eigenvalue.
+func DecayRate(curve []float64, window int) (float64, error) {
+	if window < 2 {
+		return 0, fmt.Errorf("markov: window must be >= 2")
+	}
+	const floor = 1e-13
+	// Collect ratios from the tail, skipping sub-floor entries.
+	var ratios []float64
+	count := 0
+	for i := len(curve) - 1; i > 0 && count < window; i-- {
+		a, b := curve[i-1], curve[i]
+		if a <= floor || b <= floor {
+			continue
+		}
+		r := b / a
+		if r > 0 && r < 1.5 { // discard pre-asymptotic noise
+			ratios = append(ratios, r)
+			count++
+		}
+	}
+	if len(ratios) < 2 {
+		return 0, fmt.Errorf("markov: curve too short or too flat for decay estimation")
+	}
+	// Median ratio.
+	for i := 1; i < len(ratios); i++ {
+		for j := i; j > 0 && ratios[j] < ratios[j-1]; j-- {
+			ratios[j], ratios[j-1] = ratios[j-1], ratios[j]
+		}
+	}
+	return ratios[len(ratios)/2], nil
+}
+
+// RelaxationTime converts a decay factor rho in (0, 1) into the
+// relaxation time 1/(1-rho) — the timescale on which the chain forgets
+// its start, and the quantity Theorem 1 implies is Theta(m) for
+// Scenario A.
+func RelaxationTime(rho float64) float64 {
+	if rho <= 0 || rho >= 1 {
+		panic("markov: decay factor must be in (0, 1)")
+	}
+	return 1 / (1 - rho)
+}
+
+// EstimateRelaxation runs the TV curve from the given start until the
+// distance decays below cutoff (or maxT), then estimates the decay rate
+// from its tail. Convenience wrapper used by the exact experiments.
+func (m *Matrix) EstimateRelaxation(start int, pi []float64, maxT int) (rho float64, err error) {
+	curve := m.TVCurve(start, pi, maxT)
+	// Truncate once the curve is numerically dead.
+	end := len(curve)
+	for end > 1 && curve[end-1] < 1e-12 {
+		end--
+	}
+	return DecayRate(curve[:end], int(math.Max(8, float64(end/4))))
+}

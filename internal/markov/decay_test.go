@@ -1,0 +1,97 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/process"
+	"dynalloc/internal/rules"
+)
+
+func TestDecayRateGeometricCurve(t *testing.T) {
+	curve := make([]float64, 60)
+	for i := range curve {
+		curve[i] = 0.9 * math.Pow(0.8, float64(i))
+	}
+	rho, err := DecayRate(curve, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-0.8) > 1e-9 {
+		t.Fatalf("rho = %v, want 0.8", rho)
+	}
+}
+
+func TestDecayRateTwoStateExact(t *testing.T) {
+	// Two-state chain: second eigenvalue is 1 - a - b.
+	a, b := 0.2, 0.3
+	m := MustBuild(twoState{a, b})
+	pi, err := m.Stationary(1e-13, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := m.EstimateRelaxation(0, pi, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratios taken near the numerical floor carry relative error, so the
+	// estimate is good to ~1%, not machine precision.
+	if math.Abs(rho-(1-a-b)) > 0.01 {
+		t.Fatalf("rho = %v, want %v", rho, 1-a-b)
+	}
+}
+
+func TestDecayRateErrors(t *testing.T) {
+	if _, err := DecayRate([]float64{1}, 1); err == nil {
+		t.Fatal("window 1 accepted")
+	}
+	if _, err := DecayRate([]float64{0, 0, 0}, 4); err == nil {
+		t.Fatal("dead curve accepted")
+	}
+}
+
+func TestRelaxationTimePanics(t *testing.T) {
+	for _, rho := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("rho=%v accepted", rho)
+				}
+			}()
+			RelaxationTime(rho)
+		}()
+	}
+	if RelaxationTime(0.5) != 2 {
+		t.Fatal("relaxation time wrong")
+	}
+}
+
+// TestRelaxationScalesWithM: Theorem 1 implies the Scenario A chain's
+// relaxation time grows linearly in m; check the exact trend on small
+// instances.
+func TestRelaxationScalesWithM(t *testing.T) {
+	relax := func(n, m int) float64 {
+		c := NewAllocChain(process.ScenarioA, rules.NewABKU(2), n, m)
+		mat := MustBuild(c)
+		pi, err := mat.Stationary(1e-13, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rho, err := mat.EstimateRelaxation(0, pi, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RelaxationTime(rho)
+	}
+	r4 := relax(4, 4)
+	r8 := relax(4, 8)
+	r12 := relax(4, 12)
+	if !(r4 < r8 && r8 < r12) {
+		t.Fatalf("relaxation times not increasing in m: %v %v %v", r4, r8, r12)
+	}
+	// Linear-in-m shape: the ratio r12/r4 is near 3 (allow wide slack —
+	// small-m corrections are real).
+	if ratio := r12 / r4; ratio < 1.8 || ratio > 4.5 {
+		t.Fatalf("relaxation ratio m=12 vs m=4 is %v, want ~3", ratio)
+	}
+}

@@ -1,0 +1,77 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// HittingTimes returns h[s] = the expected number of steps for the chain
+// started at s to first reach the target set (h = 0 on targets). It
+// solves the first-step equations
+//
+//	h[s] = 1 + sum_{s' not in T} P(s, s') h[s']   for s not in T
+//
+// by Gauss-Seidel iteration, which converges whenever the target set is
+// reachable from every state (true for the ergodic chains used here).
+// This gives the *exact expected recovery time* into a "typical" set for
+// small chains — the quantity the paper's mixing-time bounds control.
+func (m *Matrix) HittingTimes(target func(s int) bool, tol float64, maxIter int) ([]float64, error) {
+	h := make([]float64, m.n)
+	isTarget := make([]bool, m.n)
+	anyTarget := false
+	for s := 0; s < m.n; s++ {
+		isTarget[s] = target(s)
+		anyTarget = anyTarget || isTarget[s]
+	}
+	if !anyTarget {
+		return nil, fmt.Errorf("markov: empty target set")
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for s := 0; s < m.n; s++ {
+			if isTarget[s] {
+				continue
+			}
+			sum := 1.0
+			selfP := 0.0
+			for _, e := range m.rows[s] {
+				switch {
+				case e.To == s:
+					selfP += e.P
+				case !isTarget[e.To]:
+					sum += e.P * h[e.To]
+				}
+			}
+			// Solve for h[s] with the self-loop folded in:
+			// h = sum + selfP * h  =>  h = sum / (1 - selfP).
+			if selfP >= 1 {
+				return nil, fmt.Errorf("markov: state %d cannot leave itself", s)
+			}
+			next := sum / (1 - selfP)
+			if d := math.Abs(next - h[s]); d > maxDelta {
+				maxDelta = d
+			}
+			h[s] = next
+		}
+		if maxDelta < tol {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("markov: hitting times did not converge in %d sweeps", maxIter)
+}
+
+// WorstHittingTime returns the maximum expected hitting time into the
+// target set over all start states, and the state attaining it.
+func (m *Matrix) WorstHittingTime(target func(s int) bool, tol float64, maxIter int) (float64, int, error) {
+	h, err := m.HittingTimes(target, tol, maxIter)
+	if err != nil {
+		return 0, 0, err
+	}
+	worst, arg := 0.0, 0
+	for s, v := range h {
+		if v > worst {
+			worst, arg = v, s
+		}
+	}
+	return worst, arg, nil
+}

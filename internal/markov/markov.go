@@ -1,0 +1,298 @@
+// Package markov provides exact finite-Markov-chain machinery: building
+// transition matrices from enumerable chains, stationary distributions,
+// total-variation distance curves, and exact mixing times.
+//
+// The paper bounds mixing times analytically; this package computes them
+// *exactly* for small instances (E10), which is how the reproduction
+// validates that the path-coupling bounds are true upper bounds of the
+// right shape. State spaces grow like partition numbers, so this is for
+// small n and m by design.
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// Edge is one weighted transition.
+type Edge struct {
+	To int
+	P  float64
+}
+
+// Chain describes a finite Markov chain by enumeration: states are
+// 0..NumStates()-1 and Transitions(s) returns the outgoing distribution.
+type Chain interface {
+	NumStates() int
+	Transitions(s int) []Edge
+}
+
+// Matrix is a materialized row-sparse transition matrix.
+type Matrix struct {
+	n    int
+	rows [][]Edge
+}
+
+// Build materializes a chain, validating that every row is a probability
+// distribution (within tolerance) with in-range destinations.
+func Build(c Chain) (*Matrix, error) {
+	n := c.NumStates()
+	if n <= 0 {
+		return nil, fmt.Errorf("markov: chain has %d states", n)
+	}
+	m := &Matrix{n: n, rows: make([][]Edge, n)}
+	for s := 0; s < n; s++ {
+		row := c.Transitions(s)
+		sum := 0.0
+		for _, e := range row {
+			if e.To < 0 || e.To >= n {
+				return nil, fmt.Errorf("markov: state %d has edge to out-of-range %d", s, e.To)
+			}
+			if e.P < -1e-15 {
+				return nil, fmt.Errorf("markov: state %d has negative probability %g", s, e.P)
+			}
+			sum += e.P
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("markov: state %d row sums to %g", s, sum)
+		}
+		m.rows[s] = append([]Edge(nil), row...)
+	}
+	return m, nil
+}
+
+// MustBuild is Build that panics on error, for tests and experiments
+// where the chain is known-valid by construction.
+func MustBuild(c Chain) *Matrix {
+	m, err := Build(c)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// N returns the number of states.
+func (m *Matrix) N() int { return m.n }
+
+// StepDist advances a distribution one step: out = in * P. in is not
+// modified; out is freshly allocated.
+func (m *Matrix) StepDist(in []float64) []float64 {
+	if len(in) != m.n {
+		panic("markov: distribution length mismatch")
+	}
+	out := make([]float64, m.n)
+	for s, p := range in {
+		if p == 0 {
+			continue
+		}
+		for _, e := range m.rows[s] {
+			out[e.To] += p * e.P
+		}
+	}
+	return out
+}
+
+// PointMass returns the distribution concentrated on state s.
+func (m *Matrix) PointMass(s int) []float64 {
+	if s < 0 || s >= m.n {
+		panic("markov: PointMass state out of range")
+	}
+	p := make([]float64, m.n)
+	p[s] = 1
+	return p
+}
+
+// Stationary computes the stationary distribution by power iteration
+// from the uniform distribution, stopping when successive iterates are
+// within tol in total variation or maxIter steps pass. For an ergodic
+// chain this converges to the unique stationary distribution.
+func (m *Matrix) Stationary(tol float64, maxIter int) ([]float64, error) {
+	p := make([]float64, m.n)
+	for i := range p {
+		p[i] = 1 / float64(m.n)
+	}
+	for it := 0; it < maxIter; it++ {
+		q := m.StepDist(p)
+		// Average consecutive iterates to damp period-2 oscillation.
+		for i := range q {
+			q[i] = (q[i] + p[i]) / 2
+		}
+		if TV(p, q) < tol {
+			return q, nil
+		}
+		p = q
+	}
+	return nil, fmt.Errorf("markov: stationary distribution did not converge in %d iterations", maxIter)
+}
+
+// StationaryLinear computes the stationary distribution by Gauss-Seidel
+// sweeps on the balance equations pi = pi P with renormalization — an
+// independent numerical path from Stationary's power iteration, used to
+// cross-validate results.
+func (m *Matrix) StationaryLinear(tol float64, maxIter int) ([]float64, error) {
+	// Build the column-access structure: in[s] = edges INTO s.
+	type inEdge struct {
+		from int
+		p    float64
+	}
+	into := make([][]inEdge, m.n)
+	selfP := make([]float64, m.n)
+	for s := 0; s < m.n; s++ {
+		for _, e := range m.rows[s] {
+			if e.To == s {
+				selfP[s] += e.P
+			} else {
+				into[e.To] = append(into[e.To], inEdge{s, e.P})
+			}
+		}
+	}
+	pi := make([]float64, m.n)
+	for i := range pi {
+		pi[i] = 1 / float64(m.n)
+	}
+	for it := 0; it < maxIter; it++ {
+		maxDelta := 0.0
+		for s := 0; s < m.n; s++ {
+			if selfP[s] >= 1 {
+				continue // absorbing: balance equation degenerate
+			}
+			sum := 0.0
+			for _, e := range into[s] {
+				sum += pi[e.from] * e.p
+			}
+			next := sum / (1 - selfP[s])
+			if d := math.Abs(next - pi[s]); d > maxDelta {
+				maxDelta = d
+			}
+			pi[s] = next
+		}
+		// Renormalize.
+		total := 0.0
+		for _, p := range pi {
+			total += p
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("markov: linear solve lost all mass")
+		}
+		for i := range pi {
+			pi[i] /= total
+		}
+		if maxDelta < tol {
+			return pi, nil
+		}
+	}
+	return nil, fmt.Errorf("markov: linear stationary solve did not converge in %d sweeps", maxIter)
+}
+
+// TV returns the total variation distance between two distributions.
+func TV(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("markov: TV length mismatch")
+	}
+	d := 0.0
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2
+}
+
+// TVCurve returns TV(L(X_t | X_0 = start), pi) for t = 0..maxT.
+func (m *Matrix) TVCurve(start int, pi []float64, maxT int) []float64 {
+	p := m.PointMass(start)
+	out := make([]float64, maxT+1)
+	out[0] = TV(p, pi)
+	for t := 1; t <= maxT; t++ {
+		p = m.StepDist(p)
+		out[t] = TV(p, pi)
+	}
+	return out
+}
+
+// MixingTime returns the exact mixing time tau(eps): the smallest T such
+// that max over start states of TV(L(X_t | X_0), pi) <= eps for all
+// t >= T. The second return is false if some start state had not reached
+// eps by the horizon maxT.
+//
+// The paper's definition quantifies over all later times as well; that
+// clause holds automatically because the variation distance to the
+// stationary distribution is non-increasing along the chain:
+// TV(mu P, pi) = TV(mu P, pi P) <= TV(mu, pi). Each start can therefore
+// stop at its first hitting time of eps, and tau is the maximum of those
+// hitting times.
+func (m *Matrix) MixingTime(pi []float64, eps float64, maxT int) (int, bool) {
+	tau := 0
+	for s := 0; s < m.n; s++ {
+		p := m.PointMass(s)
+		hit := -1
+		for t := 0; t <= maxT; t++ {
+			if t > 0 {
+				p = m.StepDist(p)
+			}
+			if TV(p, pi) <= eps {
+				hit = t
+				break
+			}
+		}
+		if hit < 0 {
+			return maxT, false
+		}
+		if hit > tau {
+			tau = hit
+		}
+	}
+	return tau, true
+}
+
+// IsReversible reports whether the chain satisfies detailed balance
+// with respect to pi within tolerance: pi_s P(s,t) = pi_t P(t,s) for all
+// pairs. The paper's allocation chains are generally NOT reversible
+// (removal and insertion are different mechanisms), which is worth
+// knowing because it rules out spectral shortcuts and motivates the
+// coupling approach; the tests document this.
+func (m *Matrix) IsReversible(pi []float64, tol float64) bool {
+	if len(pi) != m.n {
+		panic("markov: pi length mismatch")
+	}
+	// flow[s][t] via maps to stay sparse.
+	forward := make([]map[int]float64, m.n)
+	for s := 0; s < m.n; s++ {
+		forward[s] = make(map[int]float64, len(m.rows[s]))
+		for _, e := range m.rows[s] {
+			forward[s][e.To] += pi[s] * e.P
+		}
+	}
+	for s := 0; s < m.n; s++ {
+		for t, f := range forward[s] {
+			if diff := f - forward[t][s]; diff > tol || diff < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsErgodic reports whether the chain is irreducible and aperiodic, by
+// checking that some power P^t (t <= horizon) has all entries positive
+// from every start. Sufficient for the small chains used in experiments.
+func (m *Matrix) IsErgodic(horizon int) bool {
+	for s := 0; s < m.n; s++ {
+		p := m.PointMass(s)
+		ok := false
+		for t := 0; t <= horizon && !ok; t++ {
+			if t > 0 {
+				p = m.StepDist(p)
+			}
+			ok = true
+			for _, x := range p {
+				if x <= 0 {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// twoState is the classic two-state chain with flip probabilities a, b.
+type twoState struct{ a, b float64 }
+
+func (c twoState) NumStates() int { return 2 }
+func (c twoState) Transitions(s int) []Edge {
+	if s == 0 {
+		return []Edge{{0, 1 - c.a}, {1, c.a}}
+	}
+	return []Edge{{0, c.b}, {1, 1 - c.b}}
+}
+
+func TestBuildValidates(t *testing.T) {
+	if _, err := Build(twoState{0.3, 0.7}); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	bad := chainFunc{n: 1, f: func(int) []Edge { return []Edge{{0, 0.5}} }}
+	if _, err := Build(bad); err == nil {
+		t.Fatal("sub-stochastic row accepted")
+	}
+	oob := chainFunc{n: 1, f: func(int) []Edge { return []Edge{{3, 1}} }}
+	if _, err := Build(oob); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	neg := chainFunc{n: 1, f: func(int) []Edge { return []Edge{{0, -0.5}, {0, 1.5}} }}
+	if _, err := Build(neg); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+type chainFunc struct {
+	n int
+	f func(int) []Edge
+}
+
+func (c chainFunc) NumStates() int           { return c.n }
+func (c chainFunc) Transitions(s int) []Edge { return c.f(s) }
+
+func TestTwoStateStationary(t *testing.T) {
+	// pi = (b, a)/(a+b).
+	m := MustBuild(twoState{a: 0.2, b: 0.6})
+	pi, err := m.Stationary(1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.75) > 1e-9 || math.Abs(pi[1]-0.25) > 1e-9 {
+		t.Fatalf("stationary = %v, want (0.75, 0.25)", pi)
+	}
+}
+
+func TestStepDistPreservesMass(t *testing.T) {
+	m := MustBuild(twoState{0.3, 0.4})
+	p := m.PointMass(0)
+	for i := 0; i < 50; i++ {
+		p = m.StepDist(p)
+		sum := 0.0
+		for _, x := range p {
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("mass leaked to %v", sum)
+		}
+	}
+}
+
+func TestTV(t *testing.T) {
+	if d := TV([]float64{1, 0}, []float64{0, 1}); d != 1 {
+		t.Fatalf("TV = %v", d)
+	}
+	if d := TV([]float64{0.5, 0.5}, []float64{0.5, 0.5}); d != 0 {
+		t.Fatalf("TV = %v", d)
+	}
+}
+
+func TestTVCurveDecreases(t *testing.T) {
+	m := MustBuild(twoState{0.3, 0.4})
+	pi, _ := m.Stationary(1e-12, 100000)
+	curve := m.TVCurve(0, pi, 40)
+	if curve[0] <= curve[39] {
+		t.Fatalf("TV did not decrease: %v ... %v", curve[0], curve[39])
+	}
+	if curve[39] > 1e-3 {
+		t.Fatalf("two-state chain far from mixed after 40 steps: %v", curve[39])
+	}
+}
+
+func TestMixingTimeTwoState(t *testing.T) {
+	// Symmetric chain with flip prob 0.5 mixes in one step exactly.
+	m := MustBuild(twoState{0.5, 0.5})
+	pi, _ := m.Stationary(1e-12, 10000)
+	tau, ok := m.MixingTime(pi, 0.01, 100)
+	if !ok || tau != 1 {
+		t.Fatalf("mixing time = %d (ok=%v), want 1", tau, ok)
+	}
+}
+
+func TestMixingTimeMonotoneInEps(t *testing.T) {
+	m := MustBuild(twoState{0.1, 0.15})
+	pi, _ := m.Stationary(1e-12, 100000)
+	t1, ok1 := m.MixingTime(pi, 0.25, 1000)
+	t2, ok2 := m.MixingTime(pi, 0.01, 1000)
+	if !ok1 || !ok2 {
+		t.Fatal("mixing time did not resolve")
+	}
+	if t1 > t2 {
+		t.Fatalf("tau(0.25)=%d > tau(0.01)=%d", t1, t2)
+	}
+}
+
+func TestMixingTimeHorizonExceeded(t *testing.T) {
+	// Nearly-reducible chain mixes very slowly.
+	m := MustBuild(twoState{1e-9, 1e-9})
+	pi := []float64{0.5, 0.5}
+	if _, ok := m.MixingTime(pi, 0.01, 10); ok {
+		t.Fatal("horizon should have been exceeded")
+	}
+}
+
+func TestIsErgodic(t *testing.T) {
+	if !MustBuild(twoState{0.3, 0.3}).IsErgodic(50) {
+		t.Fatal("ergodic chain reported non-ergodic")
+	}
+	// Periodic deterministic 2-cycle: never all-positive.
+	cycle := chainFunc{n: 2, f: func(s int) []Edge { return []Edge{{1 - s, 1}} }}
+	if MustBuild(cycle).IsErgodic(50) {
+		t.Fatal("periodic chain reported ergodic")
+	}
+	// Reducible: two absorbing states.
+	red := chainFunc{n: 2, f: func(s int) []Edge { return []Edge{{s, 1}} }}
+	if MustBuild(red).IsErgodic(50) {
+		t.Fatal("reducible chain reported ergodic")
+	}
+}
+
+// TestStationaryLinearMatchesPower: the two independent stationary
+// solvers agree on allocation chains.
+func TestStationaryLinearMatchesPower(t *testing.T) {
+	m := MustBuild(twoState{a: 0.2, b: 0.6})
+	p1, err := m.Stationary(1e-13, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.StationaryLinear(1e-13, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TV(p1, p2) > 1e-9 {
+		t.Fatalf("solvers disagree: TV = %v", TV(p1, p2))
+	}
+}
+
+func TestStationaryLinearFailsWithoutConvergence(t *testing.T) {
+	// Asymmetric chain: the uniform start is NOT stationary, so a single
+	// sweep cannot reach machine-precision balance.
+	m := MustBuild(twoState{0.1, 0.5})
+	if _, err := m.StationaryLinear(1e-15, 1); err == nil {
+		t.Fatal("one sweep should not converge to 1e-15")
+	}
+}
+
+func TestLazyCycleStationaryUniform(t *testing.T) {
+	// Lazy random walk on a 5-cycle: stationary distribution is uniform.
+	const n = 5
+	walk := chainFunc{n: n, f: func(s int) []Edge {
+		return []Edge{{s, 0.5}, {(s + 1) % n, 0.25}, {(s + n - 1) % n, 0.25}}
+	}}
+	m := MustBuild(walk)
+	pi, err := m.Stationary(1e-13, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range pi {
+		if math.Abs(x-0.2) > 1e-9 {
+			t.Fatalf("stationary = %v, want uniform", pi)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package markov
+
+import (
+	"testing"
+
+	"dynalloc/internal/process"
+	"dynalloc/internal/rules"
+)
+
+func TestIsReversibleLazyWalk(t *testing.T) {
+	// Lazy walk on a cycle is reversible wrt the uniform distribution.
+	const n = 5
+	walk := chainFunc{n: n, f: func(s int) []Edge {
+		return []Edge{{s, 0.5}, {(s + 1) % n, 0.25}, {(s + n - 1) % n, 0.25}}
+	}}
+	m := MustBuild(walk)
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1.0 / n
+	}
+	if !m.IsReversible(pi, 1e-12) {
+		t.Fatal("lazy cycle walk should be reversible")
+	}
+}
+
+func TestIsReversibleDetectsIrreversibility(t *testing.T) {
+	// Biased cycle walk: uniform stationary but net circulation.
+	const n = 4
+	walk := chainFunc{n: n, f: func(s int) []Edge {
+		return []Edge{{(s + 1) % n, 0.75}, {(s + n - 1) % n, 0.25}}
+	}}
+	m := MustBuild(walk)
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1.0 / n
+	}
+	if m.IsReversible(pi, 1e-12) {
+		t.Fatal("biased cycle walk is not reversible")
+	}
+}
+
+// TestAllocationChainsNotReversible documents a structural fact: the
+// paper's allocation chains fail detailed balance, so spectral
+// (reversible-chain) machinery does not apply and coupling is the right
+// tool — the methodological point of the paper.
+func TestAllocationChainsNotReversible(t *testing.T) {
+	for _, sc := range []process.Scenario{process.ScenarioA, process.ScenarioB} {
+		c := NewAllocChain(sc, rules.NewABKU(2), 4, 6)
+		m := MustBuild(c)
+		pi, err := m.Stationary(1e-12, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.IsReversible(pi, 1e-9) {
+			t.Fatalf("I_%s-ABKU[2] unexpectedly reversible", sc)
+		}
+	}
+}
+
+func TestIsReversiblePanicsOnBadPi(t *testing.T) {
+	m := MustBuild(twoState{0.5, 0.5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.IsReversible([]float64{1}, 1e-9)
+}

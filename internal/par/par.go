@@ -1,0 +1,86 @@
+// Package par provides the small deterministic-parallelism substrate the
+// experiment harness runs on: a bounded worker pool over an index space.
+//
+// Every experiment trial draws its randomness from a stream derived from
+// (seed, trial index), so trials are independent and the work is
+// embarrassingly parallel; results are written into per-index slots and
+// reduced in index order afterwards, which keeps every table bit-for-bit
+// reproducible regardless of the worker count.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), distributing indices over a
+// pool of `workers` goroutines (runtime.NumCPU() when workers <= 0).
+// It returns after all calls complete. If any fn panics, ForEach panics
+// in the caller's goroutine with the first captured panic value (wrapped
+// to note its origin); remaining indices may be skipped.
+func ForEach(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || panicked.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if !panicked.Load() {
+								panicVal = r
+								panicked.Store(true)
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(fmt.Sprintf("par: worker panicked: %v", panicVal))
+	}
+}
+
+// Map runs fn over [0, n) in parallel and returns the results in index
+// order. Determinism: out[i] depends only on fn(i).
+func Map[T any](n, workers int, fn func(int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,94 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for non-positive n")
+	}
+}
+
+func TestForEachMoreWorkersThanWork(t *testing.T) {
+	var count atomic.Int32
+	ForEach(3, 100, func(int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestForEachPanicsPropagate(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("wrong panic payload: %v", r)
+		}
+	}()
+	ForEach(100, 4, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachSequentialPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sequential path swallowed panic")
+		}
+	}()
+	ForEach(5, 1, func(i int) {
+		if i == 2 {
+			panic("boom")
+		}
+	})
+}
+
+func TestMapDeterministicOrder(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out := Map(100, workers, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapParallelMatchesSequential(t *testing.T) {
+	seq := Map(257, 1, func(i int) float64 { return float64(i) / 3 })
+	parl := Map(257, 16, func(i int) float64 { return float64(i) / 3 })
+	for i := range seq {
+		if seq[i] != parl[i] {
+			t.Fatalf("index %d differs", i)
+		}
+	}
+}
+
+func BenchmarkForEachOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ForEach(64, 8, func(int) {})
+	}
+}

@@ -1,0 +1,90 @@
+package process
+
+import (
+	"fmt"
+
+	"dynalloc/internal/dist"
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// BoundedOpen is the first class of open systems in Section 7: the
+// number of balls varies but is "bounded all the time". Each step flips
+// a fair coin; heads removes a uniformly random ball (a no-op on an
+// empty system), tails inserts a ball with the scheduling rule (a no-op
+// when the system already holds MaxBalls). Unlike the unbounded open
+// process, this chain has a finite state space (the union of Omega_m for
+// m = 0..MaxBalls) and is ergodic, so its recovery time is again a
+// mixing time — the refinement the paper says its approach extends to.
+type BoundedOpen struct {
+	rule     rules.Rule
+	maxBalls int
+	v        loadvec.Vector
+	tree     *dist.Tree
+	r        *rng.RNG
+	steps    int64
+}
+
+// NewBoundedOpen returns a bounded open process from initial (copied).
+// It panics if the initial state already exceeds maxBalls.
+func NewBoundedOpen(rule rules.Rule, initial loadvec.Vector, maxBalls int, r *rng.RNG) *BoundedOpen {
+	if maxBalls < 1 {
+		panic("process: bounded open process needs maxBalls >= 1")
+	}
+	if initial.Total() > maxBalls {
+		panic("process: initial state exceeds the ball bound")
+	}
+	if !initial.IsNormalized() {
+		panic("process: initial state must be normalized")
+	}
+	v := initial.Clone()
+	return &BoundedOpen{rule: rule, maxBalls: maxBalls, v: v, tree: dist.NewTree(v.N(), v), r: r}
+}
+
+// Name identifies the process in tables.
+func (b *BoundedOpen) Name() string {
+	return fmt.Sprintf("BoundedOpen[%d]-%s", b.maxBalls, b.rule.Name())
+}
+
+// N returns the number of bins.
+func (b *BoundedOpen) N() int { return b.v.N() }
+
+// M returns the current number of balls.
+func (b *BoundedOpen) M() int { return b.tree.Total() }
+
+// MaxBalls returns the ball bound.
+func (b *BoundedOpen) MaxBalls() int { return b.maxBalls }
+
+// Steps returns the number of executed steps.
+func (b *BoundedOpen) Steps() int64 { return b.steps }
+
+// State returns a copy of the current load vector.
+func (b *BoundedOpen) State() loadvec.Vector { return b.v.Clone() }
+
+// Peek returns the live vector (do not modify).
+func (b *BoundedOpen) Peek() loadvec.Vector { return b.v }
+
+// Step executes one bounded-open step.
+func (b *BoundedOpen) Step() {
+	if b.r.Bool() {
+		if b.tree.Total() > 0 {
+			i := b.tree.Sample(b.r)
+			slot := b.v.Remove(i)
+			b.tree.Add(slot, -1)
+		}
+	} else if b.tree.Total() < b.maxBalls {
+		s := rules.NewSample(b.v.N(), b.r)
+		j := b.rule.Choose(b.v, s)
+		slot := b.v.Add(j)
+		b.tree.Add(slot, 1)
+	}
+	b.steps++
+}
+
+// Run executes k steps.
+func (b *BoundedOpen) Run(k int) {
+	for i := 0; i < k; i++ {
+		b.Step()
+	}
+}

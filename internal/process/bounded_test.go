@@ -1,0 +1,108 @@
+package process
+
+import (
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+func TestBoundedOpenBasics(t *testing.T) {
+	r := rng.New(1)
+	b := NewBoundedOpen(rules.NewABKU(2), loadvec.New(4), 6, r)
+	if b.N() != 4 || b.M() != 0 || b.MaxBalls() != 6 {
+		t.Fatalf("fresh bounded open wrong: N=%d M=%d Max=%d", b.N(), b.M(), b.MaxBalls())
+	}
+	b.Run(5000)
+	if b.Steps() != 5000 {
+		t.Fatalf("Steps = %d", b.Steps())
+	}
+	if b.M() < 0 || b.M() > 6 {
+		t.Fatalf("ball bound violated: %d", b.M())
+	}
+	s := b.State()
+	s[0] = 99
+	if b.Peek()[0] == 99 {
+		t.Fatal("State aliased the live vector")
+	}
+	if b.Name() != "BoundedOpen[6]-ABKU[2]" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+}
+
+func TestBoundedOpenHitsBothBoundaries(t *testing.T) {
+	r := rng.New(2)
+	b := NewBoundedOpen(rules.NewUniform(), loadvec.New(2), 3, r)
+	sawEmpty, sawFull := false, false
+	for i := 0; i < 20000 && !(sawEmpty && sawFull); i++ {
+		b.Step()
+		switch b.M() {
+		case 0:
+			sawEmpty = true
+		case 3:
+			sawFull = true
+		}
+	}
+	if !sawEmpty || !sawFull {
+		t.Fatalf("walk did not reach both boundaries (empty=%v full=%v)", sawEmpty, sawFull)
+	}
+}
+
+func TestBoundedOpenPanicsLocal(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBoundedOpen(rules.NewUniform(), loadvec.New(2), 0, rng.New(1)) },
+		func() { NewBoundedOpen(rules.NewUniform(), loadvec.OneTower(2, 5), 4, rng.New(1)) },
+		func() { NewBoundedOpen(rules.NewUniform(), loadvec.Vector{0, 1}, 4, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOpenAccessors(t *testing.T) {
+	o := NewOpen(rules.NewABKU(2), loadvec.New(3), rng.New(3))
+	if o.N() != 3 {
+		t.Fatalf("N = %d", o.N())
+	}
+	o.Run(100)
+	if o.Steps() != 100 {
+		t.Fatalf("Steps = %d", o.Steps())
+	}
+	s := o.State()
+	if !s.IsNormalized() {
+		t.Fatal("State not normalized")
+	}
+}
+
+func TestOpenPanicsOnUnnormalized(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewOpen(rules.NewUniform(), loadvec.Vector{0, 1}, rng.New(1))
+}
+
+func TestRelocatingRun(t *testing.T) {
+	rp := NewRelocating(ScenarioA, rules.NewABKU(2), loadvec.Balanced(4, 8), 0.5, rng.New(4))
+	rp.Run(500)
+	if rp.Peek().Total() != 8 {
+		t.Fatal("relocating Run changed ball count")
+	}
+}
+
+func TestScenarioStringUnknown(t *testing.T) {
+	if Scenario(9).String() != "Scenario(9)" {
+		t.Fatalf("unknown scenario string = %q", Scenario(9).String())
+	}
+	if ScenarioA.String() != "A" || ScenarioB.String() != "B" {
+		t.Fatal("scenario names wrong")
+	}
+}

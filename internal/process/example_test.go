@@ -1,0 +1,23 @@
+package process_test
+
+import (
+	"fmt"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// A closed process removes one ball and inserts one per phase; the
+// number of balls is invariant and the state recovers from any start.
+func ExampleProcess() {
+	p := process.New(process.ScenarioA, rules.NewABKU(2), loadvec.OneTower(8, 8), rng.New(1))
+	fmt.Println(p.Name(), "starts with max load", p.MaxLoad())
+	// The number of steps is random; Theorem 1 bounds it by ~m ln m.
+	_, ok := p.RecoveryTime(1, 1_000_000)
+	fmt.Println("recovered:", ok, "— balls still:", p.M())
+	// Output:
+	// I_A-ABKU[2] starts with max load 8
+	// recovered: true — balls still: 8
+}

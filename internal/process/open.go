@@ -1,0 +1,136 @@
+package process
+
+import (
+	"fmt"
+
+	"dynalloc/internal/dist"
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// Open is an open dynamic allocation process (Section 7): the number of
+// balls varies over time. Each step flips a fair coin; heads removes a
+// ball chosen i.u.r. among the existing balls (a no-op on an empty
+// system), tails inserts a new ball with the scheduling rule. With the
+// Uniform rule this is exactly the example process of the paper's
+// conclusions; with ABKU[d]/ADAP(x) it is the d-choice open variant.
+type Open struct {
+	rule  rules.Rule
+	v     loadvec.Vector
+	tree  *dist.Tree
+	r     *rng.RNG
+	steps int64
+}
+
+// NewOpen returns an open process starting from initial (copied).
+func NewOpen(rule rules.Rule, initial loadvec.Vector, r *rng.RNG) *Open {
+	if !initial.IsNormalized() {
+		panic("process: initial state must be normalized")
+	}
+	v := initial.Clone()
+	return &Open{rule: rule, v: v, tree: dist.NewTree(v.N(), v), r: r}
+}
+
+// Name identifies the process in tables.
+func (o *Open) Name() string { return fmt.Sprintf("Open-%s", o.rule.Name()) }
+
+// N returns the number of bins.
+func (o *Open) N() int { return o.v.N() }
+
+// M returns the current number of balls.
+func (o *Open) M() int { return o.tree.Total() }
+
+// Steps returns the number of executed steps.
+func (o *Open) Steps() int64 { return o.steps }
+
+// State returns a copy of the current load vector.
+func (o *Open) State() loadvec.Vector { return o.v.Clone() }
+
+// Step executes one open-process step.
+func (o *Open) Step() {
+	if o.r.Bool() {
+		// Remove a uniform ball, if any.
+		if o.tree.Total() > 0 {
+			i := o.tree.Sample(o.r)
+			slot := o.v.Remove(i)
+			o.tree.Add(slot, -1)
+		}
+	} else {
+		s := rules.NewSample(o.v.N(), o.r)
+		j := o.rule.Choose(o.v, s)
+		slot := o.v.Add(j)
+		o.tree.Add(slot, 1)
+	}
+	o.steps++
+}
+
+// Run executes k steps.
+func (o *Open) Run(k int) {
+	for i := 0; i < k; i++ {
+		o.Step()
+	}
+}
+
+// Relocating is a closed process with limited relocation (Section 7):
+// every phase performs the usual remove-then-insert, and additionally,
+// with probability relocProb, relocates one ball — it removes a ball
+// chosen i.u.r. and re-inserts it with the scheduling rule. The paper
+// defers the analysis of relocation to its full version; this
+// instantiation ("one uniformly chosen ball may be rescheduled per
+// phase") is the natural minimal form and is what E12 measures.
+type Relocating struct {
+	*Process
+	relocProb float64
+}
+
+// NewRelocating wraps a closed process with relocation probability p.
+func NewRelocating(scenario Scenario, rule rules.Rule, initial loadvec.Vector, relocProb float64, r *rng.RNG) *Relocating {
+	if relocProb < 0 || relocProb > 1 {
+		panic("process: relocation probability out of [0,1]")
+	}
+	return &Relocating{Process: New(scenario, rule, initial, r), relocProb: relocProb}
+}
+
+// Name identifies the process in tables.
+func (rp *Relocating) Name() string {
+	return fmt.Sprintf("%s+reloc(%.2f)", rp.Process.Name(), rp.relocProb)
+}
+
+// Step executes one phase plus the optional relocation move.
+func (rp *Relocating) Step() {
+	rp.Process.Step()
+	if rp.r.Bernoulli(rp.relocProb) {
+		// Relocate: uniform ball out, rule choice back in.
+		i := rp.tree.Sample(rp.r)
+		slot := rp.v.Remove(i)
+		rp.tree.Add(slot, -1)
+		s := rules.NewSample(rp.v.N(), rp.r)
+		j := rp.rule.Choose(rp.v, s)
+		slot = rp.v.Add(j)
+		rp.tree.Add(slot, 1)
+	}
+}
+
+// Run executes k phases (with their relocation moves).
+func (rp *Relocating) Run(k int) {
+	for i := 0; i < k; i++ {
+		rp.Step()
+	}
+}
+
+// RunUntil steps the relocating process until pred(state) holds or
+// maxSteps phases elapse. (It must be redefined here: the embedded
+// Process.RunUntil would call Process.Step and skip relocation.)
+func (rp *Relocating) RunUntil(pred func(loadvec.Vector) bool, maxSteps int64) (int64, bool) {
+	if pred(rp.v) {
+		return 0, true
+	}
+	for t := int64(1); t <= maxSteps; t++ {
+		rp.Step()
+		if pred(rp.v) {
+			return t, true
+		}
+	}
+	return maxSteps, false
+}

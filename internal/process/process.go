@@ -1,0 +1,168 @@
+// Package process implements the dynamic allocation processes of
+// Section 2 of the paper as step-by-step simulators.
+//
+// A closed process keeps exactly m balls in n bins. Each step is a
+// "phase" (Section 3.3): remove one ball, then place a new ball with the
+// scheduling rule.
+//
+//	Scenario A: the removed ball is chosen i.u.r. among the m balls,
+//	            i.e. its bin position is drawn from A(v)  (protocol I_A).
+//	Scenario B: the removed ball comes from a nonempty bin chosen
+//	            i.u.r., i.e. the position is drawn from B(v) (protocol I_B).
+//
+// Combining Scenario A with ABKU[d] gives I_A-ABKU[d], etc. The package
+// also implements the open processes and the limited-relocation processes
+// sketched in Section 7.
+//
+// Scenario A removal needs a weighted draw over positions; the simulator
+// keeps a Fenwick tree mirror of the load vector so every step costs
+// O(log n + probes) rather than O(n).
+package process
+
+import (
+	"fmt"
+
+	"dynalloc/internal/dist"
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// Scenario selects the removal half of a phase.
+type Scenario int
+
+const (
+	// ScenarioA removes a ball chosen uniformly among all balls.
+	ScenarioA Scenario = iota
+	// ScenarioB removes one ball from a uniformly chosen nonempty bin.
+	ScenarioB
+)
+
+// String names the scenario as in the paper.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioA:
+		return "A"
+	case ScenarioB:
+		return "B"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Process is a closed dynamic allocation process: an ergodic Markov chain
+// on Omega_m whose transitions are remove-then-insert phases.
+type Process struct {
+	scenario Scenario
+	rule     rules.Rule
+	v        loadvec.Vector
+	tree     *dist.Tree // mirrors v; weighted removal draws for Scenario A
+	r        *rng.RNG
+	steps    int64
+}
+
+// New returns a process with the given removal scenario, scheduling rule
+// and initial state. The initial vector is copied. It panics if the
+// initial state has no balls (a closed process needs m >= 1).
+func New(scenario Scenario, rule rules.Rule, initial loadvec.Vector, r *rng.RNG) *Process {
+	if initial.Total() < 1 {
+		panic("process: closed process needs at least one ball")
+	}
+	if !initial.IsNormalized() {
+		panic("process: initial state must be normalized")
+	}
+	v := initial.Clone()
+	return &Process{
+		scenario: scenario,
+		rule:     rule,
+		v:        v,
+		tree:     dist.NewTree(v.N(), v),
+		r:        r,
+	}
+}
+
+// Name renders e.g. "I_A-ABKU[2]" as the paper writes it.
+func (p *Process) Name() string {
+	return fmt.Sprintf("I_%s-%s", p.scenario, p.rule.Name())
+}
+
+// N returns the number of bins.
+func (p *Process) N() int { return p.v.N() }
+
+// M returns the (constant) number of balls.
+func (p *Process) M() int { return p.tree.Total() }
+
+// Steps returns how many phases have been executed.
+func (p *Process) Steps() int64 { return p.steps }
+
+// State returns a copy of the current load vector.
+func (p *Process) State() loadvec.Vector { return p.v.Clone() }
+
+// Peek returns the live load vector without copying. The caller must not
+// modify it; it is invalidated by the next Step. Used by hot measurement
+// loops.
+func (p *Process) Peek() loadvec.Vector { return p.v }
+
+// MaxLoad returns the current maximum bin load.
+func (p *Process) MaxLoad() int { return p.v.MaxLoad() }
+
+// Gap returns the current imbalance (max load above fair share).
+func (p *Process) Gap() int { return p.v.Gap() }
+
+// removePos draws the removal position for the current state.
+func (p *Process) removePos() int {
+	switch p.scenario {
+	case ScenarioA:
+		return p.tree.Sample(p.r)
+	case ScenarioB:
+		return dist.SampleNonEmpty(p.v, p.r)
+	default:
+		panic("process: unknown scenario")
+	}
+}
+
+// Step executes one phase: remove one ball per the scenario, then place a
+// new ball with the scheduling rule.
+func (p *Process) Step() {
+	i := p.removePos()
+	slot := p.v.Remove(i)
+	p.tree.Add(slot, -1)
+
+	s := rules.NewSample(p.v.N(), p.r)
+	j := p.rule.Choose(p.v, s)
+	slot = p.v.Add(j)
+	p.tree.Add(slot, 1)
+	p.steps++
+}
+
+// Run executes k phases.
+func (p *Process) Run(k int) {
+	for i := 0; i < k; i++ {
+		p.Step()
+	}
+}
+
+// RunUntil steps the process until pred(state) holds or maxSteps phases
+// elapse, and returns the number of phases executed and whether pred was
+// reached. pred sees the live vector and must not modify or retain it.
+func (p *Process) RunUntil(pred func(loadvec.Vector) bool, maxSteps int64) (int64, bool) {
+	if pred(p.v) {
+		return 0, true
+	}
+	for t := int64(1); t <= maxSteps; t++ {
+		p.Step()
+		if pred(p.v) {
+			return t, true
+		}
+	}
+	return maxSteps, false
+}
+
+// RecoveryTime runs until the imbalance drops to at most gapTarget and
+// returns the number of phases needed. This is the operational "recovery
+// from an arbitrarily bad state" of the paper's introduction: the time to
+// reach a typical maximum load. Returns (steps, false) if maxSteps passes
+// first.
+func (p *Process) RecoveryTime(gapTarget int, maxSteps int64) (int64, bool) {
+	return p.RunUntil(func(v loadvec.Vector) bool { return v.Gap() <= gapTarget }, maxSteps)
+}

@@ -1,0 +1,235 @@
+package process
+
+import (
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+func TestClosedInvariants(t *testing.T) {
+	r := rng.New(1)
+	for _, sc := range []Scenario{ScenarioA, ScenarioB} {
+		for _, rule := range []rules.Rule{rules.NewUniform(), rules.NewABKU(2), rules.MinLoad{}} {
+			p := New(sc, rule, loadvec.OneTower(8, 16), r)
+			for step := 0; step < 2000; step++ {
+				p.Step()
+				v := p.Peek()
+				if !v.IsNormalized() {
+					t.Fatalf("%s step %d: state not normalized: %v", p.Name(), step, v)
+				}
+				if v.Total() != 16 {
+					t.Fatalf("%s step %d: ball count drifted to %d", p.Name(), step, v.Total())
+				}
+			}
+			if p.Steps() != 2000 {
+				t.Fatalf("Steps = %d", p.Steps())
+			}
+			if p.M() != 16 || p.N() != 8 {
+				t.Fatalf("M/N wrong: %d/%d", p.M(), p.N())
+			}
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	r := rng.New(2)
+	p := New(ScenarioA, rules.NewABKU(2), loadvec.Balanced(4, 8), r)
+	if p.Name() != "I_A-ABKU[2]" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	q := New(ScenarioB, rules.NewUniform(), loadvec.Balanced(4, 8), r)
+	if q.Name() != "I_B-Uniform" {
+		t.Fatalf("Name = %q", q.Name())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(ScenarioA, rules.NewUniform(), loadvec.New(4), rng.New(1)) },
+		func() { New(ScenarioA, rules.NewUniform(), loadvec.Vector{1, 2}, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStateIsCopy(t *testing.T) {
+	p := New(ScenarioA, rules.NewUniform(), loadvec.Balanced(4, 8), rng.New(3))
+	s := p.State()
+	s[0] = 99
+	if p.Peek()[0] == 99 {
+		t.Fatal("State aliased the live vector")
+	}
+}
+
+// TestMinLoadConverges: with the omniscient rule and Scenario A, the
+// one-tower state must flatten; after many steps the gap is small.
+func TestMinLoadConverges(t *testing.T) {
+	p := New(ScenarioA, rules.MinLoad{}, loadvec.OneTower(10, 10), rng.New(4))
+	p.Run(2000)
+	if g := p.Gap(); g > 1 {
+		t.Fatalf("MinLoad gap still %d after 2000 steps: %v", g, p.Peek())
+	}
+}
+
+func TestRecoveryTime(t *testing.T) {
+	p := New(ScenarioA, rules.NewABKU(2), loadvec.OneTower(8, 8), rng.New(5))
+	steps, ok := p.RecoveryTime(2, 100000)
+	if !ok {
+		t.Fatalf("recovery did not happen within 100000 steps (gap=%d)", p.Gap())
+	}
+	if steps <= 0 {
+		t.Fatalf("recovery reported %d steps from a bad start", steps)
+	}
+}
+
+func TestRunUntilImmediate(t *testing.T) {
+	p := New(ScenarioA, rules.NewABKU(2), loadvec.Balanced(8, 8), rng.New(6))
+	steps, ok := p.RunUntil(func(v loadvec.Vector) bool { return v.Gap() <= 1 }, 10)
+	if !ok || steps != 0 {
+		t.Fatalf("RunUntil on satisfied predicate = (%d, %v)", steps, ok)
+	}
+}
+
+func TestRunUntilTimeout(t *testing.T) {
+	p := New(ScenarioA, rules.NewUniform(), loadvec.OneTower(4, 8), rng.New(7))
+	steps, ok := p.RunUntil(func(loadvec.Vector) bool { return false }, 50)
+	if ok || steps != 50 {
+		t.Fatalf("RunUntil timeout = (%d, %v)", steps, ok)
+	}
+}
+
+// TestScenarioBRemovesUniformBins: under Scenario B with the MinLoad
+// rule, a state with one huge tower and one small bin must lose tower
+// balls at roughly the same rate as small-bin balls.
+func TestScenarioBStepsWork(t *testing.T) {
+	p := New(ScenarioB, rules.NewABKU(2), loadvec.OneTower(6, 12), rng.New(8))
+	p.Run(3000)
+	if p.Peek().Total() != 12 {
+		t.Fatal("Scenario B leaked balls")
+	}
+	if g := p.Gap(); g > 4 {
+		t.Fatalf("Scenario B with ABKU[2] still badly unbalanced: gap %d", g)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() loadvec.Vector {
+		p := New(ScenarioA, rules.NewABKU(2), loadvec.Staircase(8, 20), rng.New(99))
+		p.Run(500)
+		return p.State()
+	}
+	if !run().Equal(run()) {
+		t.Fatal("same seed produced different trajectories")
+	}
+}
+
+func TestOpenProcess(t *testing.T) {
+	o := NewOpen(rules.NewABKU(2), loadvec.New(8), rng.New(9))
+	if o.M() != 0 {
+		t.Fatal("open process should start empty")
+	}
+	for i := 0; i < 5000; i++ {
+		o.Step()
+		if !o.v.IsNormalized() {
+			t.Fatalf("open process denormalized at step %d", i)
+		}
+		if o.M() < 0 {
+			t.Fatalf("negative ball count at step %d", i)
+		}
+	}
+	if o.Steps() != 5000 {
+		t.Fatalf("Steps = %d", o.Steps())
+	}
+	if o.Name() != "Open-ABKU[2]" {
+		t.Fatalf("Name = %q", o.Name())
+	}
+	// The birth-death chain on M is symmetric random walk reflected at 0;
+	// after 5000 steps M is a.s. finite and small relative to steps.
+	if o.M() > 5000 {
+		t.Fatal("ball count exceeds steps — impossible")
+	}
+}
+
+// TestOpenMatchesPaperExample: with the Uniform rule this is exactly the
+// conclusions' example; check that removal on empty is a tolerated no-op.
+func TestOpenEmptyRemovalNoop(t *testing.T) {
+	o := NewOpen(rules.NewUniform(), loadvec.New(2), rng.New(10))
+	for i := 0; i < 200; i++ {
+		o.Step()
+	}
+	if o.M() < 0 {
+		t.Fatal("ball count went negative")
+	}
+}
+
+func TestRelocatingInvariants(t *testing.T) {
+	rp := NewRelocating(ScenarioA, rules.NewABKU(2), loadvec.OneTower(8, 16), 0.5, rng.New(11))
+	for i := 0; i < 2000; i++ {
+		rp.Step()
+		if rp.Peek().Total() != 16 {
+			t.Fatalf("relocation changed ball count at step %d", i)
+		}
+		if !rp.Peek().IsNormalized() {
+			t.Fatalf("relocation denormalized at step %d", i)
+		}
+	}
+	if got := rp.Name(); got != "I_A-ABKU[2]+reloc(0.50)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+// TestRelocationSpeedsRecovery: relocation strictly adds rebalancing
+// moves, so from a one-tower start the relocating process should recover
+// at least as fast on average.
+func TestRelocationSpeedsRecovery(t *testing.T) {
+	const trials = 30
+	var base, reloc int64
+	for trial := 0; trial < trials; trial++ {
+		p := New(ScenarioA, rules.NewABKU(2), loadvec.OneTower(8, 16), rng.NewStream(500, uint64(trial)))
+		s1, ok1 := p.RecoveryTime(1, 1_000_000)
+		rp := NewRelocating(ScenarioA, rules.NewABKU(2), loadvec.OneTower(8, 16), 1.0, rng.NewStream(501, uint64(trial)))
+		s2, ok2 := rp.RunUntil(func(v loadvec.Vector) bool { return v.Gap() <= 1 }, 1_000_000)
+		if !ok1 || !ok2 {
+			t.Fatal("recovery timed out")
+		}
+		base += s1
+		reloc += s2
+	}
+	if reloc > base*2 {
+		t.Fatalf("relocation slowed recovery dramatically: %d vs %d", reloc, base)
+	}
+}
+
+func TestRelocatingPanicsOnBadProb(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRelocating(ScenarioA, rules.NewUniform(), loadvec.Balanced(2, 2), 1.5, rng.New(1))
+}
+
+func BenchmarkScenarioAStep(b *testing.B) {
+	p := New(ScenarioA, rules.NewABKU(2), loadvec.Balanced(1024, 1024), rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func BenchmarkScenarioBStep(b *testing.B) {
+	p := New(ScenarioB, rules.NewABKU(2), loadvec.Balanced(1024, 1024), rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}

@@ -1,0 +1,128 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// A small statistical battery for the generator. These are sanity
+// checks with generous thresholds, not a PRNG certification; xoshiro256**
+// passes far stricter suites upstream.
+
+func TestBitBalance(t *testing.T) {
+	r := New(1001)
+	const draws = 100000
+	ones := make([]int, 64)
+	for i := 0; i < draws; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<b) != 0 {
+				ones[b]++
+			}
+		}
+	}
+	for b, c := range ones {
+		dev := math.Abs(float64(c)-draws/2) / math.Sqrt(draws/4)
+		if dev > 5 {
+			t.Fatalf("bit %d set %d/%d times (%.1f sigma)", b, c, draws, dev)
+		}
+	}
+}
+
+func TestSerialCorrelation(t *testing.T) {
+	r := New(1002)
+	const draws = 200000
+	var prev float64
+	var sx, sxx, sxy float64
+	first := true
+	for i := 0; i < draws; i++ {
+		x := r.Float64()
+		sx += x
+		sxx += x * x
+		if !first {
+			sxy += prev * x
+		}
+		prev = x
+		first = false
+	}
+	n := float64(draws)
+	mean := sx / n
+	variance := sxx/n - mean*mean
+	cov := sxy/(n-1) - mean*mean
+	corr := cov / variance
+	if math.Abs(corr) > 0.01 {
+		t.Fatalf("lag-1 correlation %.5f", corr)
+	}
+}
+
+func TestRunsTest(t *testing.T) {
+	// Count runs above/below the median of a uniform stream; for iid
+	// data the run count is ~ n/2 +- O(sqrt n).
+	r := New(1003)
+	const draws = 100000
+	runs := 1
+	prevAbove := r.Float64() >= 0.5
+	above := 0
+	if prevAbove {
+		above++
+	}
+	for i := 1; i < draws; i++ {
+		cur := r.Float64() >= 0.5
+		if cur {
+			above++
+		}
+		if cur != prevAbove {
+			runs++
+		}
+		prevAbove = cur
+	}
+	expect := float64(draws)/2 + 1
+	dev := math.Abs(float64(runs)-expect) / math.Sqrt(float64(draws)/4)
+	if dev > 5 {
+		t.Fatalf("runs = %d, expect ~%.0f (%.1f sigma); above = %d", runs, expect, dev, above)
+	}
+}
+
+func TestGapTestSmallBucket(t *testing.T) {
+	// Gaps between hits of a p = 1/16 event are geometric with mean 16.
+	r := New(1004)
+	const hitsWanted = 20000
+	hits := 0
+	gaps := 0
+	gapSum := 0
+	cur := 0
+	for hits < hitsWanted {
+		if r.Intn(16) == 0 {
+			hits++
+			gaps++
+			gapSum += cur
+			cur = 0
+		} else {
+			cur++
+		}
+	}
+	mean := float64(gapSum) / float64(gaps)
+	// Geometric(1/16) failures-before-success mean is 15.
+	if math.Abs(mean-15) > 0.5 {
+		t.Fatalf("gap mean %.3f, want ~15", mean)
+	}
+}
+
+func TestStreamCrossCorrelation(t *testing.T) {
+	a := NewStream(1005, 0)
+	b := NewStream(1005, 1)
+	const draws = 200000
+	var sxy, sx, sy float64
+	for i := 0; i < draws; i++ {
+		x := a.Float64()
+		y := b.Float64()
+		sx += x
+		sy += y
+		sxy += x * y
+	}
+	n := float64(draws)
+	corr := (sxy/n - (sx/n)*(sy/n)) / (1.0 / 12)
+	if math.Abs(corr) > 0.01 {
+		t.Fatalf("cross-stream correlation %.5f", corr)
+	}
+}

@@ -1,0 +1,208 @@
+// Package rng provides the deterministic pseudo-random substrate used by
+// every simulation in this repository.
+//
+// All experiments in the paper are probabilistic statements ("w.h.p.",
+// expected contraction factors, coupling coalescence times), so the
+// reproduction needs a random source that is
+//
+//   - fast (simulations take billions of draws),
+//   - splittable (coupled chains and parallel sweeps need independent
+//     streams derived deterministically from one experiment seed), and
+//   - reproducible across runs and platforms.
+//
+// The generator is xoshiro256** seeded via SplitMix64, the standard
+// construction recommended by Blackman and Vigna. Streams are derived by
+// hashing (seed, streamID) through SplitMix64, which gives independent
+// full-period generators for coupled copies of a Markov chain.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used for seeding and for stream derivation.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// RNG is a xoshiro256** generator. The zero value is not valid; use New
+// or NewStream.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed. Any seed (including 0) is
+// valid: the state is expanded through SplitMix64, so no state can be
+// all-zero.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// NewStream returns an independent generator deterministically derived
+// from (seed, stream). Distinct stream IDs give statistically independent
+// sequences; this is how coupled chains and parallel workers obtain
+// their randomness from a single experiment seed.
+func NewStream(seed, stream uint64) *RNG {
+	mix := seed
+	_ = splitMix64(&mix)
+	mix ^= 0x632BE59BD9B4E019 * (stream + 1)
+	return New(mix)
+}
+
+// Reseed resets the generator state from seed.
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
+	r.s[0] = splitMix64(&sm)
+	r.s[1] = splitMix64(&sm)
+	r.s[2] = splitMix64(&sm)
+	r.s[3] = splitMix64(&sm)
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to calling
+// Uint64 2^128 times. Successive Jump calls partition the generator's
+// 2^256-1 period into non-overlapping subsequences of length 2^128 —
+// a hard guarantee of stream disjointness (NewStream's hashing gives
+// statistical independence; Jump gives structural independence).
+func (r *RNG) Jump() {
+	// The published xoshiro256** jump polynomial.
+	jump := [4]uint64{0x180EC6D33CFD0ABA, 0xD5A61266F0C9392C, 0xA9582618E03FC9AA, 0x39ABDC4529B1661C}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// The implementation is Lemire's nearly-divisionless unbiased method.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		threshold := -n % n
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair random bit, as used by the lazy step of the edge
+// orientation chain (Remark 1 of the paper).
+func (r *RNG) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponential variate with rate 1, via inversion.
+func (r *RNG) Exp() float64 {
+	// 1-Float64() is in (0,1], so the log is finite.
+	return -math.Log(1 - r.Float64())
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials, i.e. a Geometric(p) variate supported on {0,1,...}.
+// It panics if p <= 0 or p > 1.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric probability out of range")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inversion: floor(ln(U) / ln(1-p)).
+	u := 1 - r.Float64() // in (0,1]
+	return int(math.Log(u) / math.Log(1-p))
+}
+
+// Perm returns a uniform random permutation of [0, n) as a slice.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle applies a Fisher-Yates shuffle using swap to exchange elements.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// DistinctPair returns a uniform random pair (i, j) with 0 <= i < j < n.
+// This is the edge-arrival distribution of the edge orientation problem:
+// every undirected pair of distinct vertices is equally likely. It panics
+// if n < 2.
+func (r *RNG) DistinctPair(n int) (i, j int) {
+	if n < 2 {
+		panic("rng: DistinctPair needs n >= 2")
+	}
+	i = r.Intn(n)
+	j = r.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return i, j
+}

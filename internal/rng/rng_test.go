@@ -1,0 +1,390 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: same seed diverged: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collide on %d/1000 draws", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 0 and 1 collide on %d/1000 draws", same)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(7, 3)
+	b := NewStream(7, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed, stream) diverged")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(11)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+// TestIntnUniform checks a chi-square-like bound on Intn's bucket counts.
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expect := float64(draws) / n
+	for b, c := range counts {
+		dev := math.Abs(float64(c)-expect) / math.Sqrt(expect)
+		if dev > 5 {
+			t.Fatalf("bucket %d count %d deviates %.1f sigma from uniform", b, c, dev)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := New(13)
+	const draws = 200000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %.4f", p)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		e := r.Exp()
+		if e < 0 {
+			t.Fatalf("Exp returned negative %v", e)
+		}
+		sum += e
+	}
+	mean := sum / draws
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp mean %.4f, want ~1", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(19)
+	const p, draws = 0.25, 200000
+	sum := 0
+	for i := 0; i < draws; i++ {
+		g := r.Geometric(p)
+		if g < 0 {
+			t.Fatalf("Geometric returned negative %d", g)
+		}
+		sum += g
+	}
+	mean := float64(sum) / draws
+	want := (1 - p) / p // = 3
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%.2f) mean %.3f, want ~%.3f", p, mean, want)
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := New(21)
+	for i := 0; i < 50; i++ {
+		if g := r.Geometric(1); g != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", g)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	for n := 0; n <= 20; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformSmall(t *testing.T) {
+	r := New(29)
+	counts := make(map[[3]int]int)
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		p := r.Perm(3)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("Perm(3) produced %d distinct permutations, want 6", len(counts))
+	}
+	for perm, c := range counts {
+		if math.Abs(float64(c)-draws/6.0) > 5*math.Sqrt(draws/6.0) {
+			t.Fatalf("permutation %v count %d far from uniform", perm, c)
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(31)
+	xs := []int{1, 1, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed contents: sum %d != %d", got, sum)
+	}
+}
+
+func TestDistinctPair(t *testing.T) {
+	r := New(37)
+	for trial := 0; trial < 5000; trial++ {
+		i, j := r.DistinctPair(7)
+		if i < 0 || j >= 7 || i >= j {
+			t.Fatalf("DistinctPair(7) = (%d, %d), want 0 <= i < j < 7", i, j)
+		}
+	}
+}
+
+func TestDistinctPairUniform(t *testing.T) {
+	r := New(41)
+	const n, draws = 5, 100000
+	counts := make(map[[2]int]int)
+	for trial := 0; trial < draws; trial++ {
+		i, j := r.DistinctPair(n)
+		counts[[2]int{i, j}]++
+	}
+	pairs := n * (n - 1) / 2
+	if len(counts) != pairs {
+		t.Fatalf("observed %d distinct pairs, want %d", len(counts), pairs)
+	}
+	expect := float64(draws) / float64(pairs)
+	for pr, c := range counts {
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Fatalf("pair %v count %d far from uniform %f", pr, c, expect)
+		}
+	}
+}
+
+func TestDistinctPairPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DistinctPair(1) did not panic")
+		}
+	}()
+	New(1).DistinctPair(1)
+}
+
+// Property: Uint64n(n) < n for arbitrary nonzero n.
+func TestUint64nProperty(t *testing.T) {
+	r := New(43)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reseed makes the generator reproduce its sequence.
+func TestReseedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		first := make([]uint64, 8)
+		for i := range first {
+			first[i] = r.Uint64()
+		}
+		r.Reseed(seed)
+		for i := range first {
+			if r.Uint64() != first[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpDeterministic(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	a.Jump()
+	b.Jump()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Jump not deterministic")
+		}
+	}
+}
+
+func TestJumpChangesStream(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	b.Jump()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("jumped stream collides on %d/1000 draws", same)
+	}
+}
+
+func TestJumpedStreamsDisjoint(t *testing.T) {
+	// Two jumps from the same state give two further disjoint streams.
+	a := New(10)
+	a.Jump()
+	b := New(10)
+	b.Jump()
+	b.Jump()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("double-jumped stream collides on %d/1000 draws", same)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}

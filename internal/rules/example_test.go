@@ -1,0 +1,40 @@
+package rules_test
+
+import (
+	"fmt"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rules"
+)
+
+// ABKU[d] probes d bins and takes the least loaded: on a normalized
+// vector that is the largest probed position.
+func ExampleNewABKU() {
+	rule := rules.NewABKU(2)
+	v := loadvec.Vector{5, 3, 1, 0}
+	s := rules.Fixed(4, []int{1, 3}) // the two probes
+	fmt.Println(rule.Name(), "places the ball at position", rule.Choose(v, s))
+	// Output: ABKU[2] places the ball at position 3
+}
+
+// ADAP(x) keeps probing until the best bin seen clears its load's
+// threshold: an empty bin (x_0 = 1) is taken immediately.
+func ExampleNewAdaptive() {
+	rule := rules.NewAdaptive(rules.SliceThresholds{1, 3})
+	v := loadvec.Vector{4, 2, 0}
+	fmt.Println(rule.Choose(v, rules.Fixed(3, []int{2})))
+	fmt.Println(rule.Choose(v, rules.Fixed(3, []int{0, 1, 0})))
+	// Output:
+	// 2
+	// 1
+}
+
+// Every shipped rule satisfies Definition 3.4; the checker is the
+// executable Lemma 3.4.
+func ExampleCheckRightOriented() {
+	v := loadvec.Vector{3, 1}
+	u := loadvec.Vector{2, 2}
+	err := rules.CheckRightOriented(rules.NewABKU(2), v, u, rules.Fixed(2, []int{0, 1}))
+	fmt.Println(err)
+	// Output: <nil>
+}

@@ -1,0 +1,72 @@
+package rules
+
+import (
+	"fmt"
+
+	"dynalloc/internal/loadvec"
+)
+
+// Mixed is the (1+beta)-choice rule studied by Mitzenmacher's line of
+// work: with probability beta the ball is placed with ABKU[2] (the less
+// loaded of two probes), otherwise with a single uniform probe. It
+// interpolates between Uniform (beta = 0) and ABKU[2] (beta = 1) and is
+// the canonical "how much choice is enough?" ablation for the recovery
+// experiments.
+//
+// Right-orientation (Definition 3.4): the sample carries the coin, so
+// both coupled copies see the same coin; conditioned on it the rule is
+// ABKU[1] or ABKU[2], each right-oriented by Lemma 3.4, and the defining
+// inequalities only ever compare executions with equal coins. Phi is the
+// identity.
+type Mixed struct {
+	beta float64
+	one  *Adaptive
+	two  *Adaptive
+	name string
+}
+
+// NewMixed returns the (1+beta)-choice rule. It panics unless beta is in
+// [0, 1].
+func NewMixed(beta float64) *Mixed {
+	if beta < 0 || beta > 1 {
+		panic("rules: Mixed beta out of [0,1]")
+	}
+	return &Mixed{
+		beta: beta,
+		one:  NewABKU(1),
+		two:  NewABKU(2),
+		name: fmt.Sprintf("Mixed(%.2f)", beta),
+	}
+}
+
+// Name implements Rule.
+func (mx *Mixed) Name() string { return mx.name }
+
+// Beta returns the two-choice probability.
+func (mx *Mixed) Beta() float64 { return mx.beta }
+
+// Choose implements Rule.
+func (mx *Mixed) Choose(v loadvec.Vector, s *Sample) int {
+	if s.Coin(0) < mx.beta {
+		return mx.two.Choose(v, s)
+	}
+	return mx.one.Choose(v, s)
+}
+
+// Phi implements Rule (identity, as for all rules in the paper).
+func (mx *Mixed) Phi(s *Sample) *Sample { return s }
+
+// MaxProbes implements Rule.
+func (mx *Mixed) MaxProbes(n, maxLoad int) int { return 2 }
+
+// ChoiceProbs implements ExactRule as the beta-mixture of the exact
+// distributions of the two branches.
+func (mx *Mixed) ChoiceProbs(v loadvec.Vector) []float64 {
+	p1 := mx.one.ChoiceProbs(v)
+	p2 := mx.two.ChoiceProbs(v)
+	out := make([]float64, len(p1))
+	for i := range out {
+		out[i] = (1-mx.beta)*p1[i] + mx.beta*p2[i]
+	}
+	return out
+}

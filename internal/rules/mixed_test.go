@@ -1,0 +1,118 @@
+package rules
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+)
+
+func TestMixedDegenerateEndpointsMatch(t *testing.T) {
+	// beta = 0 behaves like Uniform, beta = 1 like ABKU[2], on identical
+	// sample transcripts.
+	v := loadvec.Vector{3, 2, 1, 0}
+	r := rng.New(1)
+	for trial := 0; trial < 2000; trial++ {
+		s := NewSample(4, r)
+		m0 := NewMixed(0).Choose(v, s)
+		u := NewUniform().Choose(v, s)
+		if m0 != u {
+			t.Fatalf("Mixed(0) chose %d, Uniform chose %d", m0, u)
+		}
+		m1 := NewMixed(1).Choose(v, s)
+		d2 := NewABKU(2).Choose(v, s)
+		if m1 != d2 {
+			t.Fatalf("Mixed(1) chose %d, ABKU[2] chose %d", m1, d2)
+		}
+	}
+}
+
+func TestMixedRightOriented(t *testing.T) {
+	r := rng.New(2)
+	for _, beta := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		mx := NewMixed(beta)
+		for _, nm := range [][2]int{{3, 6}, {6, 12}} {
+			if err := VerifyRule(mx, nm[0], nm[1], 1500, r); err != nil {
+				t.Errorf("beta=%.2f: %v", beta, err)
+			}
+		}
+	}
+}
+
+func TestMixedChoiceProbs(t *testing.T) {
+	v := loadvec.Vector{4, 2, 1, 0, 0}
+	beta := 0.3
+	mx := NewMixed(beta)
+	p := mx.ChoiceProbs(v)
+	p1 := NewABKU(1).ChoiceProbs(v)
+	p2 := NewABKU(2).ChoiceProbs(v)
+	sum := 0.0
+	for i := range p {
+		want := 0.7*p1[i] + 0.3*p2[i]
+		if math.Abs(p[i]-want) > 1e-12 {
+			t.Fatalf("pos %d: %v, want %v", i, p[i], want)
+		}
+		sum += p[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+}
+
+func TestMixedChoiceProbsMatchMonteCarlo(t *testing.T) {
+	v := loadvec.Vector{3, 1, 1, 0}
+	mx := NewMixed(0.6)
+	want := mx.ChoiceProbs(v)
+	r := rng.New(3)
+	const draws = 300000
+	counts := make([]int, v.N())
+	for i := 0; i < draws; i++ {
+		counts[mx.Choose(v, NewSample(v.N(), r))]++
+	}
+	for pos := range v {
+		got := float64(counts[pos]) / draws
+		if math.Abs(got-want[pos]) > 0.005 {
+			t.Fatalf("pos %d: MC %.4f vs exact %.4f", pos, got, want[pos])
+		}
+	}
+}
+
+func TestMixedPanicsOnBadBeta(t *testing.T) {
+	for _, beta := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("beta=%v accepted", beta)
+				}
+			}()
+			NewMixed(beta)
+		}()
+	}
+}
+
+func TestSampleCoinMemoized(t *testing.T) {
+	s := NewSample(4, rng.New(5))
+	a := s.Coin(3)
+	if a < 0 || a >= 1 {
+		t.Fatalf("coin out of range: %v", a)
+	}
+	if b := s.Coin(3); b != a {
+		t.Fatal("coin changed between reads")
+	}
+	// Coins and positions draw from the same RNG but are memoized
+	// independently; interleaved access stays consistent.
+	p := s.At(0)
+	if s.At(0) != p || s.Coin(3) != a {
+		t.Fatal("interleaved access broke memoization")
+	}
+}
+
+func TestSampleCoinPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSample(2, rng.New(1)).Coin(-1)
+}

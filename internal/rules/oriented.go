@@ -1,0 +1,66 @@
+package rules
+
+import (
+	"fmt"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+)
+
+// CheckRightOriented tests Definition 3.4 on one triple (v, u, s):
+// with i = D(v, rs) and i' = D(u, Phi_D(rs)), right-orientation demands
+//
+//	i < i'  =>  v[i]  < u[i]
+//	i > i'  =>  v[i'] > u[i'].
+//
+// It returns a descriptive error on violation. Together with VerifyRule
+// this is the executable form of Lemma 3.4.
+func CheckRightOriented(rule Rule, v, u loadvec.Vector, s *Sample) error {
+	i := rule.Choose(v, s)
+	ip := rule.Choose(u, rule.Phi(s))
+	switch {
+	case i < ip && v[i] >= u[i]:
+		return fmt.Errorf("rules: %s not right-oriented: D(v)=%d < D(u)=%d but v[%d]=%d >= u[%d]=%d (v=%v u=%v)",
+			rule.Name(), i, ip, i, v[i], i, u[i], v, u)
+	case i > ip && v[ip] <= u[ip]:
+		return fmt.Errorf("rules: %s not right-oriented: D(v)=%d > D(u)=%d but v[%d]=%d <= u[%d]=%d (v=%v u=%v)",
+			rule.Name(), i, ip, ip, v[ip], ip, u[ip], v, u)
+	}
+	return nil
+}
+
+// CheckLemma33 verifies the conclusion of Lemma 3.3 on one triple:
+// inserting one ball into v and u with the shared sample must not
+// increase ||v - u||_1.
+func CheckLemma33(rule Rule, v, u loadvec.Vector, s *Sample) error {
+	before := v.L1(u)
+	v0 := v.Clone()
+	u0 := u.Clone()
+	v0.Add(rule.Choose(v, s))
+	u0.Add(rule.Choose(u, rule.Phi(s)))
+	after := v0.L1(u0)
+	if after > before {
+		return fmt.Errorf("rules: %s violates Lemma 3.3: ||v-u||_1 grew %d -> %d (v=%v u=%v)",
+			rule.Name(), before, after, v, u)
+	}
+	return nil
+}
+
+// VerifyRule Monte-Carlo-checks right-orientation (Definition 3.4) and
+// the Lemma 3.3 contraction on `trials` random pairs from Omega_m with n
+// bins. It returns the first violation found, or nil. This is the E9
+// experiment and is also run as a test for every shipped rule.
+func VerifyRule(rule Rule, n, m, trials int, r *rng.RNG) error {
+	for trial := 0; trial < trials; trial++ {
+		v := loadvec.Random(n, m, r)
+		u := loadvec.Random(n, m, r)
+		s := NewSample(n, r)
+		if err := CheckRightOriented(rule, v, u, s); err != nil {
+			return err
+		}
+		if err := CheckLemma33(rule, v, u, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

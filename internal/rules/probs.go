@@ -1,0 +1,71 @@
+package rules
+
+import "dynalloc/internal/loadvec"
+
+// ExactRule is a Rule that can report its exact choice distribution on a
+// given state, enabling exact transition-matrix construction for the
+// mixing-time experiments (E10). Both shipped rule families implement it.
+type ExactRule interface {
+	Rule
+	// ChoiceProbs returns p[i] = Pr[D(v, RS) = i] over positions i.
+	ChoiceProbs(v loadvec.Vector) []float64
+}
+
+// ChoiceProbs implements ExactRule for ADAP(x)/ABKU[d]/Uniform via a
+// forward dynamic program over (probe count M, prefix-maximum position).
+//
+// At probe M the alive states are the possible prefix maxima pmax that
+// have not yet satisfied x_{v[pmax]} <= M' for any M' <= M. Each new
+// probe b is uniform on [0, n); the prefix maximum either stays (with
+// probability (pmax+1)/n) or jumps to any larger position (1/n each).
+// All probability mass stops by M = x_{v[0]} because at that point every
+// possible load satisfies its threshold.
+func (a *Adaptive) ChoiceProbs(v loadvec.Vector) []float64 {
+	n := v.N()
+	stop := make([]float64, n)
+	alive := make([]float64, n) // mass by prefix-max position, before any probe
+	// First probe: pmax = b uniform.
+	for b := 0; b < n; b++ {
+		alive[b] += 1 / float64(n)
+	}
+	limit := a.x.X(v.MaxLoad())
+	for m := 1; m <= limit; m++ {
+		// Stop check at probe m.
+		anyAlive := false
+		for p := 0; p < n; p++ {
+			if alive[p] == 0 {
+				continue
+			}
+			if a.x.X(v[p]) <= m {
+				stop[p] += alive[p]
+				alive[p] = 0
+			} else {
+				anyAlive = true
+			}
+		}
+		if !anyAlive {
+			break
+		}
+		// Next probe: evolve the prefix maximum.
+		next := make([]float64, n)
+		for p := 0; p < n; p++ {
+			if alive[p] == 0 {
+				continue
+			}
+			next[p] += alive[p] * float64(p+1) / float64(n)
+			share := alive[p] / float64(n)
+			for q := p + 1; q < n; q++ {
+				next[q] += share
+			}
+		}
+		alive = next
+	}
+	return stop
+}
+
+// ChoiceProbs implements ExactRule for the omniscient MinLoad rule.
+func (MinLoad) ChoiceProbs(v loadvec.Vector) []float64 {
+	p := make([]float64, v.N())
+	p[v.N()-1] = 1
+	return p
+}

@@ -1,0 +1,262 @@
+// Package rules implements the insertion scheduling rules of the paper
+// as right-oriented random functions (Section 3.2).
+//
+// A random function D from Omega to [n] is a quadruple (RS, IRS, D, D):
+// a sample space RS, a sampler IRS, and a deterministic map D(v, rs).
+// Definition 3.4 calls D *right-oriented* if there is a permutation
+// Phi_D of RS such that, writing i = D(v, rs) and i' = D(u, Phi_D(rs)):
+//
+//	i < i'  implies  v[i]  < u[i], and
+//	i > i'  implies  v[i'] > u[i'].
+//
+// (Positions index the common normalized order; larger position means
+// smaller load.) Lemma 3.3 shows that inserting a ball into two states
+// with a shared sample — one copy using rs, the other Phi_D(rs) — never
+// increases ||v - u||_1. That single lemma is what lets the paper couple
+// the insertion half of every ABKU[d] and ADAP(x) process at once, and
+// Lemma 3.4 proves all of those rules are right-oriented with Phi_D the
+// identity.
+//
+// Here RS is realized as a lazily-extended sequence of i.u.r. bin
+// positions (Sample). Coupled chains pass the *same* Sample to both
+// copies, which is exactly the "same rs" coupling of the paper.
+package rules
+
+import (
+	"fmt"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+)
+
+// Sample is one draw rs from the sample space RS: an unbounded sequence
+// of independent uniform bin positions (plus an auxiliary stream of
+// uniform floats for randomized-probe-count rules such as Mixed),
+// materialized lazily so that the ADAP rules can look arbitrarily deep
+// while ABKU[d] only ever draws d values. A Sample must not be shared
+// across steps; draw a fresh one per insertion.
+type Sample struct {
+	n     int
+	r     *rng.RNG
+	seq   []int
+	coins []float64
+}
+
+// NewSample returns a fresh sample over n bin positions drawing from r.
+func NewSample(n int, r *rng.RNG) *Sample {
+	if n <= 0 {
+		panic("rules: NewSample needs n >= 1")
+	}
+	return &Sample{n: n, r: r}
+}
+
+// At returns the t-th element b_t of the sequence (0-based), drawing and
+// memoizing it on first access. Memoization is what makes a Sample
+// shareable between the two copies of a coupled chain: both see the same
+// b regardless of how deep each one looks.
+func (s *Sample) At(t int) int {
+	if t < 0 {
+		panic("rules: Sample.At negative index")
+	}
+	for len(s.seq) <= t {
+		s.seq = append(s.seq, s.r.Intn(s.n))
+	}
+	return s.seq[t]
+}
+
+// Len returns how many elements have been materialized so far.
+func (s *Sample) Len() int { return len(s.seq) }
+
+// Coin returns the t-th auxiliary uniform [0,1) variate of the sample,
+// drawing and memoizing it on first access. Coins are independent of the
+// position sequence; coupled copies that share the Sample see the same
+// coins, which keeps mixture rules (e.g. the (1+beta)-choice rule)
+// right-oriented: conditioned on the coins, both copies run the same
+// deterministic-probe-count rule.
+func (s *Sample) Coin(t int) float64 {
+	if t < 0 {
+		panic("rules: Sample.Coin negative index")
+	}
+	for len(s.coins) <= t {
+		s.coins = append(s.coins, s.r.Float64())
+	}
+	return s.coins[t]
+}
+
+// Fixed returns a sample with a predetermined sequence, for exact-chain
+// enumeration and tests. At panics beyond the given sequence.
+func Fixed(n int, seq []int) *Sample {
+	return &Sample{n: n, seq: append([]int(nil), seq...)}
+}
+
+// Rule is a right-oriented random function: the scheduling rule used to
+// place each new ball.
+type Rule interface {
+	// Name identifies the rule in tables, e.g. "ABKU[2]".
+	Name() string
+	// Choose returns D(v, rs): the position of the normalized vector v
+	// that receives the new ball under sample s. Implementations must be
+	// deterministic given (v, s).
+	Choose(v loadvec.Vector, s *Sample) int
+	// Phi applies the permutation Phi_D of Definition 3.4 to the sample.
+	// All rules in the paper have Phi = identity (Lemma 3.4); the method
+	// exists so the coupling code matches the paper's generality.
+	Phi(s *Sample) *Sample
+	// MaxProbes bounds how many sequence elements Choose may consume on
+	// an n-bin system with maximum load maxLoad; exact-chain construction
+	// enumerates samples up to this depth. Rules with unbounded lookahead
+	// return a conservative bound and panic past it.
+	MaxProbes(n, maxLoad int) int
+}
+
+// Thresholds is the nondecreasing sequence x = (x_0, x_1, ...) of
+// ADAP(x): a ball standing at a sampled bin of load l is placed once the
+// number of probes M reaches x_l.
+type Thresholds interface {
+	// X returns x_l >= 1 for load l >= 0; it must be nondecreasing in l.
+	X(load int) int
+	// String renders the sequence for rule names.
+	String() string
+}
+
+// ConstThresholds is x_l = d for all l, which makes ADAP(x) the ABKU[d]
+// rule: always probe exactly d bins.
+type ConstThresholds int
+
+// X implements Thresholds.
+func (c ConstThresholds) X(int) int { return int(c) }
+
+func (c ConstThresholds) String() string { return fmt.Sprintf("%d,%d,...", int(c), int(c)) }
+
+// SliceThresholds takes x from a literal slice, repeating the last entry
+// for loads beyond its end (which keeps the sequence nondecreasing).
+type SliceThresholds []int
+
+// X implements Thresholds.
+func (xs SliceThresholds) X(load int) int {
+	if len(xs) == 0 {
+		panic("rules: empty threshold slice")
+	}
+	if load < 0 {
+		panic("rules: negative load")
+	}
+	if load >= len(xs) {
+		return xs[len(xs)-1]
+	}
+	return xs[load]
+}
+
+func (xs SliceThresholds) String() string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", x)
+	}
+	return s + ",..."
+}
+
+// validateThresholds panics if the visible prefix of x is not a
+// nondecreasing sequence of positive integers (the paper's requirement).
+func validateThresholds(x Thresholds, upTo int) {
+	prev := 0
+	for l := 0; l <= upTo; l++ {
+		v := x.X(l)
+		if v < 1 {
+			panic(fmt.Sprintf("rules: threshold x_%d = %d < 1", l, v))
+		}
+		if v < prev {
+			panic(fmt.Sprintf("rules: thresholds decrease at load %d (%d -> %d)", l, prev, v))
+		}
+		prev = v
+	}
+}
+
+// Adaptive is the ADAP(x) rule of Czumaj and Stemann: repeatedly probe
+// uniform bins; after M probes, if the least loaded probed bin has load l
+// with x_l <= M, place the ball there.
+type Adaptive struct {
+	x    Thresholds
+	name string
+}
+
+// NewAdaptive returns ADAP(x). The visible prefix of x is validated.
+func NewAdaptive(x Thresholds) *Adaptive {
+	validateThresholds(x, 64)
+	return &Adaptive{x: x, name: fmt.Sprintf("ADAP(%s)", x.String())}
+}
+
+// Name implements Rule.
+func (a *Adaptive) Name() string { return a.name }
+
+// maxAdaptiveProbes caps the probe loop; it is a defense against a
+// mis-specified threshold sequence, not a semantic limit. The loop
+// terminates with probability 1 for any valid x: once the prefix minimum
+// reaches the globally least loaded bin, the stopping condition is met as
+// soon as M reaches the (fixed) threshold of that load.
+const maxAdaptiveProbes = 1 << 20
+
+// Choose implements Rule; this is formula (1) of the paper. The prefix
+// maximum position p(b)_M (largest position = least loaded bin seen so
+// far) is tracked as probes accumulate.
+func (a *Adaptive) Choose(v loadvec.Vector, s *Sample) int {
+	pmax := -1
+	for m := 1; m <= maxAdaptiveProbes; m++ {
+		if b := s.At(m - 1); b > pmax {
+			pmax = b
+		}
+		if a.x.X(v[pmax]) <= m {
+			return pmax
+		}
+	}
+	panic(fmt.Sprintf("rules: %s did not place a ball within %d probes (thresholds too large?)", a.name, maxAdaptiveProbes))
+}
+
+// Phi implements Rule; Lemma 3.4: the identity permutation witnesses
+// right-orientation for every ADAP(x).
+func (a *Adaptive) Phi(s *Sample) *Sample { return s }
+
+// MaxProbes implements Rule: the rule must stop by M = x_l* where l* is
+// the least load reachable, but enumerating exactly is workload
+// dependent; the bound below covers every state with the given max load.
+func (a *Adaptive) MaxProbes(n, maxLoad int) int {
+	return a.x.X(maxLoad)
+}
+
+// NewABKU returns the ABKU[d] rule of Azar, Broder, Karlin and Upfal:
+// probe d bins i.u.r. (with replacement) and place the ball in the least
+// loaded. It is ADAP(x) with the constant sequence x_l = d.
+func NewABKU(d int) *Adaptive {
+	if d < 1 {
+		panic("rules: ABKU needs d >= 1")
+	}
+	r := NewAdaptive(ConstThresholds(d))
+	r.name = fmt.Sprintf("ABKU[%d]", d)
+	return r
+}
+
+// NewUniform returns the classical one-choice rule (a ball goes to a
+// uniformly random bin), i.e. ABKU[1].
+func NewUniform() *Adaptive {
+	r := NewABKU(1)
+	r.name = "Uniform"
+	return r
+}
+
+// MinLoad is the omniscient d = infinity rule: every ball goes to a least
+// loaded bin. It consumes no randomness and is trivially right-oriented
+// (D is the constant n-1). Used as a best-case baseline and in tests.
+type MinLoad struct{}
+
+// Name implements Rule.
+func (MinLoad) Name() string { return "MinLoad" }
+
+// Choose implements Rule.
+func (MinLoad) Choose(v loadvec.Vector, _ *Sample) int { return v.N() - 1 }
+
+// Phi implements Rule.
+func (MinLoad) Phi(s *Sample) *Sample { return s }
+
+// MaxProbes implements Rule.
+func (MinLoad) MaxProbes(int, int) int { return 0 }

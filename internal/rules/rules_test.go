@@ -1,0 +1,326 @@
+package rules
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+)
+
+func TestSampleLazyAndMemoized(t *testing.T) {
+	s := NewSample(10, rng.New(1))
+	a := s.At(5)
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d after At(5)", s.Len())
+	}
+	if b := s.At(5); b != a {
+		t.Fatalf("At(5) changed between calls: %d != %d", a, b)
+	}
+	if c := s.At(2); c < 0 || c >= 10 {
+		t.Fatalf("At(2) = %d out of range", c)
+	}
+}
+
+func TestSampleSharedView(t *testing.T) {
+	// Two references to the same sample must agree element-wise no matter
+	// the access order — this is what the coupled chains rely on.
+	s := NewSample(100, rng.New(2))
+	first := s.At(7)
+	if s.At(7) != first || s.At(0) < 0 {
+		t.Fatal("sample not consistent across accesses")
+	}
+}
+
+func TestFixedSample(t *testing.T) {
+	s := Fixed(5, []int{3, 1, 4})
+	if s.At(0) != 3 || s.At(1) != 1 || s.At(2) != 4 {
+		t.Fatal("Fixed sample returned wrong values")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fixed sample beyond length did not panic")
+		}
+	}()
+	s.At(3)
+}
+
+func TestNewSamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSample(0, rng.New(1))
+}
+
+func TestUniformChoosesFirstProbe(t *testing.T) {
+	u := NewUniform()
+	v := loadvec.Vector{5, 3, 1, 0}
+	for b := 0; b < 4; b++ {
+		if got := u.Choose(v, Fixed(4, []int{b})); got != b {
+			t.Fatalf("Uniform chose %d for probe %d", got, b)
+		}
+	}
+	if u.Name() != "Uniform" {
+		t.Fatalf("Name = %q", u.Name())
+	}
+}
+
+func TestABKUChoosesLeastLoadedOfD(t *testing.T) {
+	d2 := NewABKU(2)
+	v := loadvec.Vector{5, 3, 1, 0}
+	// Least loaded of probes = max position among first d.
+	cases := []struct {
+		seq  []int
+		want int
+	}{
+		{[]int{0, 0}, 0},
+		{[]int{0, 3}, 3},
+		{[]int{3, 0}, 3},
+		{[]int{2, 1}, 2},
+	}
+	for _, c := range cases {
+		if got := d2.Choose(v, Fixed(4, c.seq)); got != c.want {
+			t.Errorf("ABKU[2] on %v chose %d, want %d", c.seq, got, c.want)
+		}
+	}
+	if d2.Name() != "ABKU[2]" {
+		t.Fatalf("Name = %q", d2.Name())
+	}
+}
+
+func TestABKUConsumesExactlyD(t *testing.T) {
+	d3 := NewABKU(3)
+	v := loadvec.Vector{2, 2, 1, 1, 0}
+	s := NewSample(5, rng.New(3))
+	d3.Choose(v, s)
+	if s.Len() != 3 {
+		t.Fatalf("ABKU[3] consumed %d probes, want 3", s.Len())
+	}
+}
+
+func TestAdaptiveStopsEarlyOnEmptyBin(t *testing.T) {
+	// x = (1, 3, 3, ...): a probe that hits an empty bin is accepted
+	// immediately; otherwise three probes are needed.
+	ad := NewAdaptive(SliceThresholds{1, 3})
+	v := loadvec.Vector{4, 2, 0}
+	if got := ad.Choose(v, Fixed(3, []int{2})); got != 2 {
+		t.Fatalf("ADAP should accept the empty bin immediately, chose %d", got)
+	}
+	// First probe loaded: must continue to 3 probes; prefix max decides.
+	if got := ad.Choose(v, Fixed(3, []int{0, 1, 0})); got != 1 {
+		t.Fatalf("ADAP chose %d, want prefix max 1", got)
+	}
+	// Second probe empty bin: load 0 has x_0 = 1 <= 2, stops at probe 2.
+	s := Fixed(3, []int{0, 2, 0})
+	if got := ad.Choose(v, s); got != 2 {
+		t.Fatalf("ADAP chose %d, want 2", got)
+	}
+}
+
+func TestAdaptiveThresholdGoverns(t *testing.T) {
+	// x = (2, 2): even an empty bin needs two probes.
+	ad := NewAdaptive(SliceThresholds{2, 2})
+	v := loadvec.Vector{1, 0}
+	s := NewSample(2, rng.New(9))
+	got := ad.Choose(v, s)
+	if s.Len() != 2 {
+		t.Fatalf("consumed %d probes, want 2", s.Len())
+	}
+	want := s.At(0)
+	if s.At(1) > want {
+		want = s.At(1)
+	}
+	if got != want {
+		t.Fatalf("chose %d, want prefix max %d", got, want)
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	for _, xs := range []SliceThresholds{{0}, {2, 1}, {1, 2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewAdaptive(%v) did not panic", xs)
+				}
+			}()
+			NewAdaptive(xs)
+		}()
+	}
+}
+
+func TestSliceThresholdsTail(t *testing.T) {
+	xs := SliceThresholds{1, 2, 4}
+	if xs.X(0) != 1 || xs.X(2) != 4 || xs.X(100) != 4 {
+		t.Fatal("SliceThresholds indexing wrong")
+	}
+}
+
+func TestABKUPanicsOnBadD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewABKU(0)
+}
+
+func TestMinLoadRule(t *testing.T) {
+	var ml MinLoad
+	v := loadvec.Vector{3, 2, 1}
+	if ml.Choose(v, nil) != 2 {
+		t.Fatal("MinLoad must choose the last position")
+	}
+	p := ml.ChoiceProbs(v)
+	if p[2] != 1 || p[0] != 0 || p[1] != 0 {
+		t.Fatalf("MinLoad ChoiceProbs = %v", p)
+	}
+}
+
+// TestRightOrientedAllRules is the executable Lemma 3.4: every shipped
+// rule passes the Definition 3.4 checks and the Lemma 3.3 contraction on
+// thousands of random state pairs.
+func TestRightOrientedAllRules(t *testing.T) {
+	r := rng.New(42)
+	rulesUnderTest := []Rule{
+		NewUniform(),
+		NewABKU(2),
+		NewABKU(3),
+		NewABKU(5),
+		NewAdaptive(SliceThresholds{1, 2, 4, 8}),
+		NewAdaptive(SliceThresholds{2, 3}),
+		MinLoad{},
+	}
+	for _, rule := range rulesUnderTest {
+		for _, nm := range [][2]int{{2, 2}, {3, 7}, {5, 5}, {8, 24}} {
+			if err := VerifyRule(rule, nm[0], nm[1], 800, r); err != nil {
+				t.Errorf("%v", err)
+			}
+		}
+	}
+}
+
+// TestNotRightOrientedDetected feeds the checker a deliberately
+// non-monotone state-dependent rule and expects a violation, confirming
+// the checker has teeth. (A rule that ignores the loads entirely always
+// produces i == i' and is trivially right-oriented, so the bad rule must
+// branch on a load value in a non-monotone way.)
+func TestNotRightOrientedDetected(t *testing.T) {
+	r := rng.New(43)
+	bad := badRule{}
+	found := false
+	for trial := 0; trial < 5000 && !found; trial++ {
+		v := loadvec.Random(4, 8, r)
+		u := loadvec.Random(4, 8, r)
+		s := NewSample(4, r)
+		if CheckRightOriented(bad, v, u, s) != nil || CheckLemma33(bad, v, u, s) != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("checker failed to flag a non-right-oriented rule")
+	}
+}
+
+// badRule probes two bins and branches on the parity of the first probe's
+// load — a non-monotone dependence that violates Definition 3.4.
+type badRule struct{}
+
+func (badRule) Name() string { return "bad" }
+func (badRule) Choose(v loadvec.Vector, s *Sample) int {
+	if v[s.At(0)]%2 == 0 {
+		return s.At(0)
+	}
+	return s.At(1)
+}
+func (badRule) Phi(s *Sample) *Sample  { return s }
+func (badRule) MaxProbes(_, _ int) int { return 2 }
+
+func TestChoiceProbsSumToOne(t *testing.T) {
+	r := rng.New(44)
+	exact := []ExactRule{NewUniform(), NewABKU(2), NewABKU(4), NewAdaptive(SliceThresholds{1, 2, 3}), MinLoad{}}
+	for _, rule := range exact {
+		for trial := 0; trial < 50; trial++ {
+			v := loadvec.Random(5, 9, r)
+			p := rule.ChoiceProbs(v)
+			sum := 0.0
+			for _, x := range p {
+				if x < -1e-12 {
+					t.Fatalf("%s: negative probability %v", rule.Name(), p)
+				}
+				sum += x
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s: ChoiceProbs sums to %v on %v", rule.Name(), sum, v)
+			}
+		}
+	}
+}
+
+func TestChoiceProbsABKUClosedForm(t *testing.T) {
+	// For ABKU[d], Pr[position p] = ((p+1)^d - p^d)/n^d.
+	v := loadvec.Vector{4, 3, 2, 1, 0} // distinct loads: no tie subtleties
+	for _, d := range []int{1, 2, 3} {
+		p := NewABKU(d).ChoiceProbs(v)
+		n := float64(v.N())
+		for pos := range v {
+			want := (math.Pow(float64(pos+1), float64(d)) - math.Pow(float64(pos), float64(d))) / math.Pow(n, float64(d))
+			if math.Abs(p[pos]-want) > 1e-12 {
+				t.Fatalf("ABKU[%d] pos %d: prob %v, want %v", d, pos, p[pos], want)
+			}
+		}
+	}
+}
+
+// TestChoiceProbsMatchMonteCarlo cross-validates the DP against direct
+// simulation of Choose for an adaptive rule with nontrivial thresholds.
+func TestChoiceProbsMatchMonteCarlo(t *testing.T) {
+	rule := NewAdaptive(SliceThresholds{1, 2, 4})
+	v := loadvec.Vector{3, 2, 2, 1, 0, 0}
+	want := rule.ChoiceProbs(v)
+	r := rng.New(45)
+	const draws = 300000
+	counts := make([]int, v.N())
+	for i := 0; i < draws; i++ {
+		counts[rule.Choose(v, NewSample(v.N(), r))]++
+	}
+	for pos := range v {
+		got := float64(counts[pos]) / draws
+		if math.Abs(got-want[pos]) > 0.005 {
+			t.Fatalf("pos %d: MC %.4f vs DP %.4f", pos, got, want[pos])
+		}
+	}
+}
+
+// TestAdaptiveProbeCapPanics: a threshold sequence too large to ever
+// satisfy must fail loudly (panic at the probe cap) rather than hang.
+func TestAdaptiveProbeCapPanics(t *testing.T) {
+	ad := NewAdaptive(SliceThresholds{1 << 21})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway probe loop did not panic")
+		}
+	}()
+	ad.Choose(loadvec.Vector{1, 0}, NewSample(2, rng.New(1)))
+}
+
+func TestMaxProbes(t *testing.T) {
+	if got := NewABKU(3).MaxProbes(10, 7); got != 3 {
+		t.Fatalf("ABKU[3].MaxProbes = %d", got)
+	}
+	ad := NewAdaptive(SliceThresholds{1, 2, 4})
+	if got := ad.MaxProbes(10, 5); got != 4 {
+		t.Fatalf("ADAP MaxProbes = %d", got)
+	}
+}
+
+func BenchmarkABKU2Choose(b *testing.B) {
+	rule := NewABKU(2)
+	v := loadvec.Random(1024, 1024, rng.New(1))
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rule.Choose(v, NewSample(v.N(), r))
+	}
+}

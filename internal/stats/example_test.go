@@ -1,0 +1,31 @@
+package stats_test
+
+import (
+	"fmt"
+	"math"
+
+	"dynalloc/internal/stats"
+)
+
+// BestFit discriminates between the growth shapes the paper's theorems
+// predict.
+func ExampleBestFit() {
+	ns := []float64{32, 64, 128, 256}
+	ts := make([]float64, len(ns))
+	for i, n := range ns {
+		ts[i] = 0.8 * n * math.Log(n) // a Theorem 1-shaped curve
+	}
+	fits := stats.BestFit(ns, ts)
+	fmt.Println("best model:", fits[0].Model.Name)
+	// Output: best model: n ln n
+}
+
+// Summary accumulates trial outcomes with O(1) memory.
+func ExampleSummary() {
+	var s stats.Summary
+	for _, x := range []float64{4, 6, 8} {
+		s.Add(x)
+	}
+	fmt.Printf("mean %.1f over %d trials\n", s.Mean(), s.N())
+	// Output: mean 6.0 over 3 trials
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GrowthModel is a candidate asymptotic shape T(n) ~ c * f(n) for a
+// recovery-time curve. The models below are exactly the ones the paper's
+// theorems distinguish between.
+type GrowthModel struct {
+	Name string
+	F    func(n float64) float64
+}
+
+// Models returns the standard candidate set, ordered by growth rate:
+// n, n ln n, n^2, n^2 ln n, n^2 ln^2 n, n^3, n^5. ln is clamped at 1 so
+// tiny n do not produce degenerate weights.
+func Models() []GrowthModel {
+	l := func(n float64) float64 { return math.Max(1, math.Log(n)) }
+	return []GrowthModel{
+		{"n", func(n float64) float64 { return n }},
+		{"n ln n", func(n float64) float64 { return n * l(n) }},
+		{"n^2", func(n float64) float64 { return n * n }},
+		{"n^2 ln n", func(n float64) float64 { return n * n * l(n) }},
+		{"n^2 ln^2 n", func(n float64) float64 { return n * n * l(n) * l(n) }},
+		{"n^3", func(n float64) float64 { return n * n * n }},
+		{"n^5", func(n float64) float64 { return math.Pow(n, 5) }},
+	}
+}
+
+// FitResult reports how well one growth model explains a curve.
+type FitResult struct {
+	Model GrowthModel
+	C     float64 // least-squares constant in T(n) ~ C * f(n)
+	// RelRMSE is the root-mean-square of the relative residuals
+	// (T - C f)/T; small means the shape explains the data.
+	RelRMSE float64
+}
+
+func (f FitResult) String() string {
+	return fmt.Sprintf("%s (c=%.3g, relRMSE=%.3f)", f.Model.Name, f.C, f.RelRMSE)
+}
+
+// FitModel fits T(n) ~ c*f(n) by least squares on the relative residuals
+// (equivalently, c = mean of T/f weighted for minimal relative error).
+func FitModel(ns []float64, ts []float64, m GrowthModel) FitResult {
+	if len(ns) != len(ts) || len(ns) == 0 {
+		panic("stats: FitModel needs equal-length nonempty inputs")
+	}
+	// Minimize sum((t - c f)/t)^2 => c = sum(f/t) / sum((f/t)^2) ... solve
+	// d/dc sum (1 - c f/t)^2 = 0 => c = sum(f/t) / sum(f^2/t^2).
+	num, den := 0.0, 0.0
+	for i := range ns {
+		if ts[i] <= 0 {
+			panic("stats: FitModel with non-positive measurement")
+		}
+		r := m.F(ns[i]) / ts[i]
+		num += r
+		den += r * r
+	}
+	c := num / den
+	sse := 0.0
+	for i := range ns {
+		resid := 1 - c*m.F(ns[i])/ts[i]
+		sse += resid * resid
+	}
+	return FitResult{Model: m, C: c, RelRMSE: math.Sqrt(sse / float64(len(ns)))}
+}
+
+// BestFit fits every candidate model and returns all results sorted by
+// relative RMSE (best first).
+func BestFit(ns []float64, ts []float64) []FitResult {
+	models := Models()
+	out := make([]FitResult, 0, len(models))
+	for _, m := range models {
+		out = append(out, FitModel(ns, ts, m))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RelRMSE < out[j].RelRMSE })
+	return out
+}
+
+// LogLogSlope estimates the polynomial exponent of T(n) by ordinary least
+// squares on (ln n, ln T). A curve n^2 ln^2 n reports a slope somewhat
+// above 2; pure n ln n somewhat above 1.
+func LogLogSlope(ns []float64, ts []float64) float64 {
+	if len(ns) != len(ts) || len(ns) < 2 {
+		panic("stats: LogLogSlope needs at least two points")
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range ns {
+		x := math.Log(ns[i])
+		y := math.Log(ts[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	k := float64(len(ns))
+	return (k*sxy - sx*sy) / (k*sxx - sx*sx)
+}
+
+// RatioTrend returns the sequence T(n_i)/f(n_i); a flat trend confirms
+// the shape f. Used to print the "T / (m ln m)" columns of the tables.
+func RatioTrend(ns []float64, ts []float64, m GrowthModel) []float64 {
+	if len(ns) != len(ts) {
+		panic("stats: RatioTrend needs equal-length inputs")
+	}
+	out := make([]float64, len(ns))
+	for i := range ns {
+		out[i] = ts[i] / m.F(ns[i])
+	}
+	return out
+}

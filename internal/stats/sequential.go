@@ -1,0 +1,68 @@
+package stats
+
+// Sequential is an adaptive estimator: it accumulates observations until
+// the 95% confidence half-width falls below a relative target, or a
+// sample budget runs out. Harness sweeps use it to spend trials where
+// the variance actually is rather than using a fixed count everywhere.
+type Sequential struct {
+	Target float64 // relative half-width target, e.g. 0.05 for +-5%
+	MinN   int     // never stop before this many observations
+	MaxN   int     // hard budget
+	sum    Summary
+}
+
+// NewSequential validates and returns an adaptive estimator.
+func NewSequential(target float64, minN, maxN int) *Sequential {
+	if target <= 0 {
+		panic("stats: Sequential target must be positive")
+	}
+	if minN < 2 || maxN < minN {
+		panic("stats: need 2 <= minN <= maxN")
+	}
+	return &Sequential{Target: target, MinN: minN, MaxN: maxN}
+}
+
+// Add records one observation and reports whether sampling should
+// continue.
+func (s *Sequential) Add(x float64) (continueSampling bool) {
+	s.sum.Add(x)
+	return !s.Done()
+}
+
+// Done reports whether the stopping rule has triggered: either the
+// budget is exhausted or (past MinN) the CI half-width is within
+// Target * |mean|. A mean of exactly zero only stops on the budget.
+func (s *Sequential) Done() bool {
+	n := s.sum.N()
+	if n >= s.MaxN {
+		return true
+	}
+	if n < s.MinN {
+		return false
+	}
+	mean := s.sum.Mean()
+	if mean == 0 {
+		return false
+	}
+	rel := s.sum.CI95() / abs(mean)
+	return rel <= s.Target
+}
+
+// Summary exposes the accumulated statistics.
+func (s *Sequential) Summary() *Summary { return &s.sum }
+
+// Run drives the estimator with a sample source: draw(i) produces the
+// i-th observation. It returns the final summary.
+func (s *Sequential) Run(draw func(i int) float64) *Summary {
+	for i := 0; !s.Done(); i++ {
+		s.sum.Add(draw(i))
+	}
+	return &s.sum
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"testing"
+
+	"dynalloc/internal/rng"
+)
+
+func TestSequentialStopsOnPrecision(t *testing.T) {
+	s := NewSequential(0.05, 10, 1_000_000)
+	r := rng.New(1)
+	sum := s.Run(func(int) float64 { return 10 + r.Float64() }) // tiny variance
+	if sum.N() >= 1_000_000 {
+		t.Fatal("never stopped despite tiny variance")
+	}
+	if sum.N() < 10 {
+		t.Fatalf("stopped before MinN: %d", sum.N())
+	}
+	if rel := sum.CI95() / sum.Mean(); rel > 0.05 {
+		t.Fatalf("stopped with relative CI %v", rel)
+	}
+}
+
+func TestSequentialBudget(t *testing.T) {
+	s := NewSequential(0.0001, 2, 50)
+	r := rng.New(2)
+	sum := s.Run(func(int) float64 { return r.Float64() * 100 }) // high variance
+	if sum.N() != 50 {
+		t.Fatalf("budget not honored: N = %d", sum.N())
+	}
+}
+
+func TestSequentialZeroMeanRunsToBudget(t *testing.T) {
+	s := NewSequential(0.1, 2, 20)
+	alt := 1.0
+	sum := s.Run(func(int) float64 { alt = -alt; return alt })
+	if sum.N() != 20 {
+		t.Fatalf("zero-mean stream stopped early at %d", sum.N())
+	}
+}
+
+func TestSequentialAddInterface(t *testing.T) {
+	s := NewSequential(0.5, 2, 5)
+	if !s.Add(1) {
+		t.Fatal("should continue after one observation")
+	}
+	for i := 0; i < 10 && s.Add(1); i++ {
+	}
+	if !s.Done() {
+		t.Fatal("identical observations should satisfy any target")
+	}
+	if s.Summary().N() > 5 {
+		t.Fatalf("exceeded budget: %d", s.Summary().N())
+	}
+}
+
+func TestSequentialPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSequential(0, 2, 10) },
+		func() { NewSequential(0.1, 1, 10) },
+		func() { NewSequential(0.1, 10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,184 @@
+// Package stats provides the statistical machinery the experiment
+// harness uses to turn raw simulation output into the tables in
+// EXPERIMENTS.md: streaming moments with confidence intervals, quantiles,
+// empirical total-variation distance, and growth-model fitting for the
+// recovery-time scaling laws (n ln n, n^2 ln n, n^2 ln^2 n, ...).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of observations with Welford's algorithm,
+// tracking count, mean, variance, min and max in O(1) memory.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddInt records one integer observation.
+func (s *Summary) AddInt(x int) { s.Add(float64(x)) }
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// SE returns the standard error of the mean.
+func (s *Summary) SE() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (s *Summary) CI95() float64 { return 1.96 * s.SE() }
+
+// String renders "mean ± ci (n=...)" for table cells.
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.2f±%.2f (n=%d)", s.Mean(), s.CI95(), s.n)
+}
+
+// Quantile returns the q-th empirical quantile (0 <= q <= 1) of xs using
+// linear interpolation. It panics on an empty sample or q outside [0,1].
+// The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile fraction out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the empirical median.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// TVDistance returns the total variation distance (1/2) sum_i |p_i - q_i|
+// between two distributions given as aligned probability slices. Slices
+// of different lengths are implicitly zero-padded.
+func TVDistance(p, q []float64) float64 {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	d := 0.0
+	for i := 0; i < n; i++ {
+		var pi, qi float64
+		if i < len(p) {
+			pi = p[i]
+		}
+		if i < len(q) {
+			qi = q[i]
+		}
+		d += math.Abs(pi - qi)
+	}
+	return d / 2
+}
+
+// TVDistanceCounts returns the total variation distance between two
+// empirical distributions given as count maps over arbitrary keys.
+func TVDistanceCounts[K comparable](a, b map[K]int) float64 {
+	var na, nb int
+	for _, c := range a {
+		na += c
+	}
+	for _, c := range b {
+		nb += c
+	}
+	if na == 0 || nb == 0 {
+		panic("stats: TVDistanceCounts with an empty sample")
+	}
+	d := 0.0
+	seen := make(map[K]bool, len(a)+len(b))
+	for k, c := range a {
+		seen[k] = true
+		d += math.Abs(float64(c)/float64(na) - float64(b[k])/float64(nb))
+	}
+	for k, c := range b {
+		if !seen[k] {
+			d += float64(c) / float64(nb)
+		}
+	}
+	return d / 2
+}
+
+// Normalize converts nonnegative counts into a probability slice.
+func Normalize(counts []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	p := make([]float64, len(counts))
+	if total == 0 {
+		return p
+	}
+	for i, c := range counts {
+		p[i] = float64(c) / float64(total)
+	}
+	return p
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 should be positive")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 || s.SE() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.AddInt(7)
+	if s.Mean() != 7 || s.Var() != 0 || s.Min() != 7 || s.Max() != 7 {
+		t.Fatalf("single-observation summary wrong: %+v", s)
+	}
+}
+
+// Property: mean is within [min, max] and variance is nonnegative.
+func TestSummaryProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // avoid float overflow in m2; not what Summary is for
+			}
+			s.Add(x)
+		}
+		if s.N() > 0 {
+			ok = s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9 && s.Var() >= -1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Median(xs); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+	if q := Quantile([]float64{10}, 0.9); q != 10 {
+		t.Fatalf("single-element quantile = %v", q)
+	}
+	// Interpolation between ranks.
+	if q := Quantile([]float64{0, 10}, 0.5); q != 5 {
+		t.Fatalf("interpolated median = %v", q)
+	}
+	// Input unchanged.
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTVDistance(t *testing.T) {
+	if d := TVDistance([]float64{1, 0}, []float64{0, 1}); d != 1 {
+		t.Fatalf("disjoint TV = %v", d)
+	}
+	if d := TVDistance([]float64{0.5, 0.5}, []float64{0.5, 0.5}); d != 0 {
+		t.Fatalf("identical TV = %v", d)
+	}
+	if d := TVDistance([]float64{0.5, 0.5}, []float64{0.75, 0.25}); math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("TV = %v, want 0.25", d)
+	}
+	// Zero-padding of different lengths.
+	if d := TVDistance([]float64{1}, []float64{0.5, 0.5}); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("padded TV = %v, want 0.5", d)
+	}
+}
+
+func TestTVDistanceCounts(t *testing.T) {
+	a := map[string]int{"x": 2, "y": 2}
+	b := map[string]int{"x": 4}
+	// p = (.5,.5), q = (1,0) -> TV = .5
+	if d := TVDistanceCounts(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("TV = %v", d)
+	}
+	if d := TVDistanceCounts(a, a); d != 0 {
+		t.Fatalf("self TV = %v", d)
+	}
+	// Key present only in b.
+	c := map[string]int{"z": 1}
+	if d := TVDistanceCounts(a, c); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("disjoint TV = %v", d)
+	}
+}
+
+func TestTVDistanceCountsPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TVDistanceCounts(map[int]int{}, map[int]int{1: 1})
+}
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]int{1, 3, 0})
+	want := []float64{0.25, 0.75, 0}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("Normalize = %v", p)
+		}
+	}
+	z := Normalize([]int{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("Normalize of zeros = %v", z)
+	}
+}
+
+func TestFitModelExact(t *testing.T) {
+	// T(n) = 3 n ln n exactly: the n ln n model must fit with c=3, rmse~0.
+	ns := []float64{16, 32, 64, 128, 256}
+	ts := make([]float64, len(ns))
+	for i, n := range ns {
+		ts[i] = 3 * n * math.Log(n)
+	}
+	fits := BestFit(ns, ts)
+	if fits[0].Model.Name != "n ln n" {
+		t.Fatalf("best fit = %v", fits[0])
+	}
+	if math.Abs(fits[0].C-3) > 1e-9 || fits[0].RelRMSE > 1e-9 {
+		t.Fatalf("fit params = %+v", fits[0])
+	}
+}
+
+func TestBestFitDiscriminates(t *testing.T) {
+	ns := []float64{16, 32, 64, 128, 256, 512}
+	for _, gen := range []struct {
+		name string
+		f    func(n float64) float64
+	}{
+		{"n^2 ln n", func(n float64) float64 { return 0.5 * n * n * math.Log(n) }},
+		{"n^3", func(n float64) float64 { return 2 * n * n * n }},
+		{"n", func(n float64) float64 { return 10 * n }},
+	} {
+		ts := make([]float64, len(ns))
+		for i, n := range ns {
+			ts[i] = gen.f(n)
+		}
+		fits := BestFit(ns, ts)
+		if fits[0].Model.Name != gen.name {
+			t.Errorf("data of shape %s best-fit by %s", gen.name, fits[0].Model.Name)
+		}
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	ns := []float64{8, 16, 32, 64, 128}
+	ts := make([]float64, len(ns))
+	for i, n := range ns {
+		ts[i] = 7 * n * n // exponent 2
+	}
+	if s := LogLogSlope(ns, ts); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("slope = %v, want 2", s)
+	}
+}
+
+func TestRatioTrendFlatForTrueModel(t *testing.T) {
+	ns := []float64{10, 20, 40}
+	ts := []float64{100, 400, 1600} // n^2
+	m := Models()[2]                // "n^2"
+	r := RatioTrend(ns, ts, m)
+	for _, v := range r {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("ratio trend = %v", r)
+		}
+	}
+}
+
+func TestFitModelPanics(t *testing.T) {
+	m := Models()[0]
+	for _, f := range []func(){
+		func() { FitModel(nil, nil, m) },
+		func() { FitModel([]float64{1}, []float64{1, 2}, m) },
+		func() { FitModel([]float64{1}, []float64{0}, m) },
+		func() { LogLogSlope([]float64{1}, []float64{1}) },
+		func() { RatioTrend([]float64{1}, []float64{1, 2}, m) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

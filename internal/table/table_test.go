@@ -1,0 +1,85 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("demo", "n", "time")
+	tb.AddRow(8, 12.5)
+	tb.AddRow(128, 3.25)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Header and separator must align with the widest cell.
+	if !strings.HasPrefix(lines[1], "n ") {
+		t.Fatalf("bad header line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("bad rule line %q", lines[2])
+	}
+	if !strings.Contains(out, "128") || !strings.Contains(out, "3.250") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+}
+
+func TestAddRowPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("x", "a", "b").AddRow(1)
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.000"},
+		{3.14159, "3.142"},
+		{123.456, "123.5"},
+		{1e7, "1e+07"},
+		{0.0001, "0.0001"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("t", "c")
+	tb.AddRow("x")
+	tb.AddNote("fit: %s", "n ln n")
+	if !strings.Contains(tb.String(), "note: fit: n ln n") {
+		t.Fatalf("missing note:\n%s", tb.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRow("x,y", `q"u`)
+	var b strings.Builder
+	tb.CSV(&b)
+	want := "a,b\n\"x,y\",\"q\"\"u\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestEmptyTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow(1)
+	if strings.Contains(tb.String(), "==") {
+		t.Fatal("empty title should not render a banner")
+	}
+}

@@ -1,0 +1,165 @@
+// Package trace records trajectories of simulation metrics (gap, max
+// load, unfairness, coupling distance, ...) with bounded memory: when a
+// recorder exceeds its point budget it doubles its sampling stride and
+// compacts, so arbitrarily long runs keep an evenly-spaced summary of at
+// most maxPoints rows. Traces serialize to CSV for external plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Recorder accumulates (step, values...) rows under a point budget.
+type Recorder struct {
+	columns   []string
+	maxPoints int
+	stride    int64
+	steps     []int64
+	rows      [][]float64
+}
+
+// NewRecorder returns a recorder for the named value columns keeping at
+// most maxPoints rows (minimum 8).
+func NewRecorder(maxPoints int, columns ...string) *Recorder {
+	if maxPoints < 8 {
+		panic("trace: need a budget of at least 8 points")
+	}
+	if len(columns) == 0 {
+		panic("trace: need at least one column")
+	}
+	return &Recorder{columns: columns, maxPoints: maxPoints, stride: 1}
+}
+
+// Columns returns the value column names.
+func (r *Recorder) Columns() []string { return append([]string(nil), r.columns...) }
+
+// Len returns the number of retained rows.
+func (r *Recorder) Len() int { return len(r.steps) }
+
+// Stride returns the current sampling stride: Record calls whose step is
+// not a multiple of it are dropped.
+func (r *Recorder) Stride() int64 { return r.stride }
+
+// Record offers one observation at the given step (steps must be
+// non-decreasing across calls). Values must match the column count.
+func (r *Recorder) Record(step int64, values ...float64) {
+	if len(values) != len(r.columns) {
+		panic(fmt.Sprintf("trace: %d values for %d columns", len(values), len(r.columns)))
+	}
+	if n := len(r.steps); n > 0 && step < r.steps[n-1] {
+		panic("trace: steps must be non-decreasing")
+	}
+	if step%r.stride != 0 {
+		return
+	}
+	r.steps = append(r.steps, step)
+	r.rows = append(r.rows, append([]float64(nil), values...))
+	if len(r.steps) > r.maxPoints {
+		r.compact()
+	}
+}
+
+// compact doubles the stride and drops rows that no longer land on it.
+func (r *Recorder) compact() {
+	r.stride *= 2
+	keptSteps := r.steps[:0]
+	keptRows := r.rows[:0]
+	for i, s := range r.steps {
+		if s%r.stride == 0 {
+			keptSteps = append(keptSteps, s)
+			keptRows = append(keptRows, r.rows[i])
+		}
+	}
+	r.steps = keptSteps
+	r.rows = keptRows
+}
+
+// At returns the i-th retained (step, values) row. The returned slice is
+// owned by the recorder and must not be modified.
+func (r *Recorder) At(i int) (int64, []float64) {
+	return r.steps[i], r.rows[i]
+}
+
+// Last returns the final retained row, or (0, nil) when empty.
+func (r *Recorder) Last() (int64, []float64) {
+	if len(r.steps) == 0 {
+		return 0, nil
+	}
+	return r.steps[len(r.steps)-1], r.rows[len(r.rows)-1]
+}
+
+// Sparkline renders column col of the recorded trajectory as a one-line
+// ASCII chart (8 height levels), for quick terminal inspection of decay
+// curves. Returns "" when nothing is recorded.
+func (r *Recorder) Sparkline(col int, width int) string {
+	if col < 0 || col >= len(r.columns) {
+		panic("trace: sparkline column out of range")
+	}
+	if width < 1 {
+		panic("trace: sparkline width must be positive")
+	}
+	n := len(r.rows)
+	if n == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := r.rows[0][col], r.rows[0][col]
+	for _, row := range r.rows {
+		v := row[col]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if width > n {
+		width = n
+	}
+	out := make([]rune, width)
+	for i := 0; i < width; i++ {
+		// Average the bucket of rows mapped to this cell.
+		from := i * n / width
+		to := (i + 1) * n / width
+		if to == from {
+			to = from + 1
+		}
+		sum := 0.0
+		for j := from; j < to; j++ {
+			sum += r.rows[j][col]
+		}
+		v := sum / float64(to-from)
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		out[i] = levels[idx]
+	}
+	return string(out)
+}
+
+// WriteCSV emits "step,<columns...>" rows.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "step,%s\n", strings.Join(r.columns, ",")); err != nil {
+		return err
+	}
+	for i, s := range r.steps {
+		parts := make([]string, 0, len(r.columns)+1)
+		parts = append(parts, fmt.Sprintf("%d", s))
+		for _, v := range r.rows[i] {
+			parts = append(parts, fmt.Sprintf("%g", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

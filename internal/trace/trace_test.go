@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAndRead(t *testing.T) {
+	r := NewRecorder(16, "gap", "max")
+	for s := int64(0); s < 10; s++ {
+		r.Record(s, float64(s), float64(2*s))
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	step, vals := r.At(3)
+	if step != 3 || vals[0] != 3 || vals[1] != 6 {
+		t.Fatalf("At(3) = %d, %v", step, vals)
+	}
+	last, lv := r.Last()
+	if last != 9 || lv[0] != 9 {
+		t.Fatalf("Last = %d, %v", last, lv)
+	}
+}
+
+func TestBudgetAndStride(t *testing.T) {
+	r := NewRecorder(8, "x")
+	for s := int64(0); s < 1000; s++ {
+		r.Record(s, float64(s))
+	}
+	if r.Len() > 8 {
+		t.Fatalf("budget exceeded: %d rows", r.Len())
+	}
+	if r.Stride() < 128 {
+		t.Fatalf("stride = %d, expected >= 128 after 1000 points into 8 slots", r.Stride())
+	}
+	// All retained steps are multiples of the stride and increasing.
+	prev := int64(-1)
+	for i := 0; i < r.Len(); i++ {
+		s, _ := r.At(i)
+		if s%r.Stride() != 0 {
+			t.Fatalf("retained step %d not on stride %d", s, r.Stride())
+		}
+		if s <= prev {
+			t.Fatalf("steps not increasing")
+		}
+		prev = s
+	}
+}
+
+func TestSparseSteps(t *testing.T) {
+	// Recording only occasionally still works; off-stride steps drop.
+	r := NewRecorder(8, "x")
+	r.Record(0, 1)
+	r.Record(100, 2)
+	r.Record(101, 3)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRecorder(4, "x") },
+		func() { NewRecorder(8) },
+		func() { NewRecorder(8, "x").Record(0, 1, 2) },
+		func() {
+			r := NewRecorder(8, "x")
+			r.Record(5, 1)
+			r.Record(3, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyLast(t *testing.T) {
+	r := NewRecorder(8, "x")
+	if s, v := r.Last(); s != 0 || v != nil {
+		t.Fatal("empty Last should be zero")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	r := NewRecorder(64, "v")
+	for s := int64(0); s < 32; s++ {
+		r.Record(s, float64(s)) // ramp
+	}
+	sp := r.Sparkline(0, 8)
+	runes := []rune(sp)
+	if len(runes) != 8 {
+		t.Fatalf("sparkline length %d: %q", len(runes), sp)
+	}
+	// A ramp renders non-decreasing levels, lowest first; the last cell
+	// averages its bucket so it lands near (not exactly at) the top.
+	if runes[0] != '▁' || runes[7] < '▆' {
+		t.Fatalf("ramp sparkline = %q", sp)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("ramp not monotone: %q", sp)
+		}
+	}
+}
+
+func TestSparklineFlatAndEmpty(t *testing.T) {
+	r := NewRecorder(16, "v")
+	if r.Sparkline(0, 5) != "" {
+		t.Fatal("empty recorder should render empty sparkline")
+	}
+	r.Record(0, 3)
+	r.Record(1, 3)
+	sp := r.Sparkline(0, 4)
+	for _, c := range sp {
+		if c != '▁' {
+			t.Fatalf("flat sparkline = %q", sp)
+		}
+	}
+}
+
+func TestSparklinePanics(t *testing.T) {
+	r := NewRecorder(16, "v")
+	r.Record(0, 1)
+	for _, f := range []func(){
+		func() { r.Sparkline(1, 4) },
+		func() { r.Sparkline(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(8, "gap", "max")
+	r.Record(0, 1, 2)
+	r.Record(1, 0.5, 3)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "step,gap,max\n0,1,2\n1,0.5,3\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}

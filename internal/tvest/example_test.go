@@ -1,0 +1,23 @@
+package tvest_test
+
+import (
+	"fmt"
+
+	"dynalloc/internal/tvest"
+)
+
+// GeometricGrid spaces checkpoints multiplicatively — the natural grid
+// for mixing curves.
+func ExampleGeometricGrid() {
+	fmt.Println(tvest.GeometricGrid(1, 64, 7))
+	// Output: [1 2 4 8 16 32 64]
+}
+
+// FirstBelow reads the mixing-time estimate off an estimated curve.
+func ExampleFirstBelow() {
+	cps := []int64{10, 20, 40, 80}
+	curve := []float64{0.8, 0.4, 0.2, 0.05}
+	t, ok := tvest.FirstBelow(cps, curve, 0.25)
+	fmt.Println(t, ok)
+	// Output: 40 true
+}

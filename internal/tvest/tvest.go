@@ -1,0 +1,156 @@
+// Package tvest estimates variation-distance mixing curves by
+// simulation, for systems too large to enumerate.
+//
+// The idea: project the chain onto a discrete statistic (e.g. the pair
+// (max load, imbalance)), estimate the distribution of the statistic at
+// time t over K independent replicas started from the worst state, and
+// compare it with a long-run stationary reference sample. Projection
+// can only lose mass differences, so the projected variation distance
+// lower-bounds the true one, and the resulting mixing-time estimate is a
+// LOWER estimate of tau(eps). Together with coupling coalescence times
+// (which upper-bound mixing via the coupling inequality) this brackets
+// the paper's quantity from both sides — which is how E13 verifies
+// Theorem 1 at sizes where exact enumeration (E10) is impossible.
+package tvest
+
+import (
+	"fmt"
+	"math"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/par"
+	"dynalloc/internal/stats"
+)
+
+// StateKey discretizes a load vector into a statistic class.
+type StateKey func(v loadvec.Vector) string
+
+// FullKey is the identity statistic (exact state) — only for tiny
+// systems, where it makes the projected distance equal the true one.
+func FullKey(v loadvec.Vector) string { return v.Key() }
+
+// GapMaxKey projects onto (imbalance, max load), the pair the recovery
+// definition cares about.
+func GapMaxKey(v loadvec.Vector) string {
+	return fmt.Sprintf("%d/%d", v.Gap(), v.MaxLoad())
+}
+
+// TopKey projects onto the three largest loads — finer than GapMaxKey,
+// still O(1) to compute.
+func TopKey(v loadvec.Vector) string {
+	a, b, c := 0, 0, 0
+	if v.N() > 0 {
+		a = v[0]
+	}
+	if v.N() > 1 {
+		b = v[1]
+	}
+	if v.N() > 2 {
+		c = v[2]
+	}
+	return fmt.Sprintf("%d/%d/%d", a, b, c)
+}
+
+// Stepper is one replica of the chain under study: tvest only needs to
+// advance it and read its state. process.Process satisfies this.
+type Stepper interface {
+	Step()
+	Peek() loadvec.Vector
+}
+
+// Reference samples the stationary distribution of the statistic from a
+// single long run: burn steps of warm-up, then samples draws thinned by
+// thin steps each.
+func Reference(chain Stepper, key StateKey, burn, samples, thin int) map[string]int {
+	for i := 0; i < burn; i++ {
+		chain.Step()
+	}
+	counts := make(map[string]int)
+	for s := 0; s < samples; s++ {
+		for i := 0; i < thin; i++ {
+			chain.Step()
+		}
+		counts[key(chain.Peek())]++
+	}
+	return counts
+}
+
+// Curve estimates the projected variation distance to the reference at
+// each checkpoint time (checkpoints must be increasing). It runs K
+// replicas built by factory (trial index -> fresh chain with a derived
+// stream), walks each replica through the checkpoints, and compares the
+// empirical statistic distribution at each checkpoint against ref.
+//
+// The estimate carries sampling noise of order sqrt(support)/sqrt(K); it
+// neither floors at 0 nor is unbiased, so read curves comparatively.
+func Curve(factory func(trial int) Stepper, key StateKey, ref map[string]int, K int, checkpoints []int64) []float64 {
+	if len(checkpoints) == 0 {
+		return nil
+	}
+	for i := 1; i < len(checkpoints); i++ {
+		if checkpoints[i] <= checkpoints[i-1] {
+			panic("tvest: checkpoints must be strictly increasing")
+		}
+	}
+	// keys[trial][ci] = statistic at checkpoint ci.
+	keys := par.Map(K, 0, func(trial int) []string {
+		chain := factory(trial)
+		out := make([]string, len(checkpoints))
+		var t int64
+		for ci, cp := range checkpoints {
+			for ; t < cp; t++ {
+				chain.Step()
+			}
+			out[ci] = key(chain.Peek())
+		}
+		return out
+	})
+	curve := make([]float64, len(checkpoints))
+	for ci := range checkpoints {
+		counts := make(map[string]int)
+		for trial := 0; trial < K; trial++ {
+			counts[keys[trial][ci]]++
+		}
+		curve[ci] = stats.TVDistanceCounts(counts, ref)
+	}
+	return curve
+}
+
+// FirstBelow returns the first checkpoint whose estimated distance is at
+// most eps, or (0, false) if none is.
+func FirstBelow(checkpoints []int64, curve []float64, eps float64) (int64, bool) {
+	if len(checkpoints) != len(curve) {
+		panic("tvest: checkpoint/curve length mismatch")
+	}
+	for i, d := range curve {
+		if d <= eps {
+			return checkpoints[i], true
+		}
+	}
+	return 0, false
+}
+
+// GeometricGrid returns an increasing grid of about `points` checkpoint
+// times from lo to hi (inclusive-ish), geometrically spaced — the right
+// shape for mixing curves, which move on multiplicative timescales.
+func GeometricGrid(lo, hi int64, points int) []int64 {
+	if lo < 1 || hi < lo || points < 1 {
+		panic("tvest: bad grid parameters")
+	}
+	if points == 1 || lo == hi {
+		return []int64{lo}
+	}
+	ratio := float64(hi) / float64(lo)
+	out := make([]int64, 0, points)
+	last := int64(0)
+	for i := 0; i < points; i++ {
+		f := float64(i) / float64(points-1)
+		v := int64(math.Round(float64(lo) * math.Pow(ratio, f)))
+		if v <= last {
+			v = last + 1
+		}
+		out = append(out, v)
+		last = v
+	}
+	return out
+}

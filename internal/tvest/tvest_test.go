@@ -1,0 +1,174 @@
+package tvest
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/markov"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+func TestKeys(t *testing.T) {
+	v := loadvec.Vector{4, 2, 1, 1}
+	if FullKey(v) != "4,2,1,1" {
+		t.Fatalf("FullKey = %q", FullKey(v))
+	}
+	if GapMaxKey(v) != "2/4" {
+		t.Fatalf("GapMaxKey = %q", GapMaxKey(v))
+	}
+	if TopKey(v) != "4/2/1" {
+		t.Fatalf("TopKey = %q", TopKey(v))
+	}
+	small := loadvec.Vector{3}
+	if TopKey(small) != "3/0/0" {
+		t.Fatalf("TopKey(small) = %q", TopKey(small))
+	}
+}
+
+func TestGeometricGrid(t *testing.T) {
+	g := GeometricGrid(1, 1000, 7)
+	if len(g) != 7 || g[0] != 1 || g[len(g)-1] < 900 {
+		t.Fatalf("grid = %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not increasing: %v", g)
+		}
+	}
+	one := GeometricGrid(5, 5, 3)
+	if len(one) != 1 || one[0] != 5 {
+		t.Fatalf("degenerate grid = %v", one)
+	}
+}
+
+func TestGeometricGridPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { GeometricGrid(0, 10, 3) },
+		func() { GeometricGrid(10, 5, 3) },
+		func() { GeometricGrid(1, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFirstBelow(t *testing.T) {
+	cps := []int64{1, 2, 4, 8}
+	curve := []float64{0.9, 0.5, 0.2, 0.05}
+	if tt, ok := FirstBelow(cps, curve, 0.25); !ok || tt != 4 {
+		t.Fatalf("FirstBelow = (%d, %v)", tt, ok)
+	}
+	if _, ok := FirstBelow(cps, curve, 0.01); ok {
+		t.Fatal("should not find below 0.01")
+	}
+}
+
+func TestCurvePanicsOnBadCheckpoints(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Curve(func(int) Stepper { return nil }, FullKey, map[string]int{"x": 1}, 1, []int64{3, 3})
+}
+
+// TestCurveMatchesExactTV validates the estimator against the exact
+// machinery: for a tiny chain with the full-state statistic, the
+// estimated distance at each checkpoint must match the exact
+// TV(L(X_t | X_0 = tower), pi) within sampling noise.
+func TestCurveMatchesExactTV(t *testing.T) {
+	const n, m = 3, 4
+	chain := markov.NewAllocChain(process.ScenarioA, rules.NewABKU(2), n, m)
+	mat := markov.MustBuild(chain)
+	pi, err := mat.Stationary(1e-12, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := loadvec.OneTower(n, m)
+	exact := mat.TVCurve(chain.Index(start), pi, 16)
+
+	// Reference counts directly proportional to pi (avoids reference
+	// sampling noise; Reference() is tested separately).
+	ref := make(map[string]int)
+	for s := 0; s < chain.NumStates(); s++ {
+		ref[chain.State(s).Key()] = int(math.Round(pi[s] * 1e9))
+	}
+	checkpoints := []int64{1, 2, 4, 8, 16}
+	const K = 60000
+	curve := Curve(func(trial int) Stepper {
+		return process.New(process.ScenarioA, rules.NewABKU(2), start, rng.NewStream(5, uint64(trial)))
+	}, FullKey, ref, K, checkpoints)
+
+	for i, cp := range checkpoints {
+		want := exact[cp]
+		// Sampling noise: a few sqrt(states)/sqrt(K).
+		if math.Abs(curve[i]-want) > 0.02 {
+			t.Fatalf("checkpoint %d: estimated %.4f vs exact %.4f", cp, curve[i], want)
+		}
+	}
+}
+
+// TestReferenceApproximatesStationary: long-run reference counts are
+// close to pi in TV.
+func TestReferenceApproximatesStationary(t *testing.T) {
+	const n, m = 3, 4
+	chain := markov.NewAllocChain(process.ScenarioA, rules.NewABKU(2), n, m)
+	mat := markov.MustBuild(chain)
+	pi, _ := mat.Stationary(1e-12, 5_000_000)
+
+	p := process.New(process.ScenarioA, rules.NewABKU(2), loadvec.Balanced(n, m), rng.New(9))
+	ref := Reference(p, FullKey, 2000, 60000, 3)
+
+	total := 0
+	for _, c := range ref {
+		total += c
+	}
+	d := 0.0
+	for s := 0; s < chain.NumStates(); s++ {
+		emp := float64(ref[chain.State(s).Key()]) / float64(total)
+		d += math.Abs(emp - pi[s])
+	}
+	if d/2 > 0.02 {
+		t.Fatalf("reference TV from pi = %.4f", d/2)
+	}
+}
+
+// TestProjectionLowerBounds: a coarser statistic cannot show a larger
+// distance than the full state.
+func TestProjectionLowerBounds(t *testing.T) {
+	const n, m = 3, 4
+	start := loadvec.OneTower(n, m)
+	chain := markov.NewAllocChain(process.ScenarioA, rules.NewABKU(2), n, m)
+	mat := markov.MustBuild(chain)
+	pi, _ := mat.Stationary(1e-12, 5_000_000)
+	refFull := make(map[string]int)
+	refGap := make(map[string]int)
+	for s := 0; s < chain.NumStates(); s++ {
+		w := int(math.Round(pi[s] * 1e9))
+		refFull[FullKey(chain.State(s))] += w
+		refGap[GapMaxKey(chain.State(s))] += w
+	}
+	checkpoints := []int64{1, 3, 6}
+	const K = 40000
+	full := Curve(func(trial int) Stepper {
+		return process.New(process.ScenarioA, rules.NewABKU(2), start, rng.NewStream(6, uint64(trial)))
+	}, FullKey, refFull, K, checkpoints)
+	gap := Curve(func(trial int) Stepper {
+		return process.New(process.ScenarioA, rules.NewABKU(2), start, rng.NewStream(6, uint64(trial)))
+	}, GapMaxKey, refGap, K, checkpoints)
+	for i := range checkpoints {
+		if gap[i] > full[i]+0.02 {
+			t.Fatalf("projection increased distance at checkpoint %d: %.4f > %.4f",
+				checkpoints[i], gap[i], full[i])
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package dynalloc
+
+// Long-horizon soak tests: millions of steps with invariants checked
+// throughout. Guarded by -short so the default suite stays fast.
+
+import (
+	"testing"
+
+	"dynalloc/internal/edgeorient"
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+func TestSoakClosedProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const n, m = 512, 1024
+	for _, sc := range []process.Scenario{process.ScenarioA, process.ScenarioB} {
+		p := process.New(sc, rules.NewABKU(2), loadvec.OneTower(n, m), rng.New(1))
+		for block := 0; block < 100; block++ {
+			p.Run(20000)
+			v := p.Peek()
+			if !v.IsNormalized() || v.Total() != m {
+				t.Fatalf("scenario %v: invariant broken after %d steps", sc, p.Steps())
+			}
+		}
+		if p.Gap() > 6 {
+			t.Fatalf("scenario %v: still unbalanced after 2M steps (gap %d)", sc, p.Gap())
+		}
+	}
+}
+
+func TestSoakEdgeOrientation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	r := rng.New(2)
+	s := edgeorient.AdversarialState(512, 256)
+	for i := 0; i < 3_000_000; i++ {
+		s.StepGreedy(r)
+	}
+	if !s.IsValid() {
+		t.Fatal("state invalid after 3M greedy steps")
+	}
+	if u := s.Unfairness(); u > 6 {
+		t.Fatalf("unfairness %d after 3M steps from an adversarial start", u)
+	}
+}
+
+func TestSoakOpenProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	o := process.NewOpen(rules.NewABKU(2), loadvec.New(128), rng.New(3))
+	for block := 0; block < 50; block++ {
+		o.Run(20000)
+		if o.M() < 0 {
+			t.Fatal("negative ball count")
+		}
+		if !o.State().IsNormalized() {
+			t.Fatal("open process denormalized")
+		}
+	}
+}
