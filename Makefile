@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments experiments-full cover clean
+.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full cover clean
 
 all: build vet test
 
@@ -16,10 +16,31 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/tvest/
+	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/tvest/ ./internal/metrics/
+
+# The full sweep CI runs on one matrix leg.
+race-all:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf snapshot of the fixed workload suite
+# (BENCH_<date>.json; see docs/OBSERVABILITY.md for the schema).
+bench-json: build
+	$(GO) run ./cmd/bench -quick
+
+# Gate the current tree against the checked-in baseline, like CI does.
+bench-check: build
+	$(GO) run ./cmd/bench -quick -out BENCH_head.json
+	$(GO) run ./cmd/bench -compare BENCH_baseline.json BENCH_head.json -threshold 25
+
+# CPU/heap profiles plus a metrics snapshot of a representative
+# experiment pass. Override EXP to profile a different experiment.
+EXP ?= E3
+profile: build
+	$(GO) run ./cmd/recoverysim -exp=$(EXP) -full -cpuprofile=cpu.out -memprofile=heap.out -metrics=metrics.json
+	@echo "inspect with: go tool pprof cpu.out  (or heap.out); metrics in metrics.json"
 
 # Quick-scale pass over every experiment table.
 experiments: build

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// SuiteSchema identifies the BENCH_*.json layout; bump on incompatible
+// change. cmd/bench refuses to compare files with a different tag.
+const SuiteSchema = "dynalloc-bench/v1"
+
+// SuiteResult is a complete benchmark run: environment + per-workload
+// measurements, as persisted in BENCH_<date>.json.
+type SuiteResult struct {
+	Schema      string    `json:"schema"`
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	NumCPU      int       `json:"num_cpu"`
+	Quick       bool      `json:"quick"`
+	Seed        uint64    `json:"seed"`
+	Results     []Result  `json:"results"`
+}
+
+// Result is one workload's measurement. NsPerOp/AllocsPerOp/BytesPerOp
+// are per benchmark op (one op = one full pass over the workload's
+// trials); TrialsPerSec and WorkerUtilization describe the parallel
+// substrate during the measured passes.
+type Result struct {
+	Name              string  `json:"name"`
+	Ops               int     `json:"ops"`
+	NsPerOp           int64   `json:"ns_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	BytesPerOp        int64   `json:"bytes_per_op"`
+	TrialsPerSec      float64 `json:"trials_per_sec"`
+	WorkerUtilization float64 `json:"worker_utilization"`
+}
+
+// Validate checks the structural invariants a well-formed suite file
+// must satisfy.
+func (s *SuiteResult) Validate() error {
+	if s.Schema != SuiteSchema {
+		return fmt.Errorf("schema is %q, want %q", s.Schema, SuiteSchema)
+	}
+	if len(s.Results) == 0 {
+		return fmt.Errorf("suite has no results")
+	}
+	seen := map[string]bool{}
+	for _, r := range s.Results {
+		if r.Name == "" {
+			return fmt.Errorf("result with empty name")
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("duplicate result %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.NsPerOp <= 0 {
+			return fmt.Errorf("%s: ns_per_op = %d, want > 0", r.Name, r.NsPerOp)
+		}
+		if r.Ops <= 0 {
+			return fmt.Errorf("%s: ops = %d, want > 0", r.Name, r.Ops)
+		}
+	}
+	return nil
+}
+
+// WriteFile persists the suite as indented JSON.
+func (s *SuiteResult) WriteFile(path string) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadSuite loads and validates a BENCH_*.json file.
+func ReadSuite(path string) (*SuiteResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s SuiteResult
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Regression is one workload metric that degraded beyond the threshold.
+type Regression struct {
+	Name      string  // workload name
+	Metric    string  // "ns_per_op" or "allocs_per_op"
+	Old, New  int64   // metric values
+	PctChange float64 // (new-old)/old * 100
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %d -> %d (%+.1f%%)", r.Name, r.Metric, r.Old, r.New, r.PctChange)
+}
+
+// Compare checks every workload of old against new with a percentage
+// threshold. A metric regresses only when it degrades by STRICTLY more
+// than thresholdPct — a change of exactly the threshold passes, so a
+// 25% gate tolerates up to and including a 1.25x slowdown. It returns
+// the regressions plus the names present in old but missing from new
+// (a silently dropped workload must not look like a pass).
+func Compare(old, new *SuiteResult, thresholdPct float64) (regressions []Regression, missing []string) {
+	newByName := make(map[string]Result, len(new.Results))
+	for _, r := range new.Results {
+		newByName[r.Name] = r
+	}
+	for _, o := range old.Results {
+		n, ok := newByName[o.Name]
+		if !ok {
+			missing = append(missing, o.Name)
+			continue
+		}
+		for _, m := range []struct {
+			metric   string
+			old, new int64
+		}{
+			{"ns_per_op", o.NsPerOp, n.NsPerOp},
+			{"allocs_per_op", o.AllocsPerOp, n.AllocsPerOp},
+		} {
+			if m.old <= 0 {
+				continue // nothing to regress against (e.g. zero allocs)
+			}
+			pct := float64(m.new-m.old) / float64(m.old) * 100
+			if pct > thresholdPct {
+				regressions = append(regressions, Regression{
+					Name: o.Name, Metric: m.metric, Old: m.old, New: m.new, PctChange: pct,
+				})
+			}
+		}
+	}
+	return regressions, missing
+}
+
+// runCompare implements `bench -compare old.json new.json [-threshold N]`,
+// returning the process exit code: 0 when new is within the threshold
+// of old on every workload, 1 otherwise.
+func runCompare(oldPath, newPath string, thresholdPct float64) int {
+	old, err := ReadSuite(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	new, err := ReadSuite(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	regressions, missing := Compare(old, new, thresholdPct)
+	for _, name := range missing {
+		fmt.Printf("MISSING  %s (present in %s, absent from %s)\n", name, oldPath, newPath)
+	}
+	for _, r := range regressions {
+		fmt.Printf("REGRESSED  %s\n", r)
+	}
+	if len(regressions) == 0 && len(missing) == 0 {
+		fmt.Printf("ok: %d workloads within %.0f%% of %s\n", len(old.Results), thresholdPct, oldPath)
+		return 0
+	}
+	fmt.Printf("FAIL: %d regression(s), %d missing workload(s) at threshold %.0f%%\n",
+		len(regressions), len(missing), thresholdPct)
+	return 1
+}

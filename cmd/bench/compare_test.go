@@ -1,0 +1,156 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mkSuite(results ...Result) *SuiteResult {
+	return &SuiteResult{
+		Schema:      SuiteSchema,
+		GeneratedAt: time.Date(2026, 8, 4, 0, 0, 0, 0, time.UTC),
+		GoVersion:   "go1.22",
+		NumCPU:      4,
+		Results:     results,
+	}
+}
+
+func res(name string, ns, allocs int64) Result {
+	return Result{Name: name, Ops: 10, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: 1, TrialsPerSec: 1, WorkerUtilization: 1}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old := mkSuite(res("a", 1000, 50), res("b", 2000, 10))
+	new := mkSuite(res("a", 1100, 50), res("b", 1500, 12))
+	regs, missing := Compare(old, new, 25)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("regs=%v missing=%v, want none", regs, missing)
+	}
+}
+
+func TestCompareDetectsNsRegression(t *testing.T) {
+	old := mkSuite(res("a", 1000, 50))
+	new := mkSuite(res("a", 1251, 50)) // +25.1%
+	regs, _ := Compare(old, new, 25)
+	if len(regs) != 1 {
+		t.Fatalf("regs = %v, want one ns_per_op regression", regs)
+	}
+	if regs[0].Metric != "ns_per_op" || regs[0].Name != "a" {
+		t.Fatalf("wrong regression: %+v", regs[0])
+	}
+}
+
+func TestCompareExactlyAtThresholdPasses(t *testing.T) {
+	// The gate is strict: degradation of exactly the threshold is NOT a
+	// regression. 1000 -> 1250 is exactly +25%.
+	old := mkSuite(res("a", 1000, 100))
+	new := mkSuite(res("a", 1250, 125)) // both metrics at exactly +25%
+	regs, missing := Compare(old, new, 25)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("exactly-at-threshold flagged: regs=%v missing=%v", regs, missing)
+	}
+	// One more unit over the line must trip it.
+	new = mkSuite(res("a", 1251, 125))
+	if regs, _ = Compare(old, new, 25); len(regs) != 1 {
+		t.Fatalf("just-over-threshold not flagged: %v", regs)
+	}
+}
+
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	old := mkSuite(res("a", 1000, 100))
+	new := mkSuite(res("a", 900, 200)) // faster but doubles allocations
+	regs, _ := Compare(old, new, 25)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("regs = %v, want one allocs_per_op regression", regs)
+	}
+	if regs[0].PctChange != 100 {
+		t.Fatalf("pct = %v, want 100", regs[0].PctChange)
+	}
+}
+
+func TestCompareZeroAllocBaselineIgnored(t *testing.T) {
+	// A zero-alloc baseline cannot express a percentage change; it must
+	// not divide by zero or flag spuriously.
+	old := mkSuite(res("a", 1000, 0))
+	new := mkSuite(res("a", 1000, 5))
+	if regs, _ := Compare(old, new, 25); len(regs) != 0 {
+		t.Fatalf("zero baseline flagged: %v", regs)
+	}
+}
+
+func TestCompareMissingWorkloadReported(t *testing.T) {
+	old := mkSuite(res("a", 1000, 1), res("gone", 500, 1))
+	new := mkSuite(res("a", 1000, 1), res("extra", 100, 1))
+	regs, missing := Compare(old, new, 25)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(missing) != 1 || missing[0] != "gone" {
+		t.Fatalf("missing = %v, want [gone]", missing)
+	}
+}
+
+func TestCompareImprovementNeverFlagged(t *testing.T) {
+	old := mkSuite(res("a", 1000, 100))
+	new := mkSuite(res("a", 10, 1))
+	if regs, _ := Compare(old, new, 0); len(regs) != 0 {
+		t.Fatalf("improvement flagged at threshold 0: %v", regs)
+	}
+}
+
+func TestValidateRejectsMalformedSuites(t *testing.T) {
+	cases := map[string]*SuiteResult{
+		"wrong schema": {Schema: "other/v2", Results: []Result{res("a", 1, 1)}},
+		"no results":   {Schema: SuiteSchema},
+		"empty name":   mkSuite(res("", 1, 1)),
+		"dup name":     mkSuite(res("a", 1, 1), res("a", 2, 2)),
+		"zero ns":      mkSuite(res("a", 0, 1)),
+		"zero ops":     {Schema: SuiteSchema, Results: []Result{{Name: "a", NsPerOp: 5}}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+	if err := mkSuite(res("a", 1, 0)).Validate(); err != nil {
+		t.Errorf("valid suite rejected: %v", err)
+	}
+}
+
+func TestSuiteFileRoundTripAndRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	old := mkSuite(res("a", 1000, 50))
+	if err := old.WriteFile(oldPath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSuite(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Results) != 1 || loaded.Results[0] != old.Results[0] {
+		t.Fatalf("round trip mangled results: %+v", loaded.Results)
+	}
+
+	// Identical files compare clean.
+	if err := old.WriteFile(newPath); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare(oldPath, newPath, 25); code != 0 {
+		t.Fatalf("identical suites exit %d, want 0", code)
+	}
+	// An injected 2x regression fails.
+	if err := mkSuite(res("a", 2000, 50)).WriteFile(newPath); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare(oldPath, newPath, 25); code != 1 {
+		t.Fatalf("injected regression exit %d, want 1", code)
+	}
+	// Unreadable input is a usage-style failure, distinct from a
+	// regression.
+	if code := runCompare(oldPath, filepath.Join(dir, "nope.json"), 25); code != 2 {
+		t.Fatalf("missing file exit %d, want 2", code)
+	}
+}

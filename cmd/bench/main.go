@@ -1,0 +1,133 @@
+// Command bench runs the repository's fixed benchmark suite and records
+// a machine-readable performance baseline, so perf changes show up as
+// diffs instead of folklore.
+//
+// Usage:
+//
+//	bench -quick                        # smoke-scale pass, writes BENCH_<date>.json
+//	bench -quick -out ci.json           # explicit output path
+//	bench -compare old.json new.json -threshold 25
+//	bench -list                         # print the suite
+//
+// Each workload is a fixed amount of work (same seed, same trials), run
+// repeatedly under testing.Benchmark for stable ns/op and allocs/op;
+// worker utilization and trials/sec come from the internal/metrics
+// instrumentation of par.ForEach. The compare mode exits nonzero when
+// any workload degrades by strictly more than the threshold percentage
+// (see docs/OBSERVABILITY.md for the CI wiring).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dynalloc/internal/metrics"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "run the smoke-scale suite (CI); default is the full suite")
+		out       = flag.String("out", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
+		seed      = flag.Uint64("seed", 1998, "workload seed (fixed work per pass)")
+		compare   = flag.Bool("compare", false, "compare two suite files: bench -compare old.json new.json [-threshold N]")
+		threshold = flag.Float64("threshold", 25, "regression threshold in percent for -compare")
+		list      = flag.Bool("list", false, "list the suite's workloads and exit")
+	)
+	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench -compare old.json new.json [-threshold N]")
+			os.Exit(2)
+		}
+		// Accept trailing flags after the positional file args (the
+		// documented invocation puts -threshold last, where the global
+		// flag.Parse no longer looks).
+		if len(args) > 2 {
+			fs := flag.NewFlagSet("compare", flag.ExitOnError)
+			fs.Float64Var(threshold, "threshold", *threshold, "regression threshold in percent")
+			if err := fs.Parse(args[2:]); err != nil {
+				os.Exit(2)
+			}
+		}
+		os.Exit(runCompare(args[0], args[1], *threshold))
+	}
+
+	workloads := suiteWorkloads(*quick)
+	if *list {
+		for _, w := range workloads {
+			fmt.Printf("%-30s %d trials/pass\n", w.name, w.trials)
+		}
+		return
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+
+	suite := &SuiteResult{
+		Schema:      SuiteSchema,
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Quick:       *quick,
+		Seed:        *seed,
+	}
+	metrics.Enable()
+	for _, w := range workloads {
+		metrics.Reset() // fresh registry per workload, so gauges are this workload's
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.run(*seed, w.trials)
+			}
+		})
+		snap := metrics.Default().Snapshot()
+		r := Result{
+			Name:              w.name,
+			Ops:               res.N,
+			NsPerOp:           res.NsPerOp(),
+			AllocsPerOp:       res.AllocsPerOp(),
+			BytesPerOp:        res.AllocedBytesPerOp(),
+			TrialsPerSec:      float64(w.trials) * float64(res.N) / res.T.Seconds(),
+			WorkerUtilization: utilization(snap),
+		}
+		suite.Results = append(suite.Results, r)
+		fmt.Printf("%-30s %12d ns/op %10d allocs/op %10.1f trials/s  util %.2f\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.TrialsPerSec, r.WorkerUtilization)
+	}
+
+	if err := suite.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: produced invalid suite:", err)
+		os.Exit(1)
+	}
+	if err := suite.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}
+
+// utilization aggregates the workload's parallel efficiency over every
+// ForEach call: total worker-busy time divided by workers * wall time.
+// 1.0 means every worker was busy for the whole span; sequential
+// fallbacks report 1.0 too (one worker, always busy).
+func utilization(s metrics.Snapshot) float64 {
+	busy := s.Timers["par.foreach.busy_ns"].TotalNS
+	wall := s.Timers["par.foreach.wall_ns"].TotalNS
+	workers := s.Gauges["par.foreach.workers"]
+	if wall <= 0 || workers <= 0 {
+		return 0
+	}
+	u := float64(busy) / (float64(wall) * workers)
+	if u > 1 {
+		u = 1 // timer granularity can nudge the ratio just past 1
+	}
+	return u
+}

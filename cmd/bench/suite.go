@@ -1,0 +1,73 @@
+package main
+
+import (
+	"dynalloc/internal/core"
+	"dynalloc/internal/edgeorient"
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/par"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+)
+
+// workload is one fixed benchmark scenario. Every pass over a workload
+// does identical work (same seed, same trial count), so ns/op is
+// comparable across runs and machines of the same class.
+type workload struct {
+	name   string
+	trials int // independent trials per pass (the unit behind trials/sec)
+	run    func(seed uint64, trials int)
+}
+
+// suiteWorkloads returns the fixed benchmark suite: the paper's two
+// removal scenarios plus edge orientation, each at two scales (except
+// Scenario B, whose quadratic coalescence keeps the second scale out of
+// smoke-test range). Quick mode shrinks trial counts, not the systems,
+// so the measured per-trial shape stays representative.
+func suiteWorkloads(quick bool) []workload {
+	pick := func(q, f int) int {
+		if quick {
+			return q
+		}
+		return f
+	}
+	scenarioA := func(n int) func(uint64, int) {
+		return func(seed uint64, trials int) {
+			m := n
+			core.EstimateCoalescence(func(r *rng.RNG) core.Coupling {
+				v, u := loadvec.ExtremePair(n, m)
+				return core.NewCoupledAlloc(process.ScenarioA, rules.NewABKU(2), v, u, r)
+			}, seed, trials, int64(400)*int64(m)*int64(m))
+		}
+	}
+	scenarioB := func(n int) func(uint64, int) {
+		return func(seed uint64, trials int) {
+			m := n
+			core.EstimateCoalescence(func(r *rng.RNG) core.Coupling {
+				v, u := loadvec.ExtremePair(n, m)
+				return core.NewCoupledAlloc(process.ScenarioB, rules.NewABKU(2), v, u, r)
+			}, seed, trials, int64(2000)*int64(m)*int64(m))
+		}
+	}
+	edgeRecovery := func(n int) func(uint64, int) {
+		return func(seed uint64, trials int) {
+			// Unfairness recovery from the adversarial state, as in E5:
+			// lazy chain until the Theta(log log n) typical band.
+			par.ForEach(trials, 0, func(trial int) {
+				r := rng.NewStream(seed, uint64(trial))
+				s := edgeorient.AdversarialState(n, n/2)
+				maxSteps := int64(n) * int64(n) * int64(n) * 50
+				for t := int64(0); t < maxSteps && s.Unfairness() > 3; t++ {
+					s.Step(r)
+				}
+			})
+		}
+	}
+	return []workload{
+		{"scenarioA/coalescence/n=32", pick(8, 24), scenarioA(32)},
+		{"scenarioA/coalescence/n=64", pick(6, 16), scenarioA(64)},
+		{"scenarioB/coalescence/n=16", pick(6, 16), scenarioB(16)},
+		{"edgeorient/recovery/n=16", pick(6, 16), edgeRecovery(16)},
+		{"edgeorient/recovery/n=32", pick(4, 12), edgeRecovery(32)},
+	}
+}

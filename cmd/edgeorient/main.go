@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"dynalloc/internal/core"
 	"dynalloc/internal/edgeorient"
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/rng"
 )
 
@@ -27,8 +29,21 @@ func main() {
 		seed   = flag.Uint64("seed", 1998, "rng seed")
 		lazy   = flag.Bool("lazy", false, "use the lazy chain of Section 6 instead of the raw greedy protocol")
 		trace  = flag.Bool("trace", false, "print the unfairness trajectory")
+		prof   = metrics.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
 
 	h := *height
 	if h <= 0 {
@@ -40,6 +55,7 @@ func main() {
 		*n, h, s.Unfairness(), *target)
 
 	maxSteps := int64(*n) * int64(*n) * int64(*n) * 50
+	runStart := time.Now()
 	var t int64
 	for t = 0; t < maxSteps && s.Unfairness() > *target; t++ {
 		if *lazy {
@@ -51,6 +67,8 @@ func main() {
 			fmt.Printf("  t=%-10d unfairness=%d\n", t, s.Unfairness())
 		}
 	}
+	metrics.ObserveTimer("edgeorient.recovery.stage_ns", time.Since(runStart))
+	metrics.AddCounter("edgeorient.recovery.steps", t)
 	if s.Unfairness() > *target {
 		fmt.Fprintf(os.Stderr, "did not recover within %d steps\n", maxSteps)
 		os.Exit(1)

@@ -15,6 +15,7 @@ import (
 
 	"dynalloc/internal/core"
 	"dynalloc/internal/markov"
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/process"
 	"dynalloc/internal/rules"
 )
@@ -28,8 +29,21 @@ func main() {
 		eps      = flag.Float64("eps", 0.25, "variation distance target")
 		horizon  = flag.Int("horizon", 100000, "maximum time to search")
 		bounded  = flag.Bool("bounded", false, "analyze the Section 7 bounded open process (m is the ball bound)")
+		prof     = metrics.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
 
 	if *bounded {
 		analyzeBoundedOpen(*n, *m, *d, *eps, *horizon)
@@ -47,15 +61,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	setup := metrics.Span("mixingtime.build.stage_ns")
 	chain := markov.NewAllocChain(sc, rules.NewABKU(*d), *n, *m)
 	fmt.Printf("chain I_%s-ABKU[%d] on Omega_%d with %d bins: %d states\n",
 		*scenario, *d, *m, *n, chain.NumStates())
 
 	mat := markov.MustBuild(chain)
+	setup()
 	if !mat.IsErgodic(10 * *m) {
 		fmt.Fprintln(os.Stderr, "warning: ergodicity check did not confirm within horizon")
 	}
+	solve := metrics.Span("mixingtime.stationary.stage_ns")
 	pi, err := mat.Stationary(1e-12, 10_000_000)
+	solve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -67,7 +85,9 @@ func main() {
 	}
 	fmt.Printf("stationary expected max load: %.4f\n", expMax)
 
+	search := metrics.Span("mixingtime.tau_search.stage_ns")
 	tau, ok := mat.MixingTime(pi, *eps, *horizon)
+	search()
 	if !ok {
 		fmt.Printf("tau(%g) > %d (horizon exceeded)\n", *eps, *horizon)
 		os.Exit(1)

@@ -8,6 +8,12 @@
 //	recoverysim -exp=all -full     # everything (minutes)
 //	recoverysim -list              # list experiments and claims
 //	recoverysim -exp=E3 -csv       # machine-readable output
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	recoverysim -exp=E18 -metrics=m.json          # stage timings + worker gauges
+//	recoverysim -exp=E3 -full -pprof=:6060        # live /debug/pprof while running
+//	recoverysim -exp=E3 -cpuprofile=cpu.out -memprofile=heap.out
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"path/filepath"
 
 	"dynalloc/internal/exper"
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/table"
 )
 
@@ -28,8 +35,21 @@ func main() {
 		csv  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		out  = flag.String("out", "", "directory to also write per-experiment CSV files into")
 		list = flag.Bool("list", false, "list available experiments")
+		prof = metrics.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"time"
+
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/par"
 	"dynalloc/internal/rng"
 	"dynalloc/internal/stats"
@@ -49,13 +52,17 @@ type CoalescenceResult struct {
 // randomness is a pure function of (seed, trial) and results are reduced
 // in trial order, the aggregate is identical to a sequential run.
 func EstimateCoalescence(factory func(r *rng.RNG) Coupling, seed uint64, trials int, maxSteps int64) CoalescenceResult {
+	defer metrics.Span("core.coalescence.stage_ns")()
 	type outcome struct {
 		t  int64
 		ok bool
 	}
 	outs := par.Map(trials, 0, func(trial int) outcome {
+		start := time.Now()
 		c := factory(rng.NewStream(seed, uint64(trial)))
 		t, ok := CoalescenceTime(c, maxSteps)
+		metrics.ObserveHistogram("core.coalescence.trial_ns", time.Since(start).Nanoseconds())
+		metrics.AddCounter("core.coalescence.steps", t)
 		return outcome{t, ok}
 	})
 	var res CoalescenceResult

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"time"
+
 	"dynalloc/internal/loadvec"
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/par"
 	"dynalloc/internal/process"
 	"dynalloc/internal/rng"
@@ -34,14 +37,17 @@ type RecoveryResult struct {
 // time: the time to go from an arbitrary (here: adversarial) state to a
 // typical state.
 func MeasureRecovery(spec RecoverySpec, seed uint64, trials int) RecoveryResult {
+	defer metrics.Span("core.recovery.stage_ns")()
 	type outcome struct {
 		t  int64
 		ok bool
 	}
 	outs := par.Map(trials, 0, func(trial int) outcome {
+		start := time.Now()
 		r := rng.NewStream(seed, uint64(trial))
 		p := process.New(spec.Scenario, spec.Rule(), spec.Initial(), r)
 		t, ok := p.RecoveryTime(spec.GapTarget, spec.MaxSteps)
+		metrics.ObserveHistogram("core.recovery.trial_ns", time.Since(start).Nanoseconds())
 		return outcome{t, ok}
 	})
 	var res RecoveryResult

@@ -7,6 +7,7 @@ import (
 	"dynalloc/internal/fluid"
 	"dynalloc/internal/loadvec"
 	"dynalloc/internal/markov"
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/process"
 	"dynalloc/internal/rng"
 	"dynalloc/internal/rules"
@@ -28,6 +29,7 @@ func init() {
 // imbalance (max load above fair share) for the given rule — the
 // "typical state" threshold used as recovery target.
 func typicalGap(x rules.Thresholds, sc process.Scenario, n int, rho float64) int {
+	defer metrics.Span("exper.state_setup.stage_ns")()
 	cap := 30
 	m := fluid.NewModel(x, sc, cap)
 	p, err := m.FixedPoint(fluid.InitialBalanced(rho, cap), 0.05, 1e-7, 400000)

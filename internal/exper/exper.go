@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/table"
 )
 
@@ -35,7 +36,14 @@ func register(id, claim string, run func(Options) *table.Table) {
 	if _, dup := registry[id]; dup {
 		panic("exper: duplicate experiment id " + id)
 	}
-	registry[id] = Runner{ID: id, Claim: claim, Run: run}
+	// Every runner gets a whole-run stage timer for free; finer stages
+	// (state setup, coupling sweeps, TV estimation) report from the
+	// packages that implement them.
+	timed := func(o Options) *table.Table {
+		defer metrics.Span("exper." + id + ".run_ns")()
+		return run(o)
+	}
+	registry[id] = Runner{ID: id, Claim: claim, Run: timed}
 }
 
 // Get returns the runner for an experiment id (e.g. "E1").

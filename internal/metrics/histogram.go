@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// counts observations v with 2^(i-1) <= v < 2^i (bucket 0 holds v <= 1,
+// the last bucket absorbs everything above 2^(histBuckets-2) ns —
+// about 1.2 hours, far beyond any per-trial latency here).
+const histBuckets = 43
+
+// Histogram is a fixed-size log2-bucketed sketch of nonnegative int64
+// observations (by convention: nanoseconds). It is lock-free: one
+// atomic add per Observe plus count/sum upkeep, so it is cheap enough
+// to record per-trial latencies from every worker. Quantiles are
+// estimated to within a factor of 2 (the bucket width), which is the
+// right resolution for "did the tail move" regression questions.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1)) // smallest b with v <= 2^b
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// Observe records one value. Negative values are clamped to 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean observation (0 before the first).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper estimate of the q-th quantile (q in [0,1]):
+// the upper bound of the bucket containing it. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// nonzeroBuckets returns the sketch as a sparse {upper bound -> count}
+// listing, smallest bound first.
+func (h *Histogram) nonzeroBuckets() []HistBucket {
+	var out []HistBucket
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			out = append(out, HistBucket{Upper: bucketUpper(i), Count: c})
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+// Package metrics is the observability substrate for the experiment
+// engine: lock-free counters, gauges, wall-clock timers and
+// log-bucketed latency histograms, collected in a named registry that
+// snapshots to JSON.
+//
+// Everything routes through a process-wide Default registry guarded by
+// an enable gate: when disabled (the default) every recording call is a
+// single atomic load and an early return, so instrumented hot paths —
+// par.ForEach, the coupling estimators — pay effectively nothing unless
+// a CLI turned collection on with -metrics/-bench. All types are safe
+// for concurrent use.
+//
+// Naming convention: dotted lowercase paths, coarsest component first
+// ("par.foreach.wall_ns", "exper.E1.run_ns", "core.coalescence.trial_ns").
+// Durations are recorded in nanoseconds and suffixed "_ns".
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates the Default registry. Package-level so the check inlines
+// to one atomic load on instrumented hot paths.
+var enabled atomic.Bool
+
+// Enable turns on collection into the Default registry.
+func Enable() { enabled.Store(true) }
+
+// Disable turns collection off again (used by tests).
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether the Default registry is collecting. Call sites
+// that would do nontrivial work to compute a metric (e.g. per-worker
+// timing) should check this first.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically accumulating atomic int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins float64 (stored as IEEE-754 bits).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the most recently set value (0 if never set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Timer accumulates durations: total time, call count, min and max.
+// Unlike Histogram it keeps exact totals, so it is the right type for
+// stage timings where the mean matters more than the tail shape.
+type Timer struct {
+	count atomic.Int64
+	total atomic.Int64 // ns
+	mu    sync.Mutex   // guards seen/min/max
+	seen  bool
+	min   int64
+	max   int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	t.count.Add(1)
+	t.total.Add(ns)
+	t.mu.Lock()
+	if !t.seen || ns < t.min {
+		t.min = ns
+	}
+	if !t.seen || ns > t.max {
+		t.max = ns
+	}
+	t.seen = true
+	t.mu.Unlock()
+}
+
+// Time runs fn and observes its wall-clock duration.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// TotalNS returns the summed duration in nanoseconds.
+func (t *Timer) TotalNS() int64 { return t.total.Load() }
+
+// MeanNS returns the mean duration in nanoseconds (0 before the first
+// observation).
+func (t *Timer) MeanNS() float64 {
+	n := t.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(t.total.Load()) / float64(n)
+}
+
+// Registry is a named collection of metrics. The zero value is NOT
+// ready; use NewRegistry. Metric creation is idempotent: the first
+// Counter("x") allocates, later calls return the same instance.
+type Registry struct {
+	mu    sync.RWMutex
+	ctrs  map[string]*Counter
+	gaug  map[string]*Gauge
+	timrs map[string]*Timer
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  map[string]*Counter{},
+		gaug:  map[string]*Gauge{},
+		timrs: map[string]*Timer{},
+		hists: map[string]*Histogram{},
+	}
+}
+
+// defaultRegistry is the process-wide registry the convenience
+// functions below feed. It always exists; the enable gate only controls
+// whether the convenience functions record into it. Held behind an
+// atomic pointer so Reset is safe against in-flight recorders.
+var defaultRegistry atomic.Pointer[Registry]
+
+func init() { defaultRegistry.Store(NewRegistry()) }
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry.Load() }
+
+// Reset swaps in a fresh Default registry (used by tests and by
+// cmd/bench between workloads). In-flight recorders may land in either
+// the old or the new registry; callers quiesce instrumented work first.
+func Reset() { defaultRegistry.Store(NewRegistry()) }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.ctrs[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.ctrs[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.ctrs[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gaug[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gaug[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gaug[name] = g
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.RLock()
+	t, ok := r.timrs[name]
+	r.mu.RUnlock()
+	if ok {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok = r.timrs[name]; ok {
+		return t
+	}
+	t = &Timer{}
+	r.timrs[name] = t
+	return t
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// names returns the sorted keys of a metric map (for stable snapshots).
+func names[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- Default-registry convenience recorders -------------------------
+//
+// These are the functions instrumented packages call. Each one is a
+// no-op unless Enable() has been called, so "always instrumented" code
+// costs one atomic load in the common case.
+
+// AddCounter adds n to the named counter in the Default registry.
+func AddCounter(name string, n int64) {
+	if !enabled.Load() {
+		return
+	}
+	Default().Counter(name).Add(n)
+}
+
+// SetGauge sets the named gauge in the Default registry.
+func SetGauge(name string, v float64) {
+	if !enabled.Load() {
+		return
+	}
+	Default().Gauge(name).Set(v)
+}
+
+// ObserveTimer records d against the named timer in the Default
+// registry.
+func ObserveTimer(name string, d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	Default().Timer(name).Observe(d)
+}
+
+// ObserveHistogram records a nanosecond latency against the named
+// histogram in the Default registry.
+func ObserveHistogram(name string, ns int64) {
+	if !enabled.Load() {
+		return
+	}
+	Default().Histogram(name).Observe(ns)
+}
+
+// Span starts a wall-clock stage timing and returns the function that
+// stops it. Use as a one-liner:
+//
+//	defer metrics.Span("exper.E1.run_ns")()
+//
+// When collection is disabled the returned closure is a shared no-op
+// and time.Now is never called.
+func Span(name string) func() {
+	if !enabled.Load() {
+		return nopSpan
+	}
+	start := time.Now()
+	return func() { Default().Timer(name).Observe(time.Since(start)) }
+}
+
+func nopSpan() {}

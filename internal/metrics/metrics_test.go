@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	const goroutines, perG = 16, 10000
+	var c Counter
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestTimerConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 500
+	var tm Timer
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tm.Observe(time.Duration(g*perG+i+1) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tm.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	// Sum over all observed values: 1 + 2 + ... + goroutines*perG.
+	n := int64(goroutines * perG)
+	if got, want := tm.TotalNS(), n*(n+1)/2; got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+	s := snapshotTimer(&tm)
+	if s.MinNS != 1 || s.MaxNS != n {
+		t.Fatalf("min/max = %d/%d, want 1/%d", s.MinNS, s.MaxNS, n)
+	}
+}
+
+// snapshotTimer extracts a TimerStats via the registry snapshot path.
+func snapshotTimer(tm *Timer) TimerStats {
+	r := NewRegistry()
+	r.mu.Lock()
+	r.timrs["t"] = tm
+	r.mu.Unlock()
+	return r.Snapshot().Timers["t"]
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := 1; v <= 100; v++ {
+				g.Set(float64(v) / 7)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 100.0/7 {
+		t.Fatalf("gauge = %v, want %v", got, 100.0/7)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations: 1..100.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 || h.Sum() != 5050 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Quantile is an upper estimate within a factor of 2: the true p50
+	// (50) lives in bucket (32, 64].
+	if got := h.Quantile(0.5); got != 64 {
+		t.Fatalf("p50 = %d, want 64", got)
+	}
+	if got := h.Quantile(1); got != 128 {
+		t.Fatalf("p100 = %d, want 128", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %d, want 1", got)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(-5) // clamped to 0
+	h.Observe(math.MaxInt64)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("low quantile = %d", got)
+	}
+	if got := h.Quantile(1); got <= 0 {
+		t.Fatalf("top quantile overflowed: %d", got)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.Sum(); got != 8*1000*1001/2 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestRegistryIdempotentConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	got := make([]*Counter, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			got[g] = r.Counter("same")
+			got[g].Inc()
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Fatal("Counter(name) returned distinct instances")
+		}
+	}
+	if v := r.Counter("same").Value(); v != goroutines {
+		t.Fatalf("merged count = %d, want %d", v, goroutines)
+	}
+}
+
+func TestDefaultGate(t *testing.T) {
+	Reset()
+	Disable()
+	AddCounter("gated", 5)
+	ObserveTimer("gated_t", time.Second)
+	Span("gated_s")()
+	if s := Default().Snapshot(); len(s.Counters) != 0 || len(s.Timers) != 0 {
+		t.Fatalf("disabled gate still recorded: %+v", s)
+	}
+	Enable()
+	defer Disable()
+	AddCounter("gated", 5)
+	SetGauge("g", 2.5)
+	ObserveHistogram("h", 42)
+	done := Span("gated_s")
+	done()
+	s := Default().Snapshot()
+	if s.Counters["gated"] != 5 || s.Gauges["g"] != 2.5 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("enabled gate dropped data: %+v", s)
+	}
+	if s.Timers["gated_s"].Count != 1 {
+		t.Fatalf("span not recorded: %+v", s.Timers)
+	}
+	Reset()
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("par.foreach.calls").Add(3)
+	r.Gauge("par.foreach.utilization").Set(0.875)
+	r.Timer("exper.E1.run_ns").Observe(1500 * time.Millisecond)
+	r.Timer("exper.E1.run_ns").Observe(500 * time.Millisecond)
+	for v := int64(1); v <= 64; v++ {
+		r.Histogram("core.coalescence.trial_ns").Observe(v * 1000)
+	}
+
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Snapshot()
+	// TakenAt differs between the write and the re-snapshot; compare the
+	// payload.
+	got.TakenAt, want.TakenAt = time.Time{}, time.Time{}
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if string(gb) != string(wb) {
+		t.Fatalf("round trip mismatch:\n got %s\nwant %s", gb, wb)
+	}
+	if got.Schema != SnapshotSchema {
+		t.Fatalf("schema = %q", got.Schema)
+	}
+	ts := got.Timers["exper.E1.run_ns"]
+	if ts.Count != 2 || ts.TotalNS != 2_000_000_000 || ts.MeanNS != 1_000_000_000 {
+		t.Fatalf("timer stats = %+v", ts)
+	}
+	hs := got.Histograms["core.coalescence.trial_ns"]
+	if hs.Count != 64 || hs.P99 < hs.P50 {
+		t.Fatalf("hist stats = %+v", hs)
+	}
+}
+
+func TestReadSnapshotRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeJSON(path, map[string]any{"schema": "other/v9"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

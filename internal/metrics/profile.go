@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// ProfileConfig groups the observability outputs a CLI can enable: a
+// metrics snapshot, a live pprof HTTP endpoint, and CPU/heap profiles
+// captured over the whole run.
+type ProfileConfig struct {
+	MetricsPath string // write a metrics Snapshot JSON here on Stop
+	PprofAddr   string // serve net/http/pprof here (e.g. ":6060") for the run's duration
+	CPUPath     string // write a CPU profile spanning Start..Stop here
+	HeapPath    string // write a heap profile at Stop here
+}
+
+// RegisterFlags registers the standard observability flags on fs (use
+// flag.CommandLine for a CLI's global flags) and returns the config
+// they populate. Call cfg.Start after fs is parsed.
+func RegisterFlags(fs *flag.FlagSet) *ProfileConfig {
+	cfg := &ProfileConfig{}
+	fs.StringVar(&cfg.MetricsPath, "metrics", "", "write a metrics snapshot JSON to this file on exit (enables collection)")
+	fs.StringVar(&cfg.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
+	fs.StringVar(&cfg.CPUPath, "cpuprofile", "", "write a CPU profile of the whole run to this file")
+	fs.StringVar(&cfg.HeapPath, "memprofile", "", "write a heap profile to this file on exit")
+	return cfg
+}
+
+// Start begins collection and profiling per the config. The returned
+// stop function must be called once before process exit (it finalizes
+// profiles and writes the metrics snapshot); it is safe to call when
+// nothing was enabled. Start fails without side effects if the CPU
+// profile cannot be created or started.
+func (c *ProfileConfig) Start() (stop func() error, err error) {
+	if c.MetricsPath != "" {
+		Enable()
+	}
+	if c.PprofAddr != "" {
+		srv := &http.Server{Addr: c.PprofAddr}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "metrics: pprof server on %s: %v\n", c.PprofAddr, err)
+			}
+		}()
+	}
+	var cpuFile *os.File
+	if c.CPUPath != "" {
+		cpuFile, err = os.Create(c.CPUPath)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: create cpu profile: %w", err)
+		}
+		if err := rpprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("metrics: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			rpprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if c.HeapPath != "" {
+			f, err := os.Create(c.HeapPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("metrics: create heap profile: %w", err)
+				}
+			} else {
+				runtime.GC() // settle the heap so the profile reflects live objects
+				if err := rpprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("metrics: write heap profile: %w", err)
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if c.MetricsPath != "" {
+			if err := Default().WriteFile(c.MetricsPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SnapshotSchema identifies the JSON layout written by WriteFile; bump
+// it when the structure changes incompatibly.
+const SnapshotSchema = "dynalloc-metrics/v1"
+
+// Snapshot is a point-in-time, JSON-serializable copy of a registry.
+type Snapshot struct {
+	Schema     string                  `json:"schema"`
+	TakenAt    time.Time               `json:"taken_at"`
+	GoVersion  string                  `json:"go_version"`
+	NumCPU     int                     `json:"num_cpu"`
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Timers     map[string]TimerStats   `json:"timers,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// TimerStats is the serialized form of a Timer.
+type TimerStats struct {
+	Count   int64   `json:"count"`
+	TotalNS int64   `json:"total_ns"`
+	MeanNS  float64 `json:"mean_ns"`
+	MinNS   int64   `json:"min_ns"`
+	MaxNS   int64   `json:"max_ns"`
+}
+
+// HistBucket is one sparse histogram bucket: Count observations at most
+// Upper (and above the previous listed bound).
+type HistBucket struct {
+	Upper int64 `json:"upper"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is the serialized form of a Histogram.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Mean    float64      `json:"mean"`
+	P50     int64        `json:"p50"`
+	P90     int64        `json:"p90"`
+	P99     int64        `json:"p99"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the registry's current values. Concurrent recording
+// is allowed; the snapshot is per-metric consistent (each metric's
+// fields are read through its own synchronization) but not a global
+// atomic cut.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Schema:    SnapshotSchema,
+		TakenAt:   time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.ctrs) > 0 {
+		s.Counters = make(map[string]int64, len(r.ctrs))
+		for _, name := range names(r.ctrs) {
+			s.Counters[name] = r.ctrs[name].Value()
+		}
+	}
+	if len(r.gaug) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gaug))
+		for _, name := range names(r.gaug) {
+			s.Gauges[name] = r.gaug[name].Value()
+		}
+	}
+	if len(r.timrs) > 0 {
+		s.Timers = make(map[string]TimerStats, len(r.timrs))
+		for _, name := range names(r.timrs) {
+			t := r.timrs[name]
+			t.mu.Lock()
+			min, max := t.min, t.max
+			t.mu.Unlock()
+			s.Timers[name] = TimerStats{
+				Count:   t.Count(),
+				TotalNS: t.TotalNS(),
+				MeanNS:  t.MeanNS(),
+				MinNS:   min,
+				MaxNS:   max,
+			}
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for _, name := range names(r.hists) {
+			h := r.hists[name]
+			s.Histograms[name] = HistSnapshot{
+				Count:   h.Count(),
+				Sum:     h.Sum(),
+				Mean:    h.Mean(),
+				P50:     h.Quantile(0.50),
+				P90:     h.Quantile(0.90),
+				P99:     h.Quantile(0.99),
+				Buckets: h.nonzeroBuckets(),
+			}
+		}
+	}
+	return s
+}
+
+// MarshalIndent renders the snapshot as indented JSON.
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WriteFile snapshots the registry and writes it as indented JSON.
+func (r *Registry) WriteFile(path string) error {
+	b, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		return fmt.Errorf("metrics: marshal snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("metrics: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a snapshot previously written by WriteFile and
+// validates its schema tag.
+func ReadSnapshot(path string) (Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: read snapshot: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: parse snapshot %s: %w", path, err)
+	}
+	if s.Schema != SnapshotSchema {
+		return Snapshot{}, fmt.Errorf("metrics: %s has schema %q, want %q", path, s.Schema, SnapshotSchema)
+	}
+	return s, nil
+}

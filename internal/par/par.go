@@ -6,6 +6,30 @@
 // embarrassingly parallel; results are written into per-index slots and
 // reduced in index order afterwards, which keeps every table bit-for-bit
 // reproducible regardless of the worker count.
+//
+// # Panic semantics
+//
+// If any fn(i) panics, ForEach re-panics in the caller's goroutine with
+// the first captured panic value, wrapped to note its origin. The
+// remaining indices are ABANDONED, not retried: every worker stops at
+// its next index claim, so an arbitrary subset of the still-unstarted
+// indices is never executed (and indices claimed between the panic and
+// the stop flag propagating may still run to completion). Callers that
+// treat a panic as recoverable must therefore assume partial coverage
+// of [0, n). The abandoned count is observable as the
+// "par.foreach.skipped_indices" counter when metrics collection is on.
+//
+// # Metrics
+//
+// When metrics.Enabled(), each ForEach call records into the default
+// registry: calls/indices/panics/skipped-index counters, wall and
+// per-worker busy time ("par.foreach.wall_ns" / "par.foreach.busy_ns"),
+// queue drain time ("par.foreach.drain_ns": from the first worker
+// running out of indices to the last fn returning — the straggler tail
+// a static partition would hide), per-call worker utilization
+// ("par.foreach.utilization": busy / (workers * wall)), and a per-index
+// latency histogram ("par.foreach.index_ns"). When collection is off
+// the only overhead is one atomic load per ForEach call.
 package par
 
 import (
@@ -13,13 +37,17 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dynalloc/internal/metrics"
 )
 
 // ForEach runs fn(i) for every i in [0, n), distributing indices over a
 // pool of `workers` goroutines (runtime.NumCPU() when workers <= 0).
 // It returns after all calls complete. If any fn panics, ForEach panics
 // in the caller's goroutine with the first captured panic value (wrapped
-// to note its origin); remaining indices may be skipped.
+// to note its origin); remaining indices are skipped — see the package
+// comment for the exact semantics.
 func ForEach(n, workers int, fn func(int)) {
 	if n <= 0 {
 		return
@@ -30,27 +58,78 @@ func ForEach(n, workers int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
+
+	// Capture the gate once: a call observes either full instrumentation
+	// or none, even if collection is toggled mid-run.
+	instr := metrics.Enabled()
+	var start time.Time
+	if instr {
+		start = time.Now()
+		metrics.AddCounter("par.foreach.calls", 1)
+		metrics.AddCounter("par.foreach.indices", int64(n))
+		metrics.SetGauge("par.foreach.workers", float64(workers))
+	}
+
 	if workers == 1 {
+		done := 0
+		if instr {
+			// A panic must still account for the abandoned tail before
+			// propagating (the sequential path has no recover of its own).
+			defer func() {
+				metrics.ObserveTimer("par.foreach.wall_ns", time.Since(start))
+				if done < n {
+					metrics.AddCounter("par.foreach.panics", 1)
+					metrics.AddCounter("par.foreach.skipped_indices", int64(n-done))
+				}
+			}()
+		}
 		for i := 0; i < n; i++ {
-			fn(i)
+			done++ // counted as executed even if fn panics, matching the pool path
+			runIndex(instr, fn, i)
+		}
+		if instr {
+			metrics.ObserveTimer("par.foreach.busy_ns", time.Since(start))
+			metrics.SetGauge("par.foreach.utilization", 1)
 		}
 		return
 	}
 
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		panicked atomic.Bool
-		panicMu  sync.Mutex
-		panicVal any
+		next      atomic.Int64
+		executed  atomic.Int64 // indices whose fn ran (including the panicking one)
+		busyNS    atomic.Int64 // summed per-worker time inside fn
+		drainFrom atomic.Int64 // earliest time a worker found the queue empty (unix ns)
+		wg        sync.WaitGroup
+		panicked  atomic.Bool
+		panicMu   sync.Mutex
+		panicVal  any
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
-			defer wg.Done()
+			var busy time.Duration
+			defer func() {
+				if instr {
+					busyNS.Add(busy.Nanoseconds())
+				}
+				wg.Done()
+			}()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n || panicked.Load() {
+					if instr && i >= n {
+						now := time.Now().UnixNano()
+						// Keep the earliest out-of-work timestamp.
+						for {
+							prev := drainFrom.Load()
+							if prev != 0 && prev <= now {
+								break
+							}
+							if drainFrom.CompareAndSwap(prev, now) {
+								break
+							}
+						}
+					}
 					return
 				}
 				func() {
@@ -64,15 +143,56 @@ func ForEach(n, workers int, fn func(int)) {
 							panicMu.Unlock()
 						}
 					}()
-					fn(i)
+					var t0 time.Time
+					if instr {
+						t0 = time.Now()
+					}
+					executed.Add(1)
+					runIndex(instr, fn, i)
+					if instr {
+						busy += time.Since(t0)
+					}
 				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if instr {
+		wall := time.Since(start)
+		metrics.ObserveTimer("par.foreach.wall_ns", wall)
+		metrics.ObserveTimer("par.foreach.busy_ns", time.Duration(busyNS.Load()))
+		if wall > 0 {
+			metrics.SetGauge("par.foreach.utilization",
+				float64(busyNS.Load())/(float64(workers)*float64(wall.Nanoseconds())))
+		}
+		if df := drainFrom.Load(); df != 0 {
+			end := start.Add(wall).UnixNano()
+			if end > df {
+				metrics.ObserveTimer("par.foreach.drain_ns", time.Duration(end-df))
+			}
+		}
+		if skipped := int64(n) - executed.Load(); skipped > 0 {
+			metrics.AddCounter("par.foreach.skipped_indices", skipped)
+		}
+	}
 	if panicked.Load() {
+		if instr {
+			metrics.AddCounter("par.foreach.panics", 1)
+		}
 		panic(fmt.Sprintf("par: worker panicked: %v", panicVal))
 	}
+}
+
+// runIndex executes fn(i), recording the per-index latency when
+// instrumented. Panics propagate to the caller.
+func runIndex(instr bool, fn func(int), i int) {
+	if !instr {
+		fn(i)
+		return
+	}
+	t0 := time.Now()
+	fn(i)
+	metrics.ObserveHistogram("par.foreach.index_ns", time.Since(t0).Nanoseconds())
 }
 
 // Map runs fn over [0, n) in parallel and returns the results in index

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"dynalloc/internal/metrics"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -84,6 +86,97 @@ func TestMapParallelMatchesSequential(t *testing.T) {
 		if seq[i] != parl[i] {
 			t.Fatalf("index %d differs", i)
 		}
+	}
+}
+
+func TestForEachMetrics(t *testing.T) {
+	metrics.Reset()
+	metrics.Enable()
+	defer func() {
+		metrics.Disable()
+		metrics.Reset()
+	}()
+	var count atomic.Int32
+	ForEach(50, 4, func(int) { count.Add(1) })
+	s := metrics.Default().Snapshot()
+	if s.Counters["par.foreach.calls"] != 1 || s.Counters["par.foreach.indices"] != 50 {
+		t.Fatalf("call/index counters wrong: %+v", s.Counters)
+	}
+	if s.Counters["par.foreach.skipped_indices"] != 0 {
+		t.Fatalf("clean run recorded skips: %+v", s.Counters)
+	}
+	if s.Timers["par.foreach.wall_ns"].Count != 1 {
+		t.Fatalf("wall timer missing: %+v", s.Timers)
+	}
+	if got := s.Histograms["par.foreach.index_ns"].Count; got != 50 {
+		t.Fatalf("index histogram count = %d, want 50", got)
+	}
+	u := s.Gauges["par.foreach.utilization"]
+	if u <= 0 || u > 1.000001 {
+		t.Fatalf("utilization out of range: %v", u)
+	}
+}
+
+func TestForEachPanicRecordsSkippedIndices(t *testing.T) {
+	metrics.Reset()
+	metrics.Enable()
+	defer func() {
+		metrics.Disable()
+		metrics.Reset()
+	}()
+	const n = 1000
+	var executed atomic.Int64
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic not propagated")
+			}
+		}()
+		ForEach(n, 4, func(i int) {
+			executed.Add(1)
+			if i == 3 {
+				panic("boom")
+			}
+		})
+	}()
+	s := metrics.Default().Snapshot()
+	if s.Counters["par.foreach.panics"] != 1 {
+		t.Fatalf("panic counter = %d", s.Counters["par.foreach.panics"])
+	}
+	skipped := s.Counters["par.foreach.skipped_indices"]
+	if skipped == 0 {
+		t.Fatal("early panic skipped no indices — expected an abandoned tail")
+	}
+	if got := executed.Load() + skipped; got != n {
+		t.Fatalf("executed (%d) + skipped (%d) = %d, want %d", executed.Load(), skipped, got, n)
+	}
+}
+
+func TestForEachSequentialPanicRecordsSkippedIndices(t *testing.T) {
+	metrics.Reset()
+	metrics.Enable()
+	defer func() {
+		metrics.Disable()
+		metrics.Reset()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic not propagated")
+			}
+		}()
+		ForEach(10, 1, func(i int) {
+			if i == 4 {
+				panic("boom")
+			}
+		})
+	}()
+	s := metrics.Default().Snapshot()
+	if got := s.Counters["par.foreach.skipped_indices"]; got != 5 {
+		t.Fatalf("skipped = %d, want 5 (indices 5..9 never ran)", got)
+	}
+	if s.Counters["par.foreach.panics"] != 1 {
+		t.Fatalf("panic counter = %d", s.Counters["par.foreach.panics"])
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"dynalloc/internal/loadvec"
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/par"
 	"dynalloc/internal/stats"
 )
@@ -62,6 +63,7 @@ type Stepper interface {
 // single long run: burn steps of warm-up, then samples draws thinned by
 // thin steps each.
 func Reference(chain Stepper, key StateKey, burn, samples, thin int) map[string]int {
+	defer metrics.Span("tvest.reference.stage_ns")()
 	for i := 0; i < burn; i++ {
 		chain.Step()
 	}
@@ -84,6 +86,7 @@ func Reference(chain Stepper, key StateKey, burn, samples, thin int) map[string]
 // The estimate carries sampling noise of order sqrt(support)/sqrt(K); it
 // neither floors at 0 nor is unbiased, so read curves comparatively.
 func Curve(factory func(trial int) Stepper, key StateKey, ref map[string]int, K int, checkpoints []int64) []float64 {
+	defer metrics.Span("tvest.curve.stage_ns")()
 	if len(checkpoints) == 0 {
 		return nil
 	}
