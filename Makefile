@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full cover clean
+.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill cover clean
 
 all: build vet test
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/tvest/ ./internal/metrics/
+	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/tvest/ ./internal/metrics/ ./internal/rules/ ./internal/serve/
 
 # The full sweep CI runs on one matrix leg.
 race-all:
@@ -41,6 +41,10 @@ EXP ?= E3
 profile: build
 	$(GO) run ./cmd/recoverysim -exp=$(EXP) -full -cpuprofile=cpu.out -memprofile=heap.out -metrics=metrics.json
 	@echo "inspect with: go tool pprof cpu.out  (or heap.out); metrics in metrics.json"
+
+# Crash/recover drill on the live service (docs/SERVING.md).
+serve-drill: build
+	$(GO) run ./cmd/dynallocd -drive -n 65536 -d 2 -crash 4096 -addr ""
 
 # Quick-scale pass over every experiment table.
 experiments: build

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+
 	"dynalloc/internal/core"
 	"dynalloc/internal/edgeorient"
 	"dynalloc/internal/loadvec"
@@ -8,6 +10,7 @@ import (
 	"dynalloc/internal/process"
 	"dynalloc/internal/rng"
 	"dynalloc/internal/rules"
+	"dynalloc/internal/serve"
 )
 
 // workload is one fixed benchmark scenario. Every pass over a workload
@@ -63,11 +66,28 @@ func suiteWorkloads(quick bool) []workload {
 			})
 		}
 	}
+	serveAdmit := func(n, workers int) func(uint64, int) {
+		return func(seed uint64, trials int) {
+			// Admission throughput of the live store: a closed-loop
+			// Scenario A drive at load factor 1, `trials` phases total.
+			// Shards are pinned so the measured contention is fixed
+			// rather than GOMAXPROCS-dependent.
+			st := serve.NewStoreShards(n, 64)
+			st.FillBalanced(n)
+			eng := serve.NewEngine(serve.Config{
+				Store: st, Policy: serve.NewABKUPolicy(2), Scenario: process.ScenarioA,
+				Workers: workers, Seed: seed, MaxSteps: int64(trials),
+			})
+			eng.Run(context.Background())
+		}
+	}
 	return []workload{
 		{"scenarioA/coalescence/n=32", pick(8, 24), scenarioA(32)},
 		{"scenarioA/coalescence/n=64", pick(6, 16), scenarioA(64)},
 		{"scenarioB/coalescence/n=16", pick(6, 16), scenarioB(16)},
 		{"edgeorient/recovery/n=16", pick(6, 16), edgeRecovery(16)},
 		{"edgeorient/recovery/n=32", pick(4, 12), edgeRecovery(32)},
+		{"serve/admit/n=1e4/w=8", pick(50_000, 500_000), serveAdmit(10_000, 8)},
+		{"serve/admit/n=1e5/w=8", pick(50_000, 500_000), serveAdmit(100_000, 8)},
 	}
 }

@@ -1,0 +1,449 @@
+// Command dynallocd serves a live dynamic-allocation store: bins that
+// clients allocate into through a d-choice admission policy, with the
+// paper's departure scenarios available as a built-in traffic driver
+// and an online recovery detector watching the store converge back to
+// its typical state after a fault.
+//
+// Usage:
+//
+//	dynallocd -n 4096                          # serve HTTP on :8080
+//	dynallocd -drive -n 65536 -d 2 -crash 4096 # crash/recover drill, report recovery
+//	dynallocd -drive -crash 4096 -stay         # drill, then keep serving (CI smoke)
+//	dynallocd -rule adap:1,2,2 -scenario B     # ADAP(x) admissions, Scenario B frees
+//
+// Endpoints (see docs/SERVING.md):
+//
+//	POST /alloc        admit one ball, returns {bin, load, probes}
+//	POST /free?bin=B   free from bin B (no bin: scenario departure)
+//	POST /crash?bin=B&k=K  fault injector: add K balls to bin B
+//	GET  /state        store + detector + target state
+//	GET  /healthz      liveness + {"recovered": true|false}
+//
+// Observability: the standard -metrics/-pprof/-cpuprofile/-memprofile
+// flags (docs/OBSERVABILITY.md); the detector publishes the
+// serve.recovered gauge and the recovery-time histograms.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address (empty: no server, drive only)")
+		n        = flag.Int("n", 1<<16, "number of bins")
+		m        = flag.Int("m", 0, "initial balls, seeded balanced (0: same as -n)")
+		ruleSpec = flag.String("rule", "", "admission rule spec: abku:D | adap:x1,x2,... | mixed:BETA | uniform")
+		d        = flag.Int("d", 2, "shorthand for -rule abku:D")
+		x        = flag.String("x", "", "shorthand for -rule adap:x1,x2,...")
+		beta     = flag.Float64("beta", -1, "shorthand for -rule mixed:BETA")
+		scen     = flag.String("scenario", "A", "departure scenario: A (uniform ball) or B (uniform nonempty bin)")
+		seed     = flag.Uint64("seed", 1998, "rng seed (workers use derived streams)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "drive worker goroutines (1 = deterministic)")
+		shards   = flag.Int("shards", 0, "store shard count, power of two (0: auto)")
+		slack    = flag.Int("slack", 1, "recovery threshold slack above the fluid-limit prediction")
+
+		drive      = flag.Bool("drive", false, "run the built-in traffic driver")
+		rate       = flag.Float64("rate", 0, "drive arrival rate per second, 0 = closed loop")
+		crashK     = flag.Int("crash", 0, "fault injection: add this many balls to one bin before driving")
+		crashBin   = flag.Int("crash-bin", 0, "bin the -crash balls land in")
+		maxSteps   = flag.Int64("max-steps", 0, "stop the drive after this many phases (0: 100x the Theorem 1 budget)")
+		stay       = flag.Bool("stay", false, "after the drive finishes, keep serving HTTP until interrupted")
+		checkEvery = flag.Int64("check-every", 0, "drive phases between detector checks (0: max(n, 1024))")
+		checkIntvl = flag.Duration("check-interval", time.Second, "wall-clock detector check cadence while serving")
+
+		prof = metrics.RegisterFlags(flag.CommandLine)
+	)
+	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code := run(options{
+		addr: *addr, n: *n, m: *m,
+		ruleSpec: *ruleSpec, d: *d, x: *x, beta: *beta, scenario: *scen,
+		seed: *seed, workers: *workers, shards: *shards, slack: *slack,
+		drive: *drive, rate: *rate, crashK: *crashK, crashBin: *crashBin,
+		maxSteps: *maxSteps, stay: *stay, checkEvery: *checkEvery,
+		checkInterval: *checkIntvl,
+	})
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+type options struct {
+	addr          string
+	n, m          int
+	ruleSpec      string
+	d             int
+	x             string
+	beta          float64
+	scenario      string
+	seed          uint64
+	workers       int
+	shards        int
+	slack         int
+	drive         bool
+	rate          float64
+	crashK        int
+	crashBin      int
+	maxSteps      int64
+	stay          bool
+	checkEvery    int64
+	checkInterval time.Duration
+}
+
+func run(opt options) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "dynallocd:", err)
+		return 2
+	}
+
+	sc, err := parseScenario(opt.scenario)
+	if err != nil {
+		return fail(err)
+	}
+	spec, err := resolveRuleSpec(opt.ruleSpec, opt.d, opt.x, opt.beta)
+	if err != nil {
+		return fail(err)
+	}
+	pol, err := serve.ParsePolicy(spec)
+	if err != nil {
+		return fail(err)
+	}
+	if opt.n < 1 {
+		return fail(fmt.Errorf("-n must be >= 1, got %d", opt.n))
+	}
+	if opt.m == 0 {
+		opt.m = opt.n
+	}
+	if opt.m < 1 {
+		return fail(fmt.Errorf("-m must be >= 1, got %d", opt.m))
+	}
+
+	var st *serve.Store
+	if opt.shards > 0 {
+		st = serve.NewStoreShards(opt.n, opt.shards)
+	} else {
+		st = serve.NewStore(opt.n)
+	}
+	st.FillBalanced(opt.m)
+
+	totalM := opt.m + opt.crashK
+	target, err := serve.NewTarget(pol, sc, opt.n, totalM, opt.slack)
+	if err != nil {
+		return fail(err)
+	}
+	det := serve.NewDetector(st, target)
+
+	fmt.Printf("dynallocd: n=%d m=%d rule=%s scenario=%s workers=%d shards=%d seed=%d\n",
+		opt.n, opt.m, pol.Name(), sc, opt.workers, st.Shards(), opt.seed)
+	fmt.Printf("dynallocd: recovery target max load %d (fluid prediction %d + slack %d), budget %.0f steps\n",
+		target.MaxLoad(), target.PredictedMax, target.Slack, target.BudgetSteps)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	srv := newServer(st, det, pol, sc, opt.seed)
+	var httpDone chan error
+	if opt.addr != "" {
+		httpDone = srv.serve(ctx, opt.addr)
+	}
+
+	code := 0
+	if opt.drive {
+		code = runDrive(ctx, st, det, pol, sc, opt, target)
+		if !opt.stay {
+			cancel()
+		}
+	}
+
+	if httpDone != nil {
+		// Serve until interrupted (or, after a non-stay drive, until the
+		// cancel above unblocks the shutdown).
+		srv.watch(ctx, opt.checkInterval)
+		if err := <-httpDone; err != nil {
+			fmt.Fprintln(os.Stderr, "dynallocd:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	return code
+}
+
+// runDrive executes the crash/recover drill: optionally injects the
+// fault, then drives scenario traffic until the detector sees the
+// typical state (or the step budget runs out) and reports the outcome.
+func runDrive(ctx context.Context, st *serve.Store, det *serve.Detector, pol serve.Policy, sc process.Scenario, opt options, target serve.Target) int {
+	if opt.crashK > 0 {
+		load := st.Crash(opt.crashBin, opt.crashK)
+		det.MarkDisrupted()
+		fmt.Printf("dynallocd: crashed bin %d to load %d (+%d balls)\n", opt.crashBin, load, opt.crashK)
+	}
+	maxSteps := opt.maxSteps
+	if maxSteps == 0 {
+		maxSteps = int64(100 * target.BudgetSteps)
+	}
+	eng := serve.NewEngine(serve.Config{
+		Store: st, Policy: pol, Scenario: sc,
+		Workers: opt.workers, Seed: opt.seed, Rate: opt.rate,
+		MaxSteps: maxSteps, Detector: det, CheckEvery: opt.checkEvery,
+		StopOnRecovery: true,
+	})
+	res := eng.Run(ctx)
+	if !res.Recovered {
+		fmt.Printf("dynallocd: NOT recovered after %d steps (budget %.0f) in %v\n",
+			res.Steps, target.BudgetSteps, res.Wall.Round(time.Millisecond))
+		return 1
+	}
+	fmt.Printf("dynallocd: recovered in %d steps (%.2fx the m·ln(m/eps) budget of %.0f) — wall clock %v\n",
+		res.Episode.Steps, float64(res.Episode.Steps)/target.BudgetSteps,
+		target.BudgetSteps, res.Episode.Wall.Round(time.Microsecond))
+	s := det.Check()
+	fmt.Printf("dynallocd: max load %d (target %d), gap %d, delta to balanced %d\n",
+		s.MaxLoad, s.TargetMax, s.Gap, s.DeltaTypical)
+	return 0
+}
+
+// server is the HTTP face of the store: admissions, frees, fault
+// injection, and the detector's view of the state.
+type server struct {
+	st  *serve.Store
+	det *serve.Detector
+	sc  process.Scenario
+
+	mu  sync.Mutex // guards pol and r (the HTTP admission stream)
+	pol serve.Policy
+	r   *rng.RNG
+}
+
+// httpStreamOffset keeps the HTTP admission rng stream disjoint from
+// the drive workers' decision streams (streams 0..W-1) and their pacing
+// streams (offset 1<<32).
+const httpStreamOffset = 1 << 33
+
+func newServer(st *serve.Store, det *serve.Detector, pol serve.Policy, sc process.Scenario, seed uint64) *server {
+	return &server{
+		st: st, det: det, sc: sc,
+		pol: pol.Clone(),
+		r:   rng.NewStream(seed, httpStreamOffset),
+	}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/alloc", s.handleAlloc)
+	mux.HandleFunc("/free", s.handleFree)
+	mux.HandleFunc("/crash", s.handleCrash)
+	mux.HandleFunc("/state", s.handleState)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// serve starts the HTTP server and returns a channel that yields its
+// terminal error after ctx is cancelled and shutdown completes.
+func (s *server) serve(ctx context.Context, addr string) chan error {
+	hs := &http.Server{Addr: addr, Handler: s.routes()}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+	}()
+	go func() {
+		fmt.Printf("dynallocd: listening on %s\n", addr)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+	return done
+}
+
+// watch runs periodic detector checks until ctx is done, so the
+// recovered gauge stays fresh even when no driver is stepping the store.
+func (s *server) watch(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.det.Check()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	bin, probes := s.pol.Pick(s.st, s.r)
+	s.mu.Unlock()
+	load := s.st.Alloc(bin)
+	writeJSON(w, http.StatusOK, map[string]int{"bin": bin, "load": load, "probes": probes})
+}
+
+func (s *server) handleFree(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var bin, load int
+	var err error
+	if q := r.URL.Query().Get("bin"); q != "" {
+		bin, err = strconv.Atoi(q)
+		if err != nil || bin < 0 || bin >= s.st.N() {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad bin %q", q))
+			return
+		}
+		load, err = s.st.FreeBin(bin)
+	} else {
+		// No bin: a departure drawn per the configured scenario.
+		s.mu.Lock()
+		switch s.sc {
+		case process.ScenarioB:
+			bin, err = s.st.FreeNonEmpty(s.r)
+		default:
+			bin, err = s.st.FreeBall(s.r)
+		}
+		s.mu.Unlock()
+		if err == nil {
+			load = s.st.Load(bin)
+		}
+	}
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"bin": bin, "load": load})
+}
+
+func (s *server) handleCrash(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	bin, err := strconv.Atoi(q.Get("bin"))
+	if err != nil || bin < 0 || bin >= s.st.N() {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad bin %q", q.Get("bin")))
+		return
+	}
+	k, err := strconv.Atoi(q.Get("k"))
+	if err != nil || k < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", q.Get("k")))
+		return
+	}
+	load := s.st.Crash(bin, k)
+	s.det.MarkDisrupted()
+	writeJSON(w, http.StatusOK, map[string]int{"bin": bin, "load": load, "added": k})
+}
+
+func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	status := s.det.Check()
+	ep, episodes := s.det.LastEpisode()
+	target := s.det.Target()
+	s.mu.Lock()
+	name := s.pol.Name()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n":            s.st.N(),
+		"shards":       s.st.Shards(),
+		"rule":         name,
+		"scenario":     s.sc.String(),
+		"stats":        s.st.Stats(),
+		"status":       status,
+		"target":       target,
+		"episodes":     episodes,
+		"last_episode": ep,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := s.det.Check()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"recovered": status.Recovered,
+		"max_load":  status.MaxLoad,
+		"steps":     status.Steps,
+	})
+}
+
+func parseScenario(s string) (process.Scenario, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "A":
+		return process.ScenarioA, nil
+	case "B":
+		return process.ScenarioB, nil
+	}
+	return 0, fmt.Errorf("unknown scenario %q (want A or B)", s)
+}
+
+// resolveRuleSpec folds the -d/-x/-beta shorthands into one ParsePolicy
+// spec. An explicit -rule wins; the shorthands are mutually exclusive.
+func resolveRuleSpec(rule string, d int, x string, beta float64) (string, error) {
+	if rule != "" {
+		if x != "" || beta >= 0 {
+			return "", fmt.Errorf("-rule conflicts with -x/-beta")
+		}
+		return rule, nil
+	}
+	if x != "" && beta >= 0 {
+		return "", fmt.Errorf("-x conflicts with -beta")
+	}
+	if x != "" {
+		return "adap:" + x, nil
+	}
+	if beta >= 0 {
+		return fmt.Sprintf("mixed:%g", beta), nil
+	}
+	return fmt.Sprintf("abku:%d", d), nil
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dynalloc/internal/process"
+	"dynalloc/internal/serve"
+)
+
+func newTestServer(t *testing.T) (*server, *serve.Store) {
+	t.Helper()
+	st := serve.NewStoreShards(64, 8)
+	st.FillBalanced(64)
+	pol, err := serve.ParsePolicy("abku:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := serve.NewTarget(pol, process.ScenarioA, 64, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(st, serve.NewDetector(st, target), pol, process.ScenarioA, 7), st
+}
+
+func do(t *testing.T, h http.Handler, method, url string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]any
+	if ct := rec.Header().Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, rec.Body.String(), err)
+		}
+	}
+	return rec.Code, body
+}
+
+func TestHandleAllocFree(t *testing.T) {
+	s, st := newTestServer(t)
+	h := s.routes()
+
+	code, body := do(t, h, http.MethodPost, "/alloc")
+	if code != http.StatusOK {
+		t.Fatalf("POST /alloc = %d, body %v", code, body)
+	}
+	bin := int(body["bin"].(float64))
+	if bin < 0 || bin >= 64 || body["probes"].(float64) != 2 {
+		t.Fatalf("alloc response %v", body)
+	}
+	if st.Total() != 65 || st.Allocs() != 1 {
+		t.Fatalf("store after alloc: %+v", st.Stats())
+	}
+
+	// Free from the exact bin the alloc landed in.
+	code, body = do(t, h, http.MethodPost, "/free?bin="+itoa(bin))
+	if code != http.StatusOK || int(body["bin"].(float64)) != bin {
+		t.Fatalf("POST /free?bin= = %d, body %v", code, body)
+	}
+	// Scenario departure (no bin parameter).
+	code, body = do(t, h, http.MethodPost, "/free")
+	if code != http.StatusOK {
+		t.Fatalf("POST /free = %d, body %v", code, body)
+	}
+	if st.Total() != 63 || st.Frees() != 2 {
+		t.Fatalf("store after frees: %+v", st.Stats())
+	}
+
+	for _, url := range []string{"/free?bin=-1", "/free?bin=64", "/free?bin=zz"} {
+		if code, _ := do(t, h, http.MethodPost, url); code != http.StatusBadRequest {
+			t.Fatalf("POST %s = %d, want 400", url, code)
+		}
+	}
+	if code, _ := do(t, h, http.MethodGet, "/alloc"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /alloc = %d, want 405", code)
+	}
+}
+
+func TestHandleFreeEmptyBinConflicts(t *testing.T) {
+	s, st := newTestServer(t)
+	h := s.routes()
+	if _, err := st.FreeBin(3); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := do(t, h, http.MethodPost, "/free?bin=3"); code != http.StatusConflict {
+		t.Fatalf("free of empty bin: want 409")
+	}
+}
+
+func TestHandleCrashAndHealthz(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.routes()
+
+	// Healthy at startup: balanced 64/64 is within any sane target.
+	code, body := do(t, h, http.MethodGet, "/healthz")
+	if code != http.StatusOK || body["recovered"] != true {
+		t.Fatalf("GET /healthz = %d, body %v", code, body)
+	}
+
+	code, body = do(t, h, http.MethodPost, "/crash?bin=9&k=50")
+	if code != http.StatusOK || body["load"].(float64) != 51 {
+		t.Fatalf("POST /crash = %d, body %v", code, body)
+	}
+	_, body = do(t, h, http.MethodGet, "/healthz")
+	if body["recovered"] != false {
+		t.Fatalf("healthz after crash: %v", body)
+	}
+
+	for _, url := range []string{"/crash?bin=9", "/crash?bin=9&k=-1", "/crash?bin=64&k=1", "/crash"} {
+		if code, _ := do(t, h, http.MethodPost, url); code != http.StatusBadRequest {
+			t.Fatalf("POST %s = %d, want 400", url, code)
+		}
+	}
+}
+
+func TestHandleState(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.routes()
+	code, body := do(t, h, http.MethodGet, "/state")
+	if code != http.StatusOK {
+		t.Fatalf("GET /state = %d", code)
+	}
+	if body["rule"] != "ABKU[2]" || body["scenario"] != "A" || body["n"].(float64) != 64 {
+		t.Fatalf("state identity fields: %v", body)
+	}
+	status := body["status"].(map[string]any)
+	if status["recovered"] != true || status["max_load"].(float64) != 1 {
+		t.Fatalf("state status: %v", status)
+	}
+	if body["episodes"].(float64) != 1 {
+		t.Fatalf("startup episode missing: %v", body["episodes"])
+	}
+	if code, _ := do(t, h, http.MethodPost, "/state"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /state = %d, want 405", code)
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	for in, want := range map[string]process.Scenario{
+		"A": process.ScenarioA, "a": process.ScenarioA,
+		"B": process.ScenarioB, " b ": process.ScenarioB,
+	} {
+		got, err := parseScenario(in)
+		if err != nil || got != want {
+			t.Fatalf("parseScenario(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScenario("C"); err == nil {
+		t.Fatal("parseScenario accepted C")
+	}
+}
+
+func TestResolveRuleSpec(t *testing.T) {
+	cases := []struct {
+		rule string
+		d    int
+		x    string
+		beta float64
+		want string
+		ok   bool
+	}{
+		{"", 2, "", -1, "abku:2", true},
+		{"", 3, "", -1, "abku:3", true},
+		{"", 2, "1,2,2", -1, "adap:1,2,2", true},
+		{"", 2, "", 0.5, "mixed:0.5", true},
+		{"", 2, "", 0, "mixed:0", true},
+		{"uniform", 2, "", -1, "uniform", true},
+		{"abku:4", 2, "1,2", -1, "", false}, // -rule vs -x
+		{"", 2, "1,2", 0.5, "", false},      // -x vs -beta
+	}
+	for _, tc := range cases {
+		got, err := resolveRuleSpec(tc.rule, tc.d, tc.x, tc.beta)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Fatalf("resolveRuleSpec(%q,%d,%q,%g) = %q, %v", tc.rule, tc.d, tc.x, tc.beta, got, err)
+		}
+	}
+}
+
+// TestRunDriveRecovers is the end-to-end form of the acceptance command
+// at test scale: crash a bin, drive Scenario A, expect a recovery
+// report and exit code 0.
+func TestRunDriveRecovers(t *testing.T) {
+	code := run(options{
+		addr: "", n: 256, m: 256,
+		d: 2, beta: -1, scenario: "A",
+		seed: 2024, workers: 1, shards: 8, slack: 1,
+		drive: true, crashK: 128, crashBin: 0,
+	})
+	if code != 0 {
+		t.Fatalf("drive run exited %d, want 0", code)
+	}
+}
+
+func itoa(v int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

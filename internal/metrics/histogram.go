@@ -54,6 +54,35 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketOf(v)].Add(1)
 }
 
+// Merge folds every observation recorded in o into h, bucket by
+// bucket: counts, sums and per-bucket tallies add, so quantile
+// estimates of the merged histogram are exactly those of observing
+// both streams into one sketch (the fixed power-of-two buckets make
+// merging lossless). This is how per-worker and per-shard histograms —
+// e.g. the serve engine's admission latencies or recovery episodes
+// collected shard-locally — aggregate into one registry metric.
+//
+// Merge is safe to race with writers on h. Reads of o are atomic but
+// not a consistent cut; quiesce o's writers first for an exact merge.
+// A nil o is a no-op, and o is not modified (merging the same source
+// twice double-counts it).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if n := o.count.Load(); n != 0 {
+		h.count.Add(n)
+	}
+	if s := o.sum.Load(); s != 0 {
+		h.sum.Add(s)
+	}
+	for i := range o.buckets {
+		if c := o.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

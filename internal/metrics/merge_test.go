@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var h, empty Histogram
+	h.Observe(10)
+	h.Observe(20)
+
+	h.Merge(&empty) // merging an empty histogram changes nothing
+	if h.Count() != 2 || h.Sum() != 30 {
+		t.Fatalf("after empty merge: count=%d sum=%d", h.Count(), h.Sum())
+	}
+	h.Merge(nil) // nil is a no-op
+	if h.Count() != 2 {
+		t.Fatalf("after nil merge: count=%d", h.Count())
+	}
+
+	// Merging into an empty histogram reproduces the source exactly.
+	var dst Histogram
+	dst.Merge(&h)
+	if dst.Count() != 2 || dst.Sum() != 30 {
+		t.Fatalf("empty dst after merge: count=%d sum=%d", dst.Count(), dst.Sum())
+	}
+	if dst.Quantile(1) != h.Quantile(1) || dst.Quantile(0) != h.Quantile(0) {
+		t.Fatal("merged quantiles differ from source")
+	}
+	// The source is untouched.
+	if h.Count() != 2 || h.Sum() != 30 {
+		t.Fatalf("source modified by merge: count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramMergeOverlap: merging two histograms with overlapping
+// buckets is exactly equivalent to observing both streams into one.
+func TestHistogramMergeOverlap(t *testing.T) {
+	var a, b, want Histogram
+	for v := int64(1); v <= 100; v++ {
+		a.Observe(v)
+		want.Observe(v)
+	}
+	for v := int64(50); v <= 150; v++ { // overlaps a's upper buckets
+		b.Observe(v)
+		want.Observe(v)
+	}
+
+	a.Merge(&b)
+	if a.Count() != want.Count() || a.Sum() != want.Sum() {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", a.Count(), a.Sum(), want.Count(), want.Sum())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, exp := a.Quantile(q), want.Quantile(q); got != exp {
+			t.Fatalf("q%.2f = %d, want %d", q, got, exp)
+		}
+	}
+	ab, wb := a.nonzeroBuckets(), want.nonzeroBuckets()
+	if len(ab) != len(wb) {
+		t.Fatalf("bucket shapes differ: %v vs %v", ab, wb)
+	}
+	for i := range ab {
+		if ab[i] != wb[i] {
+			t.Fatalf("bucket %d: %+v vs %+v", i, ab[i], wb[i])
+		}
+	}
+}
+
+// TestHistogramMergeFanIn is the engine's aggregation shape: per-worker
+// histograms merged into one shared sketch, concurrently.
+func TestHistogramMergeFanIn(t *testing.T) {
+	const workers = 8
+	const per = 1000
+	parts := make([]Histogram, workers)
+	for w := range parts {
+		for i := int64(1); i <= per; i++ {
+			parts[w].Observe(i)
+		}
+	}
+	var agg Histogram
+	var wg sync.WaitGroup
+	for w := range parts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			agg.Merge(&parts[w])
+		}(w)
+	}
+	wg.Wait()
+	if agg.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", agg.Count(), workers*per)
+	}
+	if agg.Sum() != workers*per*(per+1)/2 {
+		t.Fatalf("sum = %d", agg.Sum())
+	}
+}

@@ -1,0 +1,102 @@
+package rules
+
+import (
+	"sync"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+)
+
+// TestSharedRuleConcurrent exercises the package's concurrency
+// contract under -race: one rule value shared by many goroutines, each
+// drawing its own Samples from its own rng stream. Any write to rule
+// state inside Choose would trip the race detector here.
+func TestSharedRuleConcurrent(t *testing.T) {
+	shared := []Rule{
+		NewABKU(2),
+		NewUniform(),
+		NewAdaptive(SliceThresholds{1, 2, 2, 3}),
+		NewMixed(0.5),
+		MinLoad{},
+	}
+	const workers = 8
+	const steps = 2000
+	v := loadvec.Balanced(64, 128)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.NewStream(11, uint64(w))
+			for i := 0; i < steps; i++ {
+				rule := shared[i%len(shared)]
+				pos := rule.Choose(v, NewSample(v.N(), r))
+				if pos < 0 || pos >= v.N() {
+					t.Errorf("worker %d: %s chose position %d", w, rule.Name(), pos)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestCloneForWorker covers the clone-per-worker pattern callers should
+// use for rules of unknown provenance.
+func TestCloneForWorker(t *testing.T) {
+	for _, rule := range []Rule{NewABKU(3), NewAdaptive(SliceThresholds{1, 2}), NewMixed(0.25), MinLoad{}} {
+		clone := CloneForWorker(rule)
+		if clone.Name() != rule.Name() {
+			t.Fatalf("clone of %s renamed to %s", rule.Name(), clone.Name())
+		}
+		if rule.MaxProbes(64, 8) != clone.MaxProbes(64, 8) {
+			t.Fatalf("%s: clone MaxProbes %d != %d", rule.Name(), clone.MaxProbes(64, 8), rule.MaxProbes(64, 8))
+		}
+		// Shipped rules implement Cloner, so the clone is a distinct
+		// value for pointer-shaped rules.
+		if _, ok := rule.(Cloner); !ok {
+			t.Fatalf("%s does not implement Cloner", rule.Name())
+		}
+	}
+	// A rule without Cloner is passed through unchanged.
+	br := badRule{}
+	if CloneForWorker(br) != Rule(br) {
+		t.Fatal("non-Cloner rule was not passed through")
+	}
+}
+
+// TestCloneIsolation: mutating a threshold slice after cloning must not
+// leak into the clone (or vice versa).
+func TestCloneIsolation(t *testing.T) {
+	xs := SliceThresholds{1, 2, 2}
+	orig := NewAdaptive(xs)
+	clone := CloneForWorker(orig).(*Adaptive)
+
+	// The clone's thresholds are an independent copy.
+	cx := clone.x.(SliceThresholds)
+	cx[1] = 99
+	if got := orig.x.X(1); got != 2 {
+		t.Fatalf("mutating the clone's thresholds changed the original: x_1 = %d", got)
+	}
+
+	choose := func(r Rule) int {
+		v := loadvec.Balanced(16, 32)
+		return r.Choose(v, Fixed(16, []int{5, 3, 7, 1, 2, 9, 11, 0}))
+	}
+	if a, b := choose(orig), choose(NewAdaptive(SliceThresholds{1, 2, 2})); a != b {
+		t.Fatalf("original drifted after clone mutation: %d vs %d", a, b)
+	}
+}
+
+func TestCloneThresholds(t *testing.T) {
+	s := SliceThresholds{1, 2, 3}
+	c := CloneThresholds(s).(SliceThresholds)
+	c[0] = 42
+	if s[0] != 1 {
+		t.Fatal("CloneThresholds aliased the slice")
+	}
+	if CloneThresholds(ConstThresholds(2)) != ConstThresholds(2) {
+		t.Fatal("ConstThresholds must clone to itself")
+	}
+}

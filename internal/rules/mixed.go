@@ -56,6 +56,17 @@ func (mx *Mixed) Choose(v loadvec.Vector, s *Sample) int {
 // Phi implements Rule (identity, as for all rules in the paper).
 func (mx *Mixed) Phi(s *Sample) *Sample { return s }
 
+// Clone implements Cloner: the two branch rules are cloned along with
+// the mixture, so the copy shares no state with the receiver.
+func (mx *Mixed) Clone() Rule {
+	return &Mixed{
+		beta: mx.beta,
+		one:  mx.one.Clone().(*Adaptive),
+		two:  mx.two.Clone().(*Adaptive),
+		name: mx.name,
+	}
+}
+
 // MaxProbes implements Rule.
 func (mx *Mixed) MaxProbes(n, maxLoad int) int { return 2 }
 

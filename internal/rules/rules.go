@@ -20,6 +20,22 @@
 // Here RS is realized as a lazily-extended sequence of i.u.r. bin
 // positions (Sample). Coupled chains pass the *same* Sample to both
 // copies, which is exactly the "same rs" coupling of the paper.
+//
+// # Concurrency
+//
+// Every Rule shipped by this package — Adaptive (and its ABKU/Uniform
+// constructors), Mixed, and MinLoad — is immutable after construction:
+// Choose, Phi and MaxProbes never write rule state, so a single rule
+// value may be shared by any number of goroutines. What is NOT safe to
+// share is a *Sample: it memoizes draws in place and is single-step,
+// single-goroutine state. Concurrent workers must each draw fresh
+// Samples from their own *rng.RNG stream (rng.NewStream per worker).
+//
+// Callers that accept a Rule from outside this package should not rely
+// on immutability: use CloneForWorker to hand each worker its own copy.
+// Rules that carry mutable state must implement Cloner; the shipped
+// rules implement it too (returning an independent copy), so the
+// clone-per-worker pattern works uniformly.
 package rules
 
 import (
@@ -109,6 +125,28 @@ type Rule interface {
 	MaxProbes(n, maxLoad int) int
 }
 
+// Cloner is implemented by rules that can produce an independent copy
+// of themselves for a new worker. All rules in this package implement
+// it; custom stateful rules must, or CloneForWorker will hand workers
+// the shared original.
+type Cloner interface {
+	// Clone returns a copy sharing no mutable state with the receiver.
+	Clone() Rule
+}
+
+// CloneForWorker returns an independent per-worker copy of rule when it
+// implements Cloner, and rule itself otherwise. The fallback is only
+// correct for immutable rules (which all rules in this package are —
+// see the package concurrency note); concurrent drivers such as
+// internal/serve call this once per worker so that no mutable rule
+// state is ever shared across goroutines.
+func CloneForWorker(rule Rule) Rule {
+	if c, ok := rule.(Cloner); ok {
+		return c.Clone()
+	}
+	return rule
+}
+
 // Thresholds is the nondecreasing sequence x = (x_0, x_1, ...) of
 // ADAP(x): a ball standing at a sampled bin of load l is placed once the
 // number of probes M reaches x_l.
@@ -155,6 +193,24 @@ func (xs SliceThresholds) String() string {
 		s += fmt.Sprintf("%d", x)
 	}
 	return s + ",..."
+}
+
+// CloneThresholds returns a threshold sequence sharing no backing
+// storage with x: SliceThresholds gets its slice copied, and value
+// types (ConstThresholds) are returned as-is. Custom implementations
+// are returned unchanged and must be immutable, per the package
+// concurrency contract. Per-worker configuration paths (internal/serve)
+// use this so a caller mutating its slice after construction cannot
+// race the workers.
+func CloneThresholds(x Thresholds) Thresholds {
+	switch t := x.(type) {
+	case ConstThresholds:
+		return t
+	case SliceThresholds:
+		return append(SliceThresholds(nil), t...)
+	default:
+		return x
+	}
 }
 
 // validateThresholds panics if the visible prefix of x is not a
@@ -217,6 +273,12 @@ func (a *Adaptive) Choose(v loadvec.Vector, s *Sample) int {
 // right-orientation for every ADAP(x).
 func (a *Adaptive) Phi(s *Sample) *Sample { return s }
 
+// Clone implements Cloner: the copy shares no mutable state (the
+// threshold sequence is cloned defensively).
+func (a *Adaptive) Clone() Rule {
+	return &Adaptive{x: CloneThresholds(a.x), name: a.name}
+}
+
 // MaxProbes implements Rule: the rule must stop by M = x_l* where l* is
 // the least load reachable, but enumerating exactly is workload
 // dependent; the bound below covers every state with the given max load.
@@ -257,6 +319,9 @@ func (MinLoad) Choose(v loadvec.Vector, _ *Sample) int { return v.N() - 1 }
 
 // Phi implements Rule.
 func (MinLoad) Phi(s *Sample) *Sample { return s }
+
+// Clone implements Cloner (MinLoad carries no state at all).
+func (MinLoad) Clone() Rule { return MinLoad{} }
 
 // MaxProbes implements Rule.
 func (MinLoad) MaxProbes(int, int) int { return 0 }

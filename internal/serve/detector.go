@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"dynalloc/internal/core"
+	"dynalloc/internal/fluid"
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/process"
+)
+
+// Target is the recovery detector's definition of "typical state": the
+// store has recovered once its maximum load is at most
+// PredictedMax + Slack, where PredictedMax is the fluid-limit
+// prediction of the stationary maximum load (the same baseline the
+// offline experiments validate against — see internal/fluid). The
+// paper guarantees the process reaches the typical state from an
+// arbitrary start within O(m ln m) phases (Theorem 1, Scenario A);
+// BudgetSteps carries that scale so dashboards and tests can compare
+// the measured recovery against the theorem.
+type Target struct {
+	PredictedMax int     `json:"predicted_max"` // fluid-limit stationary max-load prediction
+	Slack        int     `json:"slack"`         // allowed excess before the state counts as atypical
+	BudgetSteps  float64 `json:"budget_steps"`  // Theorem 1 scale: m·ln(m/eps) with eps = 1/4
+}
+
+// MaxLoad returns the recovery threshold PredictedMax + Slack.
+func (t Target) MaxLoad() int { return t.PredictedMax + t.Slack }
+
+// NewTarget computes the recovery target for a store of n bins serving
+// m balls under the given admission policy and departure scenario. It
+// integrates the rule's fluid-limit model to its fixed point and reads
+// off the predicted maximum load; the integration is O(cap^2) per step
+// with cap = ceil(m/n)+14 levels and converges in well under a second
+// for any realistic load factor.
+func NewTarget(p Policy, sc process.Scenario, n, m, slack int) (Target, error) {
+	if n < 1 || m < 1 {
+		return Target{}, fmt.Errorf("serve: target needs n >= 1 and m >= 1, got n=%d m=%d", n, m)
+	}
+	if slack < 0 {
+		return Target{}, fmt.Errorf("serve: target slack must be >= 0, got %d", slack)
+	}
+	rho := float64(m) / float64(n)
+	cap := int(math.Ceil(rho)) + 14
+	model := p.FluidModel(sc, cap)
+	// Tolerance 1e-7 (not 1e-8): mixture laws plateau slightly above
+	// 1e-8 from floating-point noise, and bin-count rounding swamps the
+	// difference anyway.
+	pf, err := model.FixedPoint(fluid.InitialBalanced(rho, cap), 0.05, 1e-7, 400000)
+	if err != nil {
+		return Target{}, fmt.Errorf("serve: fluid baseline for %s: %w", p.Name(), err)
+	}
+	return Target{
+		PredictedMax: fluid.PredictedMaxLoad(pf, n),
+		Slack:        slack,
+		BudgetSteps:  core.Theorem1Bound(m, 0.25),
+	}, nil
+}
+
+// Episode is one completed recovery: the store left the typical state
+// (a crash, or a slow drift) and came back. Steps counts admissions
+// (the service's phase clock), Wall is elapsed wall-clock time.
+type Episode struct {
+	Steps int64         `json:"steps"`
+	Wall  time.Duration `json:"wall_ns"`
+}
+
+// Status is one detector observation of the store.
+type Status struct {
+	Steps        int64 `json:"steps"`         // store admission clock at the check
+	MaxLoad      int   `json:"max_load"`      // current maximum bin load
+	Gap          int   `json:"gap"`           // max load above fair share (loadvec.Gap)
+	DeltaTypical int   `json:"delta_typical"` // path-coupling distance Delta to the balanced state
+	PredictedMax int   `json:"predicted_max"` // fluid-limit stationary prediction
+	TargetMax    int   `json:"target_max"`    // recovery threshold (predicted + slack)
+	Total        int64 `json:"total"`         // balls in the store
+	NonEmpty     int64 `json:"non_empty"`     // nonempty bins
+	Recovered    bool  `json:"recovered"`
+}
+
+// Detector watches a Store converge to its typical state. Check
+// snapshots the store (lock-free, O(n)), computes the distance-to-
+// typical measures — maximum load against the fluid-limit prediction,
+// the gap above fair share, and the path-coupling metric
+// Delta(v, balanced) that Sections 4 and 5 contract — and tracks
+// recovered/disrupted transitions. Each not-recovered -> recovered
+// transition closes an Episode, recorded in the "serve.recovery.steps"
+// and "serve.recovery.wall_ns" histograms; the current state is
+// published through the "serve.recovered" gauge and friends (see
+// docs/SERVING.md for the full metric list).
+//
+// All methods are safe for concurrent use. Overlapping Check calls are
+// coalesced: a call that finds another check in flight returns the
+// previous observation instead of snapshotting again, so a wall-clock
+// ticker and a step-cadence driver can share one detector without
+// stacking O(n) scans.
+type Detector struct {
+	store  *Store
+	target Target
+
+	checkMu sync.Mutex // serializes the snapshot+transition critical section
+
+	mu          sync.Mutex // guards everything below
+	recovered   bool
+	disruptedAt int64     // store step clock when the current outage began
+	disruptedTS time.Time // wall clock when the current outage began
+	last        Status
+	haveLast    bool
+	lastEpisode Episode
+	episodes    int64
+	checks      int64
+}
+
+// NewDetector returns a detector for st with the given target. The
+// store starts in the "disrupted" state: the first Check that observes
+// a typical state closes the initial episode (recovery from startup).
+func NewDetector(st *Store, target Target) *Detector {
+	return &Detector{
+		store:       st,
+		target:      target,
+		disruptedAt: st.Allocs(),
+		disruptedTS: time.Now(),
+	}
+}
+
+// Target returns the detector's recovery target.
+func (d *Detector) Target() Target { return d.target }
+
+// Recovered reports whether the last observation was typical.
+func (d *Detector) Recovered() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recovered
+}
+
+// Last returns the most recent observation, if any check has run.
+func (d *Detector) Last() (Status, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last, d.haveLast
+}
+
+// LastEpisode returns the most recently completed recovery episode and
+// the count of completed episodes (0 means none yet).
+func (d *Detector) LastEpisode() (Episode, int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastEpisode, d.episodes
+}
+
+// MarkDisrupted forces the detector into the not-recovered state,
+// stamping the outage at the store's current step clock. Call it right
+// after a fault injection (Store.Crash) so the following recovery is
+// measured from the injection, not from the next Check.
+func (d *Detector) MarkDisrupted() {
+	now := time.Now()
+	steps := d.store.Allocs()
+	d.mu.Lock()
+	d.recovered = false
+	d.disruptedAt = steps
+	d.disruptedTS = now
+	d.mu.Unlock()
+	metrics.SetGauge("serve.recovered", 0)
+}
+
+// Check snapshots the store and updates the recovery state, returning
+// the observation. If another Check is already in flight the cached
+// observation is returned instead (see the type comment).
+func (d *Detector) Check() Status {
+	if !d.checkMu.TryLock() {
+		d.mu.Lock()
+		s := d.last
+		d.mu.Unlock()
+		return s
+	}
+	defer d.checkMu.Unlock()
+
+	steps := d.store.Allocs()
+	v := d.store.Snapshot()
+	m := v.Total()
+	s := Status{
+		Steps:        steps,
+		MaxLoad:      v.MaxLoad(),
+		Gap:          v.Gap(),
+		PredictedMax: d.target.PredictedMax,
+		TargetMax:    d.target.MaxLoad(),
+		Total:        int64(m),
+		NonEmpty:     int64(v.NonEmpty()),
+	}
+	if v.N() > 0 {
+		s.DeltaTypical = v.Delta(loadvec.Balanced(v.N(), m))
+	}
+	s.Recovered = s.MaxLoad <= d.target.MaxLoad()
+
+	now := time.Now()
+	d.mu.Lock()
+	d.checks++
+	switch {
+	case !d.recovered && s.Recovered:
+		ep := Episode{Steps: steps - d.disruptedAt, Wall: now.Sub(d.disruptedTS)}
+		d.lastEpisode = ep
+		d.episodes++
+		d.recovered = true
+		metrics.ObserveHistogram("serve.recovery.steps", ep.Steps)
+		metrics.ObserveHistogram("serve.recovery.wall_ns", ep.Wall.Nanoseconds())
+	case d.recovered && !s.Recovered:
+		// The store drifted (or was crashed) out of the typical band
+		// between checks: open a new outage at this observation.
+		d.recovered = false
+		d.disruptedAt = steps
+		d.disruptedTS = now
+	}
+	d.last = s
+	d.haveLast = true
+	d.mu.Unlock()
+
+	metrics.AddCounter("serve.detector.checks", 1)
+	metrics.SetGauge("serve.recovered", boolGauge(s.Recovered))
+	metrics.SetGauge("serve.max_load", float64(s.MaxLoad))
+	metrics.SetGauge("serve.gap", float64(s.Gap))
+	metrics.SetGauge("serve.delta_typical", float64(s.DeltaTypical))
+	metrics.SetGauge("serve.predicted_max_load", float64(s.PredictedMax))
+	metrics.SetGauge("serve.target_max_load", float64(s.TargetMax))
+	metrics.SetGauge("serve.recovery.budget_steps", d.target.BudgetSteps)
+	return s
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+)
+
+// Config describes a traffic drive: workers replaying the paper's
+// remove-then-insert phases against a live Store.
+type Config struct {
+	Store    *Store
+	Policy   Policy
+	Scenario process.Scenario
+
+	// Workers is the number of concurrent drive goroutines (default 1).
+	// Each worker draws from its own deterministic rng stream
+	// (rng.NewStream(Seed, worker)), so a single-worker run is exactly
+	// reproducible; multi-worker runs are reproducible per worker but
+	// interleave nondeterministically at the store.
+	Workers int
+	Seed    uint64
+
+	// Rate, when positive, paces the drive as an open loop: phases are
+	// issued at `Rate` per second in aggregate, with exponential
+	// interarrival times drawn from a separate pacing stream (so pacing
+	// does not perturb the allocation decisions). Rate == 0 is a closed
+	// loop: each worker issues its next phase immediately.
+	Rate float64
+
+	// MaxSteps stops the drive after this many phases in total
+	// (0 = unlimited; stop via ctx or StopOnRecovery instead).
+	MaxSteps int64
+
+	// Detector, when set, is checked every CheckEvery phases (default:
+	// max(1024, n)) by whichever worker crosses the cadence.
+	Detector   *Detector
+	CheckEvery int64
+
+	// StopOnRecovery stops the drive at the first detector check that
+	// observes the typical state.
+	StopOnRecovery bool
+}
+
+// Result summarizes one Engine.Run.
+type Result struct {
+	Steps     int64         // phases executed
+	Wall      time.Duration // wall-clock duration of the run
+	Recovered bool          // detector state at the end (false without a detector)
+	Episode   Episode       // last completed recovery episode
+	Episodes  int64         // completed episodes
+}
+
+// Engine drives traffic through a Store: each phase removes one ball
+// per the departure scenario and admits one through the policy — the
+// online form of the closed processes of Section 2. It is the
+// subsystem's load generator for benchmarks, the -drive mode of
+// cmd/dynallocd, and the harness the recovery integration tests run.
+type Engine struct {
+	cfg   Config
+	steps atomic.Int64
+	halt  atomic.Bool
+}
+
+// NewEngine validates cfg, fills in defaults, and returns an engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Store == nil || cfg.Policy == nil {
+		panic("serve: engine needs a store and a policy")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = int64(cfg.Store.N())
+		if cfg.CheckEvery < 1024 {
+			cfg.CheckEvery = 1024
+		}
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Steps returns the number of phases executed so far.
+func (e *Engine) Steps() int64 { return e.steps.Load() }
+
+// Stop asks all workers to exit after their current phase.
+func (e *Engine) Stop() { e.halt.Store(true) }
+
+// pacingStreamOffset separates the pacing rng streams from the
+// decision streams, so open-loop pacing draws never perturb the
+// allocation decisions of a given (seed, worker).
+const pacingStreamOffset = 1 << 32
+
+// Run drives traffic until ctx is done, MaxSteps phases have executed,
+// Stop is called, or (with StopOnRecovery) the detector observes the
+// typical state. It blocks until every worker has exited and returns
+// the run summary. Per-worker admission latency histograms are merged
+// into the "serve.alloc.latency_ns" metric, and the phase counters are
+// flushed to "serve.engine.phases", when collection is enabled.
+func (e *Engine) Run(ctx context.Context) Result {
+	cfg := e.cfg
+	start := time.Now()
+	hists := make([]*metrics.Histogram, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		hists[w] = &metrics.Histogram{}
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			e.drive(ctx, worker, hists[worker])
+		}(w)
+	}
+	wg.Wait()
+
+	res := Result{Steps: e.steps.Load(), Wall: time.Since(start)}
+	if cfg.Detector != nil {
+		res.Recovered = cfg.Detector.Recovered()
+		res.Episode, res.Episodes = cfg.Detector.LastEpisode()
+	}
+	if metrics.Enabled() {
+		agg := metrics.Default().Histogram("serve.alloc.latency_ns")
+		for _, h := range hists {
+			agg.Merge(h)
+		}
+		metrics.AddCounter("serve.engine.phases", res.Steps)
+	}
+	return res
+}
+
+// drive is one worker's loop.
+func (e *Engine) drive(ctx context.Context, worker int, lat *metrics.Histogram) {
+	cfg := e.cfg
+	// Each worker gets its own policy copy (the serve-side form of
+	// rules.CloneForWorker), so no mutable rule state is shared.
+	pol := cfg.Policy.Clone()
+	r := rng.NewStream(cfg.Seed, uint64(worker))
+	var pace *rng.RNG
+	var perWorkerRate float64
+	if cfg.Rate > 0 {
+		pace = rng.NewStream(cfg.Seed, uint64(worker)+pacingStreamOffset)
+		perWorkerRate = cfg.Rate / float64(cfg.Workers)
+	}
+	done := ctx.Done()
+	record := metrics.Enabled()
+
+	for i := 0; ; i++ {
+		if e.halt.Load() {
+			return
+		}
+		if i&63 == 0 {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+		if pace != nil {
+			sleep := time.Duration(pace.Exp() / perWorkerRate * float64(time.Second))
+			select {
+			case <-done:
+				return
+			case <-time.After(sleep):
+			}
+		}
+
+		if err := e.phase(pol, r, lat, record); err != nil {
+			// Only ErrEmpty can surface here: the store was drained (all
+			// departures, e.g. an aggressive open-loop free stream).
+			// Closed-loop phases re-insert what they remove, so with
+			// Total >= 1 this is unreachable; stop rather than spin.
+			e.halt.Store(true)
+			return
+		}
+
+		t := e.steps.Add(1)
+		if cfg.MaxSteps > 0 && t >= cfg.MaxSteps {
+			e.halt.Store(true)
+			return
+		}
+		if cfg.Detector != nil && t%cfg.CheckEvery == 0 {
+			s := cfg.Detector.Check()
+			if cfg.StopOnRecovery && s.Recovered {
+				e.halt.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// phase performs one remove-then-insert phase, the unit transition of
+// the paper's closed processes.
+func (e *Engine) phase(pol Policy, r *rng.RNG, lat *metrics.Histogram, record bool) error {
+	var err error
+	switch e.cfg.Scenario {
+	case process.ScenarioA:
+		_, err = e.cfg.Store.FreeBall(r)
+	case process.ScenarioB:
+		_, err = e.cfg.Store.FreeNonEmpty(r)
+	default:
+		panic(fmt.Sprintf("serve: unknown scenario %v", e.cfg.Scenario))
+	}
+	if err != nil {
+		return err
+	}
+	if record {
+		t0 := time.Now()
+		bin, _ := pol.Pick(e.cfg.Store, r)
+		e.cfg.Store.Alloc(bin)
+		lat.Observe(time.Since(t0).Nanoseconds())
+		return nil
+	}
+	bin, _ := pol.Pick(e.cfg.Store, r)
+	e.cfg.Store.Alloc(bin)
+	return nil
+}

@@ -1,0 +1,420 @@
+// Package serve turns the paper's dynamic allocation processes into a
+// long-running, thread-safe service: a sharded bin store that admits and
+// releases balls concurrently, admission policies that realize ABKU[d],
+// ADAP(x) and the (1+beta)-choice rule against live (un-normalized) bin
+// loads, the paper's two departure streams (Scenario A and Scenario B),
+// an online recovery detector that watches the store converge back to
+// its typical state, and a traffic-driving engine.
+//
+// The offline packages (process, core, markov) study the same dynamics
+// as Markov chains on normalized load vectors; this package is the
+// online counterpart. The bridge between the two worlds is
+// Store.Snapshot, which produces a loadvec.Vector so every existing
+// analysis primitive (Gap, Delta, fluid baselines, theorem bounds)
+// applies to the live system unchanged.
+//
+// Concurrency model: per-bin loads live in a flat array of atomics, so
+// the admission path probes and the detector snapshots without taking
+// any lock. Mutations go through striped (power-of-two sharded) locks;
+// each shard additionally maintains an atomic ball total, which gives
+// the Scenario A departure stream a two-level weighted sample (pick a
+// shard by its total, then a bin within the shard) without a global
+// lock. Single-worker runs driven from one rng stream are fully
+// deterministic; see Engine.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+)
+
+// ErrEmpty is returned by the departure streams when the store holds no
+// balls at the moment of the draw.
+var ErrEmpty = errors.New("serve: store is empty")
+
+// ErrEmptyBin is returned by FreeBin when the requested bin holds no
+// ball (a process never removes from an empty bin).
+var ErrEmptyBin = errors.New("serve: bin is empty")
+
+// shard is one lock stripe of the store. The mutex guards all mutations
+// of the bins in [lo, hi); total mirrors the ball count of those bins
+// and is additionally readable lock-free (atomic) so Scenario A shard
+// selection does not serialize on the stripe locks. The pad keeps
+// adjacent shards off one cache line.
+type shard struct {
+	mu    sync.Mutex
+	total atomic.Int64
+	lo    int
+	hi    int
+	_     [24]byte
+}
+
+// Store is a concurrent bin store holding the live load vector of an
+// allocation service with n bins. All methods are safe for concurrent
+// use. Loads are int32; a single bin can therefore absorb ~2·10^9
+// balls, far beyond any crash injection of interest.
+type Store struct {
+	n         int
+	shardBits int // len(shards) == 1 << shardBits
+	shardSize int
+	loads     []atomic.Int32
+	shards    []shard
+
+	total    atomic.Int64 // balls currently stored
+	nonEmpty atomic.Int64 // bins with load > 0
+	allocs   atomic.Int64 // completed Alloc calls (the service's step clock)
+	frees    atomic.Int64 // completed Free* calls
+}
+
+// NewStore returns an empty store with n bins and an automatic shard
+// count: the smallest power of two covering 2x GOMAXPROCS, clamped to
+// [8, 256] and to at most n. Use NewStoreShards to pin the shard count
+// (the Scenario A departure stream consumes randomness per shard
+// geometry, so pinning it makes runs reproducible across machines).
+func NewStore(n int) *Store {
+	target := 2 * runtime.GOMAXPROCS(0)
+	if target < 8 {
+		target = 8
+	}
+	if target > 256 {
+		target = 256
+	}
+	shards := ceilPow2(target)
+	if shards > n {
+		shards = ceilPow2(n)
+	}
+	return NewStoreShards(n, shards)
+}
+
+// NewStoreShards returns an empty store with n bins and exactly
+// `shards` lock stripes. It panics unless n >= 1 and shards is a power
+// of two in [1, 2^20].
+func NewStoreShards(n, shards int) *Store {
+	if n < 1 {
+		panic("serve: store needs n >= 1")
+	}
+	if shards < 1 || shards > 1<<20 || shards&(shards-1) != 0 {
+		panic(fmt.Sprintf("serve: shard count %d is not a power of two in [1, 2^20]", shards))
+	}
+	size := (n + shards - 1) / shards
+	st := &Store{
+		n:         n,
+		shardBits: bits.TrailingZeros(uint(shards)),
+		shardSize: size,
+		loads:     make([]atomic.Int32, n),
+		shards:    make([]shard, shards),
+	}
+	for i := range st.shards {
+		lo := i * size
+		hi := lo + size
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		st.shards[i].lo, st.shards[i].hi = lo, hi
+	}
+	return st
+}
+
+func ceilPow2(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(x-1))
+}
+
+// N returns the number of bins.
+func (st *Store) N() int { return st.n }
+
+// Shards returns the number of lock stripes.
+func (st *Store) Shards() int { return len(st.shards) }
+
+// Total returns the number of balls currently stored.
+func (st *Store) Total() int64 { return st.total.Load() }
+
+// NonEmpty returns the number of bins currently holding a ball.
+func (st *Store) NonEmpty() int64 { return st.nonEmpty.Load() }
+
+// Allocs returns the number of completed admissions since creation.
+// This monotone counter is the service's step clock: in a closed-loop
+// drive one phase performs exactly one admission, so recovery times
+// measured in Allocs are directly comparable to the paper's phase
+// counts.
+func (st *Store) Allocs() int64 { return st.allocs.Load() }
+
+// Frees returns the number of completed departures since creation.
+func (st *Store) Frees() int64 { return st.frees.Load() }
+
+// Load returns bin b's current load with one atomic read. This is the
+// lock-free probe primitive of the admission path; the value may be
+// stale by the time the caller acts on it, which is exactly the
+// semantics a d-choice balancer has in any distributed deployment.
+func (st *Store) Load(b int) int { return int(st.loads[b].Load()) }
+
+func (st *Store) shardOf(b int) *shard { return &st.shards[b/st.shardSize] }
+
+// allocLocked adds one ball to bin b. Caller holds the shard lock.
+func (st *Store) allocLocked(sh *shard, b int) int32 {
+	l := st.loads[b].Add(1)
+	if l == 1 {
+		st.nonEmpty.Add(1)
+	}
+	sh.total.Add(1)
+	st.total.Add(1)
+	st.allocs.Add(1)
+	return l
+}
+
+// freeLocked removes one ball from bin b. Caller holds the shard lock
+// and has verified the bin is nonempty.
+func (st *Store) freeLocked(sh *shard, b int) int32 {
+	l := st.loads[b].Add(-1)
+	if l == 0 {
+		st.nonEmpty.Add(-1)
+	}
+	sh.total.Add(-1)
+	st.total.Add(-1)
+	st.frees.Add(1)
+	return l
+}
+
+// Alloc places one ball into bin b and returns the bin's new load. It
+// panics if b is out of range.
+func (st *Store) Alloc(b int) int {
+	if b < 0 || b >= st.n {
+		panic(fmt.Sprintf("serve: Alloc bin %d out of range [0,%d)", b, st.n))
+	}
+	sh := st.shardOf(b)
+	sh.mu.Lock()
+	l := st.allocLocked(sh, b)
+	sh.mu.Unlock()
+	return int(l)
+}
+
+// FreeBin removes one ball from the specific bin b and returns its new
+// load, or ErrEmptyBin if the bin holds no ball. It panics if b is out
+// of range.
+func (st *Store) FreeBin(b int) (int, error) {
+	if b < 0 || b >= st.n {
+		panic(fmt.Sprintf("serve: FreeBin bin %d out of range [0,%d)", b, st.n))
+	}
+	sh := st.shardOf(b)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st.loads[b].Load() == 0 {
+		return 0, ErrEmptyBin
+	}
+	return int(st.freeLocked(sh, b)), nil
+}
+
+// FreeBall implements the Scenario A departure stream: it removes a
+// ball chosen uniformly at random among all stored balls (a bin is hit
+// with probability proportional to its load) and returns the bin it
+// was taken from.
+//
+// The draw is two-level: one uniform variate in [0, Total()) selects a
+// shard by walking the atomic shard totals, then the residue selects a
+// bin inside the (locked) shard by a weighted scan. With quiescent
+// writers this is an exact weighted sample; under concurrent churn the
+// totals can drift during the walk, in which case the draw is retried
+// (and, within a confirmed shard, the residue is clamped — a bias of
+// at most one ball's weight per racing mutation).
+func (st *Store) FreeBall(r *rng.RNG) (int, error) {
+	for attempt := 0; attempt < 64; attempt++ {
+		total := st.total.Load()
+		if total <= 0 {
+			return -1, ErrEmpty
+		}
+		target := int64(r.Uint64n(uint64(total)))
+		for si := range st.shards {
+			sh := &st.shards[si]
+			t := sh.total.Load()
+			if target >= t {
+				target -= t
+				continue
+			}
+			sh.mu.Lock()
+			t = sh.total.Load() // stable now: all writers take this lock
+			if t == 0 {
+				sh.mu.Unlock()
+				break // drifted empty under us; redraw
+			}
+			if target >= t {
+				target = t - 1
+			}
+			for b := sh.lo; b < sh.hi; b++ {
+				l := int64(st.loads[b].Load())
+				if target < l {
+					st.freeLocked(sh, b)
+					sh.mu.Unlock()
+					return b, nil
+				}
+				target -= l
+			}
+			sh.mu.Unlock()
+			break // unreachable unless totals drifted; redraw
+		}
+	}
+	// Pathological churn: fall back to the first ball found under locks.
+	for si := range st.shards {
+		sh := &st.shards[si]
+		sh.mu.Lock()
+		for b := sh.lo; b < sh.hi; b++ {
+			if st.loads[b].Load() > 0 {
+				st.freeLocked(sh, b)
+				sh.mu.Unlock()
+				return b, nil
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return -1, ErrEmpty
+}
+
+// FreeNonEmpty implements the Scenario B departure stream: it removes
+// one ball from a nonempty bin chosen uniformly at random among the
+// nonempty bins, and returns that bin. The draw is rejection sampling
+// over uniform bins (expected n/NonEmpty() iterations, at most 2
+// whenever at least half the bins are loaded); after 4n+64 consecutive
+// rejections it falls back to a linear scan over all bins, which keeps
+// the call bounded when racing frees empty the store.
+func (st *Store) FreeNonEmpty(r *rng.RNG) (int, error) {
+	maxRejects := 4*st.n + 64
+	for attempt := 0; attempt <= maxRejects; attempt++ {
+		if st.total.Load() <= 0 {
+			return -1, ErrEmpty
+		}
+		b := r.Intn(st.n)
+		if st.loads[b].Load() == 0 {
+			continue
+		}
+		sh := st.shardOf(b)
+		sh.mu.Lock()
+		if st.loads[b].Load() > 0 {
+			st.freeLocked(sh, b)
+			sh.mu.Unlock()
+			return b, nil
+		}
+		sh.mu.Unlock()
+	}
+	for off := 0; off < st.n; off++ {
+		b := off
+		if st.loads[b].Load() == 0 {
+			continue
+		}
+		sh := st.shardOf(b)
+		sh.mu.Lock()
+		if st.loads[b].Load() > 0 {
+			st.freeLocked(sh, b)
+			sh.mu.Unlock()
+			return b, nil
+		}
+		sh.mu.Unlock()
+	}
+	return -1, ErrEmpty
+}
+
+// Crash dumps k extra balls into bin b at once — the fault injector
+// that manufactures the adversarial "all the mass in one place" states
+// of the paper's introduction. It returns the bin's new load. Crash
+// counts neither as admissions nor as departures, so the step clock
+// (Allocs) measures recovery work only.
+func (st *Store) Crash(b, k int) int {
+	if b < 0 || b >= st.n {
+		panic(fmt.Sprintf("serve: Crash bin %d out of range [0,%d)", b, st.n))
+	}
+	if k < 0 {
+		panic("serve: Crash needs k >= 0")
+	}
+	if k == 0 {
+		return st.Load(b)
+	}
+	sh := st.shardOf(b)
+	sh.mu.Lock()
+	l := st.loads[b].Add(int32(k))
+	if l == int32(k) {
+		st.nonEmpty.Add(1)
+	}
+	sh.total.Add(int64(k))
+	st.total.Add(int64(k))
+	sh.mu.Unlock()
+	return int(l)
+}
+
+// FillBalanced seeds the store with the most balanced state of Omega_m:
+// every bin gets floor(m/n) balls and the first m mod n bins one more.
+// Intended for initialization; it takes the shard locks bin by bin and
+// is safe (though pointless) to race with traffic. Seeding counts as
+// neither admissions nor departures.
+func (st *Store) FillBalanced(m int) {
+	if m < 0 {
+		panic("serve: FillBalanced needs m >= 0")
+	}
+	q, rem := m/st.n, m%st.n
+	for b := 0; b < st.n; b++ {
+		add := q
+		if b < rem {
+			add++
+		}
+		if add == 0 {
+			continue
+		}
+		st.Crash(b, add)
+	}
+}
+
+// Snapshot reads every bin with one atomic load apiece — no locks — and
+// returns the normalized load vector, the exact object the offline
+// analysis code (Gap, Delta, fluid baselines, theorem bounds) operates
+// on. Under concurrent traffic the snapshot is per-bin consistent but
+// not a global atomic cut: it may show a state the store never passed
+// through exactly, off by the handful of operations in flight. For the
+// recovery detector this is harmless — the distance metrics move by
+// O(1) per operation.
+func (st *Store) Snapshot() loadvec.Vector {
+	out := make([]int, st.n)
+	for b := range out {
+		out[b] = int(st.loads[b].Load())
+	}
+	return loadvec.FromLoads(out)
+}
+
+// LoadsCopy returns the raw (bin-indexed, unsorted) loads, read
+// lock-free like Snapshot. Useful for tests and for callers that need
+// bin identities rather than the normalized vector.
+func (st *Store) LoadsCopy() []int {
+	out := make([]int, st.n)
+	for b := range out {
+		out[b] = int(st.loads[b].Load())
+	}
+	return out
+}
+
+// Stats is a cheap O(1) summary of the store's counters.
+type Stats struct {
+	N        int   `json:"n"`
+	Total    int64 `json:"total"`
+	NonEmpty int64 `json:"non_empty"`
+	Allocs   int64 `json:"allocs"`
+	Frees    int64 `json:"frees"`
+}
+
+// Stats returns the current counter summary without touching the bins.
+func (st *Store) Stats() Stats {
+	return Stats{
+		N:        st.n,
+		Total:    st.total.Load(),
+		NonEmpty: st.nonEmpty.Load(),
+		Allocs:   st.allocs.Load(),
+		Frees:    st.frees.Load(),
+	}
+}
