@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill cover clean
+.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill cover clean
 
 all: build vet test
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/tvest/ ./internal/metrics/ ./internal/rules/ ./internal/serve/
+	$(GO) test -race ./internal/par/ ./internal/core/ ./internal/tvest/ ./internal/metrics/ ./internal/rules/ ./internal/serve/ ./internal/wal/ ./internal/checkpoint/
 
 # The full sweep CI runs on one matrix leg.
 race-all:
@@ -45,6 +45,11 @@ profile: build
 # Crash/recover drill on the live service (docs/SERVING.md).
 serve-drill: build
 	$(GO) run ./cmd/dynallocd -drive -n 65536 -d 2 -crash 4096 -addr ""
+
+# Restart-recovery drill: kill -9 a durable daemon, restart, verify the
+# state survived and the detector re-fires (docs/SERVING.md).
+recovery-drill: build
+	./scripts/recovery_drill.sh
 
 # Quick-scale pass over every experiment table.
 experiments: build

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"os"
 
 	"dynalloc/internal/core"
 	"dynalloc/internal/edgeorient"
@@ -11,6 +12,7 @@ import (
 	"dynalloc/internal/rng"
 	"dynalloc/internal/rules"
 	"dynalloc/internal/serve"
+	"dynalloc/internal/wal"
 )
 
 // workload is one fixed benchmark scenario. Every pass over a workload
@@ -81,6 +83,62 @@ func suiteWorkloads(quick bool) []workload {
 			eng.Run(context.Background())
 		}
 	}
+	walAppend := func() func(uint64, int) {
+		return func(seed uint64, trials int) {
+			// Sequential append throughput of the durability log: `trials`
+			// records through the buffered writer with rotation in play,
+			// fsync off so the number is the encoding + buffering cost.
+			dir, err := os.MkdirTemp("", "bench-wal-*")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever, SegmentBytes: 4 << 20})
+			if err != nil {
+				panic(err)
+			}
+			r := rng.New(seed)
+			for i := 0; i < trials; i++ {
+				rec := wal.Record{Op: wal.OpAlloc, Bin: uint32(r.Intn(1 << 16)), K: 1, Seq: uint64(i + 1)}
+				if err := l.Append(rec); err != nil {
+					panic(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	walReplay := func() func(uint64, int) {
+		return func(seed uint64, trials int) {
+			// Replay (restore) throughput: decode + CRC-check + apply
+			// `trials` records into a live store, the boot-time cost path.
+			dir, err := os.MkdirTemp("", "bench-replay-*")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			const n = 1 << 16
+			st := serve.NewStoreShards(n, 64)
+			l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever, SegmentBytes: 4 << 20})
+			if err != nil {
+				panic(err)
+			}
+			r := rng.New(seed)
+			for i := 0; i < trials; i++ {
+				rec := wal.Record{Op: wal.OpAlloc, Bin: uint32(r.Intn(n)), K: 1, Seq: uint64(i + 1)}
+				if err := l.Append(rec); err != nil {
+					panic(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				panic(err)
+			}
+			if _, err := serve.Restore(st, dir); err != nil {
+				panic(err)
+			}
+		}
+	}
 	return []workload{
 		{"scenarioA/coalescence/n=32", pick(8, 24), scenarioA(32)},
 		{"scenarioA/coalescence/n=64", pick(6, 16), scenarioA(64)},
@@ -89,5 +147,7 @@ func suiteWorkloads(quick bool) []workload {
 		{"edgeorient/recovery/n=32", pick(4, 12), edgeRecovery(32)},
 		{"serve/admit/n=1e4/w=8", pick(50_000, 500_000), serveAdmit(10_000, 8)},
 		{"serve/admit/n=1e5/w=8", pick(50_000, 500_000), serveAdmit(100_000, 8)},
+		{"wal/append", pick(100_000, 1_000_000), walAppend()},
+		{"wal/replay", pick(100_000, 1_000_000), walReplay()},
 	}
 }

@@ -16,12 +16,22 @@
 //	POST /alloc        admit one ball, returns {bin, load, probes}
 //	POST /free?bin=B   free from bin B (no bin: scenario departure)
 //	POST /crash?bin=B&k=K  fault injector: add K balls to bin B
-//	GET  /state        store + detector + target state
+//	POST /checkpoint   force a durability checkpoint (409 if -wal-dir unset)
+//	GET  /state        store + detector + target state (?summary=1: small form)
 //	GET  /healthz      liveness + {"recovered": true|false}
+//
+// Durability (-wal-dir DIR, see docs/SERVING.md): every mutation is
+// appended to a write-ahead log, checkpoints are taken at boot, on
+// -checkpoint-every ticks, on POST /checkpoint, and at shutdown; a
+// restart restores the latest checkpoint plus the WAL suffix, so the
+// load vector — and therefore the recovery drill — survives kill -9.
+// During shutdown the mutation endpoints return 503 so the final
+// checkpoint is exact.
 //
 // Observability: the standard -metrics/-pprof/-cpuprofile/-memprofile
 // flags (docs/OBSERVABILITY.md); the detector publishes the
-// serve.recovered gauge and the recovery-time histograms.
+// serve.recovered gauge and the recovery-time histograms; the WAL adds
+// wal.* and checkpoint.* series.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -43,6 +54,7 @@ import (
 	"dynalloc/internal/process"
 	"dynalloc/internal/rng"
 	"dynalloc/internal/serve"
+	"dynalloc/internal/wal"
 )
 
 func main() {
@@ -69,6 +81,11 @@ func main() {
 		checkEvery = flag.Int64("check-every", 0, "drive phases between detector checks (0: max(n, 1024))")
 		checkIntvl = flag.Duration("check-interval", time.Second, "wall-clock detector check cadence while serving")
 
+		walDir     = flag.String("wal-dir", "", "durability directory for the WAL + checkpoints (empty: durability off)")
+		ckptEvery  = flag.Duration("checkpoint-every", 0, "periodic checkpoint cadence (0: only boot/shutdown/POST; needs -wal-dir)")
+		fsyncPol   = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
+		fsyncIntvl = flag.Duration("fsync-interval", 100*time.Millisecond, "max fsync lag under -fsync interval")
+
 		prof = metrics.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -85,6 +102,8 @@ func main() {
 		drive: *drive, rate: *rate, crashK: *crashK, crashBin: *crashBin,
 		maxSteps: *maxSteps, stay: *stay, checkEvery: *checkEvery,
 		checkInterval: *checkIntvl,
+		walDir:        *walDir, ckptEvery: *ckptEvery,
+		fsync: *fsyncPol, fsyncInterval: *fsyncIntvl,
 	})
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -115,6 +134,10 @@ type options struct {
 	stay          bool
 	checkEvery    int64
 	checkInterval time.Duration
+	walDir        string
+	ckptEvery     time.Duration
+	fsync         string
+	fsyncInterval time.Duration
 }
 
 func run(opt options) int {
@@ -151,9 +174,48 @@ func run(opt options) int {
 	} else {
 		st = serve.NewStore(opt.n)
 	}
-	st.FillBalanced(opt.m)
 
-	totalM := opt.m + opt.crashK
+	// Durability: restore the store from -wal-dir if it holds state,
+	// seed it balanced otherwise, then attach the journal so every
+	// mutation from here on is logged. The boot checkpoint makes the
+	// seeded (or freshly compacted) state durable before traffic starts;
+	// without it a fresh boot's balls would exist nowhere on disk.
+	var j *serve.Journal
+	if opt.walDir != "" {
+		fp, err := wal.ParseFsyncPolicy(opt.fsync)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := serve.Restore(st, opt.walDir)
+		if err != nil {
+			return fail(err)
+		}
+		if res.Restored {
+			fmt.Printf("dynallocd: restored %d balls from %s (checkpoint seq %d, %d WAL records replayed, torn=%v)\n",
+				st.Total(), opt.walDir, res.CheckpointSeq, res.Replayed, res.Torn)
+		} else {
+			st.FillBalanced(opt.m)
+		}
+		log, err := wal.Open(wal.Options{Dir: opt.walDir, Fsync: fp, FsyncInterval: opt.fsyncInterval})
+		if err != nil {
+			return fail(err)
+		}
+		jo := serve.JournalOptions{}
+		if fp == wal.FsyncInterval {
+			jo.SyncEvery = opt.fsyncInterval
+		}
+		j = serve.NewJournal(st, log, res.LastSeq, jo)
+		if _, _, err := j.Checkpoint(); err != nil {
+			j.Close()
+			return fail(fmt.Errorf("boot checkpoint: %w", err))
+		}
+		fmt.Printf("dynallocd: durability on: wal-dir=%s fsync=%s checkpoint-every=%v\n",
+			opt.walDir, opt.fsync, opt.ckptEvery)
+	} else {
+		st.FillBalanced(opt.m)
+	}
+
+	totalM := int(st.Total()) + opt.crashK
 	target, err := serve.NewTarget(pol, sc, opt.n, totalM, opt.slack)
 	if err != nil {
 		return fail(err)
@@ -169,9 +231,30 @@ func run(opt options) int {
 	defer cancel()
 
 	srv := newServer(st, det, pol, sc, opt.seed)
+	srv.j = j
 	var httpDone chan error
 	if opt.addr != "" {
 		httpDone = srv.serve(ctx, opt.addr)
+	}
+
+	var ckptWG sync.WaitGroup
+	if j != nil && opt.ckptEvery > 0 {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			t := time.NewTicker(opt.ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if _, _, err := j.Checkpoint(); err != nil {
+						fmt.Fprintln(os.Stderr, "dynallocd: checkpoint:", err)
+					}
+				}
+			}
+		}()
 	}
 
 	code := 0
@@ -188,6 +271,28 @@ func run(opt options) int {
 		srv.watch(ctx, opt.checkInterval)
 		if err := <-httpDone; err != nil {
 			fmt.Fprintln(os.Stderr, "dynallocd:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+
+	// Traffic has quiesced (HTTP shut down, drive finished): take the
+	// final checkpoint and close the WAL so a clean shutdown restarts
+	// from the checkpoint alone.
+	if j != nil {
+		cancel()
+		ckptWG.Wait()
+		if snap, _, err := j.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynallocd: final checkpoint:", err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Printf("dynallocd: final checkpoint at seq %d (%d balls)\n", snap.Seq, st.Total())
+		}
+		if err := j.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynallocd: wal close:", err)
 			if code == 0 {
 				code = 1
 			}
@@ -236,6 +341,11 @@ type server struct {
 	st  *serve.Store
 	det *serve.Detector
 	sc  process.Scenario
+	j   *serve.Journal // nil when durability is off
+
+	// draining flips on when shutdown starts: mutation endpoints refuse
+	// with 503 so the final checkpoint captures a quiesced store.
+	draining atomic.Bool
 
 	mu  sync.Mutex // guards pol and r (the HTTP admission stream)
 	pol serve.Policy
@@ -260,6 +370,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/alloc", s.handleAlloc)
 	mux.HandleFunc("/free", s.handleFree)
 	mux.HandleFunc("/crash", s.handleCrash)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/state", s.handleState)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -272,6 +383,9 @@ func (s *server) serve(ctx context.Context, addr string) chan error {
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
+		// Refuse new mutations before draining in-flight requests, so
+		// the state the final checkpoint sees is the state clients saw.
+		s.draining.Store(true)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(shutdownCtx)
@@ -315,9 +429,22 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// refuseDraining rejects mutations once shutdown has started. Returns
+// true when the request was already answered.
+func (s *server) refuseDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("shutting down"))
+	return true
+}
+
 func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.refuseDraining(w) {
 		return
 	}
 	s.mu.Lock()
@@ -330,6 +457,9 @@ func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleFree(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.refuseDraining(w) {
 		return
 	}
 	var bin, load int
@@ -367,6 +497,9 @@ func (s *server) handleCrash(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.refuseDraining(w) {
+		return
+	}
 	q := r.URL.Query()
 	bin, err := strconv.Atoi(q.Get("bin"))
 	if err != nil || bin < 0 || bin >= s.st.N() {
@@ -383,18 +516,50 @@ func (s *server) handleCrash(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"bin": bin, "load": load, "added": k})
 }
 
+// handleCheckpoint forces a durability checkpoint. 409 when the daemon
+// runs without -wal-dir: there is nothing to checkpoint into.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.j == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("durability disabled (-wal-dir not set)"))
+		return
+	}
+	snap, path, err := s.j.Checkpoint()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seq": snap.Seq, "path": path, "balls": s.st.Total(),
+	})
+}
+
 func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
 	status := s.det.Check()
+	if r.URL.Query().Get("summary") != "" {
+		// The cheap polling form: no load vector, no episode history.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"n":         s.st.N(),
+			"m":         s.st.Total(),
+			"max_load":  status.MaxLoad,
+			"gap":       status.Gap,
+			"recovered": status.Recovered,
+		})
+		return
+	}
 	ep, episodes := s.det.LastEpisode()
 	target := s.det.Target()
 	s.mu.Lock()
 	name := s.pol.Name()
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	state := map[string]any{
 		"n":            s.st.N(),
 		"shards":       s.st.Shards(),
 		"rule":         name,
@@ -404,7 +569,12 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 		"target":       target,
 		"episodes":     episodes,
 		"last_episode": ep,
-	})
+		"loads":        s.st.LoadsCopy(),
+	}
+	if s.j != nil {
+		state["wal_last_seq"] = s.j.LastSeq()
+	}
+	writeJSON(w, http.StatusOK, state)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

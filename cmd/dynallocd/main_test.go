@@ -199,3 +199,123 @@ func itoa(v int) string {
 	b, _ := json.Marshal(v)
 	return string(b)
 }
+
+// TestDrainRefusesMutations is the graceful-drain regression: once
+// shutdown starts, /alloc, /free and /crash answer 503 while reads
+// keep working, so the final checkpoint sees a quiesced store.
+func TestDrainRefusesMutations(t *testing.T) {
+	s, st := newTestServer(t)
+	h := s.routes()
+	s.draining.Store(true)
+
+	for _, url := range []string{"/alloc", "/free", "/free?bin=1", "/crash?bin=1&k=1"} {
+		code, body := do(t, h, http.MethodPost, url)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s while draining = %d, body %v; want 503", url, code, body)
+		}
+	}
+	if st.Allocs() != 0 || st.Frees() != 0 || st.Total() != 64 {
+		t.Fatalf("draining mutated the store: %+v", st.Stats())
+	}
+	if code, _ := do(t, h, http.MethodGet, "/state"); code != http.StatusOK {
+		t.Fatal("GET /state must keep working while draining")
+	}
+	if code, _ := do(t, h, http.MethodGet, "/healthz"); code != http.StatusOK {
+		t.Fatal("GET /healthz must keep working while draining")
+	}
+}
+
+func TestHandleStateSummary(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.routes()
+	code, body := do(t, h, http.MethodGet, "/state?summary=1")
+	if code != http.StatusOK {
+		t.Fatalf("GET /state?summary=1 = %d", code)
+	}
+	for _, k := range []string{"n", "m", "max_load", "gap", "recovered"} {
+		if _, ok := body[k]; !ok {
+			t.Fatalf("summary missing %q: %v", k, body)
+		}
+	}
+	if body["n"].(float64) != 64 || body["m"].(float64) != 64 || body["recovered"] != true {
+		t.Fatalf("summary values: %v", body)
+	}
+	if _, ok := body["loads"]; ok {
+		t.Fatal("summary must not carry the load vector")
+	}
+	if _, ok := body["stats"]; ok {
+		t.Fatal("summary must not carry full stats")
+	}
+}
+
+func TestHandleStateCarriesLoads(t *testing.T) {
+	s, _ := newTestServer(t)
+	code, body := do(t, s.routes(), http.MethodGet, "/state")
+	if code != http.StatusOK {
+		t.Fatalf("GET /state = %d", code)
+	}
+	loads, ok := body["loads"].([]any)
+	if !ok || len(loads) != 64 {
+		t.Fatalf("state loads: %T %v", body["loads"], body["loads"])
+	}
+}
+
+func TestHandleCheckpointWithoutDurability(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.routes()
+	if code, _ := do(t, h, http.MethodPost, "/checkpoint"); code != http.StatusConflict {
+		t.Fatalf("POST /checkpoint without -wal-dir: want 409, got %d", code)
+	}
+	if code, _ := do(t, h, http.MethodGet, "/checkpoint"); code != http.StatusMethodNotAllowed {
+		t.Fatal("GET /checkpoint must be 405")
+	}
+}
+
+// TestRunDurableBootRestoreDrill runs the full durability cycle at test
+// scale: a first run seeds and checkpoints, a second run restores that
+// state, survives a crash drill on top of it, and persists the result.
+func TestRunDurableBootRestoreDrill(t *testing.T) {
+	dir := t.TempDir()
+	base := options{
+		addr: "", n: 128, m: 128,
+		d: 2, beta: -1, scenario: "A",
+		seed: 11, workers: 1, shards: 4, slack: 1,
+		walDir: dir, fsync: "never",
+	}
+	if code := run(base); code != 0 {
+		t.Fatalf("seeding run exited %d", code)
+	}
+	st := serve.NewStoreShards(128, 4)
+	res, err := serve.Restore(st, dir)
+	if err != nil || !res.Restored || st.Total() != 128 {
+		t.Fatalf("after seeding run: res=%+v err=%v total=%d", res, err, st.Total())
+	}
+
+	drill := base
+	drill.drive, drill.crashK, drill.crashBin = true, 64, 3
+	if code := run(drill); code != 0 {
+		t.Fatalf("drill run exited %d", code)
+	}
+	st2 := serve.NewStoreShards(128, 4)
+	res2, err := serve.Restore(st2, dir)
+	if err != nil || !res2.Restored {
+		t.Fatalf("after drill run: res=%+v err=%v", res2, err)
+	}
+	if st2.Total() != 128+64 {
+		t.Fatalf("restored total %d, want %d", st2.Total(), 128+64)
+	}
+	if res2.LastSeq <= res.LastSeq {
+		t.Fatalf("drill advanced no seqs: %d -> %d", res.LastSeq, res2.LastSeq)
+	}
+}
+
+func TestRunRejectsBadFsyncPolicy(t *testing.T) {
+	code := run(options{
+		addr: "", n: 8, m: 8, d: 2, beta: -1, scenario: "A",
+		seed: 1, workers: 1, slack: 1,
+		walDir: t.TempDir(), fsync: "sometimes",
+	})
+	if code != 2 {
+		t.Fatalf("bad -fsync exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,231 @@
+// Package checkpoint writes and restores atomic point-in-time
+// snapshots of the live allocation store, pairing each snapshot with
+// the WAL sequence number it covers so restore is "load the latest
+// valid checkpoint, then replay the WAL suffix with seq > Snapshot.Seq"
+// (see internal/wal and serve.Restore).
+//
+// A checkpoint is a single binary file written via temp + fsync +
+// rename, so a crash mid-checkpoint leaves either the previous
+// checkpoint set intact plus a stray *.tmp file (ignored and swept by
+// the next Write) or the complete new file — never a half-visible one.
+// The whole file is covered by one trailing CRC32C; LoadLatest skips
+// files that fail validation and falls back to the next-newest, which
+// is why callers keep at least two (see Prune) and truncate the WAL
+// only up to the *oldest* retained checkpoint's seq.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dynalloc/internal/metrics"
+)
+
+// ErrNoCheckpoint is returned by LoadLatest when dir holds no valid
+// checkpoint (including when it holds only corrupt ones).
+var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint found")
+
+// Snapshot is one point-in-time state of the store: the per-bin loads
+// and the service counters, consistent as of WAL sequence number Seq
+// (every record with seq <= Seq is reflected, none with seq > Seq is).
+type Snapshot struct {
+	Seq    uint64
+	Allocs int64
+	Frees  int64
+	Loads  []int32
+}
+
+// magic identifies a checkpoint file (format version 1).
+var magic = [8]byte{'d', 'c', 'k', 'p', 't', '0', '0', '1'}
+
+// headerSize is magic(8) + seq(8) + allocs(8) + frees(8) + n(4).
+const headerSize = 8 + 8 + 8 + 8 + 4
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// fileName returns the canonical name for a checkpoint covering seq.
+func fileName(seq uint64) string { return fmt.Sprintf("ckpt-%016x.ck", seq) }
+
+// seqOfName parses the seq out of a checkpoint file name.
+func seqOfName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ck") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ck"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// encode serializes s with its trailing CRC.
+func encode(s Snapshot) []byte {
+	buf := make([]byte, headerSize+4*len(s.Loads)+4)
+	copy(buf[:8], magic[:])
+	binary.LittleEndian.PutUint64(buf[8:16], s.Seq)
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(s.Allocs))
+	binary.LittleEndian.PutUint64(buf[24:32], uint64(s.Frees))
+	binary.LittleEndian.PutUint32(buf[32:36], uint32(len(s.Loads)))
+	for i, l := range s.Loads {
+		binary.LittleEndian.PutUint32(buf[headerSize+4*i:], uint32(l))
+	}
+	body := buf[:len(buf)-4]
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc32.Checksum(body, crcTable))
+	return buf
+}
+
+// decode parses and validates a checkpoint file's bytes.
+func decode(buf []byte) (Snapshot, error) {
+	if len(buf) < headerSize+4 {
+		return Snapshot{}, errors.New("checkpoint: file too short")
+	}
+	if [8]byte(buf[:8]) != magic {
+		return Snapshot{}, errors.New("checkpoint: bad magic")
+	}
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.Checksum(buf[:len(buf)-4], crcTable) != want {
+		return Snapshot{}, errors.New("checkpoint: CRC mismatch")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[32:36]))
+	if len(buf) != headerSize+4*n+4 {
+		return Snapshot{}, fmt.Errorf("checkpoint: size %d does not match n=%d", len(buf), n)
+	}
+	s := Snapshot{
+		Seq:    binary.LittleEndian.Uint64(buf[8:16]),
+		Allocs: int64(binary.LittleEndian.Uint64(buf[16:24])),
+		Frees:  int64(binary.LittleEndian.Uint64(buf[24:32])),
+		Loads:  make([]int32, n),
+	}
+	for i := range s.Loads {
+		s.Loads[i] = int32(binary.LittleEndian.Uint32(buf[headerSize+4*i:]))
+	}
+	return s, nil
+}
+
+// Write atomically persists s into dir (created if missing) and
+// returns the file path. The write path is temp file -> fsync ->
+// rename -> directory fsync, so the named file is either absent or
+// complete. Stray temp files from crashed writers are swept first.
+func Write(dir string, s Snapshot) (string, error) {
+	defer metrics.Span("checkpoint.write_ns")()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if stale, err := filepath.Glob(filepath.Join(dir, "ckpt-*.ck.tmp-*")); err == nil {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
+
+	buf := encode(s)
+	path := filepath.Join(dir, fileName(s.Seq))
+	tmp, err := os.CreateTemp(dir, fileName(s.Seq)+".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(buf); err != nil {
+		cleanup()
+		return "", fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return "", fmt.Errorf("checkpoint: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	metrics.AddCounter("checkpoint.writes", 1)
+	metrics.SetGauge("checkpoint.bytes", float64(len(buf)))
+	metrics.SetGauge("checkpoint.seq", float64(s.Seq))
+	return path, nil
+}
+
+// Meta names one checkpoint file and the seq its name claims.
+type Meta struct {
+	Seq  uint64
+	Path string
+}
+
+// List returns dir's checkpoint files sorted by seq ascending. File
+// contents are not validated here (LoadLatest does that); names that
+// do not parse are ignored.
+func List(dir string) ([]Meta, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var out []Meta
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := seqOfName(e.Name()); ok {
+			out = append(out, Meta{Seq: seq, Path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// LoadLatest returns the newest valid checkpoint in dir, skipping any
+// file that fails validation (a crash mid-write cannot produce one,
+// but disk corruption can). ErrNoCheckpoint when none validates.
+func LoadLatest(dir string) (Snapshot, string, error) {
+	metas, err := List(dir)
+	if err != nil {
+		return Snapshot{}, "", err
+	}
+	for i := len(metas) - 1; i >= 0; i-- {
+		buf, err := os.ReadFile(metas[i].Path)
+		if err != nil {
+			continue
+		}
+		s, err := decode(buf)
+		if err != nil {
+			continue
+		}
+		return s, metas[i].Path, nil
+	}
+	return Snapshot{}, "", ErrNoCheckpoint
+}
+
+// Prune deletes all but the newest keep checkpoints (by seq) and
+// returns how many files were removed. keep < 1 is treated as 1.
+func Prune(dir string, keep int) (int, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	metas, err := List(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i < len(metas)-keep; i++ {
+		if err := os.Remove(metas[i].Path); err != nil {
+			return removed, fmt.Errorf("checkpoint: prune: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
+}

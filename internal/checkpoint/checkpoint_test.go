@@ -1,0 +1,142 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func snap(seq uint64, loads ...int32) Snapshot {
+	return Snapshot{Seq: seq, Allocs: int64(seq) * 3, Frees: int64(seq) * 2, Loads: loads}
+}
+
+func equal(a, b Snapshot) bool {
+	if a.Seq != b.Seq || a.Allocs != b.Allocs || a.Frees != b.Frees || len(a.Loads) != len(b.Loads) {
+		return false
+	}
+	for i := range a.Loads {
+		if a.Loads[i] != b.Loads[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := snap(42, 3, 0, 7, 1, 0, 0, 5)
+	path, err := Write(dir, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotPath, err := LoadLatest(dir)
+	if err != nil || gotPath != path || !equal(got, want) {
+		t.Fatalf("LoadLatest = %+v, %q, %v; want %+v at %q", got, gotPath, err, want, path)
+	}
+}
+
+func TestLoadLatestPicksNewestSeq(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []uint64{5, 20, 11} {
+		if _, err := Write(dir, snap(seq, int32(seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := LoadLatest(dir)
+	if err != nil || got.Seq != 20 {
+		t.Fatalf("LoadLatest seq = %d, %v; want 20", got.Seq, err)
+	}
+}
+
+func TestLoadLatestSkipsCorruptAndFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	Write(dir, snap(10, 1, 2))
+	newest, _ := Write(dir, snap(30, 4, 5))
+
+	// Corrupt the newest file: flip a load byte.
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xff
+	os.WriteFile(newest, data, 0o644)
+
+	got, path, err := LoadLatest(dir)
+	if err != nil || got.Seq != 10 {
+		t.Fatalf("fallback: %+v at %q, %v; want seq 10", got, path, err)
+	}
+
+	// Truncated newest (kill mid-write after a bad rename-less copy).
+	os.WriteFile(newest, data[:7], 0o644)
+	if got, _, err := LoadLatest(dir); err != nil || got.Seq != 10 {
+		t.Fatalf("truncated fallback: %+v, %v", got, err)
+	}
+}
+
+func TestLoadLatestNoCheckpoint(t *testing.T) {
+	if _, _, err := LoadLatest(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: %v", err)
+	}
+	if _, _, err := LoadLatest(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: %v", err)
+	}
+}
+
+func TestKillMidCheckpointLeavesOnlyTemp(t *testing.T) {
+	dir := t.TempDir()
+	Write(dir, snap(7, 9))
+	// Simulate a writer that died before rename: a stray tmp file.
+	stray := filepath.Join(dir, fileName(99)+".tmp-12345")
+	os.WriteFile(stray, []byte("half a checkpoint"), 0o644)
+
+	got, _, err := LoadLatest(dir)
+	if err != nil || got.Seq != 7 {
+		t.Fatalf("stray tmp confused LoadLatest: %+v, %v", got, err)
+	}
+	// The next Write sweeps it.
+	if _, err := Write(dir, snap(8, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stray tmp not swept: %v", err)
+	}
+}
+
+func TestPruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 5; seq++ {
+		Write(dir, snap(seq, int32(seq)))
+	}
+	removed, err := Prune(dir, 2)
+	if err != nil || removed != 3 {
+		t.Fatalf("Prune = %d, %v; want 3", removed, err)
+	}
+	metas, _ := List(dir)
+	if len(metas) != 2 || metas[0].Seq != 4 || metas[1].Seq != 5 {
+		t.Fatalf("after prune: %+v", metas)
+	}
+}
+
+func TestZeroLoadVector(t *testing.T) {
+	dir := t.TempDir()
+	want := Snapshot{Seq: 1, Loads: []int32{}}
+	if _, err := Write(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadLatest(dir)
+	if err != nil || got.Seq != 1 || len(got.Loads) != 0 {
+		t.Fatalf("empty loads roundtrip: %+v, %v", got, err)
+	}
+}
+
+func TestSeqOfName(t *testing.T) {
+	if seq, ok := seqOfName(fileName(255)); !ok || seq != 255 {
+		t.Fatalf("seqOfName(fileName(255)) = %d, %v", seq, ok)
+	}
+	for _, bad := range []string{"ckpt-zz.ck", "other.ck", "ckpt-1.txt"} {
+		if _, ok := seqOfName(bad); ok {
+			t.Fatalf("seqOfName accepted %q", bad)
+		}
+	}
+}

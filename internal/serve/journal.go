@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynalloc/internal/checkpoint"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/wal"
+)
+
+// JournalOptions tunes the durability bridge.
+type JournalOptions struct {
+	// Buffer is the bounded record queue between the store's mutation
+	// hooks and the WAL writer goroutine (default 4096). When the queue
+	// is full, mutations block until the writer drains — bounded memory
+	// with backpressure, never silent loss.
+	Buffer int
+
+	// KeepCheckpoints is how many checkpoint files Checkpoint retains
+	// (default 2). The WAL is truncated only up to the *oldest* retained
+	// checkpoint's seq, so a corrupted newest checkpoint can still fall
+	// back to the previous one plus a longer replay.
+	KeepCheckpoints int
+
+	// SyncEvery, when positive, runs a background ticker that calls
+	// Log.Sync — useful with wal.FsyncInterval so an idle service still
+	// bounds its loss window (the log itself only syncs on appends).
+	SyncEvery time.Duration
+}
+
+func (o *JournalOptions) fill() {
+	if o.Buffer <= 0 {
+		o.Buffer = 4096
+	}
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = 2
+	}
+}
+
+// Journal makes a Store durable: it installs itself as the store's
+// mutation hook, assigns every mutation a WAL sequence number under
+// the shard lock (so checkpoint cuts are exact), and hands the record
+// to a single writer goroutine through a bounded channel — the append
+// happens off the allocation hot path.
+//
+// Checkpoint stops the world (all shard locks, microseconds for any
+// realistic n), captures the loads plus the seq of the last enqueued
+// record, and writes the snapshot through internal/checkpoint; the
+// snapshot is exact because seq assignment happens under the same
+// locks. WAL segments fully covered by the oldest retained checkpoint
+// are deleted afterwards.
+//
+// A WAL append error does not stop the service: the first error is
+// retained (Err), subsequent records are still drained (and counted
+// dropped once the log is closed), and the wal.append.errors counter
+// tracks the loss — durability degrades, availability does not.
+type Journal struct {
+	st   *Store
+	log  *wal.Log
+	opts JournalOptions
+
+	seq atomic.Uint64
+
+	closeMu sync.RWMutex // held (read) across every push; (write) by Close
+	closed  bool
+	ch      chan wal.Record
+	wg      sync.WaitGroup
+	stop    chan struct{} // stops the SyncEvery ticker
+
+	errMu    sync.Mutex
+	firstErr error
+
+	ckptMu sync.Mutex // serializes Checkpoint calls
+}
+
+// NewJournal wires st to log and starts the writer goroutine. lastSeq
+// is the sequence number already covered by the restored state (0 for
+// a fresh store); new records continue at lastSeq+1. The journal
+// installs itself as the store's hook — call before traffic starts.
+func NewJournal(st *Store, log *wal.Log, lastSeq uint64, opts JournalOptions) *Journal {
+	opts.fill()
+	j := &Journal{
+		st:   st,
+		log:  log,
+		opts: opts,
+		ch:   make(chan wal.Record, opts.Buffer),
+		stop: make(chan struct{}),
+	}
+	j.seq.Store(lastSeq)
+	j.wg.Add(1)
+	go j.writer()
+	if opts.SyncEvery > 0 {
+		j.wg.Add(1)
+		go j.syncLoop()
+	}
+	st.SetHook(j)
+	return j
+}
+
+// writer drains the record queue into the WAL.
+func (j *Journal) writer() {
+	defer j.wg.Done()
+	for rec := range j.ch {
+		if err := j.log.Append(rec); err != nil {
+			j.noteErr(err)
+			metrics.AddCounter("wal.append.errors", 1)
+		}
+	}
+}
+
+// syncLoop bounds the fsync-interval loss window while idle.
+func (j *Journal) syncLoop() {
+	defer j.wg.Done()
+	t := time.NewTicker(j.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			if err := j.log.Sync(); err != nil {
+				j.noteErr(err)
+			}
+		}
+	}
+}
+
+func (j *Journal) noteErr(err error) {
+	j.errMu.Lock()
+	if j.firstErr == nil {
+		j.firstErr = err
+	}
+	j.errMu.Unlock()
+}
+
+// Err returns the first WAL write error, if any.
+func (j *Journal) Err() error {
+	j.errMu.Lock()
+	defer j.errMu.Unlock()
+	return j.firstErr
+}
+
+// LastSeq returns the seq of the most recently enqueued record.
+func (j *Journal) LastSeq() uint64 { return j.seq.Load() }
+
+// push assigns the next seq and enqueues one record. It runs under the
+// mutating shard's lock (see StoreHook), so seq order equals mutation
+// order per bin, and a Checkpoint holding every shard lock observes a
+// stable seq.
+func (j *Journal) push(op wal.Op, bin, k int) {
+	j.closeMu.RLock()
+	if j.closed {
+		j.closeMu.RUnlock()
+		metrics.AddCounter("serve.journal.dropped", 1)
+		return
+	}
+	j.ch <- wal.Record{Op: op, Bin: uint32(bin), K: int32(k), Seq: j.seq.Add(1)}
+	j.closeMu.RUnlock()
+}
+
+// OnAlloc implements StoreHook.
+func (j *Journal) OnAlloc(bin int) { j.push(wal.OpAlloc, bin, 1) }
+
+// OnFree implements StoreHook.
+func (j *Journal) OnFree(bin int) { j.push(wal.OpFree, bin, 1) }
+
+// OnCrash implements StoreHook.
+func (j *Journal) OnCrash(bin, k int) { j.push(wal.OpCrash, bin, k) }
+
+// Checkpoint stops the world, captures an exact snapshot (loads,
+// counters, covered seq), persists it, prunes old checkpoints and
+// truncates WAL segments the oldest retained checkpoint covers. It
+// returns the snapshot and the file it was written to.
+func (j *Journal) Checkpoint() (checkpoint.Snapshot, string, error) {
+	j.ckptMu.Lock()
+	defer j.ckptMu.Unlock()
+
+	st := j.st
+	loads := make([]int32, st.n)
+	st.lockAll()
+	for b := range loads {
+		loads[b] = st.loads[b].Load()
+	}
+	snap := checkpoint.Snapshot{
+		Seq:    j.seq.Load(),
+		Allocs: st.allocs.Load(),
+		Frees:  st.frees.Load(),
+		Loads:  loads,
+	}
+	st.unlockAll()
+
+	path, err := checkpoint.Write(j.log.Dir(), snap)
+	if err != nil {
+		return snap, "", err
+	}
+	if _, err := checkpoint.Prune(j.log.Dir(), j.opts.KeepCheckpoints); err != nil {
+		return snap, path, err
+	}
+	metas, err := checkpoint.List(j.log.Dir())
+	if err != nil {
+		return snap, path, err
+	}
+	if len(metas) > 0 {
+		if _, err := j.log.TruncateThrough(metas[0].Seq); err != nil {
+			return snap, path, err
+		}
+	}
+	return snap, path, nil
+}
+
+// Close detaches the journal from the store, flushes the queue, and
+// closes the WAL (fsyncing the tail unless the policy is never).
+// Callers quiesce traffic first; mutations racing Close are counted
+// in serve.journal.dropped rather than lost silently.
+func (j *Journal) Close() error {
+	j.closeMu.Lock()
+	if j.closed {
+		j.closeMu.Unlock()
+		return nil
+	}
+	j.closed = true
+	close(j.ch)
+	j.closeMu.Unlock()
+	close(j.stop)
+	j.wg.Wait()
+	j.st.SetHook(nil)
+	if err := j.log.Close(); err != nil {
+		return err
+	}
+	return j.Err()
+}
+
+// RestoreResult reports what Restore rebuilt.
+type RestoreResult struct {
+	Restored       bool   // any durable state was found
+	CheckpointSeq  uint64 // seq covered by the loaded checkpoint (0 if none)
+	CheckpointPath string // file the checkpoint came from ("" if none)
+	Replayed       int64  // WAL records applied on top of the checkpoint
+	SkippedFrees   int64  // replayed frees that hit an already-empty bin
+	Torn           bool   // replay stopped at a torn/corrupted record
+	LastSeq        uint64 // seq the rebuilt state is consistent with
+}
+
+// Restore rebuilds st from the durability directory: load the newest
+// valid checkpoint (if any), then replay the WAL suffix with
+// seq > checkpoint seq. Call it on a fresh store before any traffic
+// and before NewJournal (replayed mutations must not re-journal).
+//
+// Replay is defensive the same way the paper's processes are: a free
+// whose bin is already empty (possible only against a forged or
+// hand-edited log — per-bin order makes it impossible in our own) is
+// skipped and counted, never fatal, so an adversarially bad WAL still
+// yields *a* state the process can recover from.
+func Restore(st *Store, dir string) (RestoreResult, error) {
+	defer metrics.Span("checkpoint.restore_ns")()
+	var res RestoreResult
+
+	snap, path, err := checkpoint.LoadLatest(dir)
+	switch {
+	case err == nil:
+		if err := st.Restore(snap.Loads, snap.Allocs, snap.Frees); err != nil {
+			return res, fmt.Errorf("serve: restore %s: %w", path, err)
+		}
+		res.Restored = true
+		res.CheckpointSeq = snap.Seq
+		res.CheckpointPath = path
+		res.LastSeq = snap.Seq
+	case errors.Is(err, checkpoint.ErrNoCheckpoint):
+		// Fresh (or checkpoint-less) directory: replay from the start.
+	default:
+		return res, err
+	}
+
+	stats, err := wal.Replay(dir, res.CheckpointSeq, func(rec wal.Record) error {
+		return applyRecord(st, rec, &res)
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Torn = stats.Torn
+	res.Replayed = stats.Applied
+	if stats.LastSeq > res.LastSeq {
+		res.LastSeq = stats.LastSeq
+	}
+	if stats.Applied > 0 {
+		res.Restored = true
+	}
+	metrics.AddCounter("wal.replay.records", stats.Applied)
+	metrics.AddCounter("wal.replay.skipped_frees", res.SkippedFrees)
+	return res, nil
+}
+
+// applyRecord replays one WAL record into the store.
+func applyRecord(st *Store, rec wal.Record, res *RestoreResult) error {
+	bin := int(rec.Bin)
+	if bin < 0 || bin >= st.N() {
+		return fmt.Errorf("serve: replay record seq %d targets bin %d of %d", rec.Seq, bin, st.N())
+	}
+	switch rec.Op {
+	case wal.OpAlloc:
+		st.Alloc(bin)
+	case wal.OpFree:
+		if _, err := st.FreeBin(bin); err != nil {
+			res.SkippedFrees++
+		}
+	case wal.OpCrash:
+		if rec.K < 0 {
+			return fmt.Errorf("serve: replay crash record seq %d has k=%d", rec.Seq, rec.K)
+		}
+		st.Crash(bin, int(rec.K))
+	default:
+		return fmt.Errorf("serve: replay record seq %d has unknown op %v", rec.Seq, rec.Op)
+	}
+	return nil
+}

@@ -1,0 +1,480 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dynalloc/internal/checkpoint"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/wal"
+)
+
+func newJournaled(t *testing.T, n, shards int, opts wal.Options) (*Store, *Journal, string) {
+	t.Helper()
+	dir := t.TempDir()
+	opts.Dir = dir
+	if opts.SegmentBytes == 0 {
+		// Tiny segments so every test exercises rotation.
+		opts.SegmentBytes = 16 + 20*wal.RecordSize
+	}
+	if opts.Fsync == 0 {
+		opts.Fsync = wal.FsyncNever
+	}
+	l, err := wal.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStoreShards(n, shards)
+	j := NewJournal(st, l, 0, JournalOptions{Buffer: 64})
+	return st, j, dir
+}
+
+// refOp is one successful mutation of the reference model.
+type refOp struct {
+	op     wal.Op
+	bin, k int
+}
+
+// applyRef replays a prefix of the reference op log onto plain ints.
+func applyRef(n int, ops []refOp) (loads []int, allocs, frees int64) {
+	loads = make([]int, n)
+	for _, o := range ops {
+		switch o.op {
+		case wal.OpAlloc:
+			loads[o.bin]++
+			allocs++
+		case wal.OpFree:
+			loads[o.bin]--
+			frees++
+		case wal.OpCrash:
+			loads[o.bin] += o.k
+		}
+	}
+	return loads, allocs, frees
+}
+
+func assertStoreMatchesRef(t *testing.T, st *Store, n int, ops []refOp, what string) {
+	t.Helper()
+	want, allocs, frees := applyRef(n, ops)
+	got := st.LoadsCopy()
+	for b := range want {
+		if got[b] != want[b] {
+			t.Fatalf("%s: bin %d restored to %d, reference says %d (prefix %d ops)",
+				what, b, got[b], want[b], len(ops))
+		}
+	}
+	if st.Allocs() != allocs || st.Frees() != frees {
+		t.Fatalf("%s: op clocks allocs=%d frees=%d, reference %d/%d",
+			what, st.Allocs(), st.Frees(), allocs, frees)
+	}
+}
+
+func TestJournalRoundTripThroughRestore(t *testing.T) {
+	const n = 16
+	st, j, dir := newJournaled(t, n, 4, wal.Options{})
+	st.FillBalanced(10)
+	st.Alloc(3)
+	st.Alloc(3)
+	if _, err := st.FreeBin(3); err != nil {
+		t.Fatal(err)
+	}
+	st.Crash(7, 5)
+	want := st.LoadsCopy()
+	wantAllocs, wantFrees := st.Allocs(), st.Frees()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewStoreShards(n, 4)
+	res, err := Restore(fresh, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Restored || res.Torn || res.SkippedFrees != 0 {
+		t.Fatalf("restore result %+v", res)
+	}
+	got := fresh.LoadsCopy()
+	for b := range want {
+		if got[b] != want[b] {
+			t.Fatalf("bin %d: restored %d, want %d", b, got[b], want[b])
+		}
+	}
+	if fresh.Allocs() != wantAllocs || fresh.Frees() != wantFrees {
+		t.Fatalf("restored clocks %d/%d, want %d/%d", fresh.Allocs(), fresh.Frees(), wantAllocs, wantFrees)
+	}
+	if res.LastSeq != j.LastSeq() {
+		t.Fatalf("restored LastSeq %d, journal wrote %d", res.LastSeq, j.LastSeq())
+	}
+}
+
+// TestCrashRecoveryProperty is the acceptance property test: drive a
+// randomized traffic prefix through a journaled store, kill it at an
+// arbitrary record boundary (and mid-record via truncation, and via a
+// corrupted CRC, and with the newest checkpoint destroyed), restore,
+// and require the rebuilt store to equal the reference replay exactly.
+func TestCrashRecoveryProperty(t *testing.T) {
+	const (
+		n      = 24
+		shards = 4
+		opsLen = 400
+	)
+	r := rng.New(20260805)
+
+	st, j, dir := newJournaled(t, n, shards, wal.Options{})
+	var ops []refOp
+	var ckptSeqs []int // op-counts at which checkpoints were taken
+	mutate := func() {
+		switch r.Intn(10) {
+		case 0: // crash injection
+			b, k := r.Intn(n), 1+r.Intn(4)
+			st.Crash(b, k)
+			ops = append(ops, refOp{wal.OpCrash, b, k})
+		case 1, 2, 3: // departure (may hit an empty bin: then no record)
+			b := r.Intn(n)
+			if _, err := st.FreeBin(b); err == nil {
+				ops = append(ops, refOp{wal.OpFree, b, 1})
+			}
+		default: // admission
+			b := r.Intn(n)
+			st.Alloc(b)
+			ops = append(ops, refOp{wal.OpAlloc, b, 1})
+		}
+	}
+	for len(ops) < opsLen {
+		mutate()
+		// Two checkpoints mid-stream: the second's truncation must leave
+		// enough WAL for the first to restore from (KeepCheckpoints=2).
+		if len(ops) == opsLen/3 || len(ops) == 2*opsLen/3 {
+			if _, _, err := j.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			ckptSeqs = append(ckptSeqs, len(ops))
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	newestCkpt := ckptSeqs[len(ckptSeqs)-1]
+	oldestCkpt := ckptSeqs[0]
+
+	// Checkpoint truncation deletes fully-covered segments, so file
+	// positions no longer map to sequence numbers. The cut point is
+	// instead read out of the record bytes themselves: traffic was
+	// single-threaded, so file order equals seq order and the seq field
+	// (record offset 9..17) of the last surviving record IS the highest
+	// surviving seq.
+	recordsIn := func(path string) int {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int((fi.Size() - 16) / wal.RecordSize)
+	}
+	seqAt := func(path string, idx int) int {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := 16 + idx*wal.RecordSize + 9
+		var v uint64
+		for i := 7; i >= 0; i-- { // little-endian
+			v = v<<8 | uint64(data[off+i])
+		}
+		return int(v)
+	}
+	sortedSegs := func(dir string) []string {
+		segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("no segments: %v", err)
+		}
+		return segs
+	}
+	// lastSeqBefore returns the seq of the final record strictly before
+	// position idx of segment si (0 if none survives in any segment).
+	lastSeqBefore := func(segs []string, si, idx int) int {
+		for ; si >= 0; si-- {
+			if idx > 0 {
+				return seqAt(segs[si], idx-1)
+			}
+			if si > 0 {
+				idx = recordsIn(segs[si-1])
+			}
+		}
+		return 0
+	}
+
+	type trial struct {
+		name      string
+		mutateDir func(t *testing.T, dir string) int // returns highest surviving seq (or -1 = all)
+	}
+	trials := []trial{
+		{"no-cut", func(t *testing.T, dir string) int { return -1 }},
+		{"boundary-cut", func(t *testing.T, dir string) int {
+			segs := sortedSegs(dir)
+			last := len(segs) - 1
+			keep := r.Intn(recordsIn(segs[last]) + 1)
+			if err := os.Truncate(segs[last], int64(16+keep*wal.RecordSize)); err != nil {
+				t.Fatal(err)
+			}
+			return lastSeqBefore(segs, last, keep)
+		}},
+		{"mid-record-cut", func(t *testing.T, dir string) int {
+			segs := sortedSegs(dir)
+			last := len(segs) - 1
+			keep := r.Intn(recordsIn(segs[last])) // at least one partial record remains
+			off := int64(16 + keep*wal.RecordSize + 1 + r.Intn(wal.RecordSize-2))
+			if err := os.Truncate(segs[last], off); err != nil {
+				t.Fatal(err)
+			}
+			return lastSeqBefore(segs, last, keep)
+		}},
+		{"corrupt-crc", func(t *testing.T, dir string) int {
+			segs := sortedSegs(dir)
+			// Pick a random record across all segments, flip a bin byte;
+			// the CRC no longer matches and replay stops just before it.
+			si := r.Intn(len(segs))
+			inSeg := recordsIn(segs[si])
+			if inSeg == 0 {
+				return -1
+			}
+			ri := r.Intn(inSeg)
+			data, err := os.ReadFile(segs[si])
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[16+ri*wal.RecordSize+2] ^= 0x55
+			if err := os.WriteFile(segs[si], data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return lastSeqBefore(segs, si, ri)
+		}},
+		{"newest-checkpoint-destroyed", func(t *testing.T, dir string) int {
+			metas, err := checkpoint.List(dir)
+			if err != nil || len(metas) != 2 {
+				t.Fatalf("want 2 retained checkpoints, got %d (%v)", len(metas), err)
+			}
+			// Truncate the newest checkpoint file: LoadLatest must fall
+			// back to the older one and replay the longer suffix.
+			if err := os.Truncate(metas[1].Path, 9); err != nil {
+				t.Fatal(err)
+			}
+			return -1
+		}},
+	}
+
+	for round := 0; round < 8; round++ {
+		for _, tr := range trials {
+			cut := t.TempDir()
+			copyDir(t, dir, cut)
+			surviving := tr.mutateDir(t, cut)
+
+			prefix := len(ops)
+			if surviving >= 0 {
+				prefix = surviving
+			}
+			// The checkpoint floor: a kill cannot un-write a durable
+			// checkpoint, so the restored state is at least that advanced.
+			floor := newestCkpt
+			if tr.name == "newest-checkpoint-destroyed" {
+				floor = oldestCkpt
+			}
+			if prefix < floor {
+				prefix = floor
+			}
+
+			fresh := NewStoreShards(n, shards)
+			res, err := Restore(fresh, cut)
+			if err != nil {
+				t.Fatalf("%s round %d: restore: %v", tr.name, round, err)
+			}
+			if !res.Restored {
+				t.Fatalf("%s round %d: nothing restored (%+v)", tr.name, round, res)
+			}
+			if res.SkippedFrees != 0 {
+				t.Fatalf("%s round %d: replay skipped %d frees on an honest log", tr.name, round, res.SkippedFrees)
+			}
+			assertStoreMatchesRef(t, fresh, n, ops[:prefix], tr.name)
+		}
+	}
+}
+
+func copyDir(t *testing.T, from, to string) {
+	t.Helper()
+	ents, err := os.ReadDir(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		src, err := os.Open(filepath.Join(from, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := os.Create(filepath.Join(to, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(dst, src); err != nil {
+			t.Fatal(err)
+		}
+		src.Close()
+		if err := dst.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJournalUnderConcurrentTraffic drives the engine multi-worker
+// against a journaled store and requires the restored replica to match
+// the final state bin for bin: per-bin record order is preserved by
+// the shard locks even though the global interleaving is racy.
+func TestJournalUnderConcurrentTraffic(t *testing.T) {
+	const n = 128
+	st, j, dir := newJournaled(t, n, 8, wal.Options{SegmentBytes: 1 << 16})
+	st.FillBalanced(n)
+
+	eng := NewEngine(Config{
+		Store: st, Policy: NewABKUPolicy(2), Scenario: process.ScenarioA,
+		Workers: 4, Seed: 99, MaxSteps: 20000,
+	})
+	eng.Run(context.Background())
+	st.Crash(0, 64)
+	want := st.LoadsCopy()
+	wantAllocs, wantFrees := st.Allocs(), st.Frees()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewStoreShards(n, 8)
+	res, err := Restore(fresh, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn || res.SkippedFrees != 0 {
+		t.Fatalf("restore result %+v", res)
+	}
+	got := fresh.LoadsCopy()
+	for b := range want {
+		if got[b] != want[b] {
+			t.Fatalf("bin %d: restored %d, want %d", b, got[b], want[b])
+		}
+	}
+	if fresh.Allocs() != wantAllocs || fresh.Frees() != wantFrees {
+		t.Fatalf("clocks: %d/%d want %d/%d", fresh.Allocs(), fresh.Frees(), wantAllocs, wantFrees)
+	}
+}
+
+func TestCheckpointTruncatesCoveredSegments(t *testing.T) {
+	st, j, dir := newJournaled(t, 8, 2, wal.Options{SegmentBytes: 16 + 4*wal.RecordSize})
+	for i := 0; i < 40; i++ {
+		st.Alloc(i % 8)
+	}
+	// Let the writer drain so sealed segments exist on disk.
+	waitForSeq(t, j, 40)
+	before, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(before) < 5 {
+		t.Fatalf("expected several sealed segments, got %d", len(before))
+	}
+	if _, _, err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.Checkpoint(); err != nil { // second: oldest retained seq == 40 too
+		t.Fatal(err)
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(after) >= len(before) {
+		t.Fatalf("checkpoint truncated nothing: %d -> %d segments", len(before), len(after))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStoreShards(8, 2)
+	res, err := Restore(fresh, dir)
+	if err != nil || !res.Restored {
+		t.Fatalf("restore after truncation: %+v, %v", res, err)
+	}
+	assertStoreMatchesRef(t, fresh, 8, allocRef(40, 8), "post-truncation restore")
+}
+
+func allocRef(count, n int) []refOp {
+	ops := make([]refOp, count)
+	for i := range ops {
+		ops[i] = refOp{wal.OpAlloc, i % n, 1}
+	}
+	return ops
+}
+
+// waitForSeq blocks until the WAL writer has drained through seq (the
+// journal queue is async; tests that inspect the directory first give
+// the writer a moment).
+func waitForSeq(t *testing.T, j *Journal, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.LastSeq() >= seq && len(j.ch) == 0 {
+			// Queue drained; one Sync forces the tail into the file.
+			if err := j.log.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("writer never drained through seq %d", seq)
+}
+
+func TestRestoreSkipsFreeOfEmptyBinFromForgedLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A forged log: free before any alloc, then normal traffic.
+	recs := []wal.Record{
+		{Op: wal.OpFree, Bin: 2, K: 1, Seq: 1},
+		{Op: wal.OpAlloc, Bin: 2, K: 1, Seq: 2},
+		{Op: wal.OpCrash, Bin: 0, K: 3, Seq: 3},
+		{Op: wal.OpFree, Bin: 0, K: 1, Seq: 4},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	st := NewStoreShards(4, 2)
+	res, err := Restore(st, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedFrees != 1 {
+		t.Fatalf("skipped frees = %d, want 1", res.SkippedFrees)
+	}
+	if got := st.LoadsCopy(); got[2] != 1 || got[0] != 2 {
+		t.Fatalf("forged-log state: %v", got)
+	}
+}
+
+func TestJournalCloseIdempotentAndDetaches(t *testing.T) {
+	st, j, _ := newJournaled(t, 8, 2, wal.Options{})
+	st.Alloc(1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The hook is detached: further mutations don't panic or block.
+	st.Alloc(2)
+	if st.Total() != 2 {
+		t.Fatalf("store unusable after journal close: %+v", st.Stats())
+	}
+}

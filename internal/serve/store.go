@@ -56,6 +56,19 @@ type shard struct {
 	_     [24]byte
 }
 
+// StoreHook observes committed store mutations. Implementations are
+// called with the owning shard lock held — immediately after the
+// mutation is applied and before the lock is released — so per-bin
+// hook order exactly matches per-bin mutation order. Implementations
+// must therefore be fast and must never call back into the store; the
+// durability Journal, for example, only assigns a sequence number and
+// enqueues a WAL record.
+type StoreHook interface {
+	OnAlloc(bin int)
+	OnFree(bin int)
+	OnCrash(bin, k int)
+}
+
 // Store is a concurrent bin store holding the live load vector of an
 // allocation service with n bins. All methods are safe for concurrent
 // use. Loads are int32; a single bin can therefore absorb ~2·10^9
@@ -66,6 +79,7 @@ type Store struct {
 	shardSize int
 	loads     []atomic.Int32
 	shards    []shard
+	hook      StoreHook // set before traffic via SetHook; nil = one branch per mutation
 
 	total    atomic.Int64 // balls currently stored
 	nonEmpty atomic.Int64 // bins with load > 0
@@ -162,6 +176,12 @@ func (st *Store) Load(b int) int { return int(st.loads[b].Load()) }
 
 func (st *Store) shardOf(b int) *shard { return &st.shards[b/st.shardSize] }
 
+// SetHook installs (or, with nil, removes) the mutation hook. Not
+// synchronized: call it before traffic starts, or after every worker
+// has quiesced — boot-time restore wiring and shutdown are the two
+// intended call sites.
+func (st *Store) SetHook(h StoreHook) { st.hook = h }
+
 // allocLocked adds one ball to bin b. Caller holds the shard lock.
 func (st *Store) allocLocked(sh *shard, b int) int32 {
 	l := st.loads[b].Add(1)
@@ -171,6 +191,9 @@ func (st *Store) allocLocked(sh *shard, b int) int32 {
 	sh.total.Add(1)
 	st.total.Add(1)
 	st.allocs.Add(1)
+	if st.hook != nil {
+		st.hook.OnAlloc(b)
+	}
 	return l
 }
 
@@ -184,6 +207,9 @@ func (st *Store) freeLocked(sh *shard, b int) int32 {
 	sh.total.Add(-1)
 	st.total.Add(-1)
 	st.frees.Add(1)
+	if st.hook != nil {
+		st.hook.OnFree(b)
+	}
 	return l
 }
 
@@ -346,6 +372,9 @@ func (st *Store) Crash(b, k int) int {
 	}
 	sh.total.Add(int64(k))
 	st.total.Add(int64(k))
+	if st.hook != nil {
+		st.hook.OnCrash(b, k)
+	}
 	sh.mu.Unlock()
 	return int(l)
 }
@@ -406,6 +435,53 @@ type Stats struct {
 	NonEmpty int64 `json:"non_empty"`
 	Allocs   int64 `json:"allocs"`
 	Frees    int64 `json:"frees"`
+}
+
+// lockAll acquires every shard lock in index order, stopping the world
+// for an exact checkpoint cut: with all stripes held no mutation (and
+// therefore no journal push) can be in flight.
+func (st *Store) lockAll() {
+	for i := range st.shards {
+		st.shards[i].mu.Lock()
+	}
+}
+
+// unlockAll releases every shard lock (reverse order of lockAll).
+func (st *Store) unlockAll() {
+	for i := len(st.shards) - 1; i >= 0; i-- {
+		st.shards[i].mu.Unlock()
+	}
+}
+
+// Restore overwrites the store's entire state with the given per-bin
+// loads and counter values — the boot-time half of checkpoint
+// recovery. It is NOT safe to race with traffic; call it before any
+// worker or handler touches the store. Restoring counts as neither
+// admissions nor departures beyond the restored counter values.
+func (st *Store) Restore(loads []int32, allocs, frees int64) error {
+	if len(loads) != st.n {
+		return fmt.Errorf("serve: restore of %d bins into a store of %d", len(loads), st.n)
+	}
+	var total, nonEmpty int64
+	for i := range st.shards {
+		st.shards[i].total.Store(0)
+	}
+	for b, l := range loads {
+		if l < 0 {
+			return fmt.Errorf("serve: restore bin %d has negative load %d", b, l)
+		}
+		st.loads[b].Store(l)
+		if l > 0 {
+			nonEmpty++
+			total += int64(l)
+			st.shardOf(b).total.Add(int64(l))
+		}
+	}
+	st.total.Store(total)
+	st.nonEmpty.Store(nonEmpty)
+	st.allocs.Store(allocs)
+	st.frees.Store(frees)
+	return nil
 }
 
 // Stats returns the current counter summary without touching the bins.

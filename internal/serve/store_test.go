@@ -274,3 +274,124 @@ func TestStoreConcurrent(t *testing.T) {
 			3*n, st.Allocs(), st.Frees(), total)
 	}
 }
+
+// The replay-surfaced edge cases: a process never removes from an
+// empty bin, but a forged or hand-edited WAL can ask for exactly that,
+// so the store-level behavior these replays rely on is pinned here.
+
+func TestFreeBinEmptyEdgeCases(t *testing.T) {
+	st := NewStoreShards(8, 2)
+	// Free from a bin that was never filled.
+	if _, err := st.FreeBin(3); err != ErrEmptyBin {
+		t.Fatalf("free of never-filled bin: %v, want ErrEmptyBin", err)
+	}
+	// Fill then drain, then free once more: the second free must fail
+	// without disturbing any counter.
+	st.Alloc(3)
+	if _, err := st.FreeBin(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.FreeBin(3); err != ErrEmptyBin {
+		t.Fatalf("free of drained bin: %v, want ErrEmptyBin", err)
+	}
+	if st.Total() != 0 || st.NonEmpty() != 0 || st.Allocs() != 1 || st.Frees() != 1 {
+		t.Fatalf("failed frees disturbed counters: %+v", st.Stats())
+	}
+}
+
+func TestCrashEmptyBinEdgeCases(t *testing.T) {
+	st := NewStoreShards(8, 2)
+	// Crash k=0 of an empty bin: a no-op that must not create a
+	// phantom nonempty bin.
+	if got := st.Crash(5, 0); got != 0 {
+		t.Fatalf("Crash(5, 0) = %d", got)
+	}
+	if st.NonEmpty() != 0 || st.Total() != 0 {
+		t.Fatalf("zero crash disturbed counters: %+v", st.Stats())
+	}
+	// Crash k>0 of an empty bin transitions it to nonempty exactly once.
+	if got := st.Crash(5, 4); got != 4 {
+		t.Fatalf("Crash(5, 4) = %d", got)
+	}
+	if st.NonEmpty() != 1 || st.Total() != 4 {
+		t.Fatalf("crash of empty bin: %+v", st.Stats())
+	}
+	// Crash of an already-loaded bin must not double-count nonempty.
+	st.Crash(5, 2)
+	if st.NonEmpty() != 1 || st.Total() != 6 {
+		t.Fatalf("crash of loaded bin: %+v", st.Stats())
+	}
+	// Crash counts as neither an admission nor a departure.
+	if st.Allocs() != 0 || st.Frees() != 0 {
+		t.Fatalf("crash moved the op clocks: %+v", st.Stats())
+	}
+}
+
+func TestAllocFreeInterleavingAtEmpty(t *testing.T) {
+	st := NewStoreShards(4, 2)
+	r := rng.New(7)
+	// m=0 throughout: every departure stream call must refuse, every
+	// alloc/free pair must return to the empty state exactly.
+	for i := 0; i < 100; i++ {
+		if _, err := st.FreeBall(r); err != ErrEmpty {
+			t.Fatalf("FreeBall on empty store: %v", err)
+		}
+		if _, err := st.FreeNonEmpty(r); err != ErrEmpty {
+			t.Fatalf("FreeNonEmpty on empty store: %v", err)
+		}
+		b := i % 4
+		st.Alloc(b)
+		if _, err := st.FreeBin(b); err != nil {
+			t.Fatalf("drain after alloc: %v", err)
+		}
+		if st.Total() != 0 || st.NonEmpty() != 0 {
+			t.Fatalf("iteration %d left residue: %+v", i, st.Stats())
+		}
+	}
+	if st.Allocs() != 100 || st.Frees() != 100 {
+		t.Fatalf("op clocks after interleaving: %+v", st.Stats())
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	st := NewStoreShards(16, 4)
+	st.FillBalanced(20)
+	st.Crash(3, 9)
+	want := st.LoadsCopy()
+
+	other := NewStoreShards(16, 4)
+	loads := make([]int32, len(want))
+	for i, l := range want {
+		loads[i] = int32(l)
+	}
+	if err := other.Restore(loads, 7, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := other.LoadsCopy()
+	for b := range want {
+		if got[b] != want[b] {
+			t.Fatalf("bin %d: restored %d, want %d", b, got[b], want[b])
+		}
+	}
+	if other.Total() != st.Total() || other.NonEmpty() != st.NonEmpty() {
+		t.Fatalf("restored counters %+v vs %+v", other.Stats(), st.Stats())
+	}
+	if other.Allocs() != 7 || other.Frees() != 5 {
+		t.Fatalf("restored op clocks: %+v", other.Stats())
+	}
+	var shardSum int64
+	for i := range other.shards {
+		shardSum += other.shards[i].total.Load()
+	}
+	if shardSum != other.Total() {
+		t.Fatalf("restored shard totals sum to %d, want %d", shardSum, other.Total())
+	}
+
+	// Dimension mismatch and negative loads are rejected.
+	if err := other.Restore(make([]int32, 5), 0, 0); err == nil {
+		t.Fatal("restore accepted wrong n")
+	}
+	if err := other.Restore(append(make([]int32, 15), -1), 0, 0); err == nil {
+		t.Fatal("restore accepted a negative load")
+	}
+}

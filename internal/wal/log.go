@@ -1,0 +1,355 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dynalloc/internal/metrics"
+)
+
+// FsyncPolicy controls when appended records are forced to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval flushes and fsyncs when at least Options.FsyncInterval
+	// has elapsed since the last sync (checked on each append), bounding
+	// the data-loss window on power failure to roughly that interval.
+	// This is the default.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways flushes and fsyncs after every append: no committed
+	// record is ever lost, at the cost of one fsync per mutation.
+	FsyncAlways
+	// FsyncNever leaves syncing to the OS (and to Close/rotation
+	// flushes). A process kill loses only the user-space buffer; a
+	// power failure can lose everything since the last rotation.
+	FsyncNever
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("fsync(%d)", int(p))
+}
+
+// ParseFsyncPolicy parses "always", "interval" or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval", "":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// SegmentFile is the writable file handle a segment is appended to.
+// Production use is *os.File; fault-injection tests substitute
+// implementations whose Write or Sync fail on demand.
+type SegmentFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the directory holding the segment files (created if
+	// missing). Required.
+	Dir string
+
+	// SegmentBytes is the rotation threshold: once a segment reaches
+	// this size it is sealed and the next append opens a fresh one.
+	// Default 4 MiB.
+	SegmentBytes int64
+
+	// Fsync is the sync policy (default FsyncInterval).
+	Fsync FsyncPolicy
+
+	// FsyncInterval is the cadence for FsyncInterval (default 100ms).
+	FsyncInterval time.Duration
+
+	// OpenFile overrides how segment files are created, for
+	// fault-injection tests. Default: os.OpenFile with O_CREATE|O_WRONLY.
+	OpenFile func(path string) (SegmentFile, error)
+}
+
+func (o *Options) fill() error {
+	if o.Dir == "" {
+		return errors.New("wal: Options.Dir is required")
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.OpenFile == nil {
+		o.OpenFile = defaultOpenFile
+	}
+	return nil
+}
+
+func defaultOpenFile(path string) (SegmentFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if errors.Is(err, os.ErrExist) {
+		// A dead segment with this first-seq already exists: it can only
+		// be left over from a crash whose replay yielded no valid record
+		// from it (otherwise the restored seq would have advanced past
+		// its name), so its content is garbage and truncating is safe.
+		f, err = os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	}
+	return f, err
+}
+
+// segMagic is the 8-byte segment header magic; the header is the magic
+// followed by the first record seq the segment was opened for.
+var segMagic = [8]byte{'d', 'w', 'a', 'l', 's', 'e', 'g', '1'}
+
+// segHeaderSize is the on-disk segment header size.
+const segHeaderSize = 16
+
+func segmentName(firstSeq uint64) string { return fmt.Sprintf("wal-%016x.seg", firstSeq) }
+
+// Log is a segmented append-only record log. All methods are safe for
+// concurrent use; appends from concurrent callers serialize on one
+// mutex (callers that want the append off their hot path put a
+// buffered writer goroutine in front — see serve.Journal).
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	f        SegmentFile
+	bw       *bufio.Writer
+	curPath  string
+	curSize  int64
+	curMax   uint64 // max seq written to the current segment
+	lastSync time.Time
+	closed   bool
+	buf      [RecordSize]byte
+}
+
+// Open prepares a log in opts.Dir. No segment file is created until
+// the first Append (segments are named by their first record's seq),
+// so opening after a restore never clobbers existing segments: new
+// records always go to a fresh file and torn tails in old segments
+// stay untouched for forensics until TruncateThrough removes them.
+func Open(opts Options) (*Log, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Log{opts: opts, lastSync: time.Now()}, nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.opts.Dir }
+
+// Append encodes and writes one record, applying the fsync policy and
+// rotating the segment when the size threshold is crossed. The record's
+// Seq must be assigned by the caller (see the package comment).
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if l.f == nil {
+		if err := l.openSegmentLocked(r.Seq); err != nil {
+			return err
+		}
+	}
+	r.encode(l.buf[:])
+	if _, err := l.bw.Write(l.buf[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.curSize += RecordSize
+	if r.Seq > l.curMax {
+		l.curMax = r.Seq
+	}
+	metrics.AddCounter("wal.append.records", 1)
+	metrics.AddCounter("wal.append.bytes", RecordSize)
+
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	case FsyncInterval:
+		if time.Since(l.lastSync) >= l.opts.FsyncInterval {
+			if err := l.syncLocked(); err != nil {
+				return err
+			}
+		}
+	}
+
+	if l.curSize >= l.opts.SegmentBytes {
+		if err := l.sealLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openSegmentLocked starts a fresh segment whose name and header carry
+// firstSeq.
+func (l *Log) openSegmentLocked(firstSeq uint64) error {
+	path := filepath.Join(l.opts.Dir, segmentName(firstSeq))
+	f, err := l.opts.OpenFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], firstSeq)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	l.f, l.bw, l.curPath = f, bw, path
+	l.curSize = segHeaderSize
+	l.curMax = 0
+	metrics.AddCounter("wal.append.bytes", segHeaderSize)
+	return nil
+}
+
+// syncLocked flushes the buffer and fsyncs the current segment,
+// recording the fsync latency.
+func (l *Log) syncLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	metrics.ObserveHistogram("wal.fsync_ns", time.Since(start).Nanoseconds())
+	l.lastSync = time.Now()
+	return nil
+}
+
+// sealLocked closes the current segment (flushed, and fsynced unless
+// the policy is FsyncNever); the next append opens a fresh one.
+func (l *Log) sealLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if l.opts.Fsync != FsyncNever {
+		start := time.Now()
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		metrics.ObserveHistogram("wal.fsync_ns", time.Since(start).Nanoseconds())
+		l.lastSync = time.Now()
+	}
+	err := l.f.Close()
+	l.f, l.bw, l.curPath = nil, nil, ""
+	l.curSize, l.curMax = 0, 0
+	metrics.AddCounter("wal.segment.rotations", 1)
+	if err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the current segment. Under
+// FsyncInterval a caller (e.g. the journal's idle ticker) uses this to
+// bound the loss window when no appends are arriving.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	return l.syncLocked()
+}
+
+// Close seals the current segment and closes the log. Unless the
+// policy is FsyncNever the tail is fsynced first.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.sealLocked()
+}
+
+// TruncateThrough deletes every sealed segment whose records are all
+// covered by seq (that is, whose max record seq is <= seq), scanning
+// the directory so segments left by previous processes are pruned too.
+// The open segment is never touched. Segments holding only garbage
+// (no valid record) are removed when their header seq is covered.
+// It returns the number of files removed.
+func (l *Log) TruncateThrough(seq uint64) (int, error) {
+	l.mu.Lock()
+	cur := l.curPath
+	l.mu.Unlock()
+
+	paths, err := listSegments(l.opts.Dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, p := range paths {
+		if cur != "" && p == cur {
+			continue
+		}
+		info, err := scanSegment(p)
+		if err != nil {
+			// Unreadable file: leave it; replay will classify it.
+			continue
+		}
+		covered := (info.records > 0 && info.maxSeq <= seq) ||
+			(info.records == 0 && info.firstSeq <= seq)
+		if !covered {
+			continue
+		}
+		if err := os.Remove(p); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		metrics.AddCounter("wal.segment.truncated", int64(removed))
+	}
+	return removed, nil
+}
+
+// listSegments returns the segment paths in dir sorted by name, which
+// is first-seq order (names are zero-padded hex).
+func listSegments(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

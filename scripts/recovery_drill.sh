@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Restart-recovery drill for dynallocd (docs/SERVING.md):
+#
+#   1. boot a durable daemon (-wal-dir, -fsync always), inject a crash
+#      plus some live traffic,
+#   2. kill -9 it mid-flight,
+#   3. restart and assert the full /state load vector matches exactly,
+#   4. kill -9 again, restart with the traffic driver, and assert the
+#      recovery detector re-fires (/healthz recovered:true).
+#
+# Usage: scripts/recovery_drill.sh [port]   (default 8123)
+set -euo pipefail
+
+PORT="${1:-8123}"
+ADDR="127.0.0.1:${PORT}"
+N=4096
+CRASH_K=1024
+
+WORK="$(mktemp -d)"
+WALDIR="$WORK/wal"
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say() { echo "recovery-drill: $*"; }
+
+go build -o "$WORK/dynallocd" ./cmd/dynallocd
+
+wait_healthy() {
+  for _ in $(seq 1 50); do
+    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  say "daemon never became healthy"; cat "$WORK/log" >&2; return 1
+}
+
+start_daemon() { # args: extra flags...
+  "$WORK/dynallocd" -n "$N" -addr "$ADDR" -wal-dir "$WALDIR" -fsync always \
+    -check-interval 250ms "$@" >"$WORK/log" 2>&1 &
+  PID=$!
+  wait_healthy
+}
+
+say "phase 1: boot durable daemon, inject crash + traffic"
+start_daemon
+curl -sf -X POST "http://$ADDR/crash?bin=3&k=$CRASH_K" >/dev/null
+for _ in $(seq 1 20); do curl -sf -X POST "http://$ADDR/alloc" >/dev/null; done
+for _ in $(seq 1 5); do curl -sf -X POST "http://$ADDR/free" >/dev/null; done
+curl -sf "http://$ADDR/state" >"$WORK/state_before.json"
+
+say "phase 2: kill -9 and restart"
+kill -9 "$PID"; wait "$PID" 2>/dev/null || true; PID=""
+start_daemon
+curl -sf "http://$ADDR/state" >"$WORK/state_after.json"
+
+# The load vector and ball/op counters must survive the hard kill
+# bit for bit (-fsync always: nothing in flight is lost).
+for field in .loads .n '.stats.total' '.stats.allocs' '.stats.frees'; do
+  if ! diff <(jq -S "$field" "$WORK/state_before.json") \
+            <(jq -S "$field" "$WORK/state_after.json") >/dev/null; then
+    say "MISMATCH in $field across restart"
+    diff <(jq -S "$field" "$WORK/state_before.json") \
+         <(jq -S "$field" "$WORK/state_after.json") >&2 || true
+    exit 1
+  fi
+done
+say "state survived kill -9 exactly (loads + counters)"
+
+# The restored state must still look disrupted: that is what the
+# recovery drill in phase 3 is recovering from.
+if [ "$(curl -sf "http://$ADDR/state?summary=1" | jq .recovered)" != "false" ]; then
+  say "restored state is not disrupted; crash did not survive?"; exit 1
+fi
+
+say "phase 3: kill -9 again, restart with the driver, await recovery"
+kill -9 "$PID"; wait "$PID" 2>/dev/null || true; PID=""
+start_daemon -drive -stay
+for i in $(seq 1 120); do
+  if curl -sf "http://$ADDR/state?summary=1" | jq -e '.recovered == true' >/dev/null; then
+    say "recovered after restart (poll $i)"
+    curl -sf "http://$ADDR/state?summary=1"
+    say "PASS"
+    exit 0
+  fi
+  sleep 0.5
+done
+say "daemon did not recover within 60s"
+cat "$WORK/log" >&2
+exit 1
