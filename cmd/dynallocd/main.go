@@ -85,6 +85,7 @@ func main() {
 		ckptEvery  = flag.Duration("checkpoint-every", 0, "periodic checkpoint cadence (0: only boot/shutdown/POST; needs -wal-dir)")
 		fsyncPol   = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
 		fsyncIntvl = flag.Duration("fsync-interval", 100*time.Millisecond, "max fsync lag under -fsync interval")
+		walStall   = flag.Duration("wal-stall-timeout", 0, "drop a mutation's WAL record after waiting this long on a stalled writer (0: block, full backpressure)")
 
 		prof = metrics.RegisterFlags(flag.CommandLine)
 	)
@@ -103,7 +104,7 @@ func main() {
 		maxSteps: *maxSteps, stay: *stay, checkEvery: *checkEvery,
 		checkInterval: *checkIntvl,
 		walDir:        *walDir, ckptEvery: *ckptEvery,
-		fsync: *fsyncPol, fsyncInterval: *fsyncIntvl,
+		fsync: *fsyncPol, fsyncInterval: *fsyncIntvl, walStall: *walStall,
 	})
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -138,6 +139,7 @@ type options struct {
 	ckptEvery     time.Duration
 	fsync         string
 	fsyncInterval time.Duration
+	walStall      time.Duration
 }
 
 func run(opt options) int {
@@ -200,7 +202,7 @@ func run(opt options) int {
 		if err != nil {
 			return fail(err)
 		}
-		jo := serve.JournalOptions{}
+		jo := serve.JournalOptions{StallTimeout: opt.walStall}
 		if fp == wal.FsyncInterval {
 			jo.SyncEvery = opt.fsyncInterval
 		}
@@ -209,6 +211,7 @@ func run(opt options) int {
 			j.Close()
 			return fail(fmt.Errorf("boot checkpoint: %w", err))
 		}
+		warnMaint(j, "boot checkpoint")
 		fmt.Printf("dynallocd: durability on: wal-dir=%s fsync=%s checkpoint-every=%v\n",
 			opt.walDir, opt.fsync, opt.ckptEvery)
 	} else {
@@ -252,6 +255,7 @@ func run(opt options) int {
 					if _, _, err := j.Checkpoint(); err != nil {
 						fmt.Fprintln(os.Stderr, "dynallocd: checkpoint:", err)
 					}
+					warnMaint(j, "checkpoint")
 				}
 			}
 		}()
@@ -291,6 +295,7 @@ func run(opt options) int {
 		} else {
 			fmt.Printf("dynallocd: final checkpoint at seq %d (%d balls)\n", snap.Seq, st.Total())
 		}
+		warnMaint(j, "final checkpoint")
 		if err := j.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "dynallocd: wal close:", err)
 			if code == 0 {
@@ -299,6 +304,14 @@ func run(opt options) int {
 		}
 	}
 	return code
+}
+
+// warnMaint surfaces a checkpoint's non-fatal maintenance failure
+// (prune/truncate after a durably-written snapshot) on stderr.
+func warnMaint(j *serve.Journal, what string) {
+	if err := j.MaintErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "dynallocd: %s: maintenance (snapshot is durable): %v\n", what, err)
+	}
 }
 
 // runDrive executes the crash/recover drill: optionally injects the
@@ -532,9 +545,15 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"seq": snap.Seq, "path": path, "balls": s.st.Total(),
-	})
+	}
+	// The snapshot above is durable even when post-write maintenance
+	// (pruning, truncation) failed; report that as a warning, not a 500.
+	if merr := s.j.MaintErr(); merr != nil {
+		resp["maintenance_error"] = merr.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleState(w http.ResponseWriter, r *http.Request) {

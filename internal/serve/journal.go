@@ -17,8 +17,23 @@ type JournalOptions struct {
 	// Buffer is the bounded record queue between the store's mutation
 	// hooks and the WAL writer goroutine (default 4096). When the queue
 	// is full, mutations block until the writer drains — bounded memory
-	// with backpressure, never silent loss.
+	// with backpressure, never silent loss. Note the stall mode this
+	// implies: the queue only stays full while the writer is stuck
+	// inside a WAL write/fsync that neither returns nor errors (a hung
+	// disk, not a failing one), and a blocked push holds its shard's
+	// lock — so a wedged disk stalls every mutation on that shard and
+	// any Checkpoint waiting to lock all shards. The "WAL errors
+	// degrade durability, never availability" guarantee covers errors;
+	// for stalls, set StallTimeout.
 	Buffer int
+
+	// StallTimeout, when positive, bounds how long a mutation waits on
+	// a full queue: a push that cannot enqueue within it drops the
+	// record, notes the error (Err) and counts it in
+	// serve.journal.stalled — durability degrades to keep the service
+	// available through a hung disk. 0 (the default) keeps the pure
+	// backpressure behavior described under Buffer.
+	StallTimeout time.Duration
 
 	// KeepCheckpoints is how many checkpoint files Checkpoint retains
 	// (default 2). The WAL is truncated only up to the *oldest* retained
@@ -74,7 +89,9 @@ type Journal struct {
 	errMu    sync.Mutex
 	firstErr error
 
-	ckptMu sync.Mutex // serializes Checkpoint calls
+	ckptMu   sync.Mutex // serializes Checkpoint calls
+	maintMu  sync.Mutex
+	maintErr error // maintenance failure of the most recent checkpoint
 }
 
 // NewJournal wires st to log and starts the writer goroutine. lastSeq
@@ -150,16 +167,34 @@ func (j *Journal) LastSeq() uint64 { return j.seq.Load() }
 // push assigns the next seq and enqueues one record. It runs under the
 // mutating shard's lock (see StoreHook), so seq order equals mutation
 // order per bin, and a Checkpoint holding every shard lock observes a
-// stable seq.
+// stable seq. With no StallTimeout a full queue blocks here —
+// holding that shard lock — until the writer drains (see
+// JournalOptions.Buffer for what that stall mode means).
 func (j *Journal) push(op wal.Op, bin, k int) {
 	j.closeMu.RLock()
+	defer j.closeMu.RUnlock()
 	if j.closed {
-		j.closeMu.RUnlock()
 		metrics.AddCounter("serve.journal.dropped", 1)
 		return
 	}
-	j.ch <- wal.Record{Op: op, Bin: uint32(bin), K: int32(k), Seq: j.seq.Add(1)}
-	j.closeMu.RUnlock()
+	rec := wal.Record{Op: op, Bin: uint32(bin), K: int32(k), Seq: j.seq.Add(1)}
+	if j.opts.StallTimeout <= 0 {
+		j.ch <- rec
+		return
+	}
+	select {
+	case j.ch <- rec:
+		return
+	default:
+	}
+	t := time.NewTimer(j.opts.StallTimeout)
+	defer t.Stop()
+	select {
+	case j.ch <- rec:
+	case <-t.C:
+		j.noteErr(fmt.Errorf("serve: journal stalled for %v; record seq %d dropped", j.opts.StallTimeout, rec.Seq))
+		metrics.AddCounter("serve.journal.stalled", 1)
+	}
 }
 
 // OnAlloc implements StoreHook.
@@ -174,7 +209,12 @@ func (j *Journal) OnCrash(bin, k int) { j.push(wal.OpCrash, bin, k) }
 // Checkpoint stops the world, captures an exact snapshot (loads,
 // counters, covered seq), persists it, prunes old checkpoints and
 // truncates WAL segments the oldest retained checkpoint covers. It
-// returns the snapshot and the file it was written to.
+// returns the snapshot and the file it was written to. Only a failure
+// to persist the snapshot is an error: once the snapshot file is
+// durable, pruning and truncation are maintenance, and their failure
+// (say, one unremovable old file) is recorded in MaintErr and retried
+// by the next checkpoint instead of being returned — a successful
+// checkpoint must never look fatal.
 func (j *Journal) Checkpoint() (checkpoint.Snapshot, string, error) {
 	j.ckptMu.Lock()
 	defer j.ckptMu.Unlock()
@@ -197,19 +237,44 @@ func (j *Journal) Checkpoint() (checkpoint.Snapshot, string, error) {
 	if err != nil {
 		return snap, "", err
 	}
-	if _, err := checkpoint.Prune(j.log.Dir(), j.opts.KeepCheckpoints); err != nil {
-		return snap, path, err
-	}
-	metas, err := checkpoint.List(j.log.Dir())
-	if err != nil {
-		return snap, path, err
-	}
-	if len(metas) > 0 {
-		if _, err := j.log.TruncateThrough(metas[0].Seq); err != nil {
-			return snap, path, err
-		}
-	}
+	j.maintain()
 	return snap, path, nil
+}
+
+// maintain prunes old checkpoints and truncates fully-covered WAL
+// segments after a successful snapshot write. A failure is recorded
+// (MaintErr, checkpoint.maintenance.errors) rather than returned:
+// durability is already intact and the next checkpoint retries.
+func (j *Journal) maintain() {
+	err := func() error {
+		if _, err := checkpoint.Prune(j.log.Dir(), j.opts.KeepCheckpoints); err != nil {
+			return err
+		}
+		metas, err := checkpoint.List(j.log.Dir())
+		if err != nil {
+			return err
+		}
+		if len(metas) > 0 {
+			if _, err := j.log.TruncateThrough(metas[0].Seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	j.maintMu.Lock()
+	j.maintErr = err
+	j.maintMu.Unlock()
+	if err != nil {
+		metrics.AddCounter("checkpoint.maintenance.errors", 1)
+	}
+}
+
+// MaintErr returns the maintenance (prune/truncate) failure of the
+// most recent Checkpoint, nil when it fully succeeded.
+func (j *Journal) MaintErr() error {
+	j.maintMu.Lock()
+	defer j.maintMu.Unlock()
+	return j.maintErr
 }
 
 // Close detaches the journal from the store, flushes the queue, and

@@ -236,7 +236,8 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		{"corrupt-crc", func(t *testing.T, dir string) int {
 			segs := sortedSegs(dir)
 			// Pick a random record across all segments, flip a bin byte;
-			// the CRC no longer matches and replay stops just before it.
+			// the CRC no longer matches and replay stops inside that
+			// segment.
 			si := r.Intn(len(segs))
 			inSeg := recordsIn(segs[si])
 			if inSeg == 0 {
@@ -250,6 +251,13 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			data[16+ri*wal.RecordSize+2] ^= 0x55
 			if err := os.WriteFile(segs[si], data, 0o644); err != nil {
 				t.Fatal(err)
+			}
+			// When the whole corrupted segment is already covered by the
+			// newest checkpoint, replay bridges into the next segment (no
+			// record would be skipped) and nothing is lost at all;
+			// otherwise the corruption cuts the stream right there.
+			if si < len(segs)-1 && seqAt(segs[si], inSeg-1) <= newestCkpt {
+				return -1
 			}
 			return lastSeqBefore(segs, si, ri)
 		}},
@@ -460,6 +468,211 @@ func TestRestoreSkipsFreeOfEmptyBinFromForgedLog(t *testing.T) {
 	}
 	if got := st.LoadsCopy(); got[2] != 1 || got[0] != 2 {
 		t.Fatalf("forged-log state: %v", got)
+	}
+}
+
+// TestDoubleCrashKeepsPostRestartMutations is the
+// crash → restore → traffic → crash-again property test: run 1 takes a
+// mid-run checkpoint (so boot-time truncation, which only reaches the
+// oldest retained checkpoint's seq, cannot delete run 1's torn
+// segment), dies mid-record, run 2 restores, takes the boot checkpoint
+// exactly like cmd/dynallocd, serves more traffic, and dies mid-record
+// too. The second restore must keep every acknowledged run 2 mutation:
+// replay has to walk past run 1's torn tail into run 2's segment.
+func TestDoubleCrashKeepsPostRestartMutations(t *testing.T) {
+	const n = 16
+	r := rng.New(77)
+	var ops1, ops2 []refOp
+	mutate := func(st *Store, ops *[]refOp) {
+		switch r.Intn(10) {
+		case 0:
+			b, k := r.Intn(n), 1+r.Intn(4)
+			st.Crash(b, k)
+			*ops = append(*ops, refOp{wal.OpCrash, b, k})
+		case 1, 2, 3:
+			b := r.Intn(n)
+			if _, err := st.FreeBin(b); err == nil {
+				*ops = append(*ops, refOp{wal.OpFree, b, 1})
+			}
+		default:
+			b := r.Intn(n)
+			st.Alloc(b)
+			*ops = append(*ops, refOp{wal.OpAlloc, b, 1})
+		}
+	}
+	tearLastSegment := func(dir string) {
+		segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("no segments to tear: %v", err)
+		}
+		last := segs[len(segs)-1]
+		fi, err := os.Stat(last)
+		if err != nil || fi.Size() <= 16+wal.RecordSize {
+			t.Fatalf("last segment too small to tear: %v", err)
+		}
+		if err := os.Truncate(last, fi.Size()-wal.RecordSize/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Run 1: traffic, a mid-run checkpoint, more traffic, kill -9.
+	st, j, dir := newJournaled(t, n, 4, wal.Options{SegmentBytes: 1 << 20})
+	for len(ops1) < 30 {
+		mutate(st, &ops1)
+	}
+	if _, _, err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for len(ops1) < 60 {
+		mutate(st, &ops1)
+	}
+	waitForSeq(t, j, uint64(len(ops1)))
+	tearLastSegment(dir) // run 1's last acknowledged record is lost
+
+	// Run 2: restore, boot checkpoint (as cmd/dynallocd does), traffic.
+	surviving1 := ops1[:len(ops1)-1]
+	st2 := NewStoreShards(n, 4)
+	res, err := Restore(st2, dir)
+	if err != nil || !res.Restored || !res.Torn {
+		t.Fatalf("first restore: %+v, %v", res, err)
+	}
+	assertStoreMatchesRef(t, st2, n, surviving1, "first restore")
+	l2, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := NewJournal(st2, l2, res.LastSeq, JournalOptions{Buffer: 64})
+	if _, _, err := j2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for len(ops2) < 40 {
+		mutate(st2, &ops2)
+	}
+	waitForSeq(t, j2, res.LastSeq+uint64(len(ops2)))
+	// Run 1's torn segment must still be there (boot truncation reaches
+	// only the oldest retained checkpoint) — the hazard under test.
+	if segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg")); len(segs) < 2 {
+		t.Fatalf("expected run 1's torn segment to survive the boot checkpoint, have %d segments", len(segs))
+	}
+	tearLastSegment(dir) // run 2 dies mid-record too
+
+	// Second restore: every acknowledged mutation of BOTH runs except
+	// the two torn-off records must be present.
+	want := append(append([]refOp{}, surviving1...), ops2[:len(ops2)-1]...)
+	st3 := NewStoreShards(n, 4)
+	res3, err := Restore(st3, dir)
+	if err != nil || !res3.Restored || !res3.Torn {
+		t.Fatalf("second restore: %+v, %v", res3, err)
+	}
+	if res3.SkippedFrees != 0 {
+		t.Fatalf("second restore skipped %d frees on an honest log", res3.SkippedFrees)
+	}
+	assertStoreMatchesRef(t, st3, n, want, "double crash")
+}
+
+// TestCheckpointMaintenanceFailureIsNonFatal: once the snapshot file
+// is durably written, a failure to prune/truncate (here: a directory
+// squatting on a segment name, which os.Remove cannot delete) must not
+// surface as a Checkpoint error — it is reported via MaintErr and
+// retried by the next checkpoint.
+func TestCheckpointMaintenanceFailureIsNonFatal(t *testing.T) {
+	st, j, dir := newJournaled(t, 8, 2, wal.Options{SegmentBytes: 16 + 4*wal.RecordSize})
+	for i := 0; i < 12; i++ {
+		st.Alloc(i % 8)
+	}
+	waitForSeq(t, j, 12)
+	poison := filepath.Join(dir, "wal-0000000000000000.seg")
+	if err := os.Mkdir(poison, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(poison, "x"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, path, err := j.Checkpoint()
+	if err != nil {
+		t.Fatalf("maintenance failure escalated into a checkpoint error: %v", err)
+	}
+	if path == "" || snap.Seq != 12 {
+		t.Fatalf("checkpoint result degraded: seq %d path %q", snap.Seq, path)
+	}
+	if j.MaintErr() == nil {
+		t.Fatal("maintenance failure not recorded in MaintErr")
+	}
+	// The snapshot really is on disk and restorable despite the error.
+	fresh := NewStoreShards(8, 2)
+	if res, err := Restore(fresh, dir); err != nil || !res.Restored {
+		t.Fatalf("restore after degraded checkpoint: %+v, %v", res, err)
+	}
+	// Obstruction cleared: the next checkpoint's maintenance succeeds.
+	if err := os.RemoveAll(poison); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.MaintErr(); err != nil {
+		t.Fatalf("MaintErr not cleared after clean checkpoint: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gateFile blocks every file write until the gate channel is closed,
+// simulating a hung (not erroring) disk.
+type gateFile struct {
+	f    *os.File
+	gate chan struct{}
+}
+
+func (g *gateFile) Write(p []byte) (int, error) { <-g.gate; return g.f.Write(p) }
+func (g *gateFile) Sync() error                 { return g.f.Sync() }
+func (g *gateFile) Close() error                { return g.f.Close() }
+
+// TestStallTimeoutKeepsMutationsAvailable: with StallTimeout set, a
+// WAL writer wedged inside a hung write must not block mutations
+// indefinitely — pushes that cannot enqueue drop their record, note
+// the error, and the store stays available (degraded durability).
+func TestStallTimeoutKeepsMutationsAvailable(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	l, err := wal.Open(wal.Options{
+		Dir: dir, Fsync: wal.FsyncAlways,
+		OpenFile: func(path string) (wal.SegmentFile, error) {
+			f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			return &gateFile{f: f, gate: gate}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStoreShards(8, 2)
+	j := NewJournal(st, l, 0, JournalOptions{Buffer: 1, StallTimeout: 20 * time.Millisecond})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			st.Alloc(i % 8)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("mutations blocked on a hung WAL writer despite StallTimeout")
+	}
+	if j.Err() == nil {
+		t.Fatal("stalled drops not noted in Err")
+	}
+	if st.Total() != 4 {
+		t.Fatalf("store lost mutations: %d balls, want 4", st.Total())
+	}
+	close(gate) // the disk un-wedges; Close must surface the degradation
+	if err := j.Close(); err == nil {
+		t.Fatal("Close did not surface the recorded stall error")
 	}
 }
 

@@ -109,14 +109,28 @@ func (o *Options) fill() error {
 
 func defaultOpenFile(path string) (SegmentFile, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-	if errors.Is(err, os.ErrExist) {
-		// A dead segment with this first-seq already exists: it can only
-		// be left over from a crash whose replay yielded no valid record
-		// from it (otherwise the restored seq would have advanced past
-		// its name), so its content is garbage and truncating is safe.
-		f, err = os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if !errors.Is(err, os.ErrExist) {
+		return f, err
 	}
-	return f, err
+	// A segment with this first-seq already exists: a fork left behind
+	// by a crash whose replay could not reach it (a gap, a bad header,
+	// or a checkpoint that superseded it). It is dead to replay, but it
+	// may still hold durably-written records an operator wants for
+	// forensics, so it is never truncated: it is renamed aside to a
+	// .dead.N name — which no wal-*.seg glob matches, so replay and
+	// TruncateThrough ignore it — and a fresh segment takes the name.
+	for i := 0; ; i++ {
+		aside := fmt.Sprintf("%s.dead.%d", path, i)
+		if _, err := os.Lstat(aside); errors.Is(err, os.ErrNotExist) {
+			if err := os.Rename(path, aside); err != nil {
+				return nil, fmt.Errorf("wal: move colliding segment aside: %w", err)
+			}
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("wal: move colliding segment aside: %w", err)
+		}
+	}
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 }
 
 // segMagic is the 8-byte segment header magic; the header is the magic

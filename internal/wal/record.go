@@ -7,12 +7,16 @@
 // The log records *committed* mutations, so restore is "load the
 // latest valid checkpoint (internal/checkpoint), then replay the WAL
 // suffix". Replay is tolerant of the two corruptions a crash can
-// leave behind: a torn tail (a partial record at the end of the last
+// leave behind: a torn tail (a partial record at the end of a
 // segment) and a corrupted record (CRC mismatch); in both cases
-// replay stops at the last valid record and reports the stop instead
-// of failing, which is exactly the self-stabilization reading of the
-// paper — a crash-corrupted state is just another starting point the
-// process recovers from.
+// replay skips to the next segment when its header shows the record
+// stream stays contiguous (so segments written after a restore — they
+// open at the restored seq + 1 — survive a later crash even while an
+// older torn segment is still on disk), and stops at the last valid
+// record only when continuing would skip a record. Either way it
+// reports the corruption instead of failing, which is exactly the
+// self-stabilization reading of the paper — a crash-corrupted state
+// is just another starting point the process recovers from.
 //
 // Records carry a caller-assigned sequence number (seq). Sequence
 // numbers are assigned under the store's shard locks, so a checkpoint

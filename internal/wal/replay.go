@@ -15,17 +15,23 @@ type ReplayStats struct {
 	Applied  int64  // records handed to the apply callback
 	Bytes    int64  // record bytes decoded
 	LastSeq  uint64 // highest seq seen (0 if none)
-	Torn     bool   // replay stopped at a torn tail or corrupted record
+	Torn     bool   // a torn tail or corrupted record was encountered
 }
 
 // Replay walks the segments of dir in order and hands every valid
-// record with Seq > afterSeq to apply. It stops — without error — at
-// the first torn or corrupted record (CRC mismatch, partial tail, or
-// bad segment header) and ignores everything after it, including later
-// segments: a gap in the record stream would make the suffix
-// unsound to apply, so recovery is "everything up to the last valid
-// record", exactly the guarantee the crash-recovery drills assert.
-// An error from apply aborts the replay and is returned as-is.
+// record with Seq > afterSeq to apply. A torn or corrupted record
+// (CRC mismatch, partial tail, or bad segment header) ends the current
+// segment without error; replay then continues into a later segment
+// only when that segment's header firstSeq proves no record would be
+// skipped — firstSeq <= 1 + the highest seq already covered (valid
+// records seen, or afterSeq from the caller's checkpoint). That is
+// exactly the crash → restore → traffic → crash-again layout: the
+// pre-crash segment keeps its torn tail (until truncation removes it)
+// while the post-restore segment opens at the restored seq + 1, and
+// both must replay. A later segment that would open a true seq gap is
+// unsound to apply, so replay stops there: recovery is "everything
+// reachable without skipping a record". An error from apply aborts
+// the replay and is returned as-is.
 func Replay(dir string, afterSeq uint64, apply func(Record) error) (ReplayStats, error) {
 	var stats ReplayStats
 	paths, err := listSegments(dir)
@@ -33,6 +39,17 @@ func Replay(dir string, afterSeq uint64, apply func(Record) error) (ReplayStats,
 		return stats, fmt.Errorf("wal: replay: %w", err)
 	}
 	for _, p := range paths {
+		if stats.Torn {
+			covered := stats.LastSeq
+			if afterSeq > covered {
+				covered = afterSeq
+			}
+			if first, ok := readSegmentFirstSeq(p); ok && first > covered+1 {
+				return stats, nil // a real seq gap: the suffix is unsound
+			}
+			// An unreadable header falls through: replaySegment applies
+			// nothing from such a segment, so contiguity is preserved.
+		}
 		stats.Segments++
 		clean, err := replaySegment(p, afterSeq, apply, &stats)
 		if err != nil {
@@ -40,10 +57,28 @@ func Replay(dir string, afterSeq uint64, apply func(Record) error) (ReplayStats,
 		}
 		if !clean {
 			stats.Torn = true
-			return stats, nil
 		}
 	}
 	return stats, nil
+}
+
+// readSegmentFirstSeq reads just a segment's header and returns the
+// first record seq it was opened for; ok=false when the header is
+// missing, truncated or has the wrong magic.
+func readSegmentFirstSeq(path string) (uint64, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, false
+	}
+	if [8]byte(hdr[:8]) != segMagic {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(hdr[8:16]), true
 }
 
 // replaySegment streams one segment through apply. It returns

@@ -191,12 +191,13 @@ func TestTruncateThrough(t *testing.T) {
 	}
 }
 
-func TestReopenCollidingSegmentNameTruncatesGarbage(t *testing.T) {
+func TestReopenCollidingSegmentNameMovesItAside(t *testing.T) {
 	dir := t.TempDir()
-	// A dead segment named for seq 1 containing garbage (e.g. a crash
-	// before its header hit the disk).
+	// A dead segment named for seq 1 left by a previous run (e.g. a
+	// crash before its header hit the disk). Its bytes must survive the
+	// collision — truncating would destroy the only forensic copy.
 	path := filepath.Join(dir, segmentName(1))
-	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte("previous run's bytes"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	l := testOpen(t, Options{Dir: dir, Fsync: FsyncNever})
@@ -204,7 +205,90 @@ func TestReopenCollidingSegmentNameTruncatesGarbage(t *testing.T) {
 	l.Close()
 	got, stats := collect(t, dir, 0)
 	if len(got) != 3 || stats.Torn {
-		t.Fatalf("reopen over garbage: %d records, stats %+v", len(got), stats)
+		t.Fatalf("reopen over dead segment: %d records, stats %+v", len(got), stats)
+	}
+	moved, err := os.ReadFile(path + ".dead.0")
+	if err != nil || string(moved) != "previous run's bytes" {
+		t.Fatalf("colliding segment not preserved aside: %q, %v", moved, err)
+	}
+	// A second collision picks the next free .dead name.
+	l2 := testOpen(t, Options{Dir: dir, Fsync: FsyncNever})
+	appendN(t, l2, 1, 2)
+	l2.Close()
+	if _, err := os.Stat(path + ".dead.1"); err != nil {
+		t.Fatalf("second collision not moved to .dead.1: %v", err)
+	}
+}
+
+// TestReplayContinuesPastTornSegmentWhenNoGap is the double-crash
+// layout: run 1 leaves a torn tail, run 2 (after restore) opens its
+// segment at the restored seq + 1, then crashes too. Replay must walk
+// past the torn record into run 2's segment — its header proves no
+// record is skipped — or every post-restart mutation would be lost.
+func TestReplayContinuesPastTornSegmentWhenNoGap(t *testing.T) {
+	dir := t.TempDir()
+	l1 := testOpen(t, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l1, 1, 10)
+	l1.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d", len(segs))
+	}
+	// Tear record 10 in half: run 1's valid prefix is 1..9.
+	if err := os.Truncate(segs[0], int64(segHeaderSize+9*RecordSize+RecordSize/2)); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := collect(t, dir, 0)
+	if len(got) != 9 || !stats.Torn {
+		t.Fatalf("after first crash: %d records, stats %+v", len(got), stats)
+	}
+	// "Restart": a new log continues at the restored seq + 1 = 10.
+	l2 := testOpen(t, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l2, 10, 25)
+	l2.Close()
+	got, stats = collect(t, dir, 0)
+	if len(got) != 25 || stats.LastSeq != 25 {
+		t.Fatalf("after second crash: %d records (LastSeq %d), want all 25", len(got), stats.LastSeq)
+	}
+	if !stats.Torn || stats.Segments != 2 {
+		t.Fatalf("stats %+v: want Torn (run 1's tail) and both segments visited", stats)
+	}
+	for i, r := range got[:9] {
+		if r != rec(i+1) {
+			t.Fatalf("record %d: got %+v want %+v", i, r, rec(i+1))
+		}
+	}
+	for i, r := range got[9:] {
+		if r != rec(i+10) {
+			t.Fatalf("record %d: got %+v want %+v", i+9, r, rec(i+10))
+		}
+	}
+}
+
+// TestReplayStopsAtSeqGapAcrossSegments: when the segment after a torn
+// one does NOT continue the record stream, applying it would skip
+// records — replay must stop at the last reachable record instead.
+func TestReplayStopsAtSeqGapAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	l1 := testOpen(t, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l1, 1, 10)
+	l1.Close()
+	segs, _ := listSegments(dir)
+	if err := os.Truncate(segs[0], int64(segHeaderSize+9*RecordSize+RecordSize/2)); err != nil {
+		t.Fatal(err)
+	}
+	// A later segment opening at seq 12: records 10 and 11 are missing.
+	l2 := testOpen(t, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l2, 12, 20)
+	l2.Close()
+	got, stats := collect(t, dir, 0)
+	if len(got) != 9 || !stats.Torn || stats.LastSeq != 9 {
+		t.Fatalf("gap not respected: %d records, stats %+v", len(got), stats)
+	}
+	// With a checkpoint covering seq 11, the same suffix is contiguous.
+	got, stats = collect(t, dir, 11)
+	if len(got) != 9 || got[0].Seq != 12 || stats.LastSeq != 20 {
+		t.Fatalf("checkpoint-covered gap: %d records, stats %+v", len(got), stats)
 	}
 }
 
