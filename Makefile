@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill cover clean
+.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill explore explore-full cover clean
 
 all: build vet test
 
@@ -50,6 +50,14 @@ serve-drill: build
 # state survived and the detector re-fires (docs/SERVING.md).
 recovery-drill: build
 	./scripts/recovery_drill.sh
+
+# Crash-schedule exploration: simulated power cuts against the
+# durability stack, with one-line repros on failure (docs/TESTING.md).
+explore:
+	$(GO) test ./internal/simfs/explore -run TestExplore -short -v
+
+explore-full:
+	$(GO) test ./internal/simfs/explore -run TestExplore -v
 
 # Quick-scale pass over every experiment table.
 experiments: build

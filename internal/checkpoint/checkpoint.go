@@ -19,13 +19,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"dynalloc/internal/metrics"
+	"dynalloc/internal/vfs"
 )
 
 // ErrNoCheckpoint is returned by LoadLatest when dir holds no valid
@@ -109,29 +109,33 @@ func decode(buf []byte) (Snapshot, error) {
 	return s, nil
 }
 
-// Write atomically persists s into dir (created if missing) and
+// Write atomically persists s into dir (created if missing) on the
+// real filesystem; WriteFS is the same against any vfs.FS.
+func Write(dir string, s Snapshot) (string, error) { return WriteFS(vfs.OS, dir, s) }
+
+// WriteFS atomically persists s into dir (created if missing) and
 // returns the file path. The write path is temp file -> fsync ->
 // rename -> directory fsync, so the named file is either absent or
 // complete. Stray temp files from crashed writers are swept first.
-func Write(dir string, s Snapshot) (string, error) {
+func WriteFS(fsys vfs.FS, dir string, s Snapshot) (string, error) {
 	defer metrics.Span("checkpoint.write_ns")()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir); err != nil {
 		return "", fmt.Errorf("checkpoint: %w", err)
 	}
-	if stale, err := filepath.Glob(filepath.Join(dir, "ckpt-*.ck.tmp-*")); err == nil {
+	if stale, err := fsys.Glob(filepath.Join(dir, "ckpt-*.ck.tmp-*")); err == nil {
 		for _, p := range stale {
-			os.Remove(p)
+			fsys.Remove(p)
 		}
 	}
 
 	buf := encode(s)
 	path := filepath.Join(dir, fileName(s.Seq))
-	tmp, err := os.CreateTemp(dir, fileName(s.Seq)+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, fileName(s.Seq)+".tmp-*")
 	if err != nil {
 		return "", fmt.Errorf("checkpoint: %w", err)
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	cleanup := func() { tmp.Close(); fsys.Remove(tmpName) }
 	if _, err := tmp.Write(buf); err != nil {
 		cleanup()
 		return "", fmt.Errorf("checkpoint: write: %w", err)
@@ -141,17 +145,17 @@ func Write(dir string, s Snapshot) (string, error) {
 		return "", fmt.Errorf("checkpoint: fsync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return "", fmt.Errorf("checkpoint: close: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return "", fmt.Errorf("checkpoint: rename: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
+	// Directory fsync is advisory (see vfs.FS.SyncDir): without it the
+	// rename may not survive a power cut, in which case restore falls
+	// back to the previous checkpoint — consistent, just older.
+	fsys.SyncDir(dir)
 	metrics.AddCounter("checkpoint.writes", 1)
 	metrics.SetGauge("checkpoint.bytes", float64(len(buf)))
 	metrics.SetGauge("checkpoint.seq", float64(s.Seq))
@@ -164,40 +168,48 @@ type Meta struct {
 	Path string
 }
 
-// List returns dir's checkpoint files sorted by seq ascending. File
+// List returns dir's checkpoint files sorted by seq ascending on the
+// real filesystem; ListFS is the same against any vfs.FS. File
 // contents are not validated here (LoadLatest does that); names that
 // do not parse are ignored.
-func List(dir string) ([]Meta, error) {
-	ents, err := os.ReadDir(dir)
+func List(dir string) ([]Meta, error) { return ListFS(vfs.OS, dir) }
+
+// ListFS is List against an explicit filesystem.
+func ListFS(fsys vfs.FS, dir string) ([]Meta, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
+		if vfs.IsNotExist(err) {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	var out []Meta
 	for _, e := range ents {
-		if e.IsDir() {
+		if e.IsDir {
 			continue
 		}
-		if seq, ok := seqOfName(e.Name()); ok {
-			out = append(out, Meta{Seq: seq, Path: filepath.Join(dir, e.Name())})
+		if seq, ok := seqOfName(e.Name); ok {
+			out = append(out, Meta{Seq: seq, Path: filepath.Join(dir, e.Name)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out, nil
 }
 
-// LoadLatest returns the newest valid checkpoint in dir, skipping any
-// file that fails validation (a crash mid-write cannot produce one,
-// but disk corruption can). ErrNoCheckpoint when none validates.
-func LoadLatest(dir string) (Snapshot, string, error) {
-	metas, err := List(dir)
+// LoadLatest returns the newest valid checkpoint in dir on the real
+// filesystem; LoadLatestFS is the same against any vfs.FS. It skips
+// any file that fails validation (a crash mid-write cannot produce
+// one, but disk corruption can). ErrNoCheckpoint when none validates.
+func LoadLatest(dir string) (Snapshot, string, error) { return LoadLatestFS(vfs.OS, dir) }
+
+// LoadLatestFS is LoadLatest against an explicit filesystem.
+func LoadLatestFS(fsys vfs.FS, dir string) (Snapshot, string, error) {
+	metas, err := ListFS(fsys, dir)
 	if err != nil {
 		return Snapshot{}, "", err
 	}
 	for i := len(metas) - 1; i >= 0; i-- {
-		buf, err := os.ReadFile(metas[i].Path)
+		buf, err := fsys.ReadFile(metas[i].Path)
 		if err != nil {
 			continue
 		}
@@ -210,19 +222,23 @@ func LoadLatest(dir string) (Snapshot, string, error) {
 	return Snapshot{}, "", ErrNoCheckpoint
 }
 
-// Prune deletes all but the newest keep checkpoints (by seq) and
-// returns how many files were removed. keep < 1 is treated as 1.
-func Prune(dir string, keep int) (int, error) {
+// Prune deletes all but the newest keep checkpoints (by seq) on the
+// real filesystem; PruneFS is the same against any vfs.FS. It returns
+// how many files were removed. keep < 1 is treated as 1.
+func Prune(dir string, keep int) (int, error) { return PruneFS(vfs.OS, dir, keep) }
+
+// PruneFS is Prune against an explicit filesystem.
+func PruneFS(fsys vfs.FS, dir string, keep int) (int, error) {
 	if keep < 1 {
 		keep = 1
 	}
-	metas, err := List(dir)
+	metas, err := ListFS(fsys, dir)
 	if err != nil {
 		return 0, err
 	}
 	removed := 0
 	for i := 0; i < len(metas)-keep; i++ {
-		if err := os.Remove(metas[i].Path); err != nil {
+		if err := fsys.Remove(metas[i].Path); err != nil {
 			return removed, fmt.Errorf("checkpoint: prune: %w", err)
 		}
 		removed++

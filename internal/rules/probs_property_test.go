@@ -1,0 +1,108 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dynalloc/internal/loadvec"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/stats"
+)
+
+// shippedExactRules is every rule family the repo ships that exposes
+// its exact choice distribution, at a spread of parameters.
+func shippedExactRules() []ExactRule {
+	return []ExactRule{
+		NewUniform(),
+		NewABKU(2),
+		NewABKU(3),
+		NewAdaptive(SliceThresholds{1, 1, 2, 3, 5, 8}),
+		NewAdaptive(ConstThresholds(4)),
+		NewMixed(0.25),
+		NewMixed(0.75),
+		MinLoad{},
+	}
+}
+
+// TestShippedRulesAllocationProbMonotoneInLoad is the probability-level
+// form of right-orientation (Definition 3.2): on a normalized load
+// vector, a strictly heavier bin must never be the likelier allocation
+// target — p[i] <= p[j] whenever i < j and v[i] > v[j]. (Positions
+// with equal loads are unconstrained: the position, not the load,
+// breaks their tie.) Checked on randomized vectors across sizes and
+// fills, along with p being a probability distribution at all.
+func TestShippedRulesAllocationProbMonotoneInLoad(t *testing.T) {
+	const trials = 300
+	const eps = 1e-9
+	for _, rule := range shippedExactRules() {
+		t.Run(rule.Name(), func(t *testing.T) {
+			r := rng.New(0x0D3F)
+			for trial := 0; trial < trials; trial++ {
+				n := 2 + r.Intn(12)
+				m := r.Intn(4*n + 1)
+				v := loadvec.Random(n, m, r)
+				p := rule.ChoiceProbs(v)
+				if len(p) != n {
+					t.Fatalf("ChoiceProbs(%v) has %d entries, want %d", v, len(p), n)
+				}
+				sum := 0.0
+				for i, pi := range p {
+					if pi < -eps || pi > 1+eps {
+						t.Fatalf("p[%d] = %g out of [0,1] on v=%v", i, pi, v)
+					}
+					sum += pi
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("probabilities sum to %g on v=%v (p=%v)", sum, v, p)
+				}
+				for i := 0; i < n; i++ {
+					for j := i + 1; j < n; j++ {
+						if v[i] > v[j] && p[i] > p[j]+eps {
+							t.Fatalf("allocation probability increases with load on v=%v: p[%d]=%g > p[%d]=%g (loads %d > %d)",
+								v, i, p[i], j, p[j], v[i], v[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChooseMatchesChoiceProbs cross-checks the sampling path against
+// the exact path: the empirical distribution of Choose over fresh
+// Samples must pass a chi-square goodness-of-fit test against
+// ChoiceProbs on the same vector. This pins the two implementations of
+// every rule (the DP and the probe loop) to each other.
+func TestChooseMatchesChoiceProbs(t *testing.T) {
+	const draws = 20000
+	vectors := []loadvec.Vector{
+		loadvec.FromLoads([]int{4, 2, 2, 1, 1, 0, 0, 0}),
+		loadvec.FromLoads([]int{7, 7, 3, 1}),
+		loadvec.FromLoads([]int{1, 1, 1, 1, 1, 1}),
+	}
+	for _, rule := range shippedExactRules() {
+		for vi, v := range vectors {
+			t.Run(fmt.Sprintf("%s/v%d", rule.Name(), vi), func(t *testing.T) {
+				r := rng.New(0xC401CE + uint64(vi))
+				want := rule.ChoiceProbs(v)
+				counts := make([]int, v.N())
+				for d := 0; d < draws; d++ {
+					counts[rule.Choose(v, NewSample(v.N(), r))]++
+				}
+				stat, df, p := stats.ChiSquareGOF(counts, want)
+				if df >= 1 && p < 1e-3 {
+					t.Errorf("Choose disagrees with ChoiceProbs on v=%v: chi2=%.2f df=%d p=%.2g\ncounts=%v\nwant=%v",
+						v, stat, df, p, counts, want)
+				}
+				if df < 1 { // deterministic rule: every draw must hit the one cell
+					for i, c := range counts {
+						if c > 0 && want[i] == 0 {
+							t.Errorf("deterministic rule hit zero-probability position %d on v=%v", i, v)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"os"
 	"path/filepath"
 	"testing"
 
@@ -23,7 +22,7 @@ func TestRestartDrillRecoversWithinBudget(t *testing.T) {
 		shards = 8
 		crashK = 128
 	)
-	st, j, dir := newJournaled(t, n, shards, wal.Options{SegmentBytes: 1 << 16})
+	st, j, fs, dir := newJournaled(t, n, shards, wal.Options{SegmentBytes: 1 << 16})
 	st.FillBalanced(n)
 	if _, _, err := j.Checkpoint(); err != nil {
 		t.Fatal(err)
@@ -46,13 +45,13 @@ func TestRestartDrillRecoversWithinBudget(t *testing.T) {
 	})
 	eng2.Run(context.Background())
 	waitForSeq(t, j, j.LastSeq())
-	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	segs, err := fs.Glob(filepath.Join(dir, "wal-*.seg"))
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no WAL segments: %v", err)
 	}
 	last := segs[len(segs)-1]
-	if fi, err := os.Stat(last); err == nil && fi.Size() > 16+wal.RecordSize {
-		if err := os.Truncate(last, fi.Size()-wal.RecordSize/2); err != nil {
+	if size := fs.Size(last); size > 16+wal.RecordSize {
+		if err := fs.Truncate(last, size-wal.RecordSize/2); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -60,7 +59,7 @@ func TestRestartDrillRecoversWithinBudget(t *testing.T) {
 	// "Reboot": restore into a fresh store and verify the disruption
 	// survived — the crashed bin must still be far above typical.
 	st2 := NewStoreShards(n, shards)
-	res, err := Restore(st2, dir)
+	res, err := RestoreFS(st2, fs, dir)
 	if err != nil || !res.Restored {
 		t.Fatalf("restore: %+v, %v", res, err)
 	}

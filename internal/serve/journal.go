@@ -3,12 +3,14 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dynalloc/internal/checkpoint"
 	"dynalloc/internal/metrics"
+	"dynalloc/internal/vfs"
 	"dynalloc/internal/wal"
 )
 
@@ -78,7 +80,8 @@ type Journal struct {
 	log  *wal.Log
 	opts JournalOptions
 
-	seq atomic.Uint64
+	seq     atomic.Uint64
+	pending atomic.Int64 // records enqueued but not yet handed to the WAL
 
 	closeMu sync.RWMutex // held (read) across every push; (write) by Close
 	closed  bool
@@ -126,6 +129,7 @@ func (j *Journal) writer() {
 			j.noteErr(err)
 			metrics.AddCounter("wal.append.errors", 1)
 		}
+		j.pending.Add(-1)
 	}
 }
 
@@ -178,6 +182,7 @@ func (j *Journal) push(op wal.Op, bin, k int) {
 		return
 	}
 	rec := wal.Record{Op: op, Bin: uint32(bin), K: int32(k), Seq: j.seq.Add(1)}
+	j.pending.Add(1)
 	if j.opts.StallTimeout <= 0 {
 		j.ch <- rec
 		return
@@ -192,8 +197,21 @@ func (j *Journal) push(op wal.Op, bin, k int) {
 	select {
 	case j.ch <- rec:
 	case <-t.C:
+		j.pending.Add(-1)
 		j.noteErr(fmt.Errorf("serve: journal stalled for %v; record seq %d dropped", j.opts.StallTimeout, rec.Seq))
 		metrics.AddCounter("serve.journal.stalled", 1)
+	}
+}
+
+// Drain blocks until every record enqueued before the call has been
+// handed to the WAL (appended, or its failure recorded in Err). With
+// traffic quiesced this makes the writer goroutine's work observable:
+// after Drain, LastSeq's record has reached the log — which is what
+// the deterministic crash-schedule simulations need between steps, and
+// what a graceful flush wants before a checkpoint.
+func (j *Journal) Drain() {
+	for j.pending.Load() != 0 {
+		runtime.Gosched()
 	}
 }
 
@@ -233,7 +251,7 @@ func (j *Journal) Checkpoint() (checkpoint.Snapshot, string, error) {
 	}
 	st.unlockAll()
 
-	path, err := checkpoint.Write(j.log.Dir(), snap)
+	path, err := checkpoint.WriteFS(j.log.FS(), j.log.Dir(), snap)
 	if err != nil {
 		return snap, "", err
 	}
@@ -247,10 +265,10 @@ func (j *Journal) Checkpoint() (checkpoint.Snapshot, string, error) {
 // durability is already intact and the next checkpoint retries.
 func (j *Journal) maintain() {
 	err := func() error {
-		if _, err := checkpoint.Prune(j.log.Dir(), j.opts.KeepCheckpoints); err != nil {
+		if _, err := checkpoint.PruneFS(j.log.FS(), j.log.Dir(), j.opts.KeepCheckpoints); err != nil {
 			return err
 		}
-		metas, err := checkpoint.List(j.log.Dir())
+		metas, err := checkpoint.ListFS(j.log.FS(), j.log.Dir())
 		if err != nil {
 			return err
 		}
@@ -314,6 +332,8 @@ type RestoreResult struct {
 // valid checkpoint (if any), then replay the WAL suffix with
 // seq > checkpoint seq. Call it on a fresh store before any traffic
 // and before NewJournal (replayed mutations must not re-journal).
+// Restore runs against the real filesystem; RestoreFS is the same
+// against any vfs.FS.
 //
 // Replay is defensive the same way the paper's processes are: a free
 // whose bin is already empty (possible only against a forged or
@@ -321,10 +341,15 @@ type RestoreResult struct {
 // skipped and counted, never fatal, so an adversarially bad WAL still
 // yields *a* state the process can recover from.
 func Restore(st *Store, dir string) (RestoreResult, error) {
+	return RestoreFS(st, vfs.OS, dir)
+}
+
+// RestoreFS is Restore against an explicit filesystem.
+func RestoreFS(st *Store, fsys vfs.FS, dir string) (RestoreResult, error) {
 	defer metrics.Span("checkpoint.restore_ns")()
 	var res RestoreResult
 
-	snap, path, err := checkpoint.LoadLatest(dir)
+	snap, path, err := checkpoint.LoadLatestFS(fsys, dir)
 	switch {
 	case err == nil:
 		if err := st.Restore(snap.Loads, snap.Allocs, snap.Frees); err != nil {
@@ -340,7 +365,7 @@ func Restore(st *Store, dir string) (RestoreResult, error) {
 		return res, err
 	}
 
-	stats, err := wal.Replay(dir, res.CheckpointSeq, func(rec wal.Record) error {
+	stats, err := wal.ReplayFS(fsys, dir, res.CheckpointSeq, func(rec wal.Record) error {
 		return applyRecord(st, rec, &res)
 	})
 	if err != nil {

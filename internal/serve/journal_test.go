@@ -2,8 +2,7 @@ package serve
 
 import (
 	"context"
-	"io"
-	"os"
+	"errors"
 	"path/filepath"
 	"testing"
 	"time"
@@ -11,13 +10,23 @@ import (
 	"dynalloc/internal/checkpoint"
 	"dynalloc/internal/process"
 	"dynalloc/internal/rng"
+	"dynalloc/internal/simfs"
+	"dynalloc/internal/vfs"
 	"dynalloc/internal/wal"
 )
 
-func newJournaled(t *testing.T, n, shards int, opts wal.Options) (*Store, *Journal, string) {
+// The tests in this file run the journal against the simulated
+// filesystem (internal/simfs): deterministic, no disk, and trial
+// forks are cheap Clone calls instead of directory copies. The
+// crash-schedule explorer (internal/simfs/explore) drives the same
+// stack through randomized crash points; these tests pin the
+// hand-picked layouts with exact assertions.
+func newJournaled(t *testing.T, n, shards int, opts wal.Options) (*Store, *Journal, *simfs.FS, string) {
 	t.Helper()
-	dir := t.TempDir()
+	fs := simfs.New()
+	dir := "/wal"
 	opts.Dir = dir
+	opts.FS = fs
 	if opts.SegmentBytes == 0 {
 		// Tiny segments so every test exercises rotation.
 		opts.SegmentBytes = 16 + 20*wal.RecordSize
@@ -31,7 +40,7 @@ func newJournaled(t *testing.T, n, shards int, opts wal.Options) (*Store, *Journ
 	}
 	st := NewStoreShards(n, shards)
 	j := NewJournal(st, l, 0, JournalOptions{Buffer: 64})
-	return st, j, dir
+	return st, j, fs, dir
 }
 
 // refOp is one successful mutation of the reference model.
@@ -76,7 +85,7 @@ func assertStoreMatchesRef(t *testing.T, st *Store, n int, ops []refOp, what str
 
 func TestJournalRoundTripThroughRestore(t *testing.T) {
 	const n = 16
-	st, j, dir := newJournaled(t, n, 4, wal.Options{})
+	st, j, fs, dir := newJournaled(t, n, 4, wal.Options{})
 	st.FillBalanced(10)
 	st.Alloc(3)
 	st.Alloc(3)
@@ -91,7 +100,7 @@ func TestJournalRoundTripThroughRestore(t *testing.T) {
 	}
 
 	fresh := NewStoreShards(n, 4)
-	res, err := Restore(fresh, dir)
+	res, err := RestoreFS(fresh, fs, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,6 +121,33 @@ func TestJournalRoundTripThroughRestore(t *testing.T) {
 	}
 }
 
+// TestRealDiskRestore keeps the production Restore path (vfs.OS)
+// covered end to end; everything else runs on simfs.
+func TestRealDiskRestore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStoreShards(8, 2)
+	j := NewJournal(st, l, 0, JournalOptions{Buffer: 16})
+	for i := 0; i < 20; i++ {
+		st.Alloc(i % 8)
+	}
+	if _, _, err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStoreShards(8, 2)
+	res, err := Restore(fresh, dir)
+	if err != nil || !res.Restored {
+		t.Fatalf("real-disk restore: %+v, %v", res, err)
+	}
+	assertStoreMatchesRef(t, fresh, 8, allocRef(20, 8), "real-disk restore")
+}
+
 // TestCrashRecoveryProperty is the acceptance property test: drive a
 // randomized traffic prefix through a journaled store, kill it at an
 // arbitrary record boundary (and mid-record via truncation, and via a
@@ -125,7 +161,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 	)
 	r := rng.New(20260805)
 
-	st, j, dir := newJournaled(t, n, shards, wal.Options{})
+	st, j, fs, dir := newJournaled(t, n, shards, wal.Options{})
 	var ops []refOp
 	var ckptSeqs []int // op-counts at which checkpoints were taken
 	mutate := func() {
@@ -168,15 +204,15 @@ func TestCrashRecoveryProperty(t *testing.T) {
 	// single-threaded, so file order equals seq order and the seq field
 	// (record offset 9..17) of the last surviving record IS the highest
 	// surviving seq.
-	recordsIn := func(path string) int {
-		fi, err := os.Stat(path)
-		if err != nil {
-			t.Fatal(err)
+	recordsIn := func(cfs *simfs.FS, path string) int {
+		size := cfs.Size(path)
+		if size < 0 {
+			t.Fatalf("missing segment %s", path)
 		}
-		return int((fi.Size() - 16) / wal.RecordSize)
+		return int((size - 16) / wal.RecordSize)
 	}
-	seqAt := func(path string, idx int) int {
-		data, err := os.ReadFile(path)
+	seqAt := func(cfs *simfs.FS, path string, idx int) int {
+		data, err := cfs.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,8 +223,8 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		}
 		return int(v)
 	}
-	sortedSegs := func(dir string) []string {
-		segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	sortedSegs := func(cfs *simfs.FS) []string {
+		segs, err := cfs.Glob(filepath.Join(dir, "wal-*.seg"))
 		if err != nil || len(segs) == 0 {
 			t.Fatalf("no segments: %v", err)
 		}
@@ -196,13 +232,13 @@ func TestCrashRecoveryProperty(t *testing.T) {
 	}
 	// lastSeqBefore returns the seq of the final record strictly before
 	// position idx of segment si (0 if none survives in any segment).
-	lastSeqBefore := func(segs []string, si, idx int) int {
+	lastSeqBefore := func(cfs *simfs.FS, segs []string, si, idx int) int {
 		for ; si >= 0; si-- {
 			if idx > 0 {
-				return seqAt(segs[si], idx-1)
+				return seqAt(cfs, segs[si], idx-1)
 			}
 			if si > 0 {
-				idx = recordsIn(segs[si-1])
+				idx = recordsIn(cfs, segs[si-1])
 			}
 		}
 		return 0
@@ -210,65 +246,60 @@ func TestCrashRecoveryProperty(t *testing.T) {
 
 	type trial struct {
 		name      string
-		mutateDir func(t *testing.T, dir string) int // returns highest surviving seq (or -1 = all)
+		mutateDir func(t *testing.T, cfs *simfs.FS) int // returns highest surviving seq (or -1 = all)
 	}
 	trials := []trial{
-		{"no-cut", func(t *testing.T, dir string) int { return -1 }},
-		{"boundary-cut", func(t *testing.T, dir string) int {
-			segs := sortedSegs(dir)
+		{"no-cut", func(t *testing.T, cfs *simfs.FS) int { return -1 }},
+		{"boundary-cut", func(t *testing.T, cfs *simfs.FS) int {
+			segs := sortedSegs(cfs)
 			last := len(segs) - 1
-			keep := r.Intn(recordsIn(segs[last]) + 1)
-			if err := os.Truncate(segs[last], int64(16+keep*wal.RecordSize)); err != nil {
+			keep := r.Intn(recordsIn(cfs, segs[last]) + 1)
+			if err := cfs.Truncate(segs[last], int64(16+keep*wal.RecordSize)); err != nil {
 				t.Fatal(err)
 			}
-			return lastSeqBefore(segs, last, keep)
+			return lastSeqBefore(cfs, segs, last, keep)
 		}},
-		{"mid-record-cut", func(t *testing.T, dir string) int {
-			segs := sortedSegs(dir)
+		{"mid-record-cut", func(t *testing.T, cfs *simfs.FS) int {
+			segs := sortedSegs(cfs)
 			last := len(segs) - 1
-			keep := r.Intn(recordsIn(segs[last])) // at least one partial record remains
+			keep := r.Intn(recordsIn(cfs, segs[last])) // at least one partial record remains
 			off := int64(16 + keep*wal.RecordSize + 1 + r.Intn(wal.RecordSize-2))
-			if err := os.Truncate(segs[last], off); err != nil {
+			if err := cfs.Truncate(segs[last], off); err != nil {
 				t.Fatal(err)
 			}
-			return lastSeqBefore(segs, last, keep)
+			return lastSeqBefore(cfs, segs, last, keep)
 		}},
-		{"corrupt-crc", func(t *testing.T, dir string) int {
-			segs := sortedSegs(dir)
+		{"corrupt-crc", func(t *testing.T, cfs *simfs.FS) int {
+			segs := sortedSegs(cfs)
 			// Pick a random record across all segments, flip a bin byte;
 			// the CRC no longer matches and replay stops inside that
 			// segment.
 			si := r.Intn(len(segs))
-			inSeg := recordsIn(segs[si])
+			inSeg := recordsIn(cfs, segs[si])
 			if inSeg == 0 {
 				return -1
 			}
 			ri := r.Intn(inSeg)
-			data, err := os.ReadFile(segs[si])
-			if err != nil {
-				t.Fatal(err)
-			}
-			data[16+ri*wal.RecordSize+2] ^= 0x55
-			if err := os.WriteFile(segs[si], data, 0o644); err != nil {
+			if err := cfs.Corrupt(segs[si], int64(16+ri*wal.RecordSize+2), 0x55); err != nil {
 				t.Fatal(err)
 			}
 			// When the whole corrupted segment is already covered by the
 			// newest checkpoint, replay bridges into the next segment (no
 			// record would be skipped) and nothing is lost at all;
 			// otherwise the corruption cuts the stream right there.
-			if si < len(segs)-1 && seqAt(segs[si], inSeg-1) <= newestCkpt {
+			if si < len(segs)-1 && seqAt(cfs, segs[si], inSeg-1) <= newestCkpt {
 				return -1
 			}
-			return lastSeqBefore(segs, si, ri)
+			return lastSeqBefore(cfs, segs, si, ri)
 		}},
-		{"newest-checkpoint-destroyed", func(t *testing.T, dir string) int {
-			metas, err := checkpoint.List(dir)
+		{"newest-checkpoint-destroyed", func(t *testing.T, cfs *simfs.FS) int {
+			metas, err := checkpoint.ListFS(cfs, dir)
 			if err != nil || len(metas) != 2 {
 				t.Fatalf("want 2 retained checkpoints, got %d (%v)", len(metas), err)
 			}
 			// Truncate the newest checkpoint file: LoadLatest must fall
 			// back to the older one and replay the longer suffix.
-			if err := os.Truncate(metas[1].Path, 9); err != nil {
+			if err := cfs.Truncate(metas[1].Path, 9); err != nil {
 				t.Fatal(err)
 			}
 			return -1
@@ -277,9 +308,8 @@ func TestCrashRecoveryProperty(t *testing.T) {
 
 	for round := 0; round < 8; round++ {
 		for _, tr := range trials {
-			cut := t.TempDir()
-			copyDir(t, dir, cut)
-			surviving := tr.mutateDir(t, cut)
+			cfs := fs.Clone()
+			surviving := tr.mutateDir(t, cfs)
 
 			prefix := len(ops)
 			if surviving >= 0 {
@@ -296,7 +326,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			}
 
 			fresh := NewStoreShards(n, shards)
-			res, err := Restore(fresh, cut)
+			res, err := RestoreFS(fresh, cfs, dir)
 			if err != nil {
 				t.Fatalf("%s round %d: restore: %v", tr.name, round, err)
 			}
@@ -311,41 +341,13 @@ func TestCrashRecoveryProperty(t *testing.T) {
 	}
 }
 
-func copyDir(t *testing.T, from, to string) {
-	t.Helper()
-	ents, err := os.ReadDir(from)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range ents {
-		if e.IsDir() {
-			continue
-		}
-		src, err := os.Open(filepath.Join(from, e.Name()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		dst, err := os.Create(filepath.Join(to, e.Name()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := io.Copy(dst, src); err != nil {
-			t.Fatal(err)
-		}
-		src.Close()
-		if err := dst.Close(); err != nil {
-			t.Fatal(err)
-		}
-	}
-}
-
 // TestJournalUnderConcurrentTraffic drives the engine multi-worker
 // against a journaled store and requires the restored replica to match
 // the final state bin for bin: per-bin record order is preserved by
 // the shard locks even though the global interleaving is racy.
 func TestJournalUnderConcurrentTraffic(t *testing.T) {
 	const n = 128
-	st, j, dir := newJournaled(t, n, 8, wal.Options{SegmentBytes: 1 << 16})
+	st, j, fs, dir := newJournaled(t, n, 8, wal.Options{SegmentBytes: 1 << 16})
 	st.FillBalanced(n)
 
 	eng := NewEngine(Config{
@@ -361,7 +363,7 @@ func TestJournalUnderConcurrentTraffic(t *testing.T) {
 	}
 
 	fresh := NewStoreShards(n, 8)
-	res, err := Restore(fresh, dir)
+	res, err := RestoreFS(fresh, fs, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,13 +382,13 @@ func TestJournalUnderConcurrentTraffic(t *testing.T) {
 }
 
 func TestCheckpointTruncatesCoveredSegments(t *testing.T) {
-	st, j, dir := newJournaled(t, 8, 2, wal.Options{SegmentBytes: 16 + 4*wal.RecordSize})
+	st, j, fs, dir := newJournaled(t, 8, 2, wal.Options{SegmentBytes: 16 + 4*wal.RecordSize})
 	for i := 0; i < 40; i++ {
 		st.Alloc(i % 8)
 	}
 	// Let the writer drain so sealed segments exist on disk.
 	waitForSeq(t, j, 40)
-	before, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	before, _ := fs.Glob(filepath.Join(dir, "wal-*.seg"))
 	if len(before) < 5 {
 		t.Fatalf("expected several sealed segments, got %d", len(before))
 	}
@@ -396,7 +398,7 @@ func TestCheckpointTruncatesCoveredSegments(t *testing.T) {
 	if _, _, err := j.Checkpoint(); err != nil { // second: oldest retained seq == 40 too
 		t.Fatal(err)
 	}
-	after, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	after, _ := fs.Glob(filepath.Join(dir, "wal-*.seg"))
 	if len(after) >= len(before) {
 		t.Fatalf("checkpoint truncated nothing: %d -> %d segments", len(before), len(after))
 	}
@@ -404,7 +406,7 @@ func TestCheckpointTruncatesCoveredSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	fresh := NewStoreShards(8, 2)
-	res, err := Restore(fresh, dir)
+	res, err := RestoreFS(fresh, fs, dir)
 	if err != nil || !res.Restored {
 		t.Fatalf("restore after truncation: %+v, %v", res, err)
 	}
@@ -419,28 +421,24 @@ func allocRef(count, n int) []refOp {
 	return ops
 }
 
-// waitForSeq blocks until the WAL writer has drained through seq (the
-// journal queue is async; tests that inspect the directory first give
-// the writer a moment).
+// waitForSeq drains the journal queue (Drain blocks until the writer
+// has handed every enqueued record to the WAL) and forces the tail
+// into the segment file with one Sync.
 func waitForSeq(t *testing.T, j *Journal, seq uint64) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if j.LastSeq() >= seq && len(j.ch) == 0 {
-			// Queue drained; one Sync forces the tail into the file.
-			if err := j.log.Sync(); err != nil {
-				t.Fatal(err)
-			}
-			return
-		}
-		time.Sleep(time.Millisecond)
+	j.Drain()
+	if j.LastSeq() < seq {
+		t.Fatalf("journal at seq %d, want >= %d", j.LastSeq(), seq)
 	}
-	t.Fatalf("writer never drained through seq %d", seq)
+	if err := j.log.Sync(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestRestoreSkipsFreeOfEmptyBinFromForgedLog(t *testing.T) {
-	dir := t.TempDir()
-	l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever})
+	fs := simfs.New()
+	dir := "/wal"
+	l, err := wal.Open(wal.Options{Dir: dir, FS: fs, Fsync: wal.FsyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +457,7 @@ func TestRestoreSkipsFreeOfEmptyBinFromForgedLog(t *testing.T) {
 	l.Close()
 
 	st := NewStoreShards(4, 2)
-	res, err := Restore(st, dir)
+	res, err := RestoreFS(st, fs, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,23 +498,23 @@ func TestDoubleCrashKeepsPostRestartMutations(t *testing.T) {
 			*ops = append(*ops, refOp{wal.OpAlloc, b, 1})
 		}
 	}
-	tearLastSegment := func(dir string) {
-		segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	tearLastSegment := func(fs *simfs.FS, dir string) {
+		segs, err := fs.Glob(filepath.Join(dir, "wal-*.seg"))
 		if err != nil || len(segs) == 0 {
 			t.Fatalf("no segments to tear: %v", err)
 		}
 		last := segs[len(segs)-1]
-		fi, err := os.Stat(last)
-		if err != nil || fi.Size() <= 16+wal.RecordSize {
-			t.Fatalf("last segment too small to tear: %v", err)
+		size := fs.Size(last)
+		if size <= 16+wal.RecordSize {
+			t.Fatalf("last segment too small to tear: %d bytes", size)
 		}
-		if err := os.Truncate(last, fi.Size()-wal.RecordSize/2); err != nil {
+		if err := fs.Truncate(last, size-wal.RecordSize/2); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	// Run 1: traffic, a mid-run checkpoint, more traffic, kill -9.
-	st, j, dir := newJournaled(t, n, 4, wal.Options{SegmentBytes: 1 << 20})
+	st, j, fs, dir := newJournaled(t, n, 4, wal.Options{SegmentBytes: 1 << 20})
 	for len(ops1) < 30 {
 		mutate(st, &ops1)
 	}
@@ -527,17 +525,17 @@ func TestDoubleCrashKeepsPostRestartMutations(t *testing.T) {
 		mutate(st, &ops1)
 	}
 	waitForSeq(t, j, uint64(len(ops1)))
-	tearLastSegment(dir) // run 1's last acknowledged record is lost
+	tearLastSegment(fs, dir) // run 1's last acknowledged record is lost
 
 	// Run 2: restore, boot checkpoint (as cmd/dynallocd does), traffic.
 	surviving1 := ops1[:len(ops1)-1]
 	st2 := NewStoreShards(n, 4)
-	res, err := Restore(st2, dir)
+	res, err := RestoreFS(st2, fs, dir)
 	if err != nil || !res.Restored || !res.Torn {
 		t.Fatalf("first restore: %+v, %v", res, err)
 	}
 	assertStoreMatchesRef(t, st2, n, surviving1, "first restore")
-	l2, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever, SegmentBytes: 1 << 20})
+	l2, err := wal.Open(wal.Options{Dir: dir, FS: fs, Fsync: wal.FsyncNever, SegmentBytes: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -551,16 +549,16 @@ func TestDoubleCrashKeepsPostRestartMutations(t *testing.T) {
 	waitForSeq(t, j2, res.LastSeq+uint64(len(ops2)))
 	// Run 1's torn segment must still be there (boot truncation reaches
 	// only the oldest retained checkpoint) — the hazard under test.
-	if segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg")); len(segs) < 2 {
+	if segs, _ := fs.Glob(filepath.Join(dir, "wal-*.seg")); len(segs) < 2 {
 		t.Fatalf("expected run 1's torn segment to survive the boot checkpoint, have %d segments", len(segs))
 	}
-	tearLastSegment(dir) // run 2 dies mid-record too
+	tearLastSegment(fs, dir) // run 2 dies mid-record too
 
 	// Second restore: every acknowledged mutation of BOTH runs except
 	// the two torn-off records must be present.
 	want := append(append([]refOp{}, surviving1...), ops2[:len(ops2)-1]...)
 	st3 := NewStoreShards(n, 4)
-	res3, err := Restore(st3, dir)
+	res3, err := RestoreFS(st3, fs, dir)
 	if err != nil || !res3.Restored || !res3.Torn {
 		t.Fatalf("second restore: %+v, %v", res3, err)
 	}
@@ -571,23 +569,17 @@ func TestDoubleCrashKeepsPostRestartMutations(t *testing.T) {
 }
 
 // TestCheckpointMaintenanceFailureIsNonFatal: once the snapshot file
-// is durably written, a failure to prune/truncate (here: a directory
-// squatting on a segment name, which os.Remove cannot delete) must not
-// surface as a Checkpoint error — it is reported via MaintErr and
-// retried by the next checkpoint.
+// is durably written, a failure to prune/truncate (here: an injected
+// Remove failure on the first covered segment) must not surface as a
+// Checkpoint error — it is reported via MaintErr and retried by the
+// next checkpoint.
 func TestCheckpointMaintenanceFailureIsNonFatal(t *testing.T) {
-	st, j, dir := newJournaled(t, 8, 2, wal.Options{SegmentBytes: 16 + 4*wal.RecordSize})
+	st, j, fs, dir := newJournaled(t, 8, 2, wal.Options{SegmentBytes: 16 + 4*wal.RecordSize})
 	for i := 0; i < 12; i++ {
 		st.Alloc(i % 8)
 	}
 	waitForSeq(t, j, 12)
-	poison := filepath.Join(dir, "wal-0000000000000000.seg")
-	if err := os.Mkdir(poison, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(poison, "x"), []byte("x"), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	fs.FailOp(simfs.OpRemove, 1, errors.New("injected remove failure"))
 	snap, path, err := j.Checkpoint()
 	if err != nil {
 		t.Fatalf("maintenance failure escalated into a checkpoint error: %v", err)
@@ -600,13 +592,10 @@ func TestCheckpointMaintenanceFailureIsNonFatal(t *testing.T) {
 	}
 	// The snapshot really is on disk and restorable despite the error.
 	fresh := NewStoreShards(8, 2)
-	if res, err := Restore(fresh, dir); err != nil || !res.Restored {
+	if res, err := RestoreFS(fresh, fs, dir); err != nil || !res.Restored {
 		t.Fatalf("restore after degraded checkpoint: %+v, %v", res, err)
 	}
-	// Obstruction cleared: the next checkpoint's maintenance succeeds.
-	if err := os.RemoveAll(poison); err != nil {
-		t.Fatal(err)
-	}
+	// The fault has disarmed: the next checkpoint's maintenance succeeds.
 	if _, _, err := j.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
@@ -618,33 +607,38 @@ func TestCheckpointMaintenanceFailureIsNonFatal(t *testing.T) {
 	}
 }
 
-// gateFile blocks every file write until the gate channel is closed,
-// simulating a hung (not erroring) disk.
-type gateFile struct {
-	f    *os.File
+// gateFS wraps a vfs.FS so every write to files it creates blocks
+// until the gate channel is closed — a hung (not erroring) disk.
+type gateFS struct {
+	vfs.FS
 	gate chan struct{}
 }
 
-func (g *gateFile) Write(p []byte) (int, error) { <-g.gate; return g.f.Write(p) }
-func (g *gateFile) Sync() error                 { return g.f.Sync() }
-func (g *gateFile) Close() error                { return g.f.Close() }
+func (g gateFS) Create(name string) (vfs.File, error) {
+	f, err := g.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, gate: g.gate}, nil
+}
+
+type gateFile struct {
+	vfs.File
+	gate chan struct{}
+}
+
+func (g *gateFile) Write(p []byte) (int, error) { <-g.gate; return g.File.Write(p) }
 
 // TestStallTimeoutKeepsMutationsAvailable: with StallTimeout set, a
 // WAL writer wedged inside a hung write must not block mutations
 // indefinitely — pushes that cannot enqueue drop their record, note
 // the error, and the store stays available (degraded durability).
 func TestStallTimeoutKeepsMutationsAvailable(t *testing.T) {
-	dir := t.TempDir()
+	fs := simfs.New()
 	gate := make(chan struct{})
 	l, err := wal.Open(wal.Options{
-		Dir: dir, Fsync: wal.FsyncAlways,
-		OpenFile: func(path string) (wal.SegmentFile, error) {
-			f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-			if err != nil {
-				return nil, err
-			}
-			return &gateFile{f: f, gate: gate}, nil
-		},
+		Dir: "/wal", Fsync: wal.FsyncAlways,
+		FS: gateFS{FS: fs, gate: gate},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -677,7 +671,7 @@ func TestStallTimeoutKeepsMutationsAvailable(t *testing.T) {
 }
 
 func TestJournalCloseIdempotentAndDetaches(t *testing.T) {
-	st, j, _ := newJournaled(t, 8, 2, wal.Options{})
+	st, j, _, _ := newJournaled(t, 8, 2, wal.Options{})
 	st.Alloc(1)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)

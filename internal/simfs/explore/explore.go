@@ -1,0 +1,383 @@
+// Package explore is a seeded crash-schedule explorer for the
+// durability stack (internal/wal + internal/checkpoint wired through
+// serve.Journal). Each schedule drives randomized alloc/free/crash
+// traffic against a Store journaled onto a simulated filesystem
+// (internal/simfs), arms a crash at a pseudo-random filesystem
+// operation, power-cuts the machine (keeping a random torn fragment of
+// every unsynced tail), restores, and checks the durability invariant:
+//
+//   - restore itself must succeed,
+//   - every mutation acknowledged with a completed fsync must survive
+//     (restored LastSeq >= the durable watermark),
+//   - the restored state must equal a reference replay of exactly the
+//     first LastSeq acknowledged mutations — no more, no less, no skew.
+//
+// Crash → restore → more traffic → crash again is explored directly:
+// every schedule runs several rounds over the same filesystem, so torn
+// tails from one incarnation sit under the segments of the next, and
+// checkpoints (plus their prune/truncate maintenance) fire mid-round so
+// the crash point can land inside the checkpoint write path too.
+//
+// Everything is deterministic per (Seed, schedule): the driver is
+// single-threaded, the journal writer is quiesced with Journal.Drain
+// after every operation, and simfs numbers every filesystem operation.
+// A violation therefore reproduces exactly from its one-line repro —
+// RunSchedule(cfg, v.Schedule) with the same Config.
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"dynalloc/internal/rng"
+	"dynalloc/internal/serve"
+	"dynalloc/internal/simfs"
+	"dynalloc/internal/wal"
+)
+
+// Config parameterizes an exploration. The zero value is not runnable;
+// start from Default and override.
+type Config struct {
+	Seed      uint64 // root seed; schedule k runs on rng.NewStream(Seed, k)
+	Schedules int    // how many schedules Explore runs
+
+	Rounds      int // crash/restore cycles per schedule
+	OpsPerRound int // store mutations attempted per round
+	Bins        int // store bins
+	Shards      int // store lock stripes
+
+	// CheckpointEvery takes a checkpoint after every that-many mutations
+	// within a round (0 disables checkpoints).
+	CheckpointEvery int
+
+	// SegmentBytes is the WAL rotation threshold. Default is small
+	// enough that every round spans several segments, so replay
+	// regularly crosses torn-segment boundaries.
+	SegmentBytes int64
+
+	// MaxViolations stops Explore after this many failing schedules
+	// (default 8): one failure is usually worth inspecting before
+	// paying for the rest of the sweep.
+	MaxViolations int
+}
+
+// Default returns the configuration the test suite runs: 3 rounds of
+// 120 mutations over 16 bins / 4 shards, checkpoints every 25
+// mutations, 8-record WAL segments.
+func Default() Config {
+	return Config{
+		Seed:            1,
+		Schedules:       500,
+		Rounds:          3,
+		OpsPerRound:     120,
+		Bins:            16,
+		Shards:          4,
+		CheckpointEvery: 25,
+		SegmentBytes:    8 * wal.RecordSize, // rotate every ~8 records
+		MaxViolations:   8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Schedules <= 0 {
+		c.Schedules = d.Schedules
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = d.Rounds
+	}
+	if c.OpsPerRound <= 0 {
+		c.OpsPerRound = d.OpsPerRound
+	}
+	if c.Bins <= 0 {
+		c.Bins = d.Bins
+	}
+	if c.Shards <= 0 {
+		c.Shards = d.Shards
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = d.SegmentBytes
+	}
+	if c.MaxViolations <= 0 {
+		c.MaxViolations = d.MaxViolations
+	}
+	return c
+}
+
+// Violation is one durability-invariant failure, carrying everything
+// needed to reproduce it.
+type Violation struct {
+	Seed     uint64
+	Schedule int
+	Round    int    // crash/restore cycle the failure surfaced in
+	Msg      string // what broke
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("durability violation at seed=%d schedule=%d round=%d: %s",
+		v.Seed, v.Schedule, v.Round, v.Msg)
+}
+
+// Repro returns a one-line shell repro for this violation.
+func (v *Violation) Repro() string {
+	return fmt.Sprintf("go test ./internal/simfs/explore -run TestReplaySchedule -explore.seed=%d -explore.schedule=%d",
+		v.Seed, v.Schedule)
+}
+
+// Stats aggregates what an exploration exercised; all fields are
+// deterministic functions of the Config.
+type Stats struct {
+	StoreOps    int64 // store mutations driven (acknowledged or not)
+	FSOps       int64 // simulated filesystem operations consumed
+	Restores    int   // restore passes executed
+	Checkpoints int   // checkpoints that completed successfully
+	MidOpCuts   int   // rounds whose armed crash point fired during traffic
+	TornCuts    int   // power cuts that left at least one torn tail
+}
+
+func (s *Stats) add(o Stats) {
+	s.StoreOps += o.StoreOps
+	s.FSOps += o.FSOps
+	s.Restores += o.Restores
+	s.Checkpoints += o.Checkpoints
+	s.MidOpCuts += o.MidOpCuts
+	s.TornCuts += o.TornCuts
+}
+
+// Result is what Explore found.
+type Result struct {
+	Schedules  int // schedules fully run (== Config.Schedules unless stopped early)
+	Violations []Violation
+	Stats      Stats
+}
+
+// Failed reports whether any schedule violated the invariant.
+func (r Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Report renders the violations as one repro line each.
+func (r Result) Report() string {
+	var b strings.Builder
+	for i := range r.Violations {
+		v := &r.Violations[i]
+		fmt.Fprintf(&b, "%s\n\t%s\n", v.Error(), v.Repro())
+	}
+	return b.String()
+}
+
+// Explore runs cfg.Schedules schedules and collects every violation
+// (up to cfg.MaxViolations, after which it stops early).
+func Explore(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	var res Result
+	for k := 0; k < cfg.Schedules; k++ {
+		v, st := runSchedule(cfg, k)
+		res.Stats.add(st)
+		res.Schedules++
+		if v != nil {
+			res.Violations = append(res.Violations, *v)
+			if len(res.Violations) >= cfg.MaxViolations {
+				break
+			}
+		}
+	}
+	return res
+}
+
+// RunSchedule replays a single schedule — the entry point a violation's
+// repro line uses. It returns nil when the schedule passes.
+func RunSchedule(cfg Config, schedule int) *Violation {
+	v, _ := runSchedule(cfg.withDefaults(), schedule)
+	return v
+}
+
+// refOp is one acknowledged store mutation; the reference history ref
+// is indexed so that ref[i] carries WAL seq i+1.
+type refOp struct {
+	op     wal.Op
+	bin, k int
+}
+
+// runSchedule drives one full crash/restore lifecycle and checks the
+// durability invariant after every power cut.
+func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
+	var stats Stats
+	fail := func(round int, format string, args ...any) (*Violation, Stats) {
+		return &Violation{
+			Seed:     cfg.Seed,
+			Schedule: schedule,
+			Round:    round,
+			Msg:      fmt.Sprintf(format, args...),
+		}, stats
+	}
+
+	r := rng.NewStream(cfg.Seed, uint64(schedule))
+	fs := simfs.New()
+	const dir = "/data"
+
+	openJournal := func(st *serve.Store, lastSeq uint64) (*serve.Journal, error) {
+		l, err := wal.Open(wal.Options{
+			Dir:          dir,
+			FS:           fs,
+			Fsync:        wal.FsyncAlways,
+			SegmentBytes: cfg.SegmentBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewJournal(st, l, lastSeq, serve.JournalOptions{Buffer: 8}), nil
+	}
+
+	// ref holds every acknowledged mutation in seq order; durable is the
+	// highest seq known to have completed its fsync (the watermark the
+	// restore must reach).
+	var ref []refOp
+	durable := uint64(0)
+
+	st := serve.NewStoreShards(cfg.Bins, cfg.Shards)
+	j, err := openJournal(st, 0)
+	if err != nil {
+		return fail(0, "boot: %v", err)
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Arm the crash at a pseudo-random upcoming FS operation. A
+		// store mutation costs ~2 FS ops (write + fsync) plus rotation
+		// and checkpoint traffic, so a span of 4x mutations lands the
+		// cut inside the round most of the time and past it (a forced
+		// cut at a quiet boundary) the rest — both worth covering.
+		fs.CrashAfterOps(1 + r.Intn(4*cfg.OpsPerRound))
+
+		for i := 0; i < cfg.OpsPerRound && !fs.Crashed(); i++ {
+			driveOne(r, st, &ref)
+			stats.StoreOps++
+			j.Drain()
+			if !fs.Crashed() && j.Err() == nil {
+				durable = j.LastSeq()
+			}
+			if cfg.CheckpointEvery > 0 && (i+1)%cfg.CheckpointEvery == 0 && !fs.Crashed() {
+				// A cut can land anywhere inside the checkpoint write or
+				// its prune/truncate maintenance; failure is part of the
+				// schedule, not of the invariant.
+				if _, _, err := j.Checkpoint(); err == nil {
+					stats.Checkpoints++
+				}
+			}
+		}
+		if fs.Crashed() {
+			stats.MidOpCuts++
+		} else {
+			fs.CrashNow()
+		}
+		j.Close() // fails fast against the crashed FS; errors expected
+
+		tornBefore := stats.TornCuts
+		fs.PowerCut(func(name string, unsynced int) int {
+			keep := r.Intn(unsynced + 1)
+			if keep > 0 && keep < unsynced {
+				stats.TornCuts = tornBefore + 1
+			}
+			return keep
+		})
+
+		// Restart: fresh store, restore from whatever survived.
+		st = serve.NewStoreShards(cfg.Bins, cfg.Shards)
+		res, err := serve.RestoreFS(st, fs, dir)
+		stats.Restores++
+		stats.FSOps = fs.OpCount()
+		if err != nil {
+			return fail(round, "restore failed: %v", err)
+		}
+		if res.LastSeq < durable {
+			return fail(round, "lost fsynced mutations: restored through seq %d, but seq %d was acknowledged durable", res.LastSeq, durable)
+		}
+		if res.LastSeq > uint64(len(ref)) {
+			return fail(round, "restored through seq %d, but only %d mutations were ever acknowledged", res.LastSeq, len(ref))
+		}
+		if res.SkippedFrees != 0 {
+			return fail(round, "replay skipped %d frees of empty bins; impossible against our own log", res.SkippedFrees)
+		}
+		if msg := diffAgainstRef(st, ref[:res.LastSeq], cfg); msg != "" {
+			return fail(round, "restored state diverges from the acknowledged history at seq %d: %s", res.LastSeq, msg)
+		}
+
+		// The tail of ref past the restored seq died with the cut
+		// (acknowledged but never durable — allowed); the next
+		// incarnation continues from the restored seq.
+		ref = ref[:res.LastSeq]
+		durable = res.LastSeq
+
+		j, err = openJournal(st, res.LastSeq)
+		if err != nil {
+			return fail(round, "reopen after restore: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		return fail(cfg.Rounds-1, "final close: %v", err)
+	}
+	stats.FSOps = fs.OpCount()
+	return nil, stats
+}
+
+// driveOne applies one pseudo-random mutation to the store and records
+// it in ref iff it was acknowledged (produced a WAL record). The mix
+// mirrors the serving workload: mostly admissions, a steady departure
+// stream through both scenario samplers, occasional crash dumps.
+func driveOne(r *rng.RNG, st *serve.Store, ref *[]refOp) {
+	switch p := r.Intn(10); {
+	case p == 0: // fault injection: dump k balls into one bin
+		bin, k := r.Intn(st.N()), 1+r.Intn(4)
+		st.Crash(bin, k)
+		*ref = append(*ref, refOp{wal.OpCrash, bin, k})
+	case p <= 3: // departure via either scenario's sampler
+		var bin int
+		var err error
+		if r.Bool() {
+			bin, err = st.FreeBall(r) // Scenario A: load-weighted
+		} else {
+			bin, err = st.FreeNonEmpty(r) // Scenario B: uniform nonempty
+		}
+		if err == nil {
+			*ref = append(*ref, refOp{wal.OpFree, bin, 1})
+		}
+	default: // admission
+		bin := r.Intn(st.N())
+		st.Alloc(bin)
+		*ref = append(*ref, refOp{wal.OpAlloc, bin, 1})
+	}
+}
+
+// diffAgainstRef replays the acknowledged history into a fresh store
+// and compares it field by field with the restored one. Empty string
+// means identical.
+func diffAgainstRef(got *serve.Store, ref []refOp, cfg Config) string {
+	want := serve.NewStoreShards(cfg.Bins, cfg.Shards)
+	for i, op := range ref {
+		switch op.op {
+		case wal.OpAlloc:
+			want.Alloc(op.bin)
+		case wal.OpFree:
+			if _, err := want.FreeBin(op.bin); err != nil {
+				return fmt.Sprintf("reference replay freed empty bin %d at seq %d", op.bin, i+1)
+			}
+		case wal.OpCrash:
+			want.Crash(op.bin, op.k)
+		}
+	}
+	gl, wl := got.LoadsCopy(), want.LoadsCopy()
+	for b := range wl {
+		if gl[b] != wl[b] {
+			return fmt.Sprintf("bin %d load = %d, want %d", b, gl[b], wl[b])
+		}
+	}
+	if got.Total() != want.Total() {
+		return fmt.Sprintf("total = %d, want %d", got.Total(), want.Total())
+	}
+	if got.Allocs() != want.Allocs() {
+		return fmt.Sprintf("allocs = %d, want %d", got.Allocs(), want.Allocs())
+	}
+	if got.Frees() != want.Frees() {
+		return fmt.Sprintf("frees = %d, want %d", got.Frees(), want.Frees())
+	}
+	return ""
+}

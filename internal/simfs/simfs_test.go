@@ -1,0 +1,412 @@
+package simfs
+
+import (
+	"errors"
+	"io"
+	iofs "io/fs"
+	"testing"
+
+	"dynalloc/internal/vfs"
+)
+
+func mustCreate(t *testing.T, fs *FS, name string) vfs.File {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+	return f
+}
+
+func mustWrite(t *testing.T, f vfs.File, data string) {
+	t.Helper()
+	if n, err := f.Write([]byte(data)); err != nil || n != len(data) {
+		t.Fatalf("Write: n=%d err=%v", n, err)
+	}
+}
+
+func mustRead(t *testing.T, fs *FS, name string) string {
+	t.Helper()
+	b, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", name, err)
+	}
+	return string(b)
+}
+
+func TestSyncedBytesSurvivePowerCut(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/w"); err != nil {
+		t.Fatal(err)
+	}
+	f := mustCreate(t, fs, "/w/a")
+	mustWrite(t, f, "durable")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, "-volatile")
+
+	fs.PowerCut(nil)
+
+	if got := mustRead(t, fs, "/w/a"); got != "durable" {
+		t.Fatalf("after cut: %q, want %q", got, "durable")
+	}
+	// Survived bytes are on media: a second cut must not shrink them.
+	fs.PowerCut(nil)
+	if got := mustRead(t, fs, "/w/a"); got != "durable" {
+		t.Fatalf("after second cut: %q, want %q", got, "durable")
+	}
+}
+
+func TestUnsyncedFileVanishesAtPowerCut(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/ghost")
+	mustWrite(t, f, "never synced")
+	fs.PowerCut(nil)
+	if _, err := fs.ReadFile("/w/ghost"); !vfs.IsNotExist(err) {
+		t.Fatalf("unsynced file should be gone, got err=%v", err)
+	}
+}
+
+func TestTornTailPolicy(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/a")
+	mustWrite(t, f, "sync")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, "edtail")
+
+	fs.PowerCut(func(name string, unsynced int) int {
+		if unsynced != 6 {
+			t.Fatalf("unsynced=%d, want 6", unsynced)
+		}
+		return 2 // keep "ed"
+	})
+	if got := mustRead(t, fs, "/w/a"); got != "synced" {
+		t.Fatalf("torn cut: %q, want %q", got, "synced")
+	}
+	// The torn fragment survived the cut, so it is durable now.
+	fs.PowerCut(nil)
+	if got := mustRead(t, fs, "/w/a"); got != "synced" {
+		t.Fatalf("torn fragment not durable: %q", got)
+	}
+}
+
+func TestRenameDurabilityNeedsSyncDir(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/a.tmp")
+	mustWrite(t, f, "payload")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/w/a.tmp", "/w/a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without SyncDir the rename is volatile: the cut resurrects the
+	// temp name (the synced entry).
+	snap := fs.Clone()
+	snap.PowerCut(nil)
+	if _, err := snap.ReadFile("/w/a"); !vfs.IsNotExist(err) {
+		t.Fatalf("unsynced rename should not survive, err=%v", err)
+	}
+	if got := mustRead(t, snap, "/w/a.tmp"); got != "payload" {
+		t.Fatalf("temp entry should survive: %q", got)
+	}
+
+	// With SyncDir the rename is durable and the old entry is gone.
+	if err := fs.SyncDir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	fs.PowerCut(nil)
+	if got := mustRead(t, fs, "/w/a"); got != "payload" {
+		t.Fatalf("renamed file lost: %q", got)
+	}
+	if _, err := fs.ReadFile("/w/a.tmp"); !vfs.IsNotExist(err) {
+		t.Fatalf("old name should be gone after dir sync, err=%v", err)
+	}
+}
+
+func TestFileSyncAfterRenamePersistsNewEntry(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/a.tmp")
+	mustWrite(t, f, "x")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/w/a.tmp", "/w/a"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, "y")
+	if err := f.Sync(); err != nil { // ordered-mode: persists the live entry too
+		t.Fatal(err)
+	}
+	fs.PowerCut(nil)
+	if got := mustRead(t, fs, "/w/a"); got != "xy" {
+		t.Fatalf("got %q, want %q", got, "xy")
+	}
+	if _, err := fs.ReadFile("/w/a.tmp"); !vfs.IsNotExist(err) {
+		t.Fatalf("stale durable alias should be dropped, err=%v", err)
+	}
+}
+
+func TestRemoveResurrectsWithoutSyncDir(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/a")
+	mustWrite(t, f, "z")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/w/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/w/a"); !vfs.IsNotExist(err) {
+		t.Fatalf("removed file still visible, err=%v", err)
+	}
+	snap := fs.Clone()
+	snap.PowerCut(nil)
+	if got := mustRead(t, snap, "/w/a"); got != "z" {
+		t.Fatalf("unsynced remove should resurrect the file: %q", got)
+	}
+	if err := fs.SyncDir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	fs.PowerCut(nil)
+	if _, err := fs.ReadFile("/w/a"); !vfs.IsNotExist(err) {
+		t.Fatalf("synced remove should stick, err=%v", err)
+	}
+}
+
+func TestCrashAfterOps(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/a")
+	fs.CrashAfterOps(2) // next op ok, second op crashes
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("op before crash point failed: %v", err)
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point op: err=%v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op: err=%v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() = false after crash point")
+	}
+	fs.PowerCut(nil)
+	if fs.Crashed() {
+		t.Fatal("Crashed() = true after PowerCut")
+	}
+	// The pre-cut handle is fenced forever.
+	if _, err := f.Write([]byte("stale")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle write: err=%v, want ErrCrashed", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle close: err=%v, want ErrCrashed", err)
+	}
+}
+
+func TestInjectedFaults(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+
+	bang := errors.New("bang")
+	fs.FailOp(OpCreate, 1, bang)
+	if _, err := fs.Create("/w/a"); !errors.Is(err, bang) {
+		t.Fatalf("injected create fault: err=%v", err)
+	}
+	f := mustCreate(t, fs, "/w/a") // fault disarmed
+
+	fs.ShortWrite(1)
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if got := mustRead(t, fs, "/w/a"); got != "abcd" {
+		t.Fatalf("short-write prefix: %q", got)
+	}
+
+	mustWrite(t, f, "rest")
+	fs.LieOnSync(1)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync should report success: %v", err)
+	}
+	fs.PowerCut(nil)
+	if _, err := fs.ReadFile("/w/a"); !vfs.IsNotExist(err) {
+		t.Fatalf("lying sync must not persist anything, err=%v", err)
+	}
+}
+
+func TestFaultNthCounting(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/a")
+	fs.FailOp(OpWrite, 3, nil)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("3rd write should fail: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("fault should disarm after firing: %v", err)
+	}
+}
+
+func TestCreateExclusiveAndMissingParent(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	mustCreate(t, fs, "/w/a")
+	if _, err := fs.Create("/w/a"); !vfs.IsExist(err) {
+		t.Fatalf("duplicate create: err=%v, want ErrExist", err)
+	}
+	if _, err := fs.Create("/nodir/a"); !vfs.IsNotExist(err) {
+		t.Fatalf("create under missing dir: err=%v, want ErrNotExist", err)
+	}
+}
+
+func TestCreateTempDeterministicAndGlob(t *testing.T) {
+	a := New()
+	b := New()
+	var names [2][]string
+	for i, fs := range []*FS{a, b} {
+		fs.MkdirAll("/w")
+		for j := 0; j < 3; j++ {
+			f, err := fs.CreateTemp("/w", "ckpt-0001.ck.tmp-*")
+			if err != nil {
+				t.Fatal(err)
+			}
+			names[i] = append(names[i], f.Name())
+			f.Close()
+		}
+	}
+	for j := range names[0] {
+		if names[0][j] != names[1][j] {
+			t.Fatalf("CreateTemp not deterministic: %q vs %q", names[0][j], names[1][j])
+		}
+	}
+	got, err := a.Glob("/w/ckpt-*.ck.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("glob matched %d, want 3: %v", len(got), got)
+	}
+}
+
+func TestReadDirAndStat(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w/sub")
+	f := mustCreate(t, fs, "/w/b")
+	mustWrite(t, f, "12345")
+	mustCreate(t, fs, "/w/a")
+	ents, err := fs.ReadDir("/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 || ents[0].Name != "a" || ents[1].Name != "b" || ents[2].Name != "sub" || !ents[2].IsDir {
+		t.Fatalf("ReadDir: %+v", ents)
+	}
+	if _, err := fs.ReadDir("/nope"); !vfs.IsNotExist(err) {
+		t.Fatalf("ReadDir missing: %v", err)
+	}
+	size, err := fs.Stat("/w/b")
+	if err != nil || size != 5 {
+		t.Fatalf("Stat: size=%d err=%v", size, err)
+	}
+	if _, err := fs.Stat("/w/nope"); !vfs.IsNotExist(err) {
+		t.Fatalf("Stat missing: %v", err)
+	}
+}
+
+func TestOpenReadStreams(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/a")
+	mustWrite(t, f, "hello world")
+	f.Close()
+	r, err := fs.Open("/w/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(r, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read 1: %q %v", buf, err)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil || string(rest) != " world" {
+		t.Fatalf("read 2: %q %v", rest, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(buf); !errors.Is(err, iofs.ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestTruncateAndCorruptHelpers(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/a")
+	mustWrite(t, f, "abcdef")
+	f.Sync()
+	if err := fs.Truncate("/w/a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustRead(t, fs, "/w/a"); got != "abc" {
+		t.Fatalf("truncate: %q", got)
+	}
+	fs.PowerCut(nil)
+	if got := mustRead(t, fs, "/w/a"); got != "abc" {
+		t.Fatalf("truncate should cap durable bytes too: %q", got)
+	}
+	if err := fs.Corrupt("/w/a", 1, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustRead(t, fs, "/w/a"); got[1] == 'b' {
+		t.Fatalf("corrupt did not flip byte: %q", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/a")
+	mustWrite(t, f, "one")
+	f.Sync()
+	c := fs.Clone()
+	mustWrite(t, f, "-more")
+	if got := mustRead(t, c, "/w/a"); got != "one" {
+		t.Fatalf("clone saw writer mutation: %q", got)
+	}
+	g := mustCreate(t, c, "/w/b")
+	mustWrite(t, g, "clone only")
+	if _, err := fs.ReadFile("/w/b"); !vfs.IsNotExist(err) {
+		t.Fatalf("original saw clone mutation, err=%v", err)
+	}
+}
+
+func TestOpCounters(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w")
+	f := mustCreate(t, fs, "/w/a")
+	mustWrite(t, f, "x")
+	f.Sync()
+	f.Sync()
+	if got := fs.Ops(OpSync); got != 2 {
+		t.Fatalf("Ops(OpSync)=%d, want 2", got)
+	}
+	if got := fs.Ops(OpWrite); got != 1 {
+		t.Fatalf("Ops(OpWrite)=%d, want 1", got)
+	}
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareGOF runs Pearson's chi-square goodness-of-fit test of
+// observed counts against expected cell weights (any nonnegative
+// weights; they are normalized to probabilities internally). It
+// returns the statistic, the degrees of freedom (nonzero-expectation
+// cells minus one) and the p-value — the probability of a statistic at
+// least this large under the null. Cells with zero expected weight
+// must have zero observations (anything else is an automatic p=0: the
+// null puts no mass there). It panics on mismatched lengths, an empty
+// sample, or all-zero weights, which are caller bugs rather than
+// statistical outcomes.
+func ChiSquareGOF(observed []int, expected []float64) (stat float64, df int, p float64) {
+	if len(observed) != len(expected) {
+		panic(fmt.Sprintf("stats: ChiSquareGOF with %d observed cells but %d expected", len(observed), len(expected)))
+	}
+	n, wtot := 0, 0.0
+	for i, c := range observed {
+		if c < 0 || expected[i] < 0 {
+			panic("stats: ChiSquareGOF needs nonnegative counts and weights")
+		}
+		n += c
+		wtot += expected[i]
+	}
+	if n == 0 || wtot == 0 {
+		panic("stats: ChiSquareGOF with an empty sample or all-zero expectation")
+	}
+	for i, c := range observed {
+		if expected[i] == 0 {
+			if c != 0 {
+				return math.Inf(1), len(observed) - 1, 0
+			}
+			continue
+		}
+		e := float64(n) * expected[i] / wtot
+		d := float64(c) - e
+		stat += d * d / e
+		df++
+	}
+	df--
+	if df < 1 {
+		return stat, df, 1
+	}
+	return stat, df, ChiSquareSurvival(stat, df)
+}
+
+// ChiSquareSurvival returns P(X >= x) for X chi-square distributed
+// with df degrees of freedom — the p-value companion to ChiSquareGOF.
+func ChiSquareSurvival(x float64, df int) float64 {
+	if df < 1 {
+		panic("stats: ChiSquareSurvival needs df >= 1")
+	}
+	if x <= 0 {
+		return 1
+	}
+	return regularizedGammaQ(float64(df)/2, x/2)
+}
+
+// regularizedGammaQ is the upper regularized incomplete gamma function
+// Q(a, x) = Gamma(a, x)/Gamma(a), evaluated by the classic series /
+// continued-fraction split at x = a+1 (Numerical Recipes style, on top
+// of math.Lgamma).
+func regularizedGammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		panic("stats: regularized gamma needs a > 0, x >= 0")
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+// gammaPSeries evaluates P(a, x) by its power series; converges fast
+// for x < a+1.
+func gammaPSeries(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a, x) by its Lentz continued
+// fraction; converges fast for x >= a+1.
+func gammaQContinuedFraction(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h * math.Exp(-x+a*math.Log(x)-lg)
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dynalloc/internal/rng"
+)
+
+// TestChiSquareSurvivalKnownQuantiles pins the survival function
+// against standard chi-square table values: P(X >= q) = alpha at the
+// tabulated alpha-quantiles.
+func TestChiSquareSurvivalKnownQuantiles(t *testing.T) {
+	cases := []struct {
+		df    int
+		x     float64
+		wantP float64
+	}{
+		{1, 3.8415, 0.05},
+		{1, 6.6349, 0.01},
+		{2, 5.9915, 0.05},
+		{5, 11.0705, 0.05},
+		{10, 18.3070, 0.05},
+		{10, 23.2093, 0.01},
+		{50, 67.5048, 0.05},
+		{100, 124.3421, 0.05},
+		{3, 0, 1},
+	}
+	for _, c := range cases {
+		got := ChiSquareSurvival(c.x, c.df)
+		if math.Abs(got-c.wantP) > 2e-4 {
+			t.Errorf("ChiSquareSurvival(%g, %d) = %.6f, want %.4f", c.x, c.df, got, c.wantP)
+		}
+	}
+}
+
+func TestChiSquareSurvivalMonotoneInX(t *testing.T) {
+	prev := 1.1
+	for x := 0.0; x <= 40; x += 0.5 {
+		p := ChiSquareSurvival(x, 7)
+		if p > prev+1e-12 {
+			t.Fatalf("survival not non-increasing at x=%g: %g > %g", x, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("survival out of [0,1] at x=%g: %g", x, p)
+		}
+		prev = p
+	}
+}
+
+// TestChiSquareGOFHandComputed checks the statistic on a worked
+// example: observed (10, 20, 30) against uniform expectation (20 each)
+// gives chi2 = 100/20 + 0 + 100/20 = 10 on 2 df, p ~ 0.00674.
+func TestChiSquareGOFHandComputed(t *testing.T) {
+	stat, df, p := ChiSquareGOF([]int{10, 20, 30}, []float64{1, 1, 1})
+	if math.Abs(stat-10) > 1e-12 || df != 2 {
+		t.Fatalf("stat, df = %g, %d; want 10, 2", stat, df)
+	}
+	if math.Abs(p-0.006738) > 1e-4 {
+		t.Fatalf("p = %g, want ~0.006738", p)
+	}
+}
+
+func TestChiSquareGOFUnnormalizedWeights(t *testing.T) {
+	// Weights 2:1:1 over 400 draws: expected 200, 100, 100.
+	s1, df1, p1 := ChiSquareGOF([]int{190, 110, 100}, []float64{2, 1, 1})
+	s2, df2, p2 := ChiSquareGOF([]int{190, 110, 100}, []float64{0.5, 0.25, 0.25})
+	if s1 != s2 || df1 != df2 || p1 != p2 {
+		t.Fatalf("weight scaling changed the test: (%g,%d,%g) vs (%g,%d,%g)", s1, df1, p1, s2, df2, p2)
+	}
+}
+
+func TestChiSquareGOFZeroExpectationCells(t *testing.T) {
+	// A zero-weight cell with zero observations drops out of df.
+	stat, df, _ := ChiSquareGOF([]int{25, 25, 0}, []float64{1, 1, 0})
+	if df != 1 || stat != 0 {
+		t.Fatalf("stat, df = %g, %d; want 0, 1", stat, df)
+	}
+	// Observations where the null puts no mass: p = 0 outright.
+	if _, _, p := ChiSquareGOF([]int{25, 25, 5}, []float64{1, 1, 0}); p != 0 {
+		t.Fatalf("impossible cell got p = %g, want 0", p)
+	}
+}
+
+// TestChiSquareGOFCalibration feeds the test truly-null multinomial
+// samples and checks the p-value distribution is roughly uniform: a
+// correct test rejects at level alpha about alpha of the time.
+func TestChiSquareGOFCalibration(t *testing.T) {
+	r := rng.New(7)
+	const trials, draws, cells = 400, 1000, 8
+	weights := make([]float64, cells)
+	for i := range weights {
+		weights[i] = 1
+	}
+	low := 0 // p < 0.05
+	mid := 0 // p < 0.5
+	for trial := 0; trial < trials; trial++ {
+		counts := make([]int, cells)
+		for d := 0; d < draws; d++ {
+			counts[r.Intn(cells)]++
+		}
+		_, _, p := ChiSquareGOF(counts, weights)
+		if p < 0.05 {
+			low++
+		}
+		if p < 0.5 {
+			mid++
+		}
+	}
+	// Binomial(400, 0.05) has sd ~ 4.4; allow ~4 sigma around 20.
+	if low > 38 {
+		t.Errorf("null rejection rate at 0.05: %d/%d, far above nominal", low, trials)
+	}
+	// And the p-values must not pile up near 1 either: P(p<0.5) ~ 0.5.
+	if mid < 140 || mid > 260 {
+		t.Errorf("P(p < 0.5) = %d/%d, want ~200", mid, trials)
+	}
+}

@@ -5,8 +5,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -14,6 +12,7 @@ import (
 	"time"
 
 	"dynalloc/internal/metrics"
+	"dynalloc/internal/vfs"
 )
 
 // FsyncPolicy controls when appended records are forced to stable
@@ -60,15 +59,6 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
 }
 
-// SegmentFile is the writable file handle a segment is appended to.
-// Production use is *os.File; fault-injection tests substitute
-// implementations whose Write or Sync fail on demand.
-type SegmentFile interface {
-	io.Writer
-	Sync() error
-	Close() error
-}
-
 // Options configures a Log.
 type Options struct {
 	// Dir is the directory holding the segment files (created if
@@ -86,9 +76,10 @@ type Options struct {
 	// FsyncInterval is the cadence for FsyncInterval (default 100ms).
 	FsyncInterval time.Duration
 
-	// OpenFile overrides how segment files are created, for
-	// fault-injection tests. Default: os.OpenFile with O_CREATE|O_WRONLY.
-	OpenFile func(path string) (SegmentFile, error)
+	// FS is the filesystem the log runs against. Default vfs.OS; the
+	// crash-schedule simulations substitute the fault-injecting
+	// in-memory filesystem (internal/simfs).
+	FS vfs.FS
 }
 
 func (o *Options) fill() error {
@@ -101,28 +92,29 @@ func (o *Options) fill() error {
 	if o.FsyncInterval <= 0 {
 		o.FsyncInterval = 100 * time.Millisecond
 	}
-	if o.OpenFile == nil {
-		o.OpenFile = defaultOpenFile
+	if o.FS == nil {
+		o.FS = vfs.OS
 	}
 	return nil
 }
 
-func defaultOpenFile(path string) (SegmentFile, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-	if !errors.Is(err, os.ErrExist) {
+// createSegmentFile creates a fresh segment file exclusively. When a
+// segment with this first-seq already exists — a fork left behind by a
+// crash whose replay could not reach it (a gap, a bad header, or a
+// checkpoint that superseded it) — it is dead to replay, but it may
+// still hold durably-written records an operator wants for forensics,
+// so it is never truncated: it is renamed aside to a .dead.N name —
+// which no wal-*.seg glob matches, so replay and TruncateThrough
+// ignore it — and a fresh segment takes the name.
+func createSegmentFile(fsys vfs.FS, path string) (vfs.File, error) {
+	f, err := fsys.Create(path)
+	if !vfs.IsExist(err) {
 		return f, err
 	}
-	// A segment with this first-seq already exists: a fork left behind
-	// by a crash whose replay could not reach it (a gap, a bad header,
-	// or a checkpoint that superseded it). It is dead to replay, but it
-	// may still hold durably-written records an operator wants for
-	// forensics, so it is never truncated: it is renamed aside to a
-	// .dead.N name — which no wal-*.seg glob matches, so replay and
-	// TruncateThrough ignore it — and a fresh segment takes the name.
 	for i := 0; ; i++ {
 		aside := fmt.Sprintf("%s.dead.%d", path, i)
-		if _, err := os.Lstat(aside); errors.Is(err, os.ErrNotExist) {
-			if err := os.Rename(path, aside); err != nil {
+		if _, err := fsys.Stat(aside); vfs.IsNotExist(err) {
+			if err := fsys.Rename(path, aside); err != nil {
 				return nil, fmt.Errorf("wal: move colliding segment aside: %w", err)
 			}
 			break
@@ -130,7 +122,7 @@ func defaultOpenFile(path string) (SegmentFile, error) {
 			return nil, fmt.Errorf("wal: move colliding segment aside: %w", err)
 		}
 	}
-	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	return fsys.Create(path)
 }
 
 // segMagic is the 8-byte segment header magic; the header is the magic
@@ -150,7 +142,7 @@ type Log struct {
 	opts Options
 
 	mu       sync.Mutex
-	f        SegmentFile
+	f        vfs.File
 	bw       *bufio.Writer
 	curPath  string
 	curSize  int64
@@ -169,7 +161,7 @@ func Open(opts Options) (*Log, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	return &Log{opts: opts, lastSync: time.Now()}, nil
@@ -177,6 +169,10 @@ func Open(opts Options) (*Log, error) {
 
 // Dir returns the log's directory.
 func (l *Log) Dir() string { return l.opts.Dir }
+
+// FS returns the filesystem the log runs against, so cooperating
+// components (the journal's checkpoint writer) share the same seam.
+func (l *Log) FS() vfs.FS { return l.opts.FS }
 
 // Append encodes and writes one record, applying the fsync policy and
 // rotating the segment when the size threshold is crossed. The record's
@@ -228,7 +224,7 @@ func (l *Log) Append(r Record) error {
 // firstSeq.
 func (l *Log) openSegmentLocked(firstSeq uint64) error {
 	path := filepath.Join(l.opts.Dir, segmentName(firstSeq))
-	f, err := l.opts.OpenFile(path)
+	f, err := createSegmentFile(l.opts.FS, path)
 	if err != nil {
 		return fmt.Errorf("wal: open segment: %w", err)
 	}
@@ -327,7 +323,7 @@ func (l *Log) TruncateThrough(seq uint64) (int, error) {
 	cur := l.curPath
 	l.mu.Unlock()
 
-	paths, err := listSegments(l.opts.Dir)
+	paths, err := listSegments(l.opts.FS, l.opts.Dir)
 	if err != nil {
 		return 0, err
 	}
@@ -336,7 +332,7 @@ func (l *Log) TruncateThrough(seq uint64) (int, error) {
 		if cur != "" && p == cur {
 			continue
 		}
-		info, err := scanSegment(p)
+		info, err := scanSegment(l.opts.FS, p)
 		if err != nil {
 			// Unreadable file: leave it; replay will classify it.
 			continue
@@ -346,7 +342,7 @@ func (l *Log) TruncateThrough(seq uint64) (int, error) {
 		if !covered {
 			continue
 		}
-		if err := os.Remove(p); err != nil {
+		if err := l.opts.FS.Remove(p); err != nil {
 			return removed, fmt.Errorf("wal: truncate: %w", err)
 		}
 		removed++
@@ -359,8 +355,8 @@ func (l *Log) TruncateThrough(seq uint64) (int, error) {
 
 // listSegments returns the segment paths in dir sorted by name, which
 // is first-seq order (names are zero-padded hex).
-func listSegments(dir string) ([]string, error) {
-	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+func listSegments(fsys vfs.FS, dir string) ([]string, error) {
+	paths, err := fsys.Glob(filepath.Join(dir, "wal-*.seg"))
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
+
+	"dynalloc/internal/vfs"
 )
 
 // ReplayStats summarizes one Replay pass.
@@ -17,6 +18,19 @@ type ReplayStats struct {
 	LastSeq  uint64 // highest seq seen (0 if none)
 	Torn     bool   // a torn tail or corrupted record was encountered
 }
+
+// legacyTornStop reinstates the original (buggy) replay behavior that
+// stopped at the first torn segment even when the next segment's
+// header proved the record stream stayed contiguous — the double-crash
+// data-loss defect fixed in an earlier release. It exists ONLY so the
+// crash-schedule explorer's mutation self-check can prove it would
+// have caught that bug; see SetLegacyTornStopForTest.
+var legacyTornStop = false
+
+// SetLegacyTornStopForTest toggles the pre-fix "stop replay at first
+// torn segment" behavior. Test hook for the simulation harness's
+// mutation self-check; never enable outside a test.
+func SetLegacyTornStopForTest(on bool) { legacyTornStop = on }
 
 // Replay walks the segments of dir in order and hands every valid
 // record with Seq > afterSeq to apply. A torn or corrupted record
@@ -32,26 +46,37 @@ type ReplayStats struct {
 // unsound to apply, so replay stops there: recovery is "everything
 // reachable without skipping a record". An error from apply aborts
 // the replay and is returned as-is.
+//
+// Replay runs against the real filesystem; ReplayFS is the same pass
+// against any vfs.FS.
 func Replay(dir string, afterSeq uint64, apply func(Record) error) (ReplayStats, error) {
+	return ReplayFS(vfs.OS, dir, afterSeq, apply)
+}
+
+// ReplayFS is Replay against an explicit filesystem.
+func ReplayFS(fsys vfs.FS, dir string, afterSeq uint64, apply func(Record) error) (ReplayStats, error) {
 	var stats ReplayStats
-	paths, err := listSegments(dir)
+	paths, err := listSegments(fsys, dir)
 	if err != nil {
 		return stats, fmt.Errorf("wal: replay: %w", err)
 	}
 	for _, p := range paths {
 		if stats.Torn {
+			if legacyTornStop {
+				return stats, nil // mutation hook: the pre-fix early stop
+			}
 			covered := stats.LastSeq
 			if afterSeq > covered {
 				covered = afterSeq
 			}
-			if first, ok := readSegmentFirstSeq(p); ok && first > covered+1 {
+			if first, ok := readSegmentFirstSeq(fsys, p); ok && first > covered+1 {
 				return stats, nil // a real seq gap: the suffix is unsound
 			}
 			// An unreadable header falls through: replaySegment applies
 			// nothing from such a segment, so contiguity is preserved.
 		}
 		stats.Segments++
-		clean, err := replaySegment(p, afterSeq, apply, &stats)
+		clean, err := replaySegment(fsys, p, afterSeq, apply, &stats)
 		if err != nil {
 			return stats, err
 		}
@@ -65,8 +90,8 @@ func Replay(dir string, afterSeq uint64, apply func(Record) error) (ReplayStats,
 // readSegmentFirstSeq reads just a segment's header and returns the
 // first record seq it was opened for; ok=false when the header is
 // missing, truncated or has the wrong magic.
-func readSegmentFirstSeq(path string) (uint64, bool) {
-	f, err := os.Open(path)
+func readSegmentFirstSeq(fsys vfs.FS, path string) (uint64, bool) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, false
 	}
@@ -84,8 +109,8 @@ func readSegmentFirstSeq(path string) (uint64, bool) {
 // replaySegment streams one segment through apply. It returns
 // clean=false when the segment ends in a torn or corrupted record (or
 // has a bad header); apply errors are returned verbatim.
-func replaySegment(path string, afterSeq uint64, apply func(Record) error, stats *ReplayStats) (bool, error) {
-	f, err := os.Open(path)
+func replaySegment(fsys vfs.FS, path string, afterSeq uint64, apply func(Record) error, stats *ReplayStats) (bool, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return false, fmt.Errorf("wal: replay: %w", err)
 	}
@@ -135,9 +160,9 @@ type segInfo struct {
 
 // scanSegment reads a segment's valid prefix without applying it.
 // Corruption is not an error here — the scan just stops, like Replay.
-func scanSegment(path string) (segInfo, error) {
+func scanSegment(fsys vfs.FS, path string) (segInfo, error) {
 	var info segInfo
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return info, err
 	}

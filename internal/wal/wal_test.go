@@ -4,19 +4,32 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"testing"
 	"time"
+
+	"dynalloc/internal/simfs"
 )
 
-// testOpen returns a log in a fresh temp dir with tiny segments so
-// rotation is exercised constantly.
-func testOpen(t *testing.T, opts Options) *Log {
+// testFS returns a fresh simulated filesystem; the pure-logic tests in
+// this file run entirely in memory (deterministic, no disk fsyncs).
+// TestRealDiskRoundTrip keeps the default vfs.OS path covered.
+func testFS() *simfs.FS {
+	fs := simfs.New()
+	fs.MkdirAll("/wal")
+	return fs
+}
+
+// testOpen returns a log on fs with tiny segments so rotation is
+// exercised constantly.
+func testOpen(t *testing.T, fs *simfs.FS, opts Options) *Log {
 	t.Helper()
 	if opts.Dir == "" {
-		opts.Dir = t.TempDir()
+		opts.Dir = "/wal"
+	}
+	if opts.FS == nil {
+		opts.FS = fs
 	}
 	if opts.SegmentBytes == 0 {
 		opts.SegmentBytes = segHeaderSize + 8*RecordSize
@@ -48,10 +61,10 @@ func appendN(t *testing.T, l *Log, from, to int) {
 	}
 }
 
-func collect(t *testing.T, dir string, afterSeq uint64) ([]Record, ReplayStats) {
+func collect(t *testing.T, fs *simfs.FS, dir string, afterSeq uint64) ([]Record, ReplayStats) {
 	t.Helper()
 	var got []Record
-	stats, err := Replay(dir, afterSeq, func(r Record) error {
+	stats, err := ReplayFS(fs, dir, afterSeq, func(r Record) error {
 		got = append(got, r)
 		return nil
 	})
@@ -62,17 +75,18 @@ func collect(t *testing.T, dir string, afterSeq uint64) ([]Record, ReplayStats) 
 }
 
 func TestRoundTripAcrossSegments(t *testing.T) {
-	l := testOpen(t, Options{Fsync: FsyncNever})
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})
 	appendN(t, l, 1, 100)
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	segs, _ := listSegments(l.Dir())
+	segs, _ := listSegments(fs, l.Dir())
 	if len(segs) < 5 {
 		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
 	}
-	got, stats := collect(t, l.Dir(), 0)
+	got, stats := collect(t, fs, l.Dir(), 0)
 	if len(got) != 100 || stats.Records != 100 || stats.Torn {
 		t.Fatalf("replay: %d records, stats %+v", len(got), stats)
 	}
@@ -86,11 +100,33 @@ func TestRoundTripAcrossSegments(t *testing.T) {
 	}
 }
 
+// TestRealDiskRoundTrip keeps the production vfs.OS implementation
+// covered end to end (everything else in this file runs on simfs).
+func TestRealDiskRoundTrip(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Fsync: FsyncNever, SegmentBytes: segHeaderSize + 8*RecordSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 30)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	stats, err := Replay(l.Dir(), 0, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil || len(got) != 30 || stats.Torn {
+		t.Fatalf("real-disk replay: %d records, stats %+v, err %v", len(got), stats, err)
+	}
+}
+
 func TestReplayAfterSeqFilters(t *testing.T) {
-	l := testOpen(t, Options{Fsync: FsyncNever})
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})
 	appendN(t, l, 1, 40)
 	l.Close()
-	got, stats := collect(t, l.Dir(), 25)
+	got, stats := collect(t, fs, l.Dir(), 25)
 	if len(got) != 15 || got[0].Seq != 26 {
 		t.Fatalf("afterSeq filter: %d records, first %+v", len(got), got[0])
 	}
@@ -100,30 +136,32 @@ func TestReplayAfterSeqFilters(t *testing.T) {
 }
 
 func TestTornTailRecoversToLastValidRecord(t *testing.T) {
-	l := testOpen(t, Options{Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: 1 << 20})
 	appendN(t, l, 1, 50)
 	l.Close()
-	segs, _ := listSegments(l.Dir())
+	segs, _ := listSegments(fs, l.Dir())
 	if len(segs) != 1 {
 		t.Fatalf("want one segment, got %d", len(segs))
 	}
-	// Tear the tail mid-record: lose record 50 plus 7 bytes of record 49's
-	// slot? No — truncate to 48 full records plus half a record.
+	// Tear the tail mid-record: truncate to 48 full records plus half a
+	// record.
 	full := int64(segHeaderSize + 48*RecordSize)
-	if err := os.Truncate(segs[0], full+RecordSize/2); err != nil {
+	if err := fs.Truncate(segs[0], full+RecordSize/2); err != nil {
 		t.Fatal(err)
 	}
-	got, stats := collect(t, l.Dir(), 0)
+	got, stats := collect(t, fs, l.Dir(), 0)
 	if len(got) != 48 || !stats.Torn || stats.LastSeq != 48 {
 		t.Fatalf("torn tail: %d records, stats %+v", len(got), stats)
 	}
 }
 
 func TestCorruptedCRCStopsWithoutError(t *testing.T) {
-	l := testOpen(t, Options{Fsync: FsyncNever})
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})
 	appendN(t, l, 1, 60) // several 8-record segments
 	l.Close()
-	segs, _ := listSegments(l.Dir())
+	segs, _ := listSegments(fs, l.Dir())
 	if len(segs) < 3 {
 		t.Fatalf("want >= 3 segments, got %d", len(segs))
 	}
@@ -131,15 +169,10 @@ func TestCorruptedCRCStopsWithoutError(t *testing.T) {
 	// records 1..10 stay valid, everything from record 11 on — including
 	// the later, perfectly valid segments — must be ignored (a gap in
 	// the stream would be unsound to apply).
-	data, err := os.ReadFile(segs[1])
-	if err != nil {
+	if err := fs.Corrupt(segs[1], segHeaderSize+2*RecordSize+3, 0xff); err != nil {
 		t.Fatal(err)
 	}
-	data[segHeaderSize+2*RecordSize+3] ^= 0xff
-	if err := os.WriteFile(segs[1], data, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	got, stats := collect(t, l.Dir(), 0)
+	got, stats := collect(t, fs, l.Dir(), 0)
 	if !stats.Torn {
 		t.Fatalf("corruption not reported: stats %+v", stats)
 	}
@@ -149,32 +182,34 @@ func TestCorruptedCRCStopsWithoutError(t *testing.T) {
 }
 
 func TestBadSegmentHeaderStopsReplay(t *testing.T) {
-	l := testOpen(t, Options{Fsync: FsyncNever, SegmentBytes: segHeaderSize + 4*RecordSize})
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: segHeaderSize + 4*RecordSize})
 	appendN(t, l, 1, 4) // exactly one sealed segment
 	appendN(t, l, 5, 6) // second (open) segment
 	l.Close()
-	segs, _ := listSegments(l.Dir())
+	segs, _ := listSegments(fs, l.Dir())
 	if len(segs) != 2 {
 		t.Fatalf("want 2 segments, got %d", len(segs))
 	}
-	data, _ := os.ReadFile(segs[1])
-	copy(data[:8], "notmagic")
-	os.WriteFile(segs[1], data, 0o644)
-	got, stats := collect(t, l.Dir(), 0)
+	if err := fs.Corrupt(segs[1], 0, 0xff); err != nil { // break the magic
+		t.Fatal(err)
+	}
+	got, stats := collect(t, fs, l.Dir(), 0)
 	if len(got) != 4 || !stats.Torn {
 		t.Fatalf("bad header: %d records, stats %+v", len(got), stats)
 	}
 }
 
 func TestTruncateThrough(t *testing.T) {
-	l := testOpen(t, Options{Fsync: FsyncNever, SegmentBytes: segHeaderSize + 10*RecordSize})
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: segHeaderSize + 10*RecordSize})
 	appendN(t, l, 1, 35) // 3 sealed segments (1-10, 11-20, 21-30) + open (31-35)
 	if removed, err := l.TruncateThrough(20); err != nil || removed != 2 {
 		t.Fatalf("TruncateThrough(20) = %d, %v; want 2", removed, err)
 	}
 	// The open segment's records are still buffered (never flushed), so
 	// replay sees the sealed 21-30 then stops torn at the empty open file.
-	got, stats := collect(t, l.Dir(), 20)
+	got, stats := collect(t, fs, l.Dir(), 20)
 	if len(got) != 10 {
 		t.Fatalf("after truncation: %d records (want 21-30 from sealed seg), stats %+v", len(got), stats)
 	}
@@ -185,37 +220,38 @@ func TestTruncateThrough(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = collect(t, l.Dir(), 0)
+	got, _ = collect(t, fs, l.Dir(), 0)
 	if len(got) != 5 || got[0].Seq != 31 {
 		t.Fatalf("open segment survived truncation wrong: %d records", len(got))
 	}
 }
 
 func TestReopenCollidingSegmentNameMovesItAside(t *testing.T) {
-	dir := t.TempDir()
+	fs := testFS()
+	dir := "/wal"
 	// A dead segment named for seq 1 left by a previous run (e.g. a
 	// crash before its header hit the disk). Its bytes must survive the
 	// collision — truncating would destroy the only forensic copy.
 	path := filepath.Join(dir, segmentName(1))
-	if err := os.WriteFile(path, []byte("previous run's bytes"), 0o644); err != nil {
+	if err := fs.WriteFile(path, []byte("previous run's bytes")); err != nil {
 		t.Fatal(err)
 	}
-	l := testOpen(t, Options{Dir: dir, Fsync: FsyncNever})
+	l := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever})
 	appendN(t, l, 1, 3)
 	l.Close()
-	got, stats := collect(t, dir, 0)
+	got, stats := collect(t, fs, dir, 0)
 	if len(got) != 3 || stats.Torn {
 		t.Fatalf("reopen over dead segment: %d records, stats %+v", len(got), stats)
 	}
-	moved, err := os.ReadFile(path + ".dead.0")
+	moved, err := fs.ReadFile(path + ".dead.0")
 	if err != nil || string(moved) != "previous run's bytes" {
 		t.Fatalf("colliding segment not preserved aside: %q, %v", moved, err)
 	}
 	// A second collision picks the next free .dead name.
-	l2 := testOpen(t, Options{Dir: dir, Fsync: FsyncNever})
+	l2 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever})
 	appendN(t, l2, 1, 2)
 	l2.Close()
-	if _, err := os.Stat(path + ".dead.1"); err != nil {
+	if _, err := fs.Stat(path + ".dead.1"); err != nil {
 		t.Fatalf("second collision not moved to .dead.1: %v", err)
 	}
 }
@@ -226,27 +262,28 @@ func TestReopenCollidingSegmentNameMovesItAside(t *testing.T) {
 // past the torn record into run 2's segment — its header proves no
 // record is skipped — or every post-restart mutation would be lost.
 func TestReplayContinuesPastTornSegmentWhenNoGap(t *testing.T) {
-	dir := t.TempDir()
-	l1 := testOpen(t, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	fs := testFS()
+	dir := "/wal"
+	l1 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
 	appendN(t, l1, 1, 10)
 	l1.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(fs, dir)
 	if len(segs) != 1 {
 		t.Fatalf("want 1 segment, got %d", len(segs))
 	}
 	// Tear record 10 in half: run 1's valid prefix is 1..9.
-	if err := os.Truncate(segs[0], int64(segHeaderSize+9*RecordSize+RecordSize/2)); err != nil {
+	if err := fs.Truncate(segs[0], int64(segHeaderSize+9*RecordSize+RecordSize/2)); err != nil {
 		t.Fatal(err)
 	}
-	got, stats := collect(t, dir, 0)
+	got, stats := collect(t, fs, dir, 0)
 	if len(got) != 9 || !stats.Torn {
 		t.Fatalf("after first crash: %d records, stats %+v", len(got), stats)
 	}
 	// "Restart": a new log continues at the restored seq + 1 = 10.
-	l2 := testOpen(t, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	l2 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
 	appendN(t, l2, 10, 25)
 	l2.Close()
-	got, stats = collect(t, dir, 0)
+	got, stats = collect(t, fs, dir, 0)
 	if len(got) != 25 || stats.LastSeq != 25 {
 		t.Fatalf("after second crash: %d records (LastSeq %d), want all 25", len(got), stats.LastSeq)
 	}
@@ -269,103 +306,85 @@ func TestReplayContinuesPastTornSegmentWhenNoGap(t *testing.T) {
 // one does NOT continue the record stream, applying it would skip
 // records — replay must stop at the last reachable record instead.
 func TestReplayStopsAtSeqGapAcrossSegments(t *testing.T) {
-	dir := t.TempDir()
-	l1 := testOpen(t, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	fs := testFS()
+	dir := "/wal"
+	l1 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
 	appendN(t, l1, 1, 10)
 	l1.Close()
-	segs, _ := listSegments(dir)
-	if err := os.Truncate(segs[0], int64(segHeaderSize+9*RecordSize+RecordSize/2)); err != nil {
+	segs, _ := listSegments(fs, dir)
+	if err := fs.Truncate(segs[0], int64(segHeaderSize+9*RecordSize+RecordSize/2)); err != nil {
 		t.Fatal(err)
 	}
 	// A later segment opening at seq 12: records 10 and 11 are missing.
-	l2 := testOpen(t, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	l2 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
 	appendN(t, l2, 12, 20)
 	l2.Close()
-	got, stats := collect(t, dir, 0)
+	got, stats := collect(t, fs, dir, 0)
 	if len(got) != 9 || !stats.Torn || stats.LastSeq != 9 {
 		t.Fatalf("gap not respected: %d records, stats %+v", len(got), stats)
 	}
 	// With a checkpoint covering seq 11, the same suffix is contiguous.
-	got, stats = collect(t, dir, 11)
+	got, stats = collect(t, fs, dir, 11)
 	if len(got) != 9 || got[0].Seq != 12 || stats.LastSeq != 20 {
 		t.Fatalf("checkpoint-covered gap: %d records, stats %+v", len(got), stats)
 	}
 }
 
-// countingFile wraps an os.File and injects write/sync failures.
-type countingFile struct {
-	f         *os.File
-	mu        sync.Mutex
-	syncs     int
-	failWrite error
-	failSync  error
-}
+// TestLegacyTornStopHookRestoresOldBehavior pins the mutation hook the
+// crash-schedule explorer's self-check relies on: with the hook on,
+// replay exhibits the original double-crash data-loss bug.
+func TestLegacyTornStopHookRestoresOldBehavior(t *testing.T) {
+	fs := testFS()
+	dir := "/wal"
+	l1 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l1, 1, 10)
+	l1.Close()
+	segs, _ := listSegments(fs, dir)
+	fs.Truncate(segs[0], int64(segHeaderSize+9*RecordSize+RecordSize/2))
+	l2 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l2, 10, 25)
+	l2.Close()
 
-func (c *countingFile) Write(p []byte) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.failWrite != nil {
-		return 0, c.failWrite
-	}
-	return c.f.Write(p)
-}
-
-func (c *countingFile) Sync() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.failSync != nil {
-		return c.failSync
-	}
-	c.syncs++
-	return c.f.Sync()
-}
-
-func (c *countingFile) Close() error { return c.f.Close() }
-
-func openCounting(t *testing.T, files *[]*countingFile) func(string) (SegmentFile, error) {
-	return func(path string) (SegmentFile, error) {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-		if err != nil {
-			return nil, err
-		}
-		cf := &countingFile{f: f}
-		*files = append(*files, cf)
-		return cf, nil
+	SetLegacyTornStopForTest(true)
+	defer SetLegacyTornStopForTest(false)
+	got, stats := collect(t, fs, dir, 0)
+	if len(got) != 9 || stats.LastSeq != 9 {
+		t.Fatalf("legacy hook inactive: %d records (LastSeq %d), old bug would stop at 9", len(got), stats.LastSeq)
 	}
 }
 
 func TestFsyncAlwaysSyncsEveryAppend(t *testing.T) {
-	var files []*countingFile
-	l := testOpen(t, Options{Fsync: FsyncAlways, SegmentBytes: 1 << 20, OpenFile: openCounting(t, &files)})
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncAlways, SegmentBytes: 1 << 20})
 	appendN(t, l, 1, 5)
-	if len(files) != 1 || files[0].syncs != 5 {
-		t.Fatalf("FsyncAlways: %d files, %d syncs (want 5)", len(files), files[0].syncs)
+	if got := fs.Ops(simfs.OpSync); got != 5 {
+		t.Fatalf("FsyncAlways: %d syncs (want 5)", got)
 	}
 	l.Close()
 }
 
 func TestFsyncIntervalBatchesSyncs(t *testing.T) {
-	var files []*countingFile
-	l := testOpen(t, Options{Fsync: FsyncInterval, FsyncInterval: time.Hour, SegmentBytes: 1 << 20, OpenFile: openCounting(t, &files)})
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncInterval, FsyncInterval: time.Hour, SegmentBytes: 1 << 20})
 	appendN(t, l, 1, 100)
-	if files[0].syncs != 0 {
-		t.Fatalf("interval=1h synced %d times during appends", files[0].syncs)
+	if got := fs.Ops(simfs.OpSync); got != 0 {
+		t.Fatalf("interval=1h synced %d times during appends", got)
 	}
 	if err := l.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	if files[0].syncs != 1 {
-		t.Fatalf("explicit Sync: %d syncs, want 1", files[0].syncs)
+	if got := fs.Ops(simfs.OpSync); got != 1 {
+		t.Fatalf("explicit Sync: %d syncs, want 1", got)
 	}
 	l.Close()
 }
 
 func TestInjectedWriteErrorSurfaces(t *testing.T) {
-	var files []*countingFile
+	fs := testFS()
 	boom := errors.New("injected write failure")
-	l := testOpen(t, Options{Fsync: FsyncNever, SegmentBytes: 1 << 20, OpenFile: openCounting(t, &files)})
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: 1 << 20})
 	appendN(t, l, 1, 3)
-	files[0].failWrite = boom
+	fs.FailOp(simfs.OpWrite, 1, boom)
 	// The bufio layer may absorb a few records before flushing into the
 	// failing file; an error must surface by the next Sync at the latest.
 	var got error
@@ -381,18 +400,42 @@ func TestInjectedWriteErrorSurfaces(t *testing.T) {
 }
 
 func TestInjectedFsyncErrorSurfaces(t *testing.T) {
-	var files []*countingFile
+	fs := testFS()
 	boom := errors.New("injected fsync failure")
-	l := testOpen(t, Options{Fsync: FsyncAlways, SegmentBytes: 1 << 20, OpenFile: openCounting(t, &files)})
+	l := testOpen(t, fs, Options{Fsync: FsyncAlways, SegmentBytes: 1 << 20})
 	appendN(t, l, 1, 2)
-	files[0].failSync = boom
+	fs.FailOp(simfs.OpSync, 1, boom)
 	if err := l.Append(rec(3)); err == nil || !errors.Is(err, boom) {
 		t.Fatalf("injected fsync error not surfaced: %v", err)
 	}
 }
 
+// TestUnsyncedAppendsLostAtPowerCut pins what the fsync policies
+// actually buy: under FsyncNever a power cut erases everything since
+// the last rotation, under FsyncAlways nothing is ever lost.
+func TestUnsyncedAppendsLostAtPowerCut(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l, 1, 20)
+	fs.PowerCut(nil)
+	got, _ := collect(t, fs, "/wal", 0)
+	if len(got) != 0 {
+		t.Fatalf("FsyncNever survived %d records across a power cut", len(got))
+	}
+
+	fs2 := testFS()
+	l2 := testOpen(t, fs2, Options{FS: fs2, Fsync: FsyncAlways, SegmentBytes: 1 << 20})
+	appendN(t, l2, 1, 20)
+	fs2.PowerCut(nil)
+	got, stats := collect(t, fs2, "/wal", 0)
+	if len(got) != 20 || stats.LastSeq != 20 {
+		t.Fatalf("FsyncAlways lost records: %d survived, stats %+v", len(got), stats)
+	}
+}
+
 func TestConcurrentAppendsAllSurvive(t *testing.T) {
-	l := testOpen(t, Options{Fsync: FsyncNever, SegmentBytes: segHeaderSize + 64*RecordSize})
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: segHeaderSize + 64*RecordSize})
 	const workers, per = 8, 200
 	var wg sync.WaitGroup
 	var seq struct {
@@ -420,7 +463,7 @@ func TestConcurrentAppendsAllSurvive(t *testing.T) {
 	}
 	wg.Wait()
 	l.Close()
-	got, stats := collect(t, l.Dir(), 0)
+	got, stats := collect(t, fs, l.Dir(), 0)
 	if len(got) != workers*per || stats.Torn {
 		t.Fatalf("concurrent appends: %d records, stats %+v", len(got), stats)
 	}
