@@ -83,6 +83,40 @@ func suiteWorkloads(quick bool) []workload {
 			eng.Run(context.Background())
 		}
 	}
+	serveDurableAdmit := func(n, workers int) func(uint64, int) {
+		return func(seed uint64, trials int) {
+			// serve/admit with durability at its strictest (FsyncAlways):
+			// every admission's record must reach a synced WAL. The
+			// journal's group commit is what keeps this from collapsing
+			// to one fsync per admission — the batched writer drains the
+			// queue into multi-record AppendBatch calls, so one fsync
+			// covers a whole batch.
+			dir, err := os.MkdirTemp("", "bench-durable-*")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			st := serve.NewStoreShards(n, 64)
+			st.FillBalanced(n)
+			l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncAlways, SegmentBytes: 4 << 20})
+			if err != nil {
+				panic(err)
+			}
+			j := serve.NewJournal(st, l, 0, serve.JournalOptions{Buffer: 4096})
+			eng := serve.NewEngine(serve.Config{
+				Store: st, Policy: serve.NewABKUPolicy(2), Scenario: process.ScenarioA,
+				Workers: workers, Seed: seed, MaxSteps: int64(trials),
+			})
+			eng.Run(context.Background())
+			j.Drain()
+			if err := j.Err(); err != nil {
+				panic(err)
+			}
+			if err := j.Close(); err != nil {
+				panic(err)
+			}
+		}
+	}
 	walAppend := func() func(uint64, int) {
 		return func(seed uint64, trials int) {
 			// Sequential append throughput of the durability log: `trials`
@@ -101,6 +135,38 @@ func suiteWorkloads(quick bool) []workload {
 			for i := 0; i < trials; i++ {
 				rec := wal.Record{Op: wal.OpAlloc, Bin: uint32(r.Intn(1 << 16)), K: 1, Seq: uint64(i + 1)}
 				if err := l.Append(rec); err != nil {
+					panic(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	walAppendBatch := func(batch int) func(uint64, int) {
+		return func(seed uint64, trials int) {
+			// The same fixed record stream as wal/append, handed to the
+			// log in `batch`-record groups: the delta against wal/append
+			// is the per-record overhead group commit amortizes (one
+			// lock, one encode pass, one buffered write per batch).
+			dir, err := os.MkdirTemp("", "bench-walb-*")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever, SegmentBytes: 4 << 20})
+			if err != nil {
+				panic(err)
+			}
+			r := rng.New(seed)
+			recs := make([]wal.Record, 0, batch)
+			for i := 0; i < trials; {
+				recs = recs[:0]
+				for len(recs) < batch && i < trials {
+					i++
+					recs = append(recs, wal.Record{Op: wal.OpAlloc, Bin: uint32(r.Intn(1 << 16)), K: 1, Seq: uint64(i)})
+				}
+				if err := l.AppendBatch(recs); err != nil {
 					panic(err)
 				}
 			}
@@ -147,7 +213,9 @@ func suiteWorkloads(quick bool) []workload {
 		{"edgeorient/recovery/n=32", pick(4, 12), edgeRecovery(32)},
 		{"serve/admit/n=1e4/w=8", pick(50_000, 500_000), serveAdmit(10_000, 8)},
 		{"serve/admit/n=1e5/w=8", pick(50_000, 500_000), serveAdmit(100_000, 8)},
+		{"serve/durable-admit/n=1e4/w=8", pick(10_000, 100_000), serveDurableAdmit(10_000, 8)},
 		{"wal/append", pick(100_000, 1_000_000), walAppend()},
+		{"wal/append-batch/b=512", pick(100_000, 1_000_000), walAppendBatch(512)},
 		{"wal/replay", pick(100_000, 1_000_000), walReplay()},
 	}
 }

@@ -86,6 +86,7 @@ func main() {
 		fsyncPol   = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
 		fsyncIntvl = flag.Duration("fsync-interval", 100*time.Millisecond, "max fsync lag under -fsync interval")
 		walStall   = flag.Duration("wal-stall-timeout", 0, "drop a mutation's WAL record after waiting this long on a stalled writer (0: block, full backpressure)")
+		walBatch   = flag.Int("wal-max-batch", 0, "max records per group-commit WAL batch (0: default 512)")
 
 		prof = metrics.RegisterFlags(flag.CommandLine)
 	)
@@ -105,6 +106,7 @@ func main() {
 		checkInterval: *checkIntvl,
 		walDir:        *walDir, ckptEvery: *ckptEvery,
 		fsync: *fsyncPol, fsyncInterval: *fsyncIntvl, walStall: *walStall,
+		walMaxBatch: *walBatch,
 	})
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -140,6 +142,7 @@ type options struct {
 	fsync         string
 	fsyncInterval time.Duration
 	walStall      time.Duration
+	walMaxBatch   int
 }
 
 func run(opt options) int {
@@ -202,7 +205,7 @@ func run(opt options) int {
 		if err != nil {
 			return fail(err)
 		}
-		jo := serve.JournalOptions{StallTimeout: opt.walStall}
+		jo := serve.JournalOptions{StallTimeout: opt.walStall, MaxBatch: opt.walMaxBatch}
 		if fp == wal.FsyncInterval {
 			jo.SyncEvery = opt.fsyncInterval
 		}

@@ -3,7 +3,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +46,24 @@ type JournalOptions struct {
 	// Log.Sync — useful with wal.FsyncInterval so an idle service still
 	// bounds its loss window (the log itself only syncs on appends).
 	SyncEvery time.Duration
+
+	// MaxBatch caps how many queued records the writer hands to one
+	// wal.Log.AppendBatch call (default 512). The writer drains the
+	// queue greedily: it blocks for the first record, then takes
+	// whatever else is already queued up to this cap — group commit, so
+	// under wal.FsyncAlways a burst of mutations shares one fsync
+	// instead of paying one each. 1 restores per-record appends.
+	MaxBatch int
+
+	// SyncWriter disables the background writer goroutine: records
+	// queue up until Drain (or Close), which appends them in the
+	// calling goroutine in MaxBatch chunks. This makes batch boundaries
+	// a deterministic function of the push/Drain sequence — what the
+	// crash-schedule explorer (internal/simfs/explore) needs to replay
+	// batched schedules bit-identically from a seed. Single-threaded
+	// drivers only, and Buffer must cover every push between two
+	// Drains (a full queue would block with nobody draining).
+	SyncWriter bool
 }
 
 func (o *JournalOptions) fill() {
@@ -56,13 +73,20 @@ func (o *JournalOptions) fill() {
 	if o.KeepCheckpoints <= 0 {
 		o.KeepCheckpoints = 2
 	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 512
+	}
 }
 
 // Journal makes a Store durable: it installs itself as the store's
 // mutation hook, assigns every mutation a WAL sequence number under
 // the shard lock (so checkpoint cuts are exact), and hands the record
 // to a single writer goroutine through a bounded channel — the append
-// happens off the allocation hot path.
+// happens off the allocation hot path. The writer group-commits: it
+// drains the channel greedily into batches of up to MaxBatch records
+// and appends each batch with one wal.Log.AppendBatch call, so a
+// burst of mutations shares one mutex acquisition, one buffered
+// write, and (under wal.FsyncAlways) one fsync.
 //
 // Checkpoint stops the world (all shard locks, microseconds for any
 // realistic n), captures the loads plus the seq of the last enqueued
@@ -82,6 +106,14 @@ type Journal struct {
 
 	seq     atomic.Uint64
 	pending atomic.Int64 // records enqueued but not yet handed to the WAL
+
+	// drainMu/drainCond let Drain sleep until pending reaches zero
+	// instead of burning a core — the writer can sit inside a slow
+	// fsync for milliseconds.
+	drainMu   sync.Mutex
+	drainCond *sync.Cond
+
+	batchPool sync.Pool // *[]wal.Record, cap MaxBatch, recycled per batch
 
 	closeMu sync.RWMutex // held (read) across every push; (write) by Close
 	closed  bool
@@ -111,8 +143,15 @@ func NewJournal(st *Store, log *wal.Log, lastSeq uint64, opts JournalOptions) *J
 		stop: make(chan struct{}),
 	}
 	j.seq.Store(lastSeq)
-	j.wg.Add(1)
-	go j.writer()
+	j.drainCond = sync.NewCond(&j.drainMu)
+	j.batchPool.New = func() any {
+		b := make([]wal.Record, 0, j.opts.MaxBatch)
+		return &b
+	}
+	if !opts.SyncWriter {
+		j.wg.Add(1)
+		go j.writer()
+	}
 	if opts.SyncEvery > 0 {
 		j.wg.Add(1)
 		go j.syncLoop()
@@ -121,15 +160,83 @@ func NewJournal(st *Store, log *wal.Log, lastSeq uint64, opts JournalOptions) *J
 	return j
 }
 
-// writer drains the record queue into the WAL.
+// writer drains the record queue into the WAL in batches: block for
+// one record, then greedily take whatever else is already queued (up
+// to MaxBatch) and hand the whole slice to AppendBatch — so one fsync
+// covers the burst (group commit) and the mutex/flush overhead is paid
+// once per batch instead of once per record.
 func (j *Journal) writer() {
 	defer j.wg.Done()
 	for rec := range j.ch {
-		if err := j.log.Append(rec); err != nil {
-			j.noteErr(err)
-			metrics.AddCounter("wal.append.errors", 1)
+		bp := j.batchPool.Get().(*[]wal.Record)
+		batch := j.fill(append((*bp)[:0], rec))
+		j.appendBatch(batch)
+		*bp = batch[:0]
+		j.batchPool.Put(bp)
+	}
+}
+
+// fill takes queued records without blocking until batch reaches
+// MaxBatch or the queue is momentarily empty (or closed).
+func (j *Journal) fill(batch []wal.Record) []wal.Record {
+	for len(batch) < j.opts.MaxBatch {
+		select {
+		case rec, ok := <-j.ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, rec)
+		default:
+			return batch
 		}
-		j.pending.Add(-1)
+	}
+	return batch
+}
+
+// appendBatch hands one batch to the WAL and settles its accounting.
+// An error fails the whole batch: the first one is retained for Err
+// and every record of the batch is counted in wal.append.errors —
+// none of them may be considered durable (a torn prefix can still be
+// on disk; replay recovers it like any torn tail). pending is
+// decremented by the batch size afterwards, so Drain's contract — every
+// record enqueued before the call has been handed to the WAL — is
+// unchanged by batching.
+func (j *Journal) appendBatch(batch []wal.Record) {
+	if err := j.log.AppendBatch(batch); err != nil {
+		j.noteErr(err)
+		metrics.AddCounter("wal.append.errors", int64(len(batch)))
+	}
+	j.decPending(int64(len(batch)))
+}
+
+// decPending subtracts settled records from pending and wakes Drain
+// waiters when the queue fully settles.
+func (j *Journal) decPending(n int64) {
+	if j.pending.Add(-n) == 0 {
+		j.drainMu.Lock()
+		j.drainCond.Broadcast()
+		j.drainMu.Unlock()
+	}
+}
+
+// flushQueued appends everything currently queued, in MaxBatch chunks,
+// in the calling goroutine — the SyncWriter drain path (also used by
+// Close to settle the tail once the channel is closed).
+func (j *Journal) flushQueued() {
+	for {
+		select {
+		case rec, ok := <-j.ch:
+			if !ok {
+				return
+			}
+			bp := j.batchPool.Get().(*[]wal.Record)
+			batch := j.fill(append((*bp)[:0], rec))
+			j.appendBatch(batch)
+			*bp = batch[:0]
+			j.batchPool.Put(bp)
+		default:
+			return
+		}
 	}
 }
 
@@ -192,15 +299,40 @@ func (j *Journal) push(op wal.Op, bin, k int) {
 		return
 	default:
 	}
-	t := time.NewTimer(j.opts.StallTimeout)
-	defer t.Stop()
+	t := getStallTimer(j.opts.StallTimeout)
 	select {
 	case j.ch <- rec:
 	case <-t.C:
-		j.pending.Add(-1)
+		j.decPending(1)
 		j.noteErr(fmt.Errorf("serve: journal stalled for %v; record seq %d dropped", j.opts.StallTimeout, rec.Seq))
 		metrics.AddCounter("serve.journal.stalled", 1)
 	}
+	putStallTimer(t)
+}
+
+// stallTimers pools the StallTimeout timers: a wedged disk stalls
+// every mutation on a shard, and allocating a fresh runtime timer per
+// stalled push just adds churn to an already-bad moment.
+var stallTimers sync.Pool
+
+func getStallTimer(d time.Duration) *time.Timer {
+	if v := stallTimers.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putStallTimer stops t and clears any tick left in its channel (the
+// pooled timer must come back quiescent whether it fired or not).
+func putStallTimer(t *time.Timer) {
+	t.Stop()
+	select {
+	case <-t.C:
+	default:
+	}
+	stallTimers.Put(t)
 }
 
 // Drain blocks until every record enqueued before the call has been
@@ -208,11 +340,22 @@ func (j *Journal) push(op wal.Op, bin, k int) {
 // traffic quiesced this makes the writer goroutine's work observable:
 // after Drain, LastSeq's record has reached the log — which is what
 // the deterministic crash-schedule simulations need between steps, and
-// what a graceful flush wants before a checkpoint.
+// what a graceful flush wants before a checkpoint. Waiters sleep on a
+// condition variable signalled by the writer; they don't spin while
+// the writer sits inside a slow fsync.
+//
+// Under SyncWriter there is no writer goroutine: Drain itself appends
+// everything queued, in MaxBatch chunks, in the calling goroutine.
 func (j *Journal) Drain() {
-	for j.pending.Load() != 0 {
-		runtime.Gosched()
+	if j.opts.SyncWriter {
+		j.flushQueued()
+		return
 	}
+	j.drainMu.Lock()
+	for j.pending.Load() != 0 {
+		j.drainCond.Wait()
+	}
+	j.drainMu.Unlock()
 }
 
 // OnAlloc implements StoreHook.
@@ -310,6 +453,10 @@ func (j *Journal) Close() error {
 	j.closeMu.Unlock()
 	close(j.stop)
 	j.wg.Wait()
+	if j.opts.SyncWriter {
+		// No writer goroutine: settle the queued tail here.
+		j.flushQueued()
+	}
 	j.st.SetHook(nil)
 	if err := j.log.Close(); err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dynalloc/internal/checkpoint"
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/process"
 	"dynalloc/internal/rng"
 	"dynalloc/internal/simfs"
@@ -39,7 +40,10 @@ func newJournaled(t *testing.T, n, shards int, opts wal.Options) (*Store, *Journ
 		t.Fatal(err)
 	}
 	st := NewStoreShards(n, shards)
-	j := NewJournal(st, l, 0, JournalOptions{Buffer: 64})
+	// A small MaxBatch so rotation still happens every few records
+	// against the tiny segments above — and every test here exercises
+	// the batched append path.
+	j := NewJournal(st, l, 0, JournalOptions{Buffer: 64, MaxBatch: 4})
 	return st, j, fs, dir
 }
 
@@ -644,7 +648,10 @@ func TestStallTimeoutKeepsMutationsAvailable(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := NewStoreShards(8, 2)
-	j := NewJournal(st, l, 0, JournalOptions{Buffer: 1, StallTimeout: 20 * time.Millisecond})
+	// MaxBatch 1 pins the per-record writer: with greedy batching the
+	// writer's fill could absorb every push into the wedged batch and
+	// no push would ever see a full queue.
+	j := NewJournal(st, l, 0, JournalOptions{Buffer: 1, StallTimeout: 20 * time.Millisecond, MaxBatch: 1})
 
 	done := make(chan struct{})
 	go func() {
@@ -667,6 +674,118 @@ func TestStallTimeoutKeepsMutationsAvailable(t *testing.T) {
 	close(gate) // the disk un-wedges; Close must surface the degradation
 	if err := j.Close(); err == nil {
 		t.Fatal("Close did not surface the recorded stall error")
+	}
+}
+
+// TestJournalGroupCommit: with a SyncWriter journal (deterministic
+// batch boundaries) under FsyncAlways, a burst of mutations shares
+// fsyncs — ceil(burst/MaxBatch) of them, not one per record.
+func TestJournalGroupCommit(t *testing.T) {
+	fs := simfs.New()
+	l, err := wal.Open(wal.Options{Dir: "/wal", FS: fs, Fsync: wal.FsyncAlways, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStoreShards(8, 2)
+	j := NewJournal(st, l, 0, JournalOptions{Buffer: 256, MaxBatch: 16, SyncWriter: true})
+	for i := 0; i < 64; i++ {
+		st.Alloc(i % 8)
+	}
+	j.Drain()
+	if got := fs.Ops(simfs.OpSync); got != 4 {
+		t.Fatalf("64 mutations at MaxBatch=16 issued %d fsyncs, want 4", got)
+	}
+	if j.LastSeq() != 64 || j.Err() != nil {
+		t.Fatalf("seq %d err %v after drain", j.LastSeq(), j.Err())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStoreShards(8, 2)
+	res, err := RestoreFS(fresh, fs, "/wal")
+	if err != nil || res.LastSeq != 64 {
+		t.Fatalf("restore: %+v, %v", res, err)
+	}
+	assertStoreMatchesRef(t, fresh, 8, allocRef(64, 8), "group commit")
+}
+
+// TestJournalBatchErrorAccounting: when a batch append fails, the
+// first error is retained in Err and EVERY record of the batch counts
+// toward wal.append.errors — none of them may be presumed durable.
+func TestJournalBatchErrorAccounting(t *testing.T) {
+	metrics.Reset()
+	metrics.Enable()
+	defer func() {
+		metrics.Disable()
+		metrics.Reset()
+	}()
+
+	fs := simfs.New()
+	boom := errors.New("injected write failure")
+	l, err := wal.Open(wal.Options{Dir: "/wal", FS: fs, Fsync: wal.FsyncAlways, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStoreShards(8, 2)
+	j := NewJournal(st, l, 0, JournalOptions{Buffer: 64, MaxBatch: 8, SyncWriter: true})
+	fs.FailOp(simfs.OpWrite, 1, boom)
+	for i := 0; i < 8; i++ {
+		st.Alloc(i % 8)
+	}
+	j.Drain()
+	if err := j.Err(); err == nil || !errors.Is(err, boom) {
+		t.Fatalf("first batch error not retained: %v", err)
+	}
+	snap := metrics.Default().Snapshot()
+	if got := snap.Counters["wal.append.errors"]; got != 8 {
+		t.Fatalf("wal.append.errors = %d, want the whole batch (8)", got)
+	}
+	// Availability is intact: the store took every mutation.
+	if st.Total() != 8 {
+		t.Fatalf("store lost mutations: %d balls", st.Total())
+	}
+	j.Close() // surfaces the retained error; expected
+}
+
+// TestDrainWaitsWithoutSpinning: Drain must block (on the writer's
+// condition variable, not a Gosched spin) across a slow WAL write and
+// return promptly once the writer settles.
+func TestDrainWaitsWithoutSpinning(t *testing.T) {
+	fs := simfs.New()
+	gate := make(chan struct{})
+	l, err := wal.Open(wal.Options{
+		Dir: "/wal", Fsync: wal.FsyncAlways,
+		FS: gateFS{FS: fs, gate: gate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStoreShards(8, 2)
+	j := NewJournal(st, l, 0, JournalOptions{Buffer: 64})
+	st.Alloc(1)
+	st.Alloc(2)
+
+	done := make(chan struct{})
+	go func() {
+		j.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Drain returned while the writer was wedged inside the WAL write")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate) // the disk un-wedges; the writer settles and wakes Drain
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never woke after the writer settled")
+	}
+	if j.LastSeq() != 2 || j.Err() != nil {
+		t.Fatalf("seq %d err %v after drain", j.LastSeq(), j.Err())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

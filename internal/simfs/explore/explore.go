@@ -18,11 +18,23 @@
 // checkpoints (plus their prune/truncate maintenance) fire mid-round so
 // the crash point can land inside the checkpoint write path too.
 //
+// Batched schedules (Config.Burst > 1, see DefaultBatched) drive the
+// group-commit pipeline: mutations are pushed in bursts and the
+// journal runs in SyncWriter mode, so each Drain hands multi-record
+// batches to wal.Log.AppendBatch — and the armed crash point can land
+// inside a batch's single write or its one group fsync. A power cut
+// there tears the batch mid-record, and the invariant demands the torn
+// batch replay as a clean contiguous prefix of the acknowledged
+// history.
+//
 // Everything is deterministic per (Seed, schedule): the driver is
-// single-threaded, the journal writer is quiesced with Journal.Drain
-// after every operation, and simfs numbers every filesystem operation.
-// A violation therefore reproduces exactly from its one-line repro —
-// RunSchedule(cfg, v.Schedule) with the same Config.
+// single-threaded, the journal is quiesced with Journal.Drain at every
+// burst boundary (every operation in the per-record configuration) —
+// in batched schedules SyncWriter mode appends in the driver's own
+// goroutine, so batch boundaries are a pure function of the schedule —
+// and simfs numbers every filesystem operation. A violation therefore
+// reproduces exactly from its one-line repro — RunSchedule(cfg,
+// v.Schedule) with the same Config.
 package explore
 
 import (
@@ -59,6 +71,18 @@ type Config struct {
 	// (default 8): one failure is usually worth inspecting before
 	// paying for the rest of the sweep.
 	MaxViolations int
+
+	// Burst, when > 1, drives mutations in bursts of that many between
+	// journal drains, with the journal in deterministic SyncWriter
+	// mode: each Drain appends the queued burst in MaxBatch chunks, so
+	// WAL writes are multi-record group-commit batches and the crash
+	// point can land mid-batch. 0/1 is the per-record configuration.
+	Burst int
+
+	// MaxBatch is the journal's batch ceiling in burst mode (default
+	// 5, deliberately not dividing the default burst so chunk sizes
+	// vary within one burst).
+	MaxBatch int
 }
 
 // Default returns the configuration the test suite runs: 3 rounds of
@@ -76,6 +100,19 @@ func Default() Config {
 		SegmentBytes:    8 * wal.RecordSize, // rotate every ~8 records
 		MaxViolations:   8,
 	}
+}
+
+// DefaultBatched returns the group-commit sweep the test suite runs
+// alongside Default: bursts of 12 mutations drained as batches of up
+// to 5 records, over the same tiny segments — so batches regularly
+// straddle rotations and the power cut regularly lands inside a
+// batch's write or group fsync.
+func DefaultBatched() Config {
+	c := Default()
+	c.Burst = 12
+	c.MaxBatch = 5
+	c.CheckpointEvery = 24 // a multiple of Burst: checkpoints fire at drained boundaries
+	return c
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxViolations <= 0 {
 		c.MaxViolations = d.MaxViolations
 	}
+	if c.Burst > 1 && c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultBatched().MaxBatch
+	}
 	return c
 }
 
@@ -110,19 +150,29 @@ type Violation struct {
 	Seed     uint64
 	Schedule int
 	Round    int    // crash/restore cycle the failure surfaced in
+	Burst    int    // Config.Burst the schedule ran with (0/1 = per-record)
+	MaxBatch int    // Config.MaxBatch in burst mode
 	Msg      string // what broke
 }
 
 // Error implements error.
 func (v *Violation) Error() string {
+	if v.Burst > 1 {
+		return fmt.Sprintf("durability violation at seed=%d schedule=%d round=%d burst=%d maxbatch=%d: %s",
+			v.Seed, v.Schedule, v.Round, v.Burst, v.MaxBatch, v.Msg)
+	}
 	return fmt.Sprintf("durability violation at seed=%d schedule=%d round=%d: %s",
 		v.Seed, v.Schedule, v.Round, v.Msg)
 }
 
 // Repro returns a one-line shell repro for this violation.
 func (v *Violation) Repro() string {
-	return fmt.Sprintf("go test ./internal/simfs/explore -run TestReplaySchedule -explore.seed=%d -explore.schedule=%d",
+	repro := fmt.Sprintf("go test ./internal/simfs/explore -run TestReplaySchedule -explore.seed=%d -explore.schedule=%d",
 		v.Seed, v.Schedule)
+	if v.Burst > 1 {
+		repro += fmt.Sprintf(" -explore.burst=%d -explore.maxbatch=%d", v.Burst, v.MaxBatch)
+	}
+	return repro
 }
 
 // Stats aggregates what an exploration exercised; all fields are
@@ -207,6 +257,8 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 			Seed:     cfg.Seed,
 			Schedule: schedule,
 			Round:    round,
+			Burst:    cfg.Burst,
+			MaxBatch: cfg.MaxBatch,
 			Msg:      fmt.Sprintf(format, args...),
 		}, stats
 	}
@@ -225,7 +277,19 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 		if err != nil {
 			return nil, err
 		}
-		return serve.NewJournal(st, l, lastSeq, serve.JournalOptions{Buffer: 8}), nil
+		jo := serve.JournalOptions{Buffer: 8}
+		if cfg.Burst > 1 {
+			// SyncWriter keeps batch boundaries a deterministic function
+			// of the schedule: Drain appends the queued burst from this
+			// goroutine in MaxBatch chunks. Buffer must cover a full
+			// burst of pushes between drains.
+			jo = serve.JournalOptions{
+				Buffer:     2 * cfg.Burst,
+				MaxBatch:   cfg.MaxBatch,
+				SyncWriter: true,
+			}
+		}
+		return serve.NewJournal(st, l, lastSeq, jo), nil
 	}
 
 	// ref holds every acknowledged mutation in seq order; durable is the
@@ -240,17 +304,32 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 		return fail(0, "boot: %v", err)
 	}
 
+	burst := cfg.Burst
+	if burst < 1 {
+		burst = 1
+	}
+
 	for round := 0; round < cfg.Rounds; round++ {
 		// Arm the crash at a pseudo-random upcoming FS operation. A
 		// store mutation costs ~2 FS ops (write + fsync) plus rotation
 		// and checkpoint traffic, so a span of 4x mutations lands the
 		// cut inside the round most of the time and past it (a forced
-		// cut at a quiet boundary) the rest — both worth covering.
-		fs.CrashAfterOps(1 + r.Intn(4*cfg.OpsPerRound))
+		// cut at a quiet boundary) the rest — both worth covering. A
+		// batched round consumes far fewer FS ops per mutation (one
+		// write + one fsync covers a whole batch), so its span is
+		// proportionally tighter.
+		span := 4 * cfg.OpsPerRound
+		if burst > 1 {
+			span = 2 * cfg.OpsPerRound
+		}
+		fs.CrashAfterOps(1 + r.Intn(span))
 
 		for i := 0; i < cfg.OpsPerRound && !fs.Crashed(); i++ {
 			driveOne(r, st, &ref)
 			stats.StoreOps++
+			if (i+1)%burst != 0 && i+1 != cfg.OpsPerRound {
+				continue // mid-burst: keep queueing, no drain yet
+			}
 			j.Drain()
 			if !fs.Crashed() && j.Err() == nil {
 				durable = j.LastSeq()

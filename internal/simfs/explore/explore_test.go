@@ -17,6 +17,8 @@ import (
 var (
 	exploreSeed     = flag.Uint64("explore.seed", 1, "root seed for TestReplaySchedule")
 	exploreSchedule = flag.Int("explore.schedule", -1, "schedule index for TestReplaySchedule (-1 skips)")
+	exploreBurst    = flag.Int("explore.burst", 0, "burst size for TestReplaySchedule (0/1 replays per-record)")
+	exploreMaxBatch = flag.Int("explore.maxbatch", 0, "journal batch ceiling for TestReplaySchedule burst mode")
 )
 
 // writeReproArtifact drops the repro lines where CI can pick them up as
@@ -78,6 +80,67 @@ func TestExplore(t *testing.T) {
 	}
 }
 
+// TestExploreBatched sweeps the group-commit pipeline: bursts of
+// mutations drained as multi-record WAL batches (SyncWriter mode), so
+// the armed power cut regularly lands inside a batch's single write or
+// its one group fsync. The invariant is the same — a torn batch must
+// replay as a clean contiguous prefix of the acknowledged history.
+func TestExploreBatched(t *testing.T) {
+	cfg := explore.DefaultBatched()
+	cfg.Seed = *exploreSeed
+	if !testing.Short() {
+		cfg.Schedules = 2000
+	}
+
+	start := time.Now()
+	res := explore.Explore(cfg)
+	elapsed := time.Since(start)
+	t.Logf("explored %d batched schedules in %v: %+v", res.Schedules, elapsed, res.Stats)
+
+	if res.Schedules != cfg.Schedules {
+		t.Errorf("ran %d schedules, want %d", res.Schedules, cfg.Schedules)
+	}
+	if want := cfg.Schedules * cfg.Rounds; res.Stats.Restores != want {
+		t.Errorf("restores = %d, want %d", res.Stats.Restores, want)
+	}
+	// Every segment tail in burst mode is written by AppendBatch, so a
+	// torn cut here IS a torn batch: the sweep is vacuous unless cuts
+	// land mid-traffic and tear tails at a healthy rate.
+	if res.Stats.MidOpCuts < cfg.Schedules/4 {
+		t.Errorf("only %d/%d rounds cut mid-traffic; crash points are not landing", res.Stats.MidOpCuts, cfg.Schedules*cfg.Rounds)
+	}
+	if res.Stats.TornCuts < cfg.Schedules/8 {
+		t.Errorf("only %d torn cuts; power cuts are not tearing batches", res.Stats.TornCuts)
+	}
+	if res.Stats.Checkpoints < cfg.Schedules {
+		t.Errorf("only %d checkpoints completed; checkpoint path unexercised", res.Stats.Checkpoints)
+	}
+
+	if res.Failed() {
+		writeReproArtifact(t, res)
+		t.Fatalf("durability violations:\n%s", res.Report())
+	}
+	if testing.Short() && elapsed > 30*time.Second {
+		t.Fatalf("short batched sweep took %v, budget 30s", elapsed)
+	}
+}
+
+// TestExploreBatchedDeterministic: batch boundaries must be a pure
+// function of the schedule (that is what SyncWriter mode buys), so two
+// identical batched sweeps must be bit-identical too.
+func TestExploreBatchedDeterministic(t *testing.T) {
+	cfg := explore.DefaultBatched()
+	cfg.Schedules = 40
+	a := explore.Explore(cfg)
+	b := explore.Explore(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical batched explorations diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Failed() {
+		t.Fatalf("batched determinism sweep hit violations:\n%s", a.Report())
+	}
+}
+
 // TestReplaySchedule replays one schedule named on the command line —
 // the entry point every violation's repro line points at.
 func TestReplaySchedule(t *testing.T) {
@@ -85,11 +148,16 @@ func TestReplaySchedule(t *testing.T) {
 		t.Skip("replay entry point: pass -explore.seed and -explore.schedule")
 	}
 	cfg := explore.Default()
+	if *exploreBurst > 1 {
+		cfg = explore.DefaultBatched()
+		cfg.Burst = *exploreBurst
+		cfg.MaxBatch = *exploreMaxBatch
+	}
 	cfg.Seed = *exploreSeed
 	if v := explore.RunSchedule(cfg, *exploreSchedule); v != nil {
 		t.Fatalf("%v\n\t%s", v, v.Repro())
 	}
-	t.Logf("seed=%d schedule=%d passes", cfg.Seed, *exploreSchedule)
+	t.Logf("seed=%d schedule=%d burst=%d passes", cfg.Seed, *exploreSchedule, cfg.Burst)
 }
 
 // TestExploreDeterministic runs the same sweep twice and demands
@@ -136,6 +204,35 @@ func TestExploreFindsLegacyTornStopBug(t *testing.T) {
 
 	// ...and the very same schedule must pass once the fix is back —
 	// pinning the violation on the mutation, not on the harness.
+	wal.SetLegacyTornStopForTest(false)
+	if v2 := explore.RunSchedule(cfg, v.Schedule); v2 != nil {
+		t.Fatalf("schedule %d fails even without the mutation: %v", v.Schedule, v2)
+	}
+}
+
+// TestExploreBatchedFindsLegacyTornStopBug is the same mutation
+// self-check through the group-commit pipeline: the batched sweep must
+// also rediscover the torn-stop defect, proving its mid-batch power
+// cuts produce torn tails the replay actually has to survive.
+func TestExploreBatchedFindsLegacyTornStopBug(t *testing.T) {
+	wal.SetLegacyTornStopForTest(true)
+	defer wal.SetLegacyTornStopForTest(false)
+
+	cfg := explore.DefaultBatched()
+	cfg.Schedules = 120
+	cfg.MaxViolations = 1
+	res := explore.Explore(cfg)
+	if !res.Failed() {
+		t.Fatalf("batched explorer missed the reintroduced torn-stop bug in %d schedules", cfg.Schedules)
+	}
+	v := res.Violations[0]
+	t.Logf("rediscovered after %d batched schedules: %v", res.Schedules, &v)
+
+	rv := explore.RunSchedule(cfg, v.Schedule)
+	if rv == nil || rv.Round != v.Round || rv.Msg != v.Msg {
+		t.Fatalf("repro did not replay: got %v, want %v", rv, &v)
+	}
+
 	wal.SetLegacyTornStopForTest(false)
 	if v2 := explore.RunSchedule(cfg, v.Schedule); v2 != nil {
 		t.Fatalf("schedule %d fails even without the mutation: %v", v.Schedule, v2)

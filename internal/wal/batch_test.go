@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/simfs"
+)
+
+// recs returns rec(from)..rec(to) as one batch.
+func recs(from, to int) []Record {
+	out := make([]Record, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		out = append(out, rec(i))
+	}
+	return out
+}
+
+func TestAppendBatchEmptyIsNoOp(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncAlways})
+	if err := l.AppendBatch(nil); err != nil {
+		t.Fatalf("nil batch: %v", err)
+	}
+	if err := l.AppendBatch([]Record{}); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	// No segment may exist: an empty batch must not open a file (a
+	// segment's name is its first record's seq, which an empty batch
+	// does not have).
+	if segs, _ := listSegments(fs, l.Dir()); len(segs) != 0 {
+		t.Fatalf("empty batch created segments: %v", segs)
+	}
+	if got := fs.Ops(simfs.OpSync); got != 0 {
+		t.Fatalf("empty batch synced %d times", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendBatchEquivalentToAppend pins the on-disk contract: a batch
+// replays record for record exactly like the same stream appended one
+// at a time, including across the rotations that happen at batch
+// boundaries.
+func TestAppendBatchEquivalentToAppend(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever}) // 8-record segments
+	for from := 1; from <= 100; from += 7 {
+		to := from + 6
+		if to > 100 {
+			to = 100
+		}
+		if err := l.AppendBatch(recs(from, to)); err != nil {
+			t.Fatalf("batch [%d,%d]: %v", from, to, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs, _ := listSegments(fs, l.Dir()); len(segs) < 5 {
+		t.Fatalf("expected rotation at batch boundaries to produce several segments, got %d", len(segs))
+	}
+	got, stats := collect(t, fs, "/wal", 0)
+	if len(got) != 100 || stats.Torn || stats.LastSeq != 100 {
+		t.Fatalf("replay: %d records, stats %+v", len(got), stats)
+	}
+	for i, r := range got {
+		if r != rec(i+1) {
+			t.Fatalf("record %d: got %+v want %+v", i, r, rec(i+1))
+		}
+	}
+}
+
+// TestAppendBatchSpanningRotation: a batch is never split — it lands
+// whole in the current segment even when that overshoots SegmentBytes
+// (one oversized segment), and the seal happens at the batch boundary.
+func TestAppendBatchSpanningRotation(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})   // threshold: 8 records
+	if err := l.AppendBatch(recs(1, 20)); err != nil { // 2.5x the threshold
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(fs, l.Dir())
+	if len(segs) != 1 {
+		t.Fatalf("oversized batch split across %d segments, want 1", len(segs))
+	}
+	// The overshoot sealed the segment, so the next batch opens a new one.
+	if err := l.AppendBatch(recs(21, 24)); err != nil {
+		t.Fatal(err)
+	}
+	if segs, _ = listSegments(fs, l.Dir()); len(segs) != 2 {
+		t.Fatalf("post-overshoot batch did not open a fresh segment: %d segments", len(segs))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := collect(t, fs, "/wal", 0)
+	if len(got) != 24 || stats.Torn {
+		t.Fatalf("replay: %d records, stats %+v", len(got), stats)
+	}
+	for i, r := range got {
+		if r != rec(i+1) {
+			t.Fatalf("record %d: got %+v want %+v", i, r, rec(i+1))
+		}
+	}
+}
+
+// TestAppendBatchGroupCommit is the point of the whole change: under
+// FsyncAlways a batch of n records costs ONE fsync, and the saved n-1
+// are visible in the wal.sync.coalesced counter.
+func TestAppendBatchGroupCommit(t *testing.T) {
+	metrics.Reset()
+	metrics.Enable()
+	defer func() {
+		metrics.Disable()
+		metrics.Reset()
+	}()
+
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncAlways, SegmentBytes: 1 << 20})
+	if err := l.AppendBatch(recs(1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Ops(simfs.OpSync); got != 1 {
+		t.Fatalf("batch of 64 issued %d fsyncs, want 1 (group commit)", got)
+	}
+	if err := l.AppendBatch(recs(65, 65)); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Ops(simfs.OpSync); got != 2 {
+		t.Fatalf("one-record batch: %d total fsyncs, want 2", got)
+	}
+	snap := metrics.Default().Snapshot()
+	if got := snap.Counters["wal.sync.coalesced"]; got != 63 {
+		t.Fatalf("wal.sync.coalesced = %d, want 63", got)
+	}
+	if h, ok := snap.Histograms["wal.batch.records"]; !ok || h.Count != 2 {
+		t.Fatalf("wal.batch.records histogram: %+v (ok=%v)", h, ok)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendBatchWriteErrorFailsWholeBatch: a mid-batch write fault
+// fails the AppendBatch call as a unit — the caller must treat every
+// record of the batch as non-durable — while whatever prefix physically
+// reached the file stays replayable like any torn tail.
+func TestAppendBatchWriteErrorFailsWholeBatch(t *testing.T) {
+	fs := testFS()
+	boom := errors.New("injected write failure")
+	l := testOpen(t, fs, Options{Fsync: FsyncAlways, SegmentBytes: 1 << 20})
+	if err := l.AppendBatch(recs(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// The next flush (the failing batch's sync) is the first Write the
+	// file sees after the fault is armed.
+	fs.FailOp(simfs.OpWrite, 1, boom)
+	err := l.AppendBatch(recs(5, 12))
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("batch write error not surfaced: %v", err)
+	}
+	// Same stickiness as the per-record path: the segment's buffered
+	// writer stays failed, so a later batch on this segment errors too
+	// instead of silently writing past a hole.
+	if err := l.AppendBatch(recs(13, 16)); err == nil || !errors.Is(err, boom) {
+		t.Fatalf("append after failed batch: %v (want the sticky write error)", err)
+	}
+	l.Close() // flush error resurfaces here; the file still closes
+	got, stats := collect(t, fs, "/wal", 0)
+	if len(got) != 4 || stats.LastSeq != 4 {
+		t.Fatalf("committed prefix: %d records, stats %+v (want exactly the 4 synced records)", len(got), stats)
+	}
+	for i, r := range got {
+		if r != rec(i+1) {
+			t.Fatalf("record %d: got %+v want %+v", i, r, rec(i+1))
+		}
+	}
+}
+
+// TestAppendBatchShortWriteReplaysCleanPrefix: a simfs ShortWrite
+// fault tears the batch mid-record on its way to the file; replay must
+// recover exactly the clean record prefix and flag the tear.
+func TestAppendBatchShortWriteReplaysCleanPrefix(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncAlways, SegmentBytes: 1 << 20})
+	fs.ShortWrite(1)
+	err := l.AppendBatch(recs(1, 8))
+	if err == nil {
+		t.Fatal("short write did not surface an error")
+	}
+	// The absorbed prefix: half of header+8 records = 92 bytes = header
+	// + 3 records + a torn 4th.
+	got, stats := collect(t, fs, "/wal", 0)
+	if !stats.Torn {
+		t.Fatalf("torn batch not flagged: %+v", stats)
+	}
+	if len(got) != 3 || stats.LastSeq != 3 {
+		t.Fatalf("short-write prefix: %d records, stats %+v (want exactly the 3 clean records)", len(got), stats)
+	}
+	for i, r := range got {
+		if r != rec(i+1) {
+			t.Fatalf("record %d: got %+v want %+v", i, r, rec(i+1))
+		}
+	}
+}

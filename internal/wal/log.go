@@ -149,7 +149,8 @@ type Log struct {
 	curMax   uint64 // max seq written to the current segment
 	lastSync time.Time
 	closed   bool
-	buf      [RecordSize]byte
+	one      [1]Record // Append's one-element batch, reused under mu
+	batchBuf []byte    // grow-only encode buffer, reused under mu
 }
 
 // Open prepares a log in opts.Dir. No segment file is created until
@@ -176,38 +177,85 @@ func (l *Log) FS() vfs.FS { return l.opts.FS }
 
 // Append encodes and writes one record, applying the fsync policy and
 // rotating the segment when the size threshold is crossed. The record's
-// Seq must be assigned by the caller (see the package comment).
+// Seq must be assigned by the caller (see the package comment). Append
+// is a one-element AppendBatch.
 func (l *Log) Append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.one[0] = r
+	return l.appendBatchLocked(l.one[:])
+}
+
+// AppendBatch encodes and writes a batch of records under one mutex
+// acquisition, with one buffered write and — the group commit — the
+// fsync policy applied once for the whole batch: a single fsync durably
+// covers every record in it, so under FsyncAlways the per-record fsync
+// cost is divided by the batch size. Rotation happens at batch
+// boundaries only: the entire batch lands in the current segment, and
+// the size threshold is checked after it (a batch larger than
+// SegmentBytes simply produces one oversized segment, which replay and
+// truncation handle like any other).
+//
+// A write error fails the whole batch: none of its records may be
+// reported durable (a torn prefix can still survive on disk — replay
+// treats it like any torn tail and recovers the clean prefix). An
+// empty batch is a no-op.
+func (l *Log) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendBatchLocked(recs)
+}
+
+func (l *Log) appendBatchLocked(recs []Record) error {
 	if l.closed {
 		return errors.New("wal: log is closed")
 	}
 	if l.f == nil {
-		if err := l.openSegmentLocked(r.Seq); err != nil {
+		if err := l.openSegmentLocked(recs[0].Seq); err != nil {
 			return err
 		}
 	}
-	r.encode(l.buf[:])
-	if _, err := l.bw.Write(l.buf[:]); err != nil {
+	need := len(recs) * RecordSize
+	if cap(l.batchBuf) < need {
+		l.batchBuf = make([]byte, need)
+	}
+	buf := l.batchBuf[:need]
+	for i := range recs {
+		recs[i].encode(buf[i*RecordSize : (i+1)*RecordSize])
+	}
+	if _, err := l.bw.Write(buf); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	l.curSize += RecordSize
-	if r.Seq > l.curMax {
-		l.curMax = r.Seq
+	for i := range recs {
+		if recs[i].Seq > l.curMax {
+			l.curMax = recs[i].Seq
+		}
 	}
-	metrics.AddCounter("wal.append.records", 1)
-	metrics.AddCounter("wal.append.bytes", RecordSize)
+	l.curSize += int64(need)
+	metrics.AddCounter("wal.append.records", int64(len(recs)))
+	metrics.AddCounter("wal.append.bytes", int64(need))
+	metrics.ObserveHistogram("wal.batch.records", int64(len(recs)))
 
 	switch l.opts.Fsync {
 	case FsyncAlways:
 		if err := l.syncLocked(); err != nil {
 			return err
 		}
+		if len(recs) > 1 {
+			// Group commit: all but the first record rode an fsync that
+			// would each have been their own under per-record append.
+			metrics.AddCounter("wal.sync.coalesced", int64(len(recs)-1))
+		}
 	case FsyncInterval:
 		if time.Since(l.lastSync) >= l.opts.FsyncInterval {
 			if err := l.syncLocked(); err != nil {
 				return err
+			}
+			if len(recs) > 1 {
+				metrics.AddCounter("wal.sync.coalesced", int64(len(recs)-1))
 			}
 		}
 	}
