@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill explore explore-full cover clean
+.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill chaos-drill explore explore-full cover clean
 
 all: build vet test
 
@@ -50,6 +50,19 @@ serve-drill: build
 # state survived and the detector re-fires (docs/SERVING.md).
 recovery-drill: build
 	./scripts/recovery_drill.sh
+
+# Chaos drill: 60 seconds of Poisson catastrophes against a durable
+# daemon, gated on the episode ledger — >=3 completed recoveries, each
+# within 8x the Theorem 1 budget (docs/CHAOS.md). Same gate as CI.
+CHAOS_WAL ?= $(shell mktemp -d)/wal
+chaos-drill:
+	$(GO) build -o /tmp/dynallocd-chaos ./cmd/dynallocd
+	mkdir -p $(CHAOS_WAL)
+	timeout --preserve-status -s INT 60 \
+	  /tmp/dynallocd-chaos -chaos -chaos-rate 2 -drive \
+	  -n 16384 -d 2 -addr "" -max-steps 1000000000 \
+	  -wal-dir $(CHAOS_WAL) -fsync interval -checkpoint-every 2s \
+	  -chaos-min-episodes 3 -chaos-budget-mult 8
 
 # Crash-schedule exploration: simulated power cuts against the
 # durability stack, with one-line repros on failure (docs/TESTING.md).

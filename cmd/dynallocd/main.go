@@ -20,6 +20,15 @@
 //	GET  /state        store + detector + target state (?summary=1: small form)
 //	GET  /healthz      liveness + {"recovered": true|false}
 //
+// Chaos mode (-chaos, see docs/CHAOS.md): a Poisson catastrophe
+// process fires mass-relocating bin overloads — plus WAL sync stalls
+// and injected ENOSPC when -wal-dir is set — while traffic runs; the
+// episode tracker segments the timeline into recovery episodes and
+// publishes MTTR, downtime, and budget-normalized recovery histograms
+// (serve.episodes.*), with the aggregate on /state?summary=1. With
+// -drive, -chaos-min-episodes and -chaos-budget-mult turn the run
+// into a self-checking drill.
+//
 // Durability (-wal-dir DIR, see docs/SERVING.md): every mutation is
 // appended to a write-ahead log, checkpoints are taken at boot, on
 // -checkpoint-every ticks, on POST /checkpoint, and at shutdown; a
@@ -54,6 +63,7 @@ import (
 	"dynalloc/internal/process"
 	"dynalloc/internal/rng"
 	"dynalloc/internal/serve"
+	"dynalloc/internal/vfs"
 	"dynalloc/internal/wal"
 )
 
@@ -88,6 +98,12 @@ func main() {
 		walStall   = flag.Duration("wal-stall-timeout", 0, "drop a mutation's WAL record after waiting this long on a stalled writer (0: block, full backpressure)")
 		walBatch   = flag.Int("wal-max-batch", 0, "max records per group-commit WAL batch (0: default 512)")
 
+		chaos       = flag.Bool("chaos", false, "fire Poisson-timed catastrophes while serving/driving (docs/CHAOS.md)")
+		chaosRate   = flag.Float64("chaos-rate", 0.5, "mean catastrophes per second under -chaos")
+		chaosFaults = flag.String("chaos-faults", "", "comma-separated catastrophe kinds under -chaos: crash,stall,enospc (empty: all available; stall/enospc need -wal-dir)")
+		chaosMinEp  = flag.Int64("chaos-min-episodes", 0, "with -chaos -drive: exit nonzero unless at least this many recovery episodes completed")
+		chaosMult   = flag.Float64("chaos-budget-mult", 8, "with -chaos -drive: exit nonzero when any recovery exceeded this multiple of the Theorem 1 budget (0: no gate)")
+
 		prof = metrics.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -107,6 +123,8 @@ func main() {
 		walDir:        *walDir, ckptEvery: *ckptEvery,
 		fsync: *fsyncPol, fsyncInterval: *fsyncIntvl, walStall: *walStall,
 		walMaxBatch: *walBatch,
+		chaos:       *chaos, chaosRate: *chaosRate, chaosFaults: *chaosFaults,
+		chaosMinEpisodes: *chaosMinEp, chaosBudgetMult: *chaosMult,
 	})
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -143,6 +161,24 @@ type options struct {
 	fsyncInterval time.Duration
 	walStall      time.Duration
 	walMaxBatch   int
+
+	chaos            bool
+	chaosRate        float64
+	chaosFaults      string
+	chaosMinEpisodes int64
+	chaosBudgetMult  float64
+}
+
+// parseChaosFaults splits the -chaos-faults list; empty means "all
+// available" (the injector decides from what seams exist).
+func parseChaosFaults(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.ToLower(strings.TrimSpace(f)); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func run(opt options) int {
@@ -186,6 +222,7 @@ func run(opt options) int {
 	// seeded (or freshly compacted) state durable before traffic starts;
 	// without it a fresh boot's balls would exist nowhere on disk.
 	var j *serve.Journal
+	var faultFS *vfs.FaultFS // chaos mode's disk-fault seam on the WAL dir
 	if opt.walDir != "" {
 		fp, err := wal.ParseFsyncPolicy(opt.fsync)
 		if err != nil {
@@ -201,7 +238,15 @@ func run(opt options) int {
 		} else {
 			st.FillBalanced(opt.m)
 		}
-		log, err := wal.Open(wal.Options{Dir: opt.walDir, Fsync: fp, FsyncInterval: opt.fsyncInterval})
+		walOpts := wal.Options{Dir: opt.walDir, Fsync: fp, FsyncInterval: opt.fsyncInterval}
+		if opt.chaos {
+			// The WAL (and the checkpoint writer, which shares the log's
+			// FS) runs behind the fault seam so the injector can arm
+			// stalls and ENOSPC against a live daemon.
+			faultFS = vfs.NewFaultFS(vfs.OS)
+			walOpts.FS = faultFS
+		}
+		log, err := wal.Open(walOpts)
 		if err != nil {
 			return fail(err)
 		}
@@ -227,6 +272,7 @@ func run(opt options) int {
 		return fail(err)
 	}
 	det := serve.NewDetector(st, target)
+	det.AttachEpisodes(serve.NewEpisodeTracker(target.BudgetSteps))
 
 	fmt.Printf("dynallocd: n=%d m=%d rule=%s scenario=%s workers=%d shards=%d seed=%d\n",
 		opt.n, opt.m, pol.Name(), sc, opt.workers, st.Shards(), opt.seed)
@@ -264,6 +310,30 @@ func run(opt options) int {
 		}()
 	}
 
+	var chaosWG sync.WaitGroup
+	if opt.chaos {
+		inj, err := serve.NewChaosInjector(serve.ChaosConfig{
+			Store: st, Detector: det,
+			Rate: opt.chaosRate, Seed: opt.seed,
+			Faults:  parseChaosFaults(opt.chaosFaults),
+			FaultFS: faultFS,
+			OnFault: func(kind string) { fmt.Printf("dynallocd: chaos: %s catastrophe\n", kind) },
+		})
+		if err != nil {
+			if j != nil {
+				j.Close()
+			}
+			return fail(err)
+		}
+		fmt.Printf("dynallocd: chaos on: rate=%g/s faults=%s\n",
+			opt.chaosRate, strings.Join(inj.Kinds(), ","))
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			inj.Run(ctx)
+		}()
+	}
+
 	code := 0
 	if opt.drive {
 		code = runDrive(ctx, st, det, pol, sc, opt, target)
@@ -284,25 +354,40 @@ func run(opt options) int {
 		}
 	}
 
+	// Stop the injector before the final checkpoint: its shutdown path
+	// clears any armed disk fault, so the checkpoint lands on a healthy
+	// filesystem.
+	cancel()
+	chaosWG.Wait()
+
 	// Traffic has quiesced (HTTP shut down, drive finished): take the
 	// final checkpoint and close the WAL so a clean shutdown restarts
 	// from the checkpoint alone.
 	if j != nil {
-		cancel()
 		ckptWG.Wait()
+		finalCkptOK := false
 		if snap, _, err := j.Checkpoint(); err != nil {
 			fmt.Fprintln(os.Stderr, "dynallocd: final checkpoint:", err)
 			if code == 0 {
 				code = 1
 			}
 		} else {
+			finalCkptOK = true
 			fmt.Printf("dynallocd: final checkpoint at seq %d (%d balls)\n", snap.Seq, st.Total())
 		}
 		warnMaint(j, "final checkpoint")
 		if err := j.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dynallocd: wal close:", err)
-			if code == 0 {
-				code = 1
+			// Close resurfaces the journal's first append error. Under
+			// chaos that is the injected disk fault doing its job; once
+			// the final checkpoint has durably captured the full state,
+			// the dropped WAL records are covered and the run is sound.
+			if opt.chaos && finalCkptOK {
+				fmt.Fprintf(os.Stderr, "dynallocd: wal close: %v (chaos-injected; the final checkpoint covers it)\n", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "dynallocd: wal close:", err)
+				if code == 0 {
+					code = 1
+				}
 			}
 		}
 	}
@@ -334,9 +419,15 @@ func runDrive(ctx context.Context, st *serve.Store, det *serve.Detector, pol ser
 		Store: st, Policy: pol, Scenario: sc,
 		Workers: opt.workers, Seed: opt.seed, Rate: opt.rate,
 		MaxSteps: maxSteps, Detector: det, CheckEvery: opt.checkEvery,
-		StopOnRecovery: true,
+		// Under chaos the drive is the traffic the store self-stabilizes
+		// through: it must keep running across every episode, not stop
+		// at the first recovery.
+		StopOnRecovery: !opt.chaos,
 	})
 	res := eng.Run(ctx)
+	if opt.chaos {
+		return reportChaos(det, target, opt, res)
+	}
 	if !res.Recovered {
 		fmt.Printf("dynallocd: NOT recovered after %d steps (budget %.0f) in %v\n",
 			res.Steps, target.BudgetSteps, res.Wall.Round(time.Millisecond))
@@ -349,6 +440,33 @@ func runDrive(ctx context.Context, st *serve.Store, det *serve.Detector, pol ser
 	fmt.Printf("dynallocd: max load %d (target %d), gap %d, delta to balanced %d\n",
 		s.MaxLoad, s.TargetMax, s.Gap, s.DeltaTypical)
 	return 0
+}
+
+// reportChaos summarizes a chaos drive's recovery episodes and applies
+// the -chaos-min-episodes / -chaos-budget-mult gates — the acceptance
+// bar the chaos-drill CI job exercises.
+func reportChaos(det *serve.Detector, target serve.Target, opt options, res serve.Result) int {
+	det.Check() // close an episode the last in-drive check may have missed
+	sum := det.Episodes().Summary()
+	fmt.Printf("dynallocd: chaos drive done: %d steps in %v\n", res.Steps, res.Wall.Round(time.Millisecond))
+	fmt.Printf("dynallocd: episodes: %d completed, %d faults (%d merged), open=%v\n",
+		sum.Completed, sum.Faults, sum.MergedFaults, sum.Open)
+	if sum.Completed > 0 {
+		fmt.Printf("dynallocd: MTTR %v (%.0f steps), total downtime %v, worst recovery %.2fx the %.0f-step budget\n",
+			sum.MTTR.Round(time.Microsecond), sum.MTTRSteps,
+			sum.TotalDowntime.Round(time.Microsecond), sum.WorstBudgetRatio, target.BudgetSteps)
+	}
+	code := 0
+	if opt.chaosMinEpisodes > 0 && sum.Completed < opt.chaosMinEpisodes {
+		fmt.Printf("dynallocd: FAIL: %d completed episodes < required %d\n", sum.Completed, opt.chaosMinEpisodes)
+		code = 1
+	}
+	if opt.chaosBudgetMult > 0 && sum.WorstBudgetRatio > opt.chaosBudgetMult {
+		fmt.Printf("dynallocd: FAIL: worst recovery %.2fx budget exceeds the %gx gate\n",
+			sum.WorstBudgetRatio, opt.chaosBudgetMult)
+		code = 1
+	}
+	return code
 }
 
 // server is the HTTP face of the store: admissions, frees, fault
@@ -566,14 +684,19 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 	}
 	status := s.det.Check()
 	if r.URL.Query().Get("summary") != "" {
-		// The cheap polling form: no load vector, no episode history.
-		writeJSON(w, http.StatusOK, map[string]any{
+		// The cheap polling form: no load vector — but with the episode
+		// aggregate, which is how the chaos drills watch MTTR accrue.
+		out := map[string]any{
 			"n":         s.st.N(),
 			"m":         s.st.Total(),
 			"max_load":  status.MaxLoad,
 			"gap":       status.Gap,
 			"recovered": status.Recovered,
-		})
+		}
+		if tr := s.det.Episodes(); tr != nil {
+			out["episodes"] = tr.Summary()
+		}
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	ep, episodes := s.det.LastEpisode()
@@ -592,6 +715,9 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 		"episodes":     episodes,
 		"last_episode": ep,
 		"loads":        s.st.LoadsCopy(),
+	}
+	if tr := s.det.Episodes(); tr != nil {
+		state["episode_summary"] = tr.Summary()
 	}
 	if s.j != nil {
 		state["wal_last_seq"] = s.j.LastSeq()

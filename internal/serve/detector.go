@@ -113,6 +113,7 @@ type Detector struct {
 	lastEpisode Episode
 	episodes    int64
 	checks      int64
+	tracker     *EpisodeTracker // optional; see AttachEpisodes
 }
 
 // NewDetector returns a detector for st with the given target. The
@@ -152,17 +153,55 @@ func (d *Detector) LastEpisode() (Episode, int64) {
 	return d.lastEpisode, d.episodes
 }
 
+// AttachEpisodes connects an EpisodeTracker to the detector: every
+// NoteFault/MarkDisrupted call and every drift-opened outage is
+// reported to the tracker as a fault, and every recovery closes the
+// tracker's open episode. If the detector is currently disrupted
+// (which includes a freshly constructed detector — the store starts
+// atypical), the tracker opens a "startup" episode stamped at the
+// outage's origin, so boot-time recovery is the first episode.
+func (d *Detector) AttachEpisodes(tr *EpisodeTracker) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracker = tr
+	if tr != nil && !d.recovered {
+		tr.noteFault("startup", d.disruptedAt, d.disruptedTS)
+	}
+}
+
+// Episodes returns the attached tracker, or nil.
+func (d *Detector) Episodes() *EpisodeTracker {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tracker
+}
+
 // MarkDisrupted forces the detector into the not-recovered state,
 // stamping the outage at the store's current step clock. Call it right
 // after a fault injection (Store.Crash) so the following recovery is
-// measured from the injection, not from the next Check.
-func (d *Detector) MarkDisrupted() {
+// measured from the injection, not from the next Check. It is
+// NoteFault with the kind "manual".
+func (d *Detector) MarkDisrupted() { d.NoteFault("manual") }
+
+// NoteFault records a fault of the given kind (the chaos injector
+// passes its catastrophe names; /crash passes "manual"). If the store
+// is currently recovered this opens a new outage at the store's
+// current step clock. If it is already disrupted the fault MERGES into
+// the ongoing outage: the origin stamp is kept, so the eventual
+// episode is measured from the first fault — overlapping faults are
+// one episode, the self-stabilization unit of account.
+func (d *Detector) NoteFault(kind string) {
 	now := time.Now()
 	steps := d.store.Allocs()
 	d.mu.Lock()
-	d.recovered = false
-	d.disruptedAt = steps
-	d.disruptedTS = now
+	if d.recovered {
+		d.recovered = false
+		d.disruptedAt = steps
+		d.disruptedTS = now
+	}
+	if d.tracker != nil {
+		d.tracker.noteFault(kind, steps, now)
+	}
 	d.mu.Unlock()
 	metrics.SetGauge("serve.recovered", 0)
 }
@@ -207,12 +246,18 @@ func (d *Detector) Check() Status {
 		d.recovered = true
 		metrics.ObserveHistogram("serve.recovery.steps", ep.Steps)
 		metrics.ObserveHistogram("serve.recovery.wall_ns", ep.Wall.Nanoseconds())
+		if d.tracker != nil {
+			d.tracker.noteRecovered(steps, now)
+		}
 	case d.recovered && !s.Recovered:
 		// The store drifted (or was crashed) out of the typical band
 		// between checks: open a new outage at this observation.
 		d.recovered = false
 		d.disruptedAt = steps
 		d.disruptedTS = now
+		if d.tracker != nil {
+			d.tracker.noteFault("drift", steps, now)
+		}
 	}
 	d.last = s
 	d.haveLast = true

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"dynalloc/internal/metrics"
+)
+
+// Synthetic-timeline tests: the tracker is driven directly through its
+// noteFault/noteRecovered seam with explicit clocks, so every duration
+// and step count below is exact arithmetic, not wall-clock luck.
+
+func TestEpisodeTrackerMergesOverlappingFaults(t *testing.T) {
+	base := time.Now()
+	tr := NewEpisodeTracker(1000)
+
+	tr.noteFault("crash", 100, base)
+	tr.noteFault("stall", 150, base.Add(10*time.Millisecond))
+	tr.noteFault("crash", 180, base.Add(20*time.Millisecond))
+	tr.noteRecovered(400, base.Add(50*time.Millisecond))
+
+	s := tr.Summary()
+	if s.Completed != 1 {
+		t.Fatalf("three overlapping faults made %d episodes, want 1 (merge semantics)", s.Completed)
+	}
+	if s.Faults != 3 || s.MergedFaults != 2 {
+		t.Fatalf("faults=%d merged=%d, want 3/2", s.Faults, s.MergedFaults)
+	}
+	if s.Open {
+		t.Fatal("episode still open after recovery")
+	}
+	ep := s.Last
+	if ep == nil {
+		t.Fatal("no last episode")
+	}
+	// Measured from the FIRST fault: 400-100 steps, 50ms wall — not
+	// from the last fault's stamps.
+	if ep.Steps != 300 || ep.Wall != 50*time.Millisecond {
+		t.Fatalf("episode measured %d steps / %v, want 300 / 50ms (from the first fault)", ep.Steps, ep.Wall)
+	}
+	if ep.Kind != "crash" || ep.Faults != 3 {
+		t.Fatalf("episode kind=%q faults=%d, want crash/3", ep.Kind, ep.Faults)
+	}
+	if ep.BudgetRatio != 0.3 {
+		t.Fatalf("budget ratio = %g, want 0.3 (300 steps / 1000 budget)", ep.BudgetRatio)
+	}
+	if s.FaultsByKind["crash"] != 2 || s.FaultsByKind["stall"] != 1 {
+		t.Fatalf("faults by kind: %v", s.FaultsByKind)
+	}
+
+	// A recovery with nothing open is ignored, not a second episode.
+	tr.noteRecovered(500, base.Add(60*time.Millisecond))
+	if got := tr.Completed(); got != 1 {
+		t.Fatalf("spurious recovery closed an episode: completed=%d", got)
+	}
+}
+
+func TestEpisodeTrackerMTTRArithmetic(t *testing.T) {
+	base := time.Now()
+	tr := NewEpisodeTracker(1000)
+
+	// Three disjoint episodes: (100 steps, 10ms), (300, 30ms), (200, 20ms).
+	timeline := []struct {
+		steps int64
+		wall  time.Duration
+	}{{100, 10 * time.Millisecond}, {300, 30 * time.Millisecond}, {200, 20 * time.Millisecond}}
+	var clockSteps int64
+	clock := base
+	for _, ep := range timeline {
+		tr.noteFault("crash", clockSteps, clock)
+		clockSteps += ep.steps
+		clock = clock.Add(ep.wall)
+		tr.noteRecovered(clockSteps, clock)
+		clockSteps += 1000 // healthy gap between episodes
+		clock = clock.Add(time.Second)
+	}
+
+	s := tr.Summary()
+	if s.Completed != 3 || s.Faults != 3 || s.MergedFaults != 0 {
+		t.Fatalf("completed=%d faults=%d merged=%d, want 3/3/0", s.Completed, s.Faults, s.MergedFaults)
+	}
+	if s.TotalDownSteps != 600 || s.TotalDowntime != 60*time.Millisecond {
+		t.Fatalf("total downtime %d steps / %v, want 600 / 60ms", s.TotalDownSteps, s.TotalDowntime)
+	}
+	if s.MTTRSteps != 200 || s.MTTR != 20*time.Millisecond {
+		t.Fatalf("MTTR %g steps / %v, want 200 / 20ms", s.MTTRSteps, s.MTTR)
+	}
+	if s.MaxSteps != 300 || s.MaxWall != 30*time.Millisecond {
+		t.Fatalf("max %d steps / %v, want 300 / 30ms", s.MaxSteps, s.MaxWall)
+	}
+	if s.WorstBudgetRatio != 0.3 {
+		t.Fatalf("worst budget ratio %g, want 0.3", s.WorstBudgetRatio)
+	}
+
+	// An open episode shows up in the summary without touching the
+	// completed aggregates.
+	tr.noteFault("enospc", clockSteps, clock)
+	s = tr.Summary()
+	if !s.Open || s.OpenKind != "enospc" || s.OpenFaults != 1 {
+		t.Fatalf("open episode not reported: %+v", s)
+	}
+	if s.Completed != 3 || s.MTTRSteps != 200 {
+		t.Fatalf("open episode leaked into completed aggregates: %+v", s)
+	}
+}
+
+// TestDetectorDrivesEpisodeTracker covers the integration seam: the
+// detector reports startup, manual faults and drift to an attached
+// tracker, closes episodes on recovery, and merges faults that land
+// mid-outage.
+func TestDetectorDrivesEpisodeTracker(t *testing.T) {
+	metrics.Reset()
+	metrics.Enable()
+	defer func() {
+		metrics.Disable()
+		metrics.Reset()
+	}()
+
+	st := NewStore(8)
+	st.FillBalanced(16) // 2 per bin
+	det := NewDetector(st, Target{PredictedMax: 2, Slack: 1, BudgetSteps: 100})
+	tr := NewEpisodeTracker(100)
+	det.AttachEpisodes(tr)
+
+	// The detector starts disrupted, so attaching opens the startup
+	// episode; the first Check observes a typical state and closes it.
+	if s := tr.Summary(); !s.Open || s.OpenKind != "startup" {
+		t.Fatalf("attach did not open the startup episode: %+v", s)
+	}
+	if s := det.Check(); !s.Recovered {
+		t.Fatalf("balanced store not recovered: %+v", s)
+	}
+	if got := tr.Completed(); got != 1 {
+		t.Fatalf("startup episode not closed: completed=%d", got)
+	}
+
+	// A crash opens episode 2; a second fault mid-outage merges.
+	st.Crash(3, 10)
+	det.NoteFault(ChaosCrash)
+	if s := det.Check(); s.Recovered {
+		t.Fatalf("crashed store recovered early: %+v", s)
+	}
+	st.Crash(5, 4)
+	det.NoteFault(ChaosStall) // overlapping fault: same episode
+	sum := tr.Summary()
+	if sum.Completed != 1 || !sum.Open || sum.OpenFaults != 2 || sum.MergedFaults != 1 {
+		t.Fatalf("overlapping faults not merged: %+v", sum)
+	}
+
+	// Drain both crashed bins; recovery closes episode 2.
+	for i := 0; i < 10; i++ {
+		st.FreeBin(3)
+	}
+	for i := 0; i < 4; i++ {
+		st.FreeBin(5)
+	}
+	if s := det.Check(); !s.Recovered {
+		t.Fatalf("drained store not recovered: %+v", s)
+	}
+	sum = tr.Summary()
+	if sum.Completed != 2 || sum.Open {
+		t.Fatalf("crash episode not closed: %+v", sum)
+	}
+	if sum.Last.Kind != ChaosCrash || sum.Last.Faults != 2 {
+		t.Fatalf("episode 2 attribution: %+v", sum.Last)
+	}
+	if sum.FaultsByKind["startup"] != 1 || sum.FaultsByKind[ChaosCrash] != 1 || sum.FaultsByKind[ChaosStall] != 1 {
+		t.Fatalf("faults by kind: %v", sum.FaultsByKind)
+	}
+
+	// A drift out of the typical band (no explicit fault call) is
+	// reported to the tracker as kind "drift".
+	st.Crash(1, 10)
+	if s := det.Check(); s.Recovered {
+		t.Fatalf("drifted store still recovered: %+v", s)
+	}
+	sum = tr.Summary()
+	if !sum.Open || sum.OpenKind != "drift" {
+		t.Fatalf("drift did not open a drift episode: %+v", sum)
+	}
+	for i := 0; i < 10; i++ {
+		st.FreeBin(1)
+	}
+	det.Check()
+	if got := tr.Completed(); got != 3 {
+		t.Fatalf("drift episode not closed: completed=%d", got)
+	}
+
+	snap := metrics.Default().Snapshot()
+	if got := snap.Counters["serve.episodes.completed"]; got != 3 {
+		t.Fatalf("serve.episodes.completed = %d, want 3", got)
+	}
+	if got := snap.Counters["serve.episodes.faults"]; got != 4 {
+		t.Fatalf("serve.episodes.faults = %d, want 4", got)
+	}
+	if got := snap.Counters["serve.episodes.merged_faults"]; got != 1 {
+		t.Fatalf("serve.episodes.merged_faults = %d, want 1", got)
+	}
+	if h, ok := snap.Histograms["serve.episodes.steps"]; !ok || h.Count != 3 {
+		t.Fatalf("serve.episodes.steps histogram: %+v (ok=%v)", h, ok)
+	}
+	if h, ok := snap.Histograms["serve.episodes.budget_pct"]; !ok || h.Count != 3 {
+		t.Fatalf("serve.episodes.budget_pct histogram: %+v (ok=%v)", h, ok)
+	}
+	if g := snap.Gauges["serve.episodes.open"]; g != 0 {
+		t.Fatalf("serve.episodes.open gauge = %g, want 0", g)
+	}
+	if g := snap.Gauges["serve.episodes.mttr_ns"]; g <= 0 {
+		t.Fatalf("serve.episodes.mttr_ns gauge = %g, want > 0", g)
+	}
+}

@@ -473,6 +473,7 @@ type RestoreResult struct {
 	SkippedFrees   int64  // replayed frees that hit an already-empty bin
 	Torn           bool   // replay stopped at a torn/corrupted record
 	LastSeq        uint64 // seq the rebuilt state is consistent with
+	StaleRemoved   int    // unreachable post-gap segments pruned (see wal.RemoveStaleFS)
 }
 
 // Restore rebuilds st from the durability directory: load the newest
@@ -528,6 +529,18 @@ func RestoreFS(st *Store, fsys vfs.FS, dir string) (RestoreResult, error) {
 	}
 	metrics.AddCounter("wal.replay.records", stats.Applied)
 	metrics.AddCounter("wal.replay.skipped_frees", res.SkippedFrees)
+
+	// Replay may have stopped short of the on-disk max at a seq gap (an
+	// aborted append dropped a record; everything past it was never
+	// acknowledged durable). The unreachable suffix must go NOW, before
+	// the journal reopens: new records reuse seqs from LastSeq+1, and a
+	// stale segment left behind would overlap the new history and feed a
+	// future replay records from the dead timeline.
+	removed, err := wal.RemoveStaleFS(fsys, dir, res.LastSeq)
+	res.StaleRemoved = removed
+	if err != nil {
+		return res, fmt.Errorf("serve: restore: %w", err)
+	}
 	return res, nil
 }
 

@@ -27,6 +27,16 @@
 // batch replay as a clean contiguous prefix of the acknowledged
 // history.
 //
+// Chaos schedules (Config.ChaosFaults > 0, see DefaultChaos) further
+// arm transient write-path faults at random points DURING traffic:
+// appends, fsyncs, segment creation and checkpoint renames fail while
+// mutations keep flowing, as on a degraded disk. The WAL aborts wedged
+// segments and heals onto fresh ones, dropped records open seq gaps in
+// the on-disk stream, and the invariant sharpens correspondingly: the
+// durable watermark freezes at the first journal error, and the
+// restore must stop at the gap (or at a checkpoint that healed it)
+// rather than replay records on top of missing mutations.
+//
 // Everything is deterministic per (Seed, schedule): the driver is
 // single-threaded, the journal is quiesced with Journal.Drain at every
 // burst boundary (every operation in the per-record configuration) —
@@ -83,6 +93,20 @@ type Config struct {
 	// 5, deliberately not dividing the default burst so chunk sizes
 	// vary within one burst).
 	MaxBatch int
+
+	// ChaosFaults, when > 0, arms that many transient write-path faults
+	// per round at pseudo-random points DURING traffic (see
+	// DefaultChaos): creates, writes, fsyncs and renames fail as on a
+	// degraded disk while mutations keep flowing, on top of the armed
+	// power cut. Faults are restricted to write-path operation kinds so
+	// a leftover armed fault can never fire inside restore's read-only
+	// pass; simfs drops unfired faults at the power cut. The invariant
+	// is unchanged: an acknowledgement the journal reported durable
+	// before the first fault must survive, and the restored state must
+	// still be an exact prefix of the acknowledged history — the WAL
+	// heals onto fresh segments and replay must refuse to skip the gap
+	// the dropped records leave behind.
+	ChaosFaults int
 }
 
 // Default returns the configuration the test suite runs: 3 rounds of
@@ -112,6 +136,30 @@ func DefaultBatched() Config {
 	c.Burst = 12
 	c.MaxBatch = 5
 	c.CheckpointEvery = 24 // a multiple of Burst: checkpoints fire at drained boundaries
+	return c
+}
+
+// chaosOps is the fault menu for chaos schedules: every kind on the
+// durability write path (WAL appends and fsyncs, segment and
+// checkpoint creation, checkpoint rename), and nothing on the restore
+// read path — so an armed fault that outlives its round cannot turn a
+// read-only restore into a false violation.
+var chaosOps = []simfs.OpKind{
+	simfs.OpWrite, simfs.OpSync, simfs.OpCreate, simfs.OpCreateTemp, simfs.OpRename,
+}
+
+// DefaultChaos returns the continuous-chaos sweep the test suite runs
+// alongside Default and DefaultBatched: the same traffic and power
+// cuts, plus 3 transient write-path faults armed per round at random
+// points mid-traffic. This is the explorer-side analogue of serve's
+// ChaosInjector disk faults (stall/ENOSPC), compressed to simulation
+// time: the journal keeps accepting mutations while appends fail, the
+// WAL aborts wedged segments and heals, and every restore must stop at
+// the seq gap the dropped records opened (or at the checkpoint that
+// healed it).
+func DefaultChaos() Config {
+	c := Default()
+	c.ChaosFaults = 3
 	return c
 }
 
@@ -152,17 +200,21 @@ type Violation struct {
 	Round    int    // crash/restore cycle the failure surfaced in
 	Burst    int    // Config.Burst the schedule ran with (0/1 = per-record)
 	MaxBatch int    // Config.MaxBatch in burst mode
+	Chaos    int    // Config.ChaosFaults the schedule ran with (0 = none)
 	Msg      string // what broke
 }
 
 // Error implements error.
 func (v *Violation) Error() string {
+	var mode string
 	if v.Burst > 1 {
-		return fmt.Sprintf("durability violation at seed=%d schedule=%d round=%d burst=%d maxbatch=%d: %s",
-			v.Seed, v.Schedule, v.Round, v.Burst, v.MaxBatch, v.Msg)
+		mode = fmt.Sprintf(" burst=%d maxbatch=%d", v.Burst, v.MaxBatch)
 	}
-	return fmt.Sprintf("durability violation at seed=%d schedule=%d round=%d: %s",
-		v.Seed, v.Schedule, v.Round, v.Msg)
+	if v.Chaos > 0 {
+		mode += fmt.Sprintf(" chaos=%d", v.Chaos)
+	}
+	return fmt.Sprintf("durability violation at seed=%d schedule=%d round=%d%s: %s",
+		v.Seed, v.Schedule, v.Round, mode, v.Msg)
 }
 
 // Repro returns a one-line shell repro for this violation.
@@ -172,18 +224,23 @@ func (v *Violation) Repro() string {
 	if v.Burst > 1 {
 		repro += fmt.Sprintf(" -explore.burst=%d -explore.maxbatch=%d", v.Burst, v.MaxBatch)
 	}
+	if v.Chaos > 0 {
+		repro += fmt.Sprintf(" -explore.chaos=%d", v.Chaos)
+	}
 	return repro
 }
 
 // Stats aggregates what an exploration exercised; all fields are
 // deterministic functions of the Config.
 type Stats struct {
-	StoreOps    int64 // store mutations driven (acknowledged or not)
-	FSOps       int64 // simulated filesystem operations consumed
-	Restores    int   // restore passes executed
-	Checkpoints int   // checkpoints that completed successfully
-	MidOpCuts   int   // rounds whose armed crash point fired during traffic
-	TornCuts    int   // power cuts that left at least one torn tail
+	StoreOps       int64 // store mutations driven (acknowledged or not)
+	FSOps          int64 // simulated filesystem operations consumed
+	Restores       int   // restore passes executed
+	Checkpoints    int   // checkpoints that completed successfully
+	MidOpCuts      int   // rounds whose armed crash point fired during traffic
+	TornCuts       int   // power cuts that left at least one torn tail
+	FaultsArmed    int64 // chaos faults armed (ChaosFaults per round)
+	DegradedRounds int   // rounds where a chaos fault wedged the journal before the cut
 }
 
 func (s *Stats) add(o Stats) {
@@ -193,6 +250,8 @@ func (s *Stats) add(o Stats) {
 	s.Checkpoints += o.Checkpoints
 	s.MidOpCuts += o.MidOpCuts
 	s.TornCuts += o.TornCuts
+	s.FaultsArmed += o.FaultsArmed
+	s.DegradedRounds += o.DegradedRounds
 }
 
 // Result is what Explore found.
@@ -259,6 +318,7 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 			Round:    round,
 			Burst:    cfg.Burst,
 			MaxBatch: cfg.MaxBatch,
+			Chaos:    cfg.ChaosFaults,
 			Msg:      fmt.Sprintf(format, args...),
 		}, stats
 	}
@@ -324,6 +384,17 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 		}
 		fs.CrashAfterOps(1 + r.Intn(span))
 
+		// Chaos schedules additionally arm transient write-path faults at
+		// random points inside the round: the disk degrades while traffic
+		// keeps flowing. The durable watermark stops advancing at the
+		// first journal error (the fault un-acknowledges everything
+		// after it), and simfs drops whatever never fired at the cut.
+		for f := 0; f < cfg.ChaosFaults; f++ {
+			fs.FailOp(chaosOps[r.Intn(len(chaosOps))], 1+r.Intn(cfg.OpsPerRound), nil)
+			stats.FaultsArmed++
+		}
+		degraded := false
+
 		for i := 0; i < cfg.OpsPerRound && !fs.Crashed(); i++ {
 			driveOne(r, st, &ref)
 			stats.StoreOps++
@@ -333,6 +404,9 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 			j.Drain()
 			if !fs.Crashed() && j.Err() == nil {
 				durable = j.LastSeq()
+			}
+			if !fs.Crashed() && j.Err() != nil {
+				degraded = true // a chaos fault, not the cut, wedged an ack
 			}
 			if cfg.CheckpointEvery > 0 && (i+1)%cfg.CheckpointEvery == 0 && !fs.Crashed() {
 				// A cut can land anywhere inside the checkpoint write or
@@ -347,6 +421,9 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 			stats.MidOpCuts++
 		} else {
 			fs.CrashNow()
+		}
+		if degraded {
+			stats.DegradedRounds++
 		}
 		j.Close() // fails fast against the crashed FS; errors expected
 
@@ -377,7 +454,8 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 			return fail(round, "replay skipped %d frees of empty bins; impossible against our own log", res.SkippedFrees)
 		}
 		if msg := diffAgainstRef(st, ref[:res.LastSeq], cfg); msg != "" {
-			return fail(round, "restored state diverges from the acknowledged history at seq %d: %s", res.LastSeq, msg)
+			return fail(round, "restored state diverges from the acknowledged history at seq %d (ckpt seq %d, replayed %d, torn %v): %s",
+				res.LastSeq, res.CheckpointSeq, res.Replayed, res.Torn, msg)
 		}
 
 		// The tail of ref past the restored seq died with the cut

@@ -19,7 +19,24 @@ var (
 	exploreSchedule = flag.Int("explore.schedule", -1, "schedule index for TestReplaySchedule (-1 skips)")
 	exploreBurst    = flag.Int("explore.burst", 0, "burst size for TestReplaySchedule (0/1 replays per-record)")
 	exploreMaxBatch = flag.Int("explore.maxbatch", 0, "journal batch ceiling for TestReplaySchedule burst mode")
+	exploreChaos    = flag.Int("explore.chaos", 0, "chaos faults per round for TestReplaySchedule (0 = none)")
+
+	// exploreSchedules overrides the sweep width of every TestExplore*
+	// sweep; the nightly soak passes -explore.schedules=10000.
+	exploreSchedules = flag.Int("explore.schedules", 0, "schedules per sweep (0 = suite default: 500 short, 2000 full)")
 )
+
+// sweepSchedules resolves the sweep width: the -explore.schedules flag
+// wins, then the full-suite default, then the config's own (short) one.
+func sweepSchedules(short int) int {
+	if *exploreSchedules > 0 {
+		return *exploreSchedules
+	}
+	if !testing.Short() {
+		return 2000
+	}
+	return short
+}
 
 // writeReproArtifact drops the repro lines where CI can pick them up as
 // an artifact (EXPLORE_REPRO_FILE, set by the workflow).
@@ -41,9 +58,7 @@ func writeReproArtifact(t *testing.T, res explore.Result) {
 func TestExplore(t *testing.T) {
 	cfg := explore.Default()
 	cfg.Seed = *exploreSeed
-	if !testing.Short() {
-		cfg.Schedules = 2000
-	}
+	cfg.Schedules = sweepSchedules(cfg.Schedules)
 
 	start := time.Now()
 	res := explore.Explore(cfg)
@@ -88,9 +103,7 @@ func TestExplore(t *testing.T) {
 func TestExploreBatched(t *testing.T) {
 	cfg := explore.DefaultBatched()
 	cfg.Seed = *exploreSeed
-	if !testing.Short() {
-		cfg.Schedules = 2000
-	}
+	cfg.Schedules = sweepSchedules(cfg.Schedules)
 
 	start := time.Now()
 	res := explore.Explore(cfg)
@@ -125,6 +138,103 @@ func TestExploreBatched(t *testing.T) {
 	}
 }
 
+// TestExploreChaos sweeps the continuous-chaos configuration: on top
+// of the armed power cut, every round arms transient write-path faults
+// mid-traffic, so appends, fsyncs, rotations and checkpoints fail
+// while mutations keep flowing. This is the explorer-side analogue of
+// the serve.ChaosInjector disk faults, compressed to simulation time;
+// the WAL must abort and heal, and every restore must refuse to replay
+// across the seq gaps the dropped records leave.
+func TestExploreChaos(t *testing.T) {
+	cfg := explore.DefaultChaos()
+	cfg.Seed = *exploreSeed
+	cfg.Schedules = sweepSchedules(cfg.Schedules)
+
+	start := time.Now()
+	res := explore.Explore(cfg)
+	elapsed := time.Since(start)
+	t.Logf("explored %d chaos schedules in %v: %+v", res.Schedules, elapsed, res.Stats)
+
+	if res.Schedules != cfg.Schedules {
+		t.Errorf("ran %d schedules, want %d", res.Schedules, cfg.Schedules)
+	}
+	if want := cfg.Schedules * cfg.Rounds; res.Stats.Restores != want {
+		t.Errorf("restores = %d, want %d", res.Stats.Restores, want)
+	}
+	// Every round arms exactly ChaosFaults faults, and the write-heavy
+	// fault menu must actually bite: a sweep where the journal never
+	// degrades before the cut is exploring the same space as TestExplore
+	// and calling it chaos.
+	if want := int64(cfg.Schedules * cfg.Rounds * cfg.ChaosFaults); res.Stats.FaultsArmed != want {
+		t.Errorf("faults armed = %d, want %d", res.Stats.FaultsArmed, want)
+	}
+	if res.Stats.DegradedRounds < cfg.Schedules {
+		t.Errorf("only %d/%d rounds degraded; chaos faults are not biting the journal",
+			res.Stats.DegradedRounds, cfg.Schedules*cfg.Rounds)
+	}
+	if res.Stats.MidOpCuts < cfg.Schedules/4 {
+		t.Errorf("only %d/%d rounds cut mid-traffic; crash points are not landing", res.Stats.MidOpCuts, cfg.Schedules*cfg.Rounds)
+	}
+
+	if res.Failed() {
+		writeReproArtifact(t, res)
+		t.Fatalf("durability violations:\n%s", res.Report())
+	}
+	if testing.Short() && elapsed > 30*time.Second {
+		t.Fatalf("short chaos sweep took %v, budget 30s", elapsed)
+	}
+}
+
+// TestExploreChaosDeterministic: chaos fault points are drawn from the
+// schedule stream, so chaos sweeps must replay bit-identically too —
+// the property every -explore.chaos repro line depends on.
+func TestExploreChaosDeterministic(t *testing.T) {
+	cfg := explore.DefaultChaos()
+	cfg.Schedules = 40
+	a := explore.Explore(cfg)
+	b := explore.Explore(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical chaos explorations diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Failed() {
+		t.Fatalf("chaos determinism sweep hit violations:\n%s", a.Report())
+	}
+}
+
+// TestExploreChaosFindsGapSkipBug is the chaos sweep's mutation
+// self-check: reinstate the historical "continuity check only after
+// torn segments" replay defect and demand the chaos sweep rediscover
+// it. Only chaos schedules can: the defect needs a CLEANLY-ended
+// segment followed by a seq gap — the exact shape an aborted segment
+// leaves when a failed append's bytes never reached the disk — and
+// only injected write faults manufacture that shape.
+func TestExploreChaosFindsGapSkipBug(t *testing.T) {
+	wal.SetLegacyGapSkipForTest(true)
+	defer wal.SetLegacyGapSkipForTest(false)
+
+	cfg := explore.DefaultChaos()
+	cfg.Schedules = 200
+	cfg.MaxViolations = 1
+	res := explore.Explore(cfg)
+	if !res.Failed() {
+		t.Fatalf("chaos explorer missed the reintroduced gap-skip bug in %d schedules", cfg.Schedules)
+	}
+	v := res.Violations[0]
+	t.Logf("rediscovered after %d chaos schedules: %v", res.Schedules, &v)
+
+	// The repro must replay to the same violation while the bug is in...
+	rv := explore.RunSchedule(cfg, v.Schedule)
+	if rv == nil || rv.Round != v.Round || rv.Msg != v.Msg {
+		t.Fatalf("repro did not replay: got %v, want %v", rv, &v)
+	}
+
+	// ...and the very same schedule must pass once the fix is back.
+	wal.SetLegacyGapSkipForTest(false)
+	if v2 := explore.RunSchedule(cfg, v.Schedule); v2 != nil {
+		t.Fatalf("schedule %d fails even without the mutation: %v", v.Schedule, v2)
+	}
+}
+
 // TestExploreBatchedDeterministic: batch boundaries must be a pure
 // function of the schedule (that is what SyncWriter mode buys), so two
 // identical batched sweeps must be bit-identical too.
@@ -154,10 +264,11 @@ func TestReplaySchedule(t *testing.T) {
 		cfg.MaxBatch = *exploreMaxBatch
 	}
 	cfg.Seed = *exploreSeed
+	cfg.ChaosFaults = *exploreChaos
 	if v := explore.RunSchedule(cfg, *exploreSchedule); v != nil {
 		t.Fatalf("%v\n\t%s", v, v.Repro())
 	}
-	t.Logf("seed=%d schedule=%d burst=%d passes", cfg.Seed, *exploreSchedule, cfg.Burst)
+	t.Logf("seed=%d schedule=%d burst=%d chaos=%d passes", cfg.Seed, *exploreSchedule, cfg.Burst, cfg.ChaosFaults)
 }
 
 // TestExploreDeterministic runs the same sweep twice and demands

@@ -1,0 +1,171 @@
+package vfs
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedNoSpace is the error FaultFS returns for write-path
+// operations while a write fault is armed with a nil error. It is
+// deliberately distinct from any real os error so logs and tests can
+// tell an injected catastrophe from a genuine disk problem.
+var ErrInjectedNoSpace = errors.New("vfs: no space left on device (injected)")
+
+// FaultFS wraps any FS with runtime-switchable fault injection — the
+// production-side counterpart of the deterministic simfs fault hooks.
+// The chaos injector (serve.ChaosInjector) arms and clears faults on
+// a live daemon's WAL directory through this wrapper:
+//
+//   - a write fault (SetWriteError) makes Create, CreateTemp and every
+//     File.Write fail — the ENOSPC catastrophe. Reads, renames and
+//     removes still succeed, so checkpoint pruning and restore keep
+//     working while the disk is "full".
+//   - a sync delay (SetSyncDelay) makes every File.Sync and SyncDir
+//     sleep before proceeding — the stalled-disk catastrophe. The
+//     journal's writer goroutine absorbs the stall off the hot path;
+//     with a bounded queue the stall eventually backpressures
+//     mutations exactly like a real hung device.
+//
+// Both faults are transient by design: the injector clears them after
+// an exponentially-distributed repair window. The unfaulted path costs
+// two atomic loads per operation, so leaving a FaultFS permanently in
+// place (chaos mode off) is free in practice.
+//
+// All methods are safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	writeErr  atomic.Pointer[error] // nil = no write fault
+	syncDelay atomic.Int64          // nanoseconds; 0 = no stall
+
+	failedWrites atomic.Int64
+	stalledSyncs atomic.Int64
+}
+
+// NewFaultFS wraps inner. With no faults armed it is a transparent
+// pass-through.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner}
+}
+
+// SetWriteError arms (non-nil) or clears (nil) the write fault. While
+// armed, Create, CreateTemp and File.Write return err.
+func (f *FaultFS) SetWriteError(err error) {
+	if err == nil {
+		f.writeErr.Store(nil)
+		return
+	}
+	f.writeErr.Store(&err)
+}
+
+// SetSyncDelay arms (d > 0) or clears (d <= 0) the sync stall. While
+// armed, every File.Sync and SyncDir sleeps d before delegating.
+func (f *FaultFS) SetSyncDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	f.syncDelay.Store(int64(d))
+}
+
+// ClearFaults disarms everything.
+func (f *FaultFS) ClearFaults() {
+	f.writeErr.Store(nil)
+	f.syncDelay.Store(0)
+}
+
+// FailedWrites returns how many operations the write fault has failed.
+func (f *FaultFS) FailedWrites() int64 { return f.failedWrites.Load() }
+
+// StalledSyncs returns how many syncs the stall has delayed.
+func (f *FaultFS) StalledSyncs() int64 { return f.stalledSyncs.Load() }
+
+// writeFault returns the armed write error, or nil.
+func (f *FaultFS) writeFault() error {
+	if p := f.writeErr.Load(); p != nil {
+		f.failedWrites.Add(1)
+		return *p
+	}
+	return nil
+}
+
+// stall sleeps through an armed sync delay.
+func (f *FaultFS) stall() {
+	if d := f.syncDelay.Load(); d > 0 {
+		f.stalledSyncs.Add(1)
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+// Create implements FS; it fails while a write fault is armed.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.writeFault(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// CreateTemp implements FS; it fails while a write fault is armed.
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.writeFault(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// Open implements FS. Read handles skip fault wrapping: chaos never
+// fails reads, so restore and replay always see the disk as it is.
+func (f *FaultFS) Open(name string) (File, error) { return f.inner.Open(name) }
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]DirEntry, error) { return f.inner.ReadDir(dir) }
+
+// Glob implements FS.
+func (f *FaultFS) Glob(pattern string) ([]string, error) { return f.inner.Glob(pattern) }
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldPath, newPath string) error { return f.inner.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// Stat implements FS.
+func (f *FaultFS) Stat(name string) (int64, error) { return f.inner.Stat(name) }
+
+// SyncDir implements FS; it sleeps through an armed sync stall.
+func (f *FaultFS) SyncDir(dir string) error {
+	f.stall()
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile is a write handle subject to the owning FaultFS's faults.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	if err := h.fs.writeFault(); err != nil {
+		return 0, err
+	}
+	return h.File.Write(p)
+}
+
+func (h *faultFile) Sync() error {
+	h.fs.stall()
+	return h.File.Sync()
+}

@@ -1,0 +1,140 @@
+package vfs_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dynalloc/internal/vfs"
+)
+
+func TestFaultFSPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	f := vfs.NewFaultFS(vfs.OS)
+
+	name := filepath.Join(dir, "a.txt")
+	h, err := f.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadFile(name)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if n, err := f.Stat(name); err != nil || n != 5 {
+		t.Fatalf("Stat = %d, %v", n, err)
+	}
+	if f.FailedWrites() != 0 || f.StalledSyncs() != 0 {
+		t.Fatalf("counters moved without faults: %d writes, %d syncs",
+			f.FailedWrites(), f.StalledSyncs())
+	}
+}
+
+func TestFaultFSWriteFault(t *testing.T) {
+	dir := t.TempDir()
+	f := vfs.NewFaultFS(vfs.OS)
+
+	name := filepath.Join(dir, "w.txt")
+	h, err := f.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	f.SetWriteError(nil) // nil arms nothing
+	if _, err := h.Write([]byte("ok")); err != nil {
+		t.Fatalf("write with nil fault: %v", err)
+	}
+
+	f.SetWriteError(vfs.ErrInjectedNoSpace)
+	if _, err := h.Write([]byte("x")); !errors.Is(err, vfs.ErrInjectedNoSpace) {
+		t.Fatalf("faulted write err = %v, want ErrInjectedNoSpace", err)
+	}
+	if _, err := f.Create(filepath.Join(dir, "b.txt")); !errors.Is(err, vfs.ErrInjectedNoSpace) {
+		t.Fatalf("faulted create err = %v", err)
+	}
+	if _, err := f.CreateTemp(dir, "tmp-*"); !errors.Is(err, vfs.ErrInjectedNoSpace) {
+		t.Fatalf("faulted createtemp err = %v", err)
+	}
+	// Reads stay healthy while the disk is "full".
+	if _, err := f.ReadFile(name); err != nil {
+		t.Fatalf("read during write fault: %v", err)
+	}
+	if got := f.FailedWrites(); got != 3 {
+		t.Fatalf("FailedWrites = %d, want 3", got)
+	}
+
+	f.ClearFaults()
+	if _, err := h.Write([]byte("y")); err != nil {
+		t.Fatalf("write after repair: %v", err)
+	}
+}
+
+func TestFaultFSSyncStall(t *testing.T) {
+	dir := t.TempDir()
+	f := vfs.NewFaultFS(vfs.OS)
+	h, err := f.Create(filepath.Join(dir, "s.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+
+	const delay = 30 * time.Millisecond
+	f.SetSyncDelay(delay)
+	start := time.Now()
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("stalled sync returned in %v, want >= %v", elapsed, delay)
+	}
+	if err := f.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.StalledSyncs(); got != 2 {
+		t.Fatalf("StalledSyncs = %d, want 2", got)
+	}
+
+	f.SetSyncDelay(0)
+	start = time.Now()
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > delay {
+		t.Fatalf("repaired sync still slow: %v", elapsed)
+	}
+}
+
+// TestFaultFSRenameRemoveUnfaulted pins the taxonomy: ENOSPC hits the
+// write path only, so checkpoint pruning (remove) and the atomic
+// rename publish keep working while the fault is armed.
+func TestFaultFSRenameRemoveUnfaulted(t *testing.T) {
+	dir := t.TempDir()
+	f := vfs.NewFaultFS(vfs.OS)
+	name := filepath.Join(dir, "c.txt")
+	if err := os.WriteFile(name, []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f.SetWriteError(vfs.ErrInjectedNoSpace)
+	moved := filepath.Join(dir, "d.txt")
+	if err := f.Rename(name, moved); err != nil {
+		t.Fatalf("rename during write fault: %v", err)
+	}
+	if err := f.Remove(moved); err != nil {
+		t.Fatalf("remove during write fault: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"path/filepath"
 	"testing"
 
 	"dynalloc/internal/metrics"
@@ -146,9 +147,22 @@ func TestAppendBatchGroupCommit(t *testing.T) {
 
 // TestAppendBatchWriteErrorFailsWholeBatch: a mid-batch write fault
 // fails the AppendBatch call as a unit — the caller must treat every
-// record of the batch as non-durable — while whatever prefix physically
-// reached the file stays replayable like any torn tail.
+// record of the batch as non-durable. The log then aborts the wedged
+// segment and heals: the NEXT batch opens a fresh segment and
+// succeeds, so a transient fault (chaos-injected ENOSPC, a blip of a
+// failing device) cannot jam the log forever. Because the failed
+// batch's bytes never reached the disk, the healed stream has a real
+// seq gap — replay must recover exactly the pre-fault prefix and stop
+// there; the post-heal records stay on disk but are unsound to apply
+// until a checkpoint covers the gap.
 func TestAppendBatchWriteErrorFailsWholeBatch(t *testing.T) {
+	metrics.Reset()
+	metrics.Enable()
+	defer func() {
+		metrics.Disable()
+		metrics.Reset()
+	}()
+
 	fs := testFS()
 	boom := errors.New("injected write failure")
 	l := testOpen(t, fs, Options{Fsync: FsyncAlways, SegmentBytes: 1 << 20})
@@ -156,22 +170,81 @@ func TestAppendBatchWriteErrorFailsWholeBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The next flush (the failing batch's sync) is the first Write the
-	// file sees after the fault is armed.
+	// file sees after the fault is armed: records 5..12 never reach it.
 	fs.FailOp(simfs.OpWrite, 1, boom)
 	err := l.AppendBatch(recs(5, 12))
 	if err == nil || !errors.Is(err, boom) {
 		t.Fatalf("batch write error not surfaced: %v", err)
 	}
-	// Same stickiness as the per-record path: the segment's buffered
-	// writer stays failed, so a later batch on this segment errors too
-	// instead of silently writing past a hole.
-	if err := l.AppendBatch(recs(13, 16)); err == nil || !errors.Is(err, boom) {
-		t.Fatalf("append after failed batch: %v (want the sticky write error)", err)
+	// The heal: the wedged segment was aborted, so the next batch opens
+	// a fresh segment (named for its first seq) and succeeds — the
+	// simfs fault disarmed after firing, as a transient fault does.
+	if err := l.AppendBatch(recs(13, 16)); err != nil {
+		t.Fatalf("append after aborted segment: %v (want success on a fresh segment)", err)
 	}
-	l.Close() // flush error resurfaces here; the file still closes
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Default().Snapshot().Counters["wal.segment.aborts"]; got != 1 {
+		t.Fatalf("wal.segment.aborts = %d, want 1", got)
+	}
+	if _, err := fs.Stat(filepath.Join("/wal", segmentName(13))); err != nil {
+		t.Fatalf("healed segment missing: %v", err)
+	}
+	// Records 5..12 are genuinely lost, so replay stops at the gap: the
+	// 4 synced records come back and 13..16 must NOT be applied on top
+	// of the missing mutations.
 	got, stats := collect(t, fs, "/wal", 0)
 	if len(got) != 4 || stats.LastSeq != 4 {
 		t.Fatalf("committed prefix: %d records, stats %+v (want exactly the 4 synced records)", len(got), stats)
+	}
+	for i, r := range got {
+		if r != rec(i+1) {
+			t.Fatalf("record %d: got %+v want %+v", i, r, rec(i+1))
+		}
+	}
+}
+
+// TestAppendFsyncErrorAbortsSegmentAndHeals is the other abort flavor:
+// the batch's bytes DO reach the file but its fsync fails. The batch
+// is still reported failed (its durability is unknown), the segment is
+// aborted, and the next append heals onto a fresh segment — but now
+// the on-disk stream is contiguous across the abort, so replay's
+// seq-continuity rule keeps going and recovers everything, including
+// the unacknowledged-but-present batch. Losing an acknowledgement is
+// not losing data.
+func TestAppendFsyncErrorAbortsSegmentAndHeals(t *testing.T) {
+	metrics.Reset()
+	metrics.Enable()
+	defer func() {
+		metrics.Disable()
+		metrics.Reset()
+	}()
+
+	fs := testFS()
+	boom := errors.New("injected fsync failure")
+	l := testOpen(t, fs, Options{Fsync: FsyncAlways, SegmentBytes: 1 << 20})
+	if err := l.AppendBatch(recs(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailOp(simfs.OpSync, 1, boom)
+	if err := l.AppendBatch(recs(5, 12)); err == nil || !errors.Is(err, boom) {
+		t.Fatalf("fsync error not surfaced: %v", err)
+	}
+	if err := l.AppendBatch(recs(13, 16)); err != nil {
+		t.Fatalf("append after aborted segment: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Default().Snapshot().Counters["wal.segment.aborts"]; got != 1 {
+		t.Fatalf("wal.segment.aborts = %d, want 1", got)
+	}
+	// The flushed-but-unsynced batch survived, and the healed segment
+	// opens at exactly the next seq: no gap, so replay applies all 16.
+	got, stats := collect(t, fs, "/wal", 0)
+	if len(got) != 16 || stats.LastSeq != 16 {
+		t.Fatalf("replay after fsync abort: %d records, stats %+v (want all 16)", len(got), stats)
 	}
 	for i, r := range got {
 		if r != rec(i+1) {

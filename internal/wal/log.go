@@ -227,6 +227,7 @@ func (l *Log) appendBatchLocked(recs []Record) error {
 		recs[i].encode(buf[i*RecordSize : (i+1)*RecordSize])
 	}
 	if _, err := l.bw.Write(buf); err != nil {
+		l.abortSegmentLocked()
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	for i := range recs {
@@ -242,6 +243,7 @@ func (l *Log) appendBatchLocked(recs []Record) error {
 	switch l.opts.Fsync {
 	case FsyncAlways:
 		if err := l.syncLocked(); err != nil {
+			l.abortSegmentLocked()
 			return err
 		}
 		if len(recs) > 1 {
@@ -252,6 +254,7 @@ func (l *Log) appendBatchLocked(recs []Record) error {
 	case FsyncInterval:
 		if time.Since(l.lastSync) >= l.opts.FsyncInterval {
 			if err := l.syncLocked(); err != nil {
+				l.abortSegmentLocked()
 				return err
 			}
 			if len(recs) > 1 {
@@ -262,10 +265,32 @@ func (l *Log) appendBatchLocked(recs []Record) error {
 
 	if l.curSize >= l.opts.SegmentBytes {
 		if err := l.sealLocked(); err != nil {
+			l.abortSegmentLocked()
 			return err
 		}
 	}
 	return nil
+}
+
+// abortSegmentLocked drops the current segment handle after a failed
+// write, fsync or seal, so the next append opens a fresh segment
+// instead of re-hitting the wedged one. Without this a transient fault
+// (an injected ENOSPC, a momentarily failing device) would jam the log
+// forever: a bufio.Writer error is sticky, and the failed segment's
+// size counter stops advancing so rotation never triggers. The failed
+// segment's clean prefix stays on disk — replay treats it like any
+// torn tail, and the seq-continuity rule decides whether the stream
+// continues into the next segment (it does whenever the failed bytes
+// in fact reached the disk; a truly lost record is a real gap and
+// stops replay there, exactly as it must).
+func (l *Log) abortSegmentLocked() {
+	if l.f == nil {
+		return
+	}
+	l.f.Close() // best effort: the segment is already suspect
+	l.f, l.bw, l.curPath = nil, nil, ""
+	l.curSize, l.curMax = 0, 0
+	metrics.AddCounter("wal.segment.aborts", 1)
 }
 
 // openSegmentLocked starts a fresh segment whose name and header carry
@@ -345,7 +370,11 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return errors.New("wal: log is closed")
 	}
-	return l.syncLocked()
+	if err := l.syncLocked(); err != nil {
+		l.abortSegmentLocked()
+		return err
+	}
+	return nil
 }
 
 // Close seals the current segment and closes the log. Unless the

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"dynalloc/internal/metrics"
 	"dynalloc/internal/vfs"
 )
 
@@ -32,13 +33,32 @@ var legacyTornStop = false
 // mutation self-check; never enable outside a test.
 func SetLegacyTornStopForTest(on bool) { legacyTornStop = on }
 
+// legacyGapSkip reinstates the second historical replay defect: the
+// seq-continuity check at segment boundaries used to run only after a
+// TORN segment, so a cleanly-ended segment followed by a gap-opening
+// successor — the on-disk shape an aborted segment leaves behind when a
+// failed append's bytes never reached the disk — was silently replayed
+// across, applying records on top of missing mutations. It exists ONLY
+// so the chaos explorer's mutation self-check can prove its injected
+// write faults produce that shape and would have caught the bug.
+var legacyGapSkip = false
+
+// SetLegacyGapSkipForTest toggles the pre-fix "continuity check only
+// after torn segments" behavior. Test hook for the simulation
+// harness's mutation self-check; never enable outside a test.
+func SetLegacyGapSkipForTest(on bool) { legacyGapSkip = on }
+
 // Replay walks the segments of dir in order and hands every valid
 // record with Seq > afterSeq to apply. A torn or corrupted record
 // (CRC mismatch, partial tail, or bad segment header) ends the current
-// segment without error; replay then continues into a later segment
-// only when that segment's header firstSeq proves no record would be
-// skipped — firstSeq <= 1 + the highest seq already covered (valid
-// records seen, or afterSeq from the caller's checkpoint). That is
+// segment without error; replay continues into a later segment — after
+// a torn tail or a clean end alike — only when that segment's header
+// firstSeq proves no record would be skipped: firstSeq <= 1 + the
+// highest seq already covered (valid records seen, or afterSeq from
+// the caller's checkpoint). A clean gap arises when the log aborts a
+// wedged segment after a failed append whose bytes never reached the
+// disk and heals onto a fresh segment; the records past the gap stay
+// on disk but are unsound to apply until a checkpoint covers it. That is
 // exactly the crash → restore → traffic → crash-again layout: the
 // pre-crash segment keeps its torn tail (until truncation removes it)
 // while the post-restore segment opens at the restored seq + 1, and
@@ -61,10 +81,21 @@ func ReplayFS(fsys vfs.FS, dir string, afterSeq uint64, apply func(Record) error
 		return stats, fmt.Errorf("wal: replay: %w", err)
 	}
 	for _, p := range paths {
-		if stats.Torn {
-			if legacyTornStop {
-				return stats, nil // mutation hook: the pre-fix early stop
-			}
+		if stats.Torn && legacyTornStop {
+			return stats, nil // mutation hook: the pre-fix early stop
+		}
+		if stats.Torn || !legacyGapSkip {
+			// Continuity check at EVERY segment, torn or not — including
+			// the FIRST one: a head segment opening past afterSeq+1 means
+			// the log's earliest records were dropped before anything was
+			// written (an aborted first append heals onto a segment that
+			// starts at seq 2), and replaying the suffix onto the
+			// checkpoint state would skip them just like a mid-log gap. A
+			// cleanly-ended segment followed by a higher firstSeq is how
+			// an aborted segment looks when its failed batch never reached
+			// the disk (the log heals by opening a fresh segment for the
+			// next append — see Log.abortSegmentLocked). Applying the
+			// suffix would replay records on top of missing mutations.
 			covered := stats.LastSeq
 			if afterSeq > covered {
 				covered = afterSeq
@@ -85,6 +116,49 @@ func ReplayFS(fsys vfs.FS, dir string, afterSeq uint64, apply func(Record) error
 		}
 	}
 	return stats, nil
+}
+
+// RemoveStaleFS deletes every segment that replay pinned at lastSeq
+// (the seq the restored state is consistent with) can never soundly
+// apply: those whose header firstSeq opens past lastSeq. Such a
+// suffix arises when replay stops at a seq gap — a record dropped by
+// an aborted append left segments on disk that are unsound to apply.
+// It must be removed at restore time, BEFORE the log reopens: the next
+// incarnation re-issues seqs from lastSeq+1, so a stale suffix left
+// behind overlaps the new history's seq range, and a later replay
+// would walk the stale segment (its firstSeq looks contiguous against
+// the new, higher covered seq) and apply records from the dead
+// timeline on top of the live one. Nothing acknowledged durable is
+// lost: the journal's error froze the durable watermark before the
+// gap, so every record past it was never acknowledged. Segments with
+// unreadable headers are left alone — replay applies nothing from
+// them, and a name collision with a future segment truncates them.
+func RemoveStaleFS(fsys vfs.FS, dir string, lastSeq uint64) (int, error) {
+	paths, err := listSegments(fsys, dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: remove stale: %w", err)
+	}
+	removed := 0
+	for _, p := range paths {
+		first, ok := readSegmentFirstSeq(fsys, p)
+		if !ok || first <= lastSeq {
+			continue
+		}
+		if err := fsys.Remove(p); err != nil {
+			return removed, fmt.Errorf("wal: remove stale: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		// The unlinks must be durable before the log reopens: without the
+		// directory fsync a power cut resurrects the stale segments —
+		// now overlapping the seqs the new incarnation has re-issued.
+		if err := fsys.SyncDir(dir); err != nil {
+			return removed, fmt.Errorf("wal: remove stale: %w", err)
+		}
+		metrics.AddCounter("wal.segment.stale_removed", int64(removed))
+	}
+	return removed, nil
 }
 
 // readSegmentFirstSeq reads just a segment's header and returns the

@@ -220,9 +220,83 @@ func TestTruncateThrough(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = collect(t, fs, l.Dir(), 0)
+	// Replay resumes from the coverage that justified the truncation
+	// (restore passes the checkpoint seq), and the open segment's
+	// records follow contiguously from it.
+	got, _ = collect(t, fs, l.Dir(), 30)
 	if len(got) != 5 || got[0].Seq != 31 {
 		t.Fatalf("open segment survived truncation wrong: %d records", len(got))
+	}
+	// Replaying from scratch, though, must refuse the truncated head:
+	// the head segment opens at seq 31, so without the covering
+	// checkpoint the first 30 records are a gap, not a prefix.
+	got, stats = collect(t, fs, l.Dir(), 0)
+	if len(got) != 0 || stats.Segments != 0 {
+		t.Fatalf("replay from 0 walked a truncated head: %d records, stats %+v", len(got), stats)
+	}
+}
+
+// TestRemoveStaleFSPrunesDeadTimeline covers the stale-suffix hazard
+// the chaos explorer surfaced: a dropped append opens a seq gap, the
+// segments past it stay on disk, and the next incarnation re-issues
+// the same seqs — so a later replay would interleave records from the
+// dead timeline into the live one. RemoveStaleFS at restore time must
+// prune the unreachable suffix, and the unlinks must survive a power
+// cut (an unsynced directory resurrects them).
+func TestRemoveStaleFSPrunesDeadTimeline(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncAlways, SegmentBytes: segHeaderSize + 4*RecordSize})
+	appendN(t, l, 1, 6)
+
+	// Drop record 7: the write fails, the segment aborts, and the log
+	// heals records 8-10 onto a fresh segment that opens past the gap.
+	fs.FailOp(simfs.OpWrite, 1, nil)
+	if err := l.Append(rec(7)); err == nil {
+		t.Fatal("append 7 succeeded through an injected write fault")
+	}
+	appendN(t, l, 8, 10)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Replay stops at the gap: 8-10 are unsound to apply.
+	got, _ := collect(t, fs, "/wal", 0)
+	if len(got) != 6 || got[len(got)-1].Seq != 6 {
+		t.Fatalf("replay across the gap: %d records, last %+v", len(got), got[len(got)-1])
+	}
+
+	// Restore-time pruning removes the unreachable suffix, durably.
+	removed, err := RemoveStaleFS(fs, "/wal", 6)
+	if err != nil || removed == 0 {
+		t.Fatalf("RemoveStaleFS = %d, %v; want > 0, nil", removed, err)
+	}
+	fs.PowerCut(nil) // the unlinks must not resurrect
+
+	// The next incarnation re-issues seqs 7.. with different payloads —
+	// the dead timeline's 8-10 must not shadow or interleave them.
+	l = testOpen(t, fs, Options{Fsync: FsyncAlways, SegmentBytes: segHeaderSize + 4*RecordSize})
+	for i := 7; i <= 9; i++ {
+		r := Record{Op: OpAlloc, Bin: 77, K: 1, Seq: uint64(i)}
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append new %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got, stats := collect(t, fs, "/wal", 0)
+	if len(got) != 9 {
+		t.Fatalf("after heal: %d records, stats %+v", len(got), stats)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d; the timelines interleaved: %+v", i, r.Seq, got)
+		}
+	}
+	for _, r := range got[6:] {
+		if r.Bin != 77 {
+			t.Fatalf("seq %d replayed from the dead timeline: %+v", r.Seq, r)
+		}
 	}
 }
 

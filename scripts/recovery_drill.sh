@@ -19,11 +19,22 @@ CRASH_K=1024
 WORK="$(mktemp -d)"
 WALDIR="$WORK/wal"
 PID=""
+# Runs on EVERY exit path — normal, set -e failure, or a signal: kill
+# the daemon so no orphan keeps the port, dump its log to stderr when
+# the drill is failing (any nonzero rc), then remove the workdir.
 cleanup() {
+  rc=$?
   [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  if [ "$rc" -ne 0 ] && [ -s "$WORK/log" ]; then
+    echo "recovery-drill: daemon log (exit $rc):" >&2
+    cat "$WORK/log" >&2
+  fi
   rm -rf "$WORK"
+  exit "$rc"
 }
 trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 say() { echo "recovery-drill: $*"; }
 
@@ -34,7 +45,7 @@ wait_healthy() {
     curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && return 0
     sleep 0.2
   done
-  say "daemon never became healthy"; cat "$WORK/log" >&2; return 1
+  say "daemon never became healthy"; return 1
 }
 
 start_daemon() { # args: extra flags...
@@ -88,5 +99,4 @@ for i in $(seq 1 120); do
   sleep 0.5
 done
 say "daemon did not recover within 60s"
-cat "$WORK/log" >&2
 exit 1
