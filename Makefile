@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill chaos-drill explore explore-full cover clean
+.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill chaos-drill cluster-drill explore explore-full cover clean
 
 all: build vet test
 
@@ -50,6 +50,13 @@ serve-drill: build
 # state survived and the detector re-fires (docs/SERVING.md).
 recovery-drill: build
 	./scripts/recovery_drill.sh
+
+# Multi-node drill: 3 durable shards behind dynrouter — crash through
+# the router, kill -9 a shard mid-traffic (zero client errors, d-1
+# probing), restart with WAL restore, cluster detector re-fires
+# (docs/CLUSTER.md). Same flow as the cluster-drill CI job.
+cluster-drill: build
+	./scripts/cluster_drill.sh
 
 # Chaos drill: 60 seconds of Poisson catastrophes against a durable
 # daemon, gated on the episode ledger — >=3 completed recoveries, each

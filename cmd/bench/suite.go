@@ -2,7 +2,9 @@ package main
 
 import (
 	"context"
+	"net"
 	"os"
+	"sync"
 
 	"dynalloc/internal/core"
 	"dynalloc/internal/edgeorient"
@@ -10,6 +12,7 @@ import (
 	"dynalloc/internal/par"
 	"dynalloc/internal/process"
 	"dynalloc/internal/rng"
+	"dynalloc/internal/router"
 	"dynalloc/internal/rules"
 	"dynalloc/internal/serve"
 	"dynalloc/internal/wal"
@@ -205,6 +208,107 @@ func suiteWorkloads(quick bool) []workload {
 			}
 		}
 	}
+	// startCluster boots `shards` in-process dgram shard servers on
+	// loopback listeners plus a Router over them. Shared by the router
+	// workloads; the fleet lives for the rest of the process (the bench
+	// binary exits when the suite is done), so repeated passes measure
+	// the steady state — persistent connections, warm scratch buffers —
+	// not dial/setup cost.
+	startCluster := func(nPerShard, shards, d int, seed uint64) *router.Router {
+		addrs := make([]string, shards)
+		for i := 0; i < shards; i++ {
+			st := serve.NewStore(nPerShard)
+			st.FillBalanced(nPerShard)
+			srv := router.NewServer(router.ServerConfig{
+				Store: st, Policy: serve.NewABKUPolicy(2), Scenario: process.ScenarioA,
+				Seed: seed + uint64(i),
+			})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				panic(err)
+			}
+			addrs[i] = ln.Addr().String()
+			go srv.Serve(ln)
+		}
+		rt, err := router.New(router.Options{Shards: addrs, D: d})
+		if err != nil {
+			panic(err)
+		}
+		return rt
+	}
+	routerAdmit := func(nPerShard, shards, d, workers, batch int) func(uint64, int) {
+		// Cluster-level admission throughput: `workers` sessions drive
+		// d-choice admissions (probe d shards, admit at the least
+		// loaded) over persistent loopback connections, pipelined
+		// through the protocol's batch field in groups of `batch` — one
+		// probe fan-out plus one ADMIT exchange per group, so the two
+		// round trips amortize across the group. A trial is one admitted
+		// ball. The fleet and the per-worker sessions are created once
+		// and reused, so allocs/op divided by trials is the router's
+		// per-admission hot-path allocation count. (The unbatched
+		// per-ball round-trip cost is BenchmarkSessionAdmit in
+		// internal/router; dgram/roundtrip below is the raw wire floor.)
+		var (
+			once sync.Once
+			ses  []*router.Session
+		)
+		return func(seed uint64, trials int) {
+			once.Do(func() {
+				rt := startCluster(nPerShard, shards, d, seed)
+				ses = make([]*router.Session, workers)
+				for w := range ses {
+					ses[w] = rt.NewSession()
+				}
+			})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				share := trials / workers
+				if w == 0 {
+					share += trials % workers
+				}
+				wg.Add(1)
+				go func(w, share int) {
+					defer wg.Done()
+					r := rng.NewStream(seed, uint64(w))
+					res := make([]router.AdmitResult, 0, batch)
+					for done := 0; done < share; {
+						k := batch
+						if share-done < k {
+							k = share - done
+						}
+						out, err := ses[w].AdmitBatch(r, k, res[:0])
+						if err != nil {
+							panic(err)
+						}
+						res = out
+						done += k
+					}
+				}(w, share)
+			}
+			wg.Wait()
+		}
+	}
+	dgramRoundTrip := func(nPerShard int) func(uint64, int) {
+		// Raw protocol floor: one connection, `trials` PROBE/SUMMARY
+		// round trips against a single shard server. The delta between
+		// this and router/admit is the d-choice fan-out plus the admit
+		// leg.
+		var (
+			once sync.Once
+			ses  *router.Session
+		)
+		return func(seed uint64, trials int) {
+			once.Do(func() {
+				rt := startCluster(nPerShard, 1, 1, seed)
+				ses = rt.NewSession()
+			})
+			for i := 0; i < trials; i++ {
+				if _, err := ses.Probe(0); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
 	return []workload{
 		{"scenarioA/coalescence/n=32", pick(8, 24), scenarioA(32)},
 		{"scenarioA/coalescence/n=64", pick(6, 16), scenarioA(64)},
@@ -217,5 +321,7 @@ func suiteWorkloads(quick bool) []workload {
 		{"wal/append", pick(100_000, 1_000_000), walAppend()},
 		{"wal/append-batch/b=512", pick(100_000, 1_000_000), walAppendBatch(512)},
 		{"wal/replay", pick(100_000, 1_000_000), walReplay()},
+		{"router/admit/shards=3/w=8", pick(50_000, 200_000), routerAdmit(1024, 3, 2, 8, 16)},
+		{"dgram/roundtrip", pick(20_000, 100_000), dgramRoundTrip(1024)},
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -62,6 +63,7 @@ import (
 	"dynalloc/internal/metrics"
 	"dynalloc/internal/process"
 	"dynalloc/internal/rng"
+	"dynalloc/internal/router"
 	"dynalloc/internal/serve"
 	"dynalloc/internal/vfs"
 	"dynalloc/internal/wal"
@@ -69,7 +71,10 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address (empty: no server, drive only)")
+		addr     = flag.String("addr", ":8080", "HTTP listen address (empty: no server, drive only; port 0: ephemeral, see -port-file)")
+		portFile = flag.String("port-file", "", "write the resolved HTTP listen address to this file once listening (for ephemeral ports)")
+		dgAddr   = flag.String("dgram-addr", "", "binary shard-protocol listen address (empty: off; port 0: ephemeral)")
+		dgFile   = flag.String("dgram-port-file", "", "write the resolved dgram listen address to this file once listening")
 		n        = flag.Int("n", 1<<16, "number of bins")
 		m        = flag.Int("m", 0, "initial balls, seeded balanced (0: same as -n)")
 		ruleSpec = flag.String("rule", "", "admission rule spec: abku:D | adap:x1,x2,... | mixed:BETA | uniform")
@@ -114,7 +119,9 @@ func main() {
 		os.Exit(1)
 	}
 	code := run(options{
-		addr: *addr, n: *n, m: *m,
+		addr: *addr, portFile: *portFile,
+		dgramAddr: *dgAddr, dgramPortFile: *dgFile,
+		n: *n, m: *m,
 		ruleSpec: *ruleSpec, d: *d, x: *x, beta: *beta, scenario: *scen,
 		seed: *seed, workers: *workers, shards: *shards, slack: *slack,
 		drive: *drive, rate: *rate, crashK: *crashK, crashBin: *crashBin,
@@ -137,6 +144,9 @@ func main() {
 
 type options struct {
 	addr          string
+	portFile      string
+	dgramAddr     string
+	dgramPortFile string
 	n, m          int
 	ruleSpec      string
 	d             int
@@ -286,7 +296,44 @@ func run(opt options) int {
 	srv.j = j
 	var httpDone chan error
 	if opt.addr != "" {
-		httpDone = srv.serve(ctx, opt.addr)
+		httpDone, err = srv.serve(ctx, opt.addr, opt.portFile)
+		if err != nil {
+			if j != nil {
+				j.Close()
+			}
+			return fail(err)
+		}
+	}
+
+	// The binary shard protocol: the listener dynrouter probes and
+	// admits through. It shares the store, detector, and journal hooks
+	// with the HTTP surface, so dgram mutations are checkpointed and
+	// WAL-journaled exactly like HTTP ones.
+	var dgramSrv *router.Server
+	var dgramDone chan error
+	if opt.dgramAddr != "" {
+		ln, lerr := net.Listen("tcp", opt.dgramAddr)
+		if lerr != nil {
+			if j != nil {
+				j.Close()
+			}
+			return fail(fmt.Errorf("dgram listen: %w", lerr))
+		}
+		if opt.dgramPortFile != "" {
+			if werr := writePortFile(opt.dgramPortFile, ln.Addr().String()); werr != nil {
+				ln.Close()
+				if j != nil {
+					j.Close()
+				}
+				return fail(werr)
+			}
+		}
+		dgramSrv = router.NewServer(router.ServerConfig{
+			Store: st, Policy: pol, Scenario: sc, Seed: opt.seed, Detector: det,
+		})
+		dgramDone = make(chan error, 1)
+		go func() { dgramDone <- dgramSrv.Serve(ln) }()
+		fmt.Printf("dynallocd: dgram listening on %s\n", ln.Addr())
 	}
 
 	var ckptWG sync.WaitGroup
@@ -348,6 +395,24 @@ func run(opt options) int {
 		srv.watch(ctx, opt.checkInterval)
 		if err := <-httpDone; err != nil {
 			fmt.Fprintln(os.Stderr, "dynallocd:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	} else if dgramDone != nil {
+		// dgram is the only surface (a shard daemon): keep the detector
+		// ticking until interrupted, same as the HTTP path.
+		srv.watch(ctx, opt.checkInterval)
+	}
+
+	// Stop the dgram listener before the final checkpoint: SetDraining
+	// refuses new mutations and Close waits for in-flight handlers, so
+	// the checkpoint sees a quiesced store.
+	if dgramSrv != nil {
+		dgramSrv.SetDraining(true)
+		dgramSrv.Close()
+		if err := <-dgramDone; err != nil {
+			fmt.Fprintln(os.Stderr, "dynallocd: dgram:", err)
 			if code == 0 {
 				code = 1
 			}
@@ -510,10 +575,23 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
-// serve starts the HTTP server and returns a channel that yields its
-// terminal error after ctx is cancelled and shutdown completes.
-func (s *server) serve(ctx context.Context, addr string) chan error {
-	hs := &http.Server{Addr: addr, Handler: s.routes()}
+// serve binds addr (resolving an ephemeral :0 port), optionally writes
+// the resolved address to portFile, and returns a channel that yields
+// the server's terminal error after ctx is cancelled and shutdown
+// completes. Binding synchronously means a port collision fails boot
+// instead of surfacing minutes later.
+func (s *server) serve(ctx context.Context, addr, portFile string) (chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("http listen: %w", err)
+	}
+	if portFile != "" {
+		if err := writePortFile(portFile, ln.Addr().String()); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	hs := &http.Server{Handler: s.routes()}
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -525,14 +603,28 @@ func (s *server) serve(ctx context.Context, addr string) chan error {
 		hs.Shutdown(shutdownCtx)
 	}()
 	go func() {
-		fmt.Printf("dynallocd: listening on %s\n", addr)
-		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Printf("dynallocd: listening on %s\n", ln.Addr())
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 			done <- err
 			return
 		}
 		done <- nil
 	}()
-	return done
+	return done, nil
+}
+
+// writePortFile publishes a resolved listen address for scripts that
+// started the daemon with an ephemeral port. Written to a temp name
+// and renamed so a poller never reads a half-written file.
+func writePortFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return fmt.Errorf("port file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("port file: %w", err)
+	}
+	return nil
 }
 
 // watch runs periodic detector checks until ctx is done, so the

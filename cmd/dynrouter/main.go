@@ -1,0 +1,622 @@
+// Command dynrouter fronts a fleet of dynallocd shards with the
+// cluster-level d-choice rule: every admission probes d shards over
+// the binary dgram protocol and lands at the least loaded, so the
+// two-level structure (router balances shards, each shard's policy
+// balances its bins) reproduces the paper's power-of-d behaviour at
+// fleet scale. A cluster-wide recovery detector aggregates per-shard
+// load digests and fires against the Theorem 1 budget, exactly like a
+// single dynallocd's detector does for one store.
+//
+// Usage:
+//
+//	dynrouter -shards host1:9000,host2:9000,host3:9000          # serve HTTP on :8090
+//	dynrouter -shards ... -traffic 8                            # plus continuous traffic workers
+//	dynrouter -shards ... -drive -crash 4096                    # cluster recovery drill, report vs budget
+//
+// Endpoints (the dynallocd surface, routed):
+//
+//	POST /alloc                    admit one ball, returns {shard, bin, load, probes}
+//	POST /free[?shard=S&bin=B]     cluster departure (or targeted free)
+//	POST /crash?shard=S&bin=B&k=K  fault injector on shard S
+//	GET  /state                    cluster detector + per-shard state (?summary=1: small form)
+//	GET  /healthz                  liveness + {"recovered", "degraded"}
+//
+// Fault tolerance: a shard that fails a call is marked down and
+// health-checked in the background; while it is out, admissions probe
+// the surviving shards (d-1 degraded mode) and departures re-weight,
+// so client-visible errors require losing the whole fleet. The
+// cluster detector refuses to report recovery while any shard is
+// unreachable. See docs/CLUSTER.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dynalloc/internal/dgram"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/router"
+	"dynalloc/internal/serve"
+)
+
+// httpStreamOffset keeps the HTTP admission rng stream disjoint from
+// the traffic/drive workers (streams 0..W-1), matching dynallocd's
+// stream layout.
+const httpStreamOffset = 1 << 33
+
+func main() {
+	var (
+		shards   = flag.String("shards", "", "comma-separated dgram addresses of the shard fleet (required)")
+		d        = flag.Int("d", 2, "cluster probe fan-out: admit at the least loaded of d probed shards")
+		addr     = flag.String("addr", ":8090", "HTTP listen address (empty: no server; port 0: ephemeral, see -port-file)")
+		portFile = flag.String("port-file", "", "write the resolved HTTP listen address to this file once listening")
+		ruleSpec = flag.String("rule", "abku:2", "the shards' local admission rule (for the aggregate fluid target)")
+		scen     = flag.String("scenario", "A", "the shards' departure scenario: A or B")
+		seed     = flag.Uint64("seed", 1998, "rng seed (workers use derived streams)")
+		slack    = flag.Int("slack", 2, "recovery threshold slack above the aggregate fluid prediction")
+		waitFor  = flag.Duration("wait", 15*time.Second, "max time to wait for every shard to answer at boot")
+
+		traffic    = flag.Int("traffic", 0, "continuous closed-loop traffic workers (0: none)")
+		checkIntvl = flag.Duration("check-interval", time.Second, "cluster detector sweep cadence while serving")
+
+		drive    = flag.Bool("drive", false, "run the cluster recovery drill, then exit (unless -stay)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "drive worker goroutines")
+		crashK   = flag.Int("crash", 4096, "drill fault: add this many balls to one bin of -crash-shard")
+		crashSh  = flag.Int("crash-shard", 0, "shard index the drill fault lands on")
+		crashBin = flag.Int("crash-bin", 0, "bin the drill fault lands in")
+		mult     = flag.Float64("budget-mult", 8, "with -drive: exit nonzero when recovery exceeds this multiple of the Theorem 1 budget (0: no gate)")
+		stay     = flag.Bool("stay", false, "after the drill, keep serving until interrupted")
+
+		prof = metrics.RegisterFlags(flag.CommandLine)
+	)
+	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code := run(options{
+		shards: *shards, d: *d, addr: *addr, portFile: *portFile,
+		ruleSpec: *ruleSpec, scenario: *scen, seed: *seed, slack: *slack,
+		waitFor: *waitFor, traffic: *traffic, checkInterval: *checkIntvl,
+		drive: *drive, workers: *workers,
+		crashK: *crashK, crashShard: *crashSh, crashBin: *crashBin,
+		budgetMult: *mult, stay: *stay,
+	})
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+type options struct {
+	shards        string
+	d             int
+	addr          string
+	portFile      string
+	ruleSpec      string
+	scenario      string
+	seed          uint64
+	slack         int
+	waitFor       time.Duration
+	traffic       int
+	checkInterval time.Duration
+	drive         bool
+	workers       int
+	crashK        int
+	crashShard    int
+	crashBin      int
+	budgetMult    float64
+	stay          bool
+}
+
+func run(opt options) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "dynrouter:", err)
+		return 2
+	}
+
+	var addrs []string
+	for _, a := range strings.Split(opt.shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fail(fmt.Errorf("-shards is required (comma-separated dgram addresses)"))
+	}
+	sc, err := parseScenario(opt.scenario)
+	if err != nil {
+		return fail(err)
+	}
+	pol, err := serve.ParsePolicy(opt.ruleSpec)
+	if err != nil {
+		return fail(err)
+	}
+
+	rt, err := router.New(router.Options{Shards: addrs, D: opt.d})
+	if err != nil {
+		return fail(err)
+	}
+	defer rt.Close()
+	if err := rt.WaitReady(opt.waitFor); err != nil {
+		return fail(err)
+	}
+
+	// The aggregate recovery target: the fleet's stationary max load is
+	// approximated by one store of the combined geometry (total bins,
+	// total balls) under the shards' local rule — the router's
+	// least-loaded shard choice only tightens the balance across
+	// shards, so this baseline is the conservative side. The drill's
+	// crash mass counts into m, matching dynallocd's -drive.
+	boot := rt.NewSession()
+	var totalN, totalM int
+	for i := 0; i < rt.NumShards(); i++ {
+		sum, perr := boot.Probe(i)
+		if perr != nil {
+			boot.Close()
+			return fail(fmt.Errorf("boot probe shard %d: %w", i, perr))
+		}
+		totalN += int(sum.N)
+		totalM += int(sum.Total)
+	}
+	boot.Close()
+	if opt.drive {
+		totalM += opt.crashK
+	}
+	if totalM < 1 {
+		totalM = totalN
+	}
+	target, err := serve.NewTarget(pol, sc, totalN, totalM, opt.slack)
+	if err != nil {
+		return fail(err)
+	}
+	det := router.NewDetector(rt, target)
+	defer det.Close()
+
+	fmt.Printf("dynrouter: %d shards, d=%d, aggregate n=%d m=%d rule=%s scenario=%s seed=%d\n",
+		rt.NumShards(), rt.D(), totalN, totalM, pol.Name(), sc, opt.seed)
+	fmt.Printf("dynrouter: recovery target max load %d (fluid prediction %d + slack %d), budget %.0f steps\n",
+		target.MaxLoad(), target.PredictedMax, target.Slack, target.BudgetSteps)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	srv := newServer(rt, det, opt.seed)
+	var httpDone chan error
+	if opt.addr != "" {
+		httpDone, err = srv.serve(ctx, opt.addr, opt.portFile)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	// Continuous traffic: closed-loop admit/free pairs, the live-fleet
+	// equivalent of the engine's closed loop. Total ball mass is
+	// conserved, so the fluid target stays valid, and every
+	// client-visible error is counted — the drill's "zero errors while
+	// degraded" assertion reads this counter off /state.
+	var twg sync.WaitGroup
+	trafficStop := make(chan struct{})
+	for w := 0; w < opt.traffic; w++ {
+		twg.Add(1)
+		go func(w int) {
+			defer twg.Done()
+			ses := rt.NewSession()
+			defer ses.Close()
+			r := rng.NewStream(opt.seed, uint64(w))
+			for {
+				select {
+				case <-trafficStop:
+					return
+				default:
+				}
+				if _, err := ses.Admit(r); err != nil {
+					srv.trafficErrs.Add(1)
+				}
+				if _, err := ses.Free(r); err != nil {
+					srv.trafficErrs.Add(1)
+				}
+				srv.trafficOps.Add(2)
+			}
+		}(w)
+	}
+	if opt.traffic > 0 {
+		fmt.Printf("dynrouter: %d traffic workers running\n", opt.traffic)
+	}
+
+	code := 0
+	if opt.drive {
+		code = runDrive(ctx, rt, det, opt, target)
+		if !opt.stay {
+			cancel()
+		}
+	}
+
+	if httpDone != nil {
+		srv.watch(ctx, opt.checkInterval)
+		if err := <-httpDone; err != nil {
+			fmt.Fprintln(os.Stderr, "dynrouter:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	} else if !opt.drive || opt.stay {
+		<-ctx.Done()
+	}
+
+	close(trafficStop)
+	twg.Wait()
+	if opt.traffic > 0 {
+		fmt.Printf("dynrouter: traffic done: %d ops, %d errors\n",
+			srv.trafficOps.Load(), srv.trafficErrs.Load())
+		if srv.trafficErrs.Load() > 0 && code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// runDrive is the cluster recovery drill: crash one shard's bin to a
+// worst-case load, then run closed-loop traffic through the router
+// until the cluster detector sees the typical state again, and gate
+// the measured recovery against the Theorem 1 budget.
+func runDrive(ctx context.Context, rt *router.Router, det *router.Detector, opt options, target serve.Target) int {
+	if opt.crashShard < 0 || opt.crashShard >= rt.NumShards() {
+		fmt.Fprintf(os.Stderr, "dynrouter: -crash-shard %d out of range\n", opt.crashShard)
+		return 2
+	}
+	ses := rt.NewSession()
+	defer ses.Close()
+	if opt.crashK > 0 {
+		load, err := ses.Crash(opt.crashShard, uint32(opt.crashBin), uint32(opt.crashK))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynrouter: crash injection:", err)
+			return 2
+		}
+		det.MarkDisrupted()
+		fmt.Printf("dynrouter: crashed shard %d bin %d to load %d (+%d balls)\n",
+			opt.crashShard, opt.crashBin, load, opt.crashK)
+	}
+
+	maxSteps := int64(100 * target.BudgetSteps)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var wg sync.WaitGroup
+	var workerErrs atomic.Int64
+	for w := 0; w < opt.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wses := rt.NewSession()
+			defer wses.Close()
+			r := rng.NewStream(opt.seed, uint64(w))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := wses.Admit(r); err != nil {
+					workerErrs.Add(1)
+				}
+				if _, err := wses.Free(r); err != nil {
+					workerErrs.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	t0 := time.Now()
+	var last router.ClusterStatus
+	recovered := false
+	for !recovered {
+		select {
+		case <-ctx.Done():
+		case <-time.After(20 * time.Millisecond):
+		}
+		last = det.Check()
+		recovered = last.Recovered
+		if ctx.Err() != nil || (!recovered && last.Steps > maxSteps) {
+			break
+		}
+	}
+	stopOnce.Do(func() { close(stop) })
+	wg.Wait()
+
+	if workerErrs.Load() > 0 {
+		fmt.Printf("dynrouter: FAIL: %d client-visible errors during the drill\n", workerErrs.Load())
+		return 1
+	}
+	if !recovered {
+		fmt.Printf("dynrouter: NOT recovered after %d steps (budget %.0f) in %v\n",
+			last.Steps, target.BudgetSteps, time.Since(t0).Round(time.Millisecond))
+		return 1
+	}
+	ep, _ := det.LastEpisode()
+	ratio := float64(ep.Steps) / target.BudgetSteps
+	fmt.Printf("dynrouter: cluster recovered in %d steps (%.2fx the m·ln(m/eps) budget of %.0f) — wall clock %v\n",
+		ep.Steps, ratio, target.BudgetSteps, ep.Wall.Round(time.Microsecond))
+	fmt.Printf("dynrouter: max load %d (target %d), %d/%d shards live\n",
+		last.MaxLoad, last.TargetMax, last.LiveShards, last.Shards)
+	if opt.budgetMult > 0 && ratio > opt.budgetMult {
+		fmt.Printf("dynrouter: FAIL: recovery %.2fx budget exceeds the %gx gate\n", ratio, opt.budgetMult)
+		return 1
+	}
+	return 0
+}
+
+// server is the HTTP face of the cluster: the dynallocd surface,
+// routed through the fleet.
+type server struct {
+	rt  *router.Router
+	det *router.Detector
+
+	trafficOps  atomic.Int64
+	trafficErrs atomic.Int64
+
+	mu  sync.Mutex // guards ses and r (the HTTP request stream)
+	ses *router.Session
+	r   *rng.RNG
+}
+
+func newServer(rt *router.Router, det *router.Detector, seed uint64) *server {
+	return &server{
+		rt: rt, det: det,
+		ses: rt.NewSession(),
+		r:   rng.NewStream(seed, httpStreamOffset),
+	}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/alloc", s.handleAlloc)
+	mux.HandleFunc("/free", s.handleFree)
+	mux.HandleFunc("/crash", s.handleCrash)
+	mux.HandleFunc("/state", s.handleState)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *server) serve(ctx context.Context, addr, portFile string) (chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("http listen: %w", err)
+	}
+	if portFile != "" {
+		if err := writePortFile(portFile, ln.Addr().String()); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	hs := &http.Server{Handler: s.routes()}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+	}()
+	go func() {
+		fmt.Printf("dynrouter: listening on %s\n", ln.Addr())
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+	return done, nil
+}
+
+// writePortFile publishes a resolved listen address for scripts that
+// started the daemon with an ephemeral port (write + rename, so a
+// poller never reads a torn file).
+func writePortFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return fmt.Errorf("port file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("port file: %w", err)
+	}
+	return nil
+}
+
+// watch keeps the cluster detector sweeping until ctx is done.
+func (s *server) watch(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.det.Check()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	res, err := s.ses.Admit(s.r)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"shard": res.Shard, "bin": int(res.Bin), "load": int(res.Load), "probes": res.Probes,
+	})
+}
+
+func (s *server) handleFree(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	var res router.FreeResult
+	var err error
+	if q.Get("shard") != "" || q.Get("bin") != "" {
+		// Targeted free: shard + bin addressed explicitly.
+		shard, serr := strconv.Atoi(q.Get("shard"))
+		if serr != nil || shard < 0 || shard >= s.rt.NumShards() {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad shard %q", q.Get("shard")))
+			return
+		}
+		bin, berr := strconv.Atoi(q.Get("bin"))
+		if berr != nil || bin < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad bin %q", q.Get("bin")))
+			return
+		}
+		s.mu.Lock()
+		res, err = s.ses.FreeAt(shard, dgram.FreeReq{Mode: dgram.FreeBin, Bin: uint32(bin), Count: 1})
+		s.mu.Unlock()
+	} else {
+		s.mu.Lock()
+		res, err = s.ses.Free(s.r)
+		s.mu.Unlock()
+	}
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"shard": res.Shard, "bin": int(res.Bin), "load": int(res.Load),
+	})
+}
+
+func (s *server) handleCrash(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	shard, err := strconv.Atoi(q.Get("shard"))
+	if err != nil || shard < 0 || shard >= s.rt.NumShards() {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad shard %q", q.Get("shard")))
+		return
+	}
+	bin, err := strconv.Atoi(q.Get("bin"))
+	if err != nil || bin < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad bin %q", q.Get("bin")))
+		return
+	}
+	k, err := strconv.Atoi(q.Get("k"))
+	if err != nil || k < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", q.Get("k")))
+		return
+	}
+	s.mu.Lock()
+	load, err := s.ses.Crash(shard, uint32(bin), uint32(k))
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	s.det.MarkDisrupted()
+	writeJSON(w, http.StatusOK, map[string]int{
+		"shard": shard, "bin": bin, "load": int(load), "added": k,
+	})
+}
+
+func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	status := s.det.Check()
+	traffic := map[string]int64{
+		"ops": s.trafficOps.Load(), "errors": s.trafficErrs.Load(),
+	}
+	if r.URL.Query().Get("summary") != "" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"max_load":    status.MaxLoad,
+			"recovered":   status.Recovered,
+			"degraded":    status.Degraded,
+			"live_shards": status.LiveShards,
+			"traffic":     traffic,
+		})
+		return
+	}
+	type shardInfo struct {
+		Addr  string `json:"addr"`
+		Down  bool   `json:"down"`
+		Total int64  `json:"total"`
+		N     int    `json:"n"`
+		Fails int64  `json:"fails"`
+	}
+	infos := make([]shardInfo, s.rt.NumShards())
+	for i := range infos {
+		infos[i] = shardInfo{
+			Addr: s.rt.Addr(i), Down: s.rt.Down(i),
+			Total: s.rt.CachedTotal(i), N: s.rt.CachedN(i), Fails: s.rt.Fails(i),
+		}
+	}
+	ep, episodes := s.det.LastEpisode()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"d":            s.rt.D(),
+		"status":       status,
+		"target":       s.det.Target(),
+		"episodes":     episodes,
+		"last_episode": ep,
+		"shards":       infos,
+		"traffic":      traffic,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := s.det.Check()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":          true,
+		"recovered":   status.Recovered,
+		"degraded":    status.Degraded,
+		"live_shards": status.LiveShards,
+	})
+}
+
+func parseScenario(s string) (process.Scenario, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "A":
+		return process.ScenarioA, nil
+	case "B":
+		return process.ScenarioB, nil
+	}
+	return 0, fmt.Errorf("unknown scenario %q (want A or B)", s)
+}

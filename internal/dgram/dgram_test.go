@@ -1,0 +1,234 @@
+package dgram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func frame(t Type, payload []byte) []byte {
+	return AppendFrame(nil, t, payload)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, want := range payloads {
+		for _, typ := range []Type{TProbe, TSummary, TAdmit, TErr} {
+			b := frame(typ, want)
+			gotT, got, rest, err := DecodeFrame(b)
+			if err != nil {
+				t.Fatalf("type %v payload %d bytes: %v", typ, len(want), err)
+			}
+			if gotT != typ || !bytes.Equal(got, want) || len(rest) != 0 {
+				t.Fatalf("round trip mismatch: type %v->%v, %d->%d payload bytes, %d rest", typ, gotT, len(want), len(got), len(rest))
+			}
+		}
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	types := []Type{TProbe, TAdmit, TState, TFree}
+	for i, typ := range types {
+		if err := w.WriteFrame(typ, bytes.Repeat([]byte{byte(i)}, i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, typ := range types {
+		gotT, p, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if gotT != typ || len(p) != i*100 {
+			t.Fatalf("frame %d: got %v/%d bytes, want %v/%d", i, gotT, len(p), typ, i*100)
+		}
+		for _, b := range p {
+			if b != byte(i) {
+				t.Fatalf("frame %d: payload corrupted", i)
+			}
+		}
+	}
+	if _, _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("clean stream end: got %v, want io.EOF", err)
+	}
+}
+
+// TestDecodeErrors drives every malformed-frame class through both the
+// slice decoder and the stream reader and checks for the typed error —
+// truncation, bad magic, version skew, unknown type, oversized length
+// prefix, bad CRC — and that none of them panics.
+func TestDecodeErrors(t *testing.T) {
+	good := frame(TSummary, []byte("payload"))
+
+	corrupt := func(off int, val byte) []byte {
+		b := bytes.Clone(good)
+		b[off] = val
+		return b
+	}
+	oversize := bytes.Clone(good)
+	binary.LittleEndian.PutUint32(oversize[4:8], MaxPayload+1)
+
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"header torn", good[:5], ErrTruncated},
+		{"payload torn", good[:HeaderSize+3], ErrTruncated},
+		{"crc torn", good[:len(good)-1], ErrTruncated},
+		{"bad magic", corrupt(0, 0x00), ErrMagic},
+		{"version skew", corrupt(1, Version+1), ErrVersion},
+		{"type zero", corrupt(2, 0), ErrType},
+		{"type unknown", corrupt(2, byte(maxType)+1), ErrType},
+		{"oversized length", oversize, ErrTooLarge},
+		{"flipped payload bit", corrupt(HeaderSize, 'P'^0x40), ErrCRC},
+		{"flipped reserved byte", corrupt(3, 0xFF), ErrCRC},
+		{"flipped crc", corrupt(len(good)-2, good[len(good)-2]^1), ErrCRC},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, err := DecodeFrame(tc.in); !errors.Is(err, tc.want) {
+				t.Fatalf("DecodeFrame: got %v, want %v", err, tc.want)
+			}
+			_, _, err := NewReader(bytes.NewReader(tc.in)).ReadFrame()
+			if tc.in == nil {
+				// A stream that ends on a frame boundary is io.EOF, not
+				// an error: there is no partial frame to complain about.
+				if err != io.EOF {
+					t.Fatalf("ReadFrame on empty stream: got %v, want io.EOF", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("ReadFrame: got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeFrameRest(t *testing.T) {
+	b := frame(TProbe, nil)
+	b = AppendFrame(b, TState, nil)
+	t1, _, rest, err := DecodeFrame(b)
+	if err != nil || t1 != TProbe {
+		t.Fatalf("first frame: %v %v", t1, err)
+	}
+	t2, _, rest, err := DecodeFrame(rest)
+	if err != nil || t2 != TState || len(rest) != 0 {
+		t.Fatalf("second frame: %v %v, %d rest", t2, err, len(rest))
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	want := Summary{N: 4096, Total: 123456, MaxLoad: 7, NonEmpty: 4000, Allocs: 1 << 40, Frees: 99, Recovered: true}
+	got, err := DecodeSummary(AppendSummary(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if _, err := DecodeSummary(AppendSummary(nil, want)[:summarySize-1]); !errors.Is(err, ErrShort) {
+		t.Fatalf("short summary: got %v", err)
+	}
+}
+
+func TestAdmitFreeCrashRoundTrip(t *testing.T) {
+	aq, err := DecodeAdmitReq(AppendAdmitReq(nil, AdmitReq{Count: 17}))
+	if err != nil || aq.Count != 17 {
+		t.Fatalf("admit req: %+v %v", aq, err)
+	}
+	fq, err := DecodeFreeReq(AppendFreeReq(nil, FreeReq{Mode: FreeBin, Bin: 5, Count: 2}))
+	if err != nil || fq != (FreeReq{Mode: FreeBin, Bin: 5, Count: 2}) {
+		t.Fatalf("free req: %+v %v", fq, err)
+	}
+	if _, err := DecodeFreeReq([]byte{9, 0, 0, 0, 0, 1, 0, 0, 0}); !errors.Is(err, ErrShort) {
+		t.Fatalf("bad free mode: got %v", err)
+	}
+	cq, err := DecodeCrashReq(AppendCrashReq(nil, CrashReq{Bin: 3, K: 1024}))
+	if err != nil || cq != (CrashReq{Bin: 3, K: 1024}) {
+		t.Fatalf("crash req: %+v %v", cq, err)
+	}
+	load, err := DecodeLoad(AppendLoad(nil, -7))
+	if err != nil || load != -7 {
+		t.Fatalf("load: %d %v", load, err)
+	}
+
+	pairs := []BinLoad{{Bin: 1, Load: 2}, {Bin: 4090, Load: -1}}
+	got, err := DecodeBinLoads(AppendBinLoads(nil, pairs), nil)
+	if err != nil || len(got) != 2 || got[0] != pairs[0] || got[1] != pairs[1] {
+		t.Fatalf("pairs: %+v %v", got, err)
+	}
+	// A count prefix larger than the payload backs is ErrShort, never a
+	// huge allocation or a panic.
+	bad := AppendBinLoads(nil, pairs)
+	binary.LittleEndian.PutUint32(bad[0:4], 1<<30)
+	if _, err := DecodeBinLoads(bad, nil); !errors.Is(err, ErrShort) {
+		t.Fatalf("overlong pair count: got %v", err)
+	}
+}
+
+func TestStateReplyRoundTrip(t *testing.T) {
+	want := StateReply{Allocs: 42, Frees: 17, Loads: []int32{0, 1, 5, 0, 3}}
+	got, err := DecodeStateReply(AppendStateReply(nil, want), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Allocs != want.Allocs || got.Frees != want.Frees || len(got.Loads) != len(want.Loads) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	for i := range want.Loads {
+		if got.Loads[i] != want.Loads[i] {
+			t.Fatalf("load %d: got %d, want %d", i, got.Loads[i], want.Loads[i])
+		}
+	}
+	bad := AppendStateReply(nil, want)
+	binary.LittleEndian.PutUint32(bad[16:20], 1<<29)
+	if _, err := DecodeStateReply(bad, nil); !errors.Is(err, ErrShort) {
+		t.Fatalf("overlong load count: got %v", err)
+	}
+}
+
+func TestErrReplyRoundTrip(t *testing.T) {
+	want := ErrReply{Code: CodeEmpty, Msg: "store is empty"}
+	got, err := DecodeErrReply(AppendErrReply(nil, want))
+	if err != nil || got != want {
+		t.Fatalf("got %+v %v, want %+v", got, err, want)
+	}
+	if got.Error() == "" || (ErrReply{Code: CodeDraining}).Error() == "" {
+		t.Fatal("ErrReply.Error must describe the failure")
+	}
+	if _, err := DecodeErrReply(nil); !errors.Is(err, ErrShort) {
+		t.Fatalf("empty error payload: got %v", err)
+	}
+}
+
+// TestReaderReusesBuffer pins the zero-alloc contract: after warmup,
+// reading frames of a stable size does not allocate.
+func TestReaderReusesBuffer(t *testing.T) {
+	var stream bytes.Buffer
+	w := NewWriter(&stream)
+	const frames = 100
+	for i := 0; i < frames; i++ {
+		if err := w.WriteFrame(TSummary, AppendSummary(nil, Summary{N: 1, Total: int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(bytes.NewReader(stream.Bytes()))
+	if _, _, err := r.ReadFrame(); err != nil { // warm the payload buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(frames-1, func() {
+		if _, _, err := r.ReadFrame(); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("ReadFrame allocates %.1f per frame after warmup", allocs)
+	}
+}

@@ -1,0 +1,104 @@
+package dgram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes through both decoders (slice
+// and stream) and checks the protocol's safety contract: no panic, no
+// giant allocation, typed errors only, and agreement between the two
+// decoders on every input. Valid-frame seeds come from the committed
+// corpus under testdata/fuzz (one per frame type plus mutation bait:
+// truncations, version skew, oversized length prefixes).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(AppendFrame(nil, TProbe, nil))
+	f.Add(AppendFrame(nil, TSummary, AppendSummary(nil, Summary{N: 64, Total: 64, MaxLoad: 2, NonEmpty: 40, Allocs: 100, Frees: 36, Recovered: true})))
+	f.Add(AppendFrame(nil, TAdmit, AppendAdmitReq(nil, AdmitReq{Count: 1})))
+	f.Add(AppendFrame(nil, TAdmitOK, AppendBinLoads(nil, []BinLoad{{Bin: 3, Load: 2}})))
+	f.Add(AppendFrame(nil, TFree, AppendFreeReq(nil, FreeReq{Mode: FreeScenario, Count: 1})))
+	f.Add(AppendFrame(nil, TCrash, AppendCrashReq(nil, CrashReq{Bin: 0, K: 4096})))
+	f.Add(AppendFrame(nil, TState, nil))
+	f.Add(AppendFrame(nil, TStateOK, AppendStateReply(nil, StateReply{Allocs: 9, Frees: 4, Loads: []int32{1, 0, 2}})))
+	f.Add(AppendFrame(nil, TErr, AppendErrReply(nil, ErrReply{Code: CodeEmpty, Msg: "empty"})))
+	// Mutation bait: a frame claiming a huge payload, a torn frame, a
+	// frame from the future, and two frames back to back.
+	huge := AppendFrame(nil, TProbe, nil)
+	binary.LittleEndian.PutUint32(huge[4:8], MaxPayload+1)
+	f.Add(huge)
+	f.Add(AppendFrame(nil, TSummary, make([]byte, summarySize))[:20])
+	skew := AppendFrame(nil, TProbe, nil)
+	skew[1] = Version + 1
+	f.Add(skew)
+	f.Add(AppendFrame(AppendFrame(nil, TProbe, nil), TState, nil))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		typ, payload, rest, err := DecodeFrame(b)
+		st, sp, serr := NewReader(bytes.NewReader(b)).ReadFrame()
+
+		if err == nil {
+			if len(payload) > MaxPayload {
+				t.Fatalf("decoded payload of %d bytes", len(payload))
+			}
+			if len(rest) > len(b) {
+				t.Fatal("rest grew beyond the input")
+			}
+			// The stream reader must accept exactly the same frame.
+			if serr != nil || st != typ || !bytes.Equal(sp, payload) {
+				t.Fatalf("stream reader disagrees: %v/%d bytes/%v vs %v/%d bytes", st, len(sp), serr, typ, len(payload))
+			}
+			// Decoded frames re-encode byte-identically (canonical form).
+			if re := AppendFrame(nil, typ, payload); !bytes.Equal(re, b[:len(b)-len(rest)]) {
+				t.Fatal("re-encoded frame differs from wire form")
+			}
+			// Message decoders on the payload must not panic either.
+			switch typ {
+			case TSummary:
+				_, _ = DecodeSummary(payload)
+			case TAdmit:
+				_, _ = DecodeAdmitReq(payload)
+			case TAdmitOK, TFreeOK:
+				_, _ = DecodeBinLoads(payload, nil)
+			case TFree:
+				_, _ = DecodeFreeReq(payload)
+			case TCrash:
+				_, _ = DecodeCrashReq(payload)
+			case TCrashOK:
+				_, _ = DecodeLoad(payload)
+			case TStateOK:
+				_, _ = DecodeStateReply(payload, nil)
+			case TErr:
+				_, _ = DecodeErrReply(payload)
+			}
+			return
+		}
+		if serr == nil {
+			t.Fatalf("slice decoder rejected (%v) what the stream reader accepted", err)
+		}
+		if len(b) == 0 && serr != io.EOF {
+			t.Fatalf("empty stream: got %v, want io.EOF", serr)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip fuzzes the encode side: any (type, payload)
+// within limits must survive encode -> decode bit-exactly.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(TProbe), []byte(nil))
+	f.Add(uint8(TStateOK), bytes.Repeat([]byte{7}, 1000))
+	f.Add(uint8(TErr), []byte("message"))
+	f.Fuzz(func(t *testing.T, rawType uint8, payload []byte) {
+		typ := Type(rawType)
+		if typ == 0 || typ > maxType {
+			return // AppendFrame encodes it, but decode rejects by design
+		}
+		b := AppendFrame(nil, typ, payload)
+		gotT, got, rest, err := DecodeFrame(b)
+		if err != nil || gotT != typ || !bytes.Equal(got, payload) || len(rest) != 0 {
+			t.Fatalf("round trip: %v/%v/%d rest/%v", gotT, len(got), len(rest), err)
+		}
+	})
+}

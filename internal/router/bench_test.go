@@ -1,0 +1,104 @@
+package router
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/serve"
+)
+
+// benchCluster boots `shards` in-process dgram servers and a Router,
+// mirroring cmd/bench's router workloads at test scale.
+func benchCluster(b *testing.B, nPerShard, shards, d int) *Router {
+	b.Helper()
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		st := serve.NewStore(nPerShard)
+		st.FillBalanced(nPerShard)
+		srv := NewServer(ServerConfig{
+			Store: st, Policy: serve.NewABKUPolicy(2), Scenario: process.ScenarioA,
+			Seed: uint64(i + 1),
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		go srv.Serve(ln)
+		b.Cleanup(func() { srv.Close() })
+	}
+	rt, err := New(Options{Shards: addrs, D: d})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	return rt
+}
+
+func BenchmarkSessionProbe(b *testing.B) {
+	rt := benchCluster(b, 1024, 1, 1)
+	ses := rt.NewSession()
+	defer ses.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ses.Probe(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionAdmit(b *testing.B) {
+	rt := benchCluster(b, 1024, 3, 2)
+	ses := rt.NewSession()
+	defer ses.Close()
+	r := rng.NewStream(1, 0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ses.Admit(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionAdmitBatch16(b *testing.B) {
+	rt := benchCluster(b, 1024, 3, 2)
+	ses := rt.NewSession()
+	defer ses.Close()
+	r := rng.NewStream(1, 0)
+	res := make([]AdmitResult, 0, 16)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := ses.AdmitBatch(r, 16, res[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = out
+	}
+}
+
+func BenchmarkSessionAdmitParallel8(b *testing.B) {
+	rt := benchCluster(b, 1024, 3, 2)
+	var mu sync.Mutex
+	w := 0
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.SetParallelism(1) // RunParallel spawns GOMAXPROCS goroutines
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		w++
+		r := rng.NewStream(2, uint64(w))
+		mu.Unlock()
+		ses := rt.NewSession()
+		defer ses.Close()
+		for pb.Next() {
+			if _, err := ses.Admit(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

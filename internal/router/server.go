@@ -1,0 +1,347 @@
+// Package router is the cluster tier of the live allocation service:
+// the shard-side dgram listener (Server) that lets a dynallocd
+// instance speak the binary protocol natively, the client/router layer
+// (Router) that partitions the bin space across N shard endpoints and
+// applies the paper's d-choice rule ACROSS shards — probe d shards,
+// admit at the least loaded — and the cluster-wide recovery Detector
+// that aggregates per-shard load digests against the fluid-limit
+// prediction exactly like serve.Detector does for one store.
+//
+// This is the two-level power-of-d structure of the Luczak–McDiarmid
+// continuous-time two-choices model: the router balances ball mass
+// across shards by total load, and each shard's local admission policy
+// balances across its own bins. Recovery of the whole cluster from an
+// adversarial state (a crashed shard bin, a killed and restored shard)
+// is measured against the same Theorem 1 budget as the single-node
+// service, on the cluster-wide step clock (the sum of shard admission
+// clocks).
+//
+// Fault model: shards fail by connection error or timeout. The router
+// degrades rather than fails — a probe that cannot reach its shard
+// drops out of the fan-out (d-1 probing), a shard that errors is
+// marked down and health-checked in the background until it returns,
+// and admissions retry on the surviving shards — so client-visible
+// errors require losing every shard. See docs/CLUSTER.md.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dynalloc/internal/dgram"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/serve"
+)
+
+// serverStreamOffset keeps the dgram listener's per-connection rng
+// streams disjoint from the drive workers (0..W-1), their pacing
+// streams (1<<32), and the HTTP admission stream (1<<33).
+const serverStreamOffset = 1 << 34
+
+// ServerConfig wires a shard's dgram listener to its store.
+type ServerConfig struct {
+	Store    *serve.Store
+	Policy   serve.Policy
+	Scenario process.Scenario
+	// Seed derives per-connection rng streams (serverStreamOffset +
+	// connection ordinal), so admissions through the binary protocol are
+	// deterministic per connection and disjoint from every other stream
+	// of the daemon.
+	Seed uint64
+	// Detector, when set, supplies the Recovered bit of PROBE replies
+	// and is notified (MarkDisrupted) on CRASH injections.
+	Detector *serve.Detector
+}
+
+// Server serves the dgram protocol for one shard. One goroutine per
+// connection; each connection gets its own policy clone and rng
+// stream, so connections never contend on admission state — the same
+// isolation the Engine gives its workers.
+type Server struct {
+	cfg      ServerConfig
+	draining atomic.Bool
+	connSeq  atomic.Uint64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a Server for cfg. It panics without a store or
+// policy, mirroring serve.NewEngine.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Store == nil || cfg.Policy == nil {
+		panic("router: server needs a store and a policy")
+	}
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// SetDraining flips the drain refusal: while true, mutating requests
+// (ADMIT/FREE/CRASH) answer TErr/CodeDraining so a shutdown checkpoint
+// sees a quiesced store; PROBE and STATE stay live for observability.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Serve accepts connections on ln until Close (or an unrecoverable
+// accept error) and blocks until every connection handler has exited.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("router: server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	var err error
+	for {
+		c, aerr := ln.Accept()
+		if aerr != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				err = aerr
+			}
+			break
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			break
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// the handlers to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+	s.wg.Done()
+}
+
+// handle is one connection's request loop. All reply encoding goes
+// through per-connection scratch buffers, so a steady request stream
+// does not allocate.
+func (s *Server) handle(c net.Conn) {
+	defer s.dropConn(c)
+	st := s.cfg.Store
+	pol := s.cfg.Policy.Clone()
+	r := rng.NewStream(s.cfg.Seed, serverStreamOffset+s.connSeq.Add(1))
+	fr := dgram.NewReader(c)
+	fw := dgram.NewWriter(c)
+
+	var payload []byte        // reply payload scratch
+	var pairs []dgram.BinLoad // admit/free pair scratch
+	var loads []int32         // STATE loads scratch
+
+	reply := func(t dgram.Type, p []byte) bool {
+		if err := fw.WriteFrame(t, p); err != nil {
+			return false
+		}
+		return true
+	}
+	replyErr := func(code dgram.ErrCode, msg string) bool {
+		metrics.AddCounter("dgram.server.errors", 1)
+		payload = dgram.AppendErrReply(payload[:0], dgram.ErrReply{Code: code, Msg: msg})
+		return reply(dgram.TErr, payload)
+	}
+
+	for {
+		t, req, err := fr.ReadFrame()
+		if err != nil {
+			return // connection gone, version skew, or corruption: drop it
+		}
+		metrics.AddCounter("dgram.server.requests", 1)
+		switch t {
+		case dgram.TProbe:
+			sum := st.LoadSummary()
+			w := dgram.Summary{
+				N:        uint32(sum.N),
+				Total:    sum.Total,
+				MaxLoad:  int32(sum.MaxLoad),
+				NonEmpty: sum.NonEmpty,
+				Allocs:   sum.Allocs,
+				Frees:    sum.Frees,
+			}
+			if d := s.cfg.Detector; d != nil {
+				w.Recovered = d.Recovered()
+			}
+			payload = dgram.AppendSummary(payload[:0], w)
+			if !reply(dgram.TSummary, payload) {
+				return
+			}
+
+		case dgram.TAdmit:
+			q, derr := dgram.DecodeAdmitReq(req)
+			if derr != nil {
+				if !replyErr(dgram.CodeBadRequest, derr.Error()) {
+					return
+				}
+				continue
+			}
+			if s.draining.Load() {
+				if !replyErr(dgram.CodeDraining, "shutting down") {
+					return
+				}
+				continue
+			}
+			pairs = pairs[:0]
+			for i := uint32(0); i < q.Count; i++ {
+				bin, _ := pol.Pick(st, r)
+				load := st.Alloc(bin)
+				pairs = append(pairs, dgram.BinLoad{Bin: uint32(bin), Load: int32(load)})
+			}
+			payload = dgram.AppendBinLoads(payload[:0], pairs)
+			if !reply(dgram.TAdmitOK, payload) {
+				return
+			}
+
+		case dgram.TFree:
+			q, derr := dgram.DecodeFreeReq(req)
+			if derr != nil {
+				if !replyErr(dgram.CodeBadRequest, derr.Error()) {
+					return
+				}
+				continue
+			}
+			if s.draining.Load() {
+				if !replyErr(dgram.CodeDraining, "shutting down") {
+					return
+				}
+				continue
+			}
+			if q.Mode == dgram.FreeBin && int(q.Bin) >= st.N() {
+				if !replyErr(dgram.CodeBadRequest, fmt.Sprintf("bin %d out of range", q.Bin)) {
+					return
+				}
+				continue
+			}
+			pairs = pairs[:0]
+			var ferr error
+			for i := uint32(0); i < q.Count && ferr == nil; i++ {
+				var bin, load int
+				switch {
+				case q.Mode == dgram.FreeBin:
+					bin = int(q.Bin)
+					load, ferr = st.FreeBin(bin)
+				case s.cfg.Scenario == process.ScenarioB:
+					bin, ferr = st.FreeNonEmpty(r)
+					if ferr == nil {
+						load = st.Load(bin)
+					}
+				default:
+					bin, ferr = st.FreeBall(r)
+					if ferr == nil {
+						load = st.Load(bin)
+					}
+				}
+				if ferr == nil {
+					pairs = append(pairs, dgram.BinLoad{Bin: uint32(bin), Load: int32(load)})
+				}
+			}
+			if ferr != nil && len(pairs) == 0 {
+				code := dgram.CodeInternal
+				if errors.Is(ferr, serve.ErrEmpty) || errors.Is(ferr, serve.ErrEmptyBin) {
+					code = dgram.CodeEmpty
+				}
+				if !replyErr(code, ferr.Error()) {
+					return
+				}
+				continue
+			}
+			payload = dgram.AppendBinLoads(payload[:0], pairs)
+			if !reply(dgram.TFreeOK, payload) {
+				return
+			}
+
+		case dgram.TCrash:
+			q, derr := dgram.DecodeCrashReq(req)
+			if derr != nil {
+				if !replyErr(dgram.CodeBadRequest, derr.Error()) {
+					return
+				}
+				continue
+			}
+			if s.draining.Load() {
+				if !replyErr(dgram.CodeDraining, "shutting down") {
+					return
+				}
+				continue
+			}
+			if int(q.Bin) >= st.N() {
+				if !replyErr(dgram.CodeBadRequest, fmt.Sprintf("bin %d out of range", q.Bin)) {
+					return
+				}
+				continue
+			}
+			load := st.Crash(int(q.Bin), int(q.K))
+			if d := s.cfg.Detector; d != nil {
+				d.MarkDisrupted()
+			}
+			payload = dgram.AppendLoad(payload[:0], int32(load))
+			if !reply(dgram.TCrashOK, payload) {
+				return
+			}
+
+		case dgram.TState:
+			n := st.N()
+			if cap(loads) < n {
+				loads = make([]int32, n)
+			}
+			loads = loads[:n]
+			for b := 0; b < n; b++ {
+				loads[b] = int32(st.Load(b))
+			}
+			w := dgram.StateReply{Allocs: st.Allocs(), Frees: st.Frees(), Loads: loads}
+			payload = dgram.AppendStateReply(payload[:0], w)
+			if !reply(dgram.TStateOK, payload) {
+				return
+			}
+
+		default:
+			// A reply type (or anything else) arriving as a request is a
+			// confused peer, not a crash.
+			if !replyErr(dgram.CodeBadRequest, "unexpected frame "+t.String()) {
+				return
+			}
+		}
+	}
+}

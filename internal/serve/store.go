@@ -428,6 +428,52 @@ func (st *Store) LoadsCopy() []int {
 	return out
 }
 
+// LoadSummary is the compact load digest a cluster router probes for:
+// everything the cluster-level d-choice rule and the cluster recovery
+// detector need from a shard, without the Snapshot() copy + sort.
+type LoadSummary struct {
+	N        int   `json:"n"`
+	Total    int64 `json:"total"`
+	MaxLoad  int   `json:"max_load"`
+	NonEmpty int64 `json:"non_empty"`
+	Allocs   int64 `json:"allocs"`
+	Frees    int64 `json:"frees"`
+}
+
+// LoadSummary reads the store's load digest lock-free: the counters are
+// single atomic loads and MaxLoad is one pass over the bin atomics with
+// no allocation — unlike Snapshot, which copies all n loads and sorts
+// them into a normalized vector. Under concurrent traffic the digest
+// has Snapshot's consistency: per-field exact counters, a max that can
+// be off by the operations in flight during the scan. This is the
+// PROBE hot path of the dgram protocol, so it must not allocate.
+func (st *Store) LoadSummary() LoadSummary {
+	max := 0
+	for b := range st.loads {
+		if l := int(st.loads[b].Load()); l > max {
+			max = l
+		}
+	}
+	return LoadSummary{
+		N:        st.n,
+		Total:    st.total.Load(),
+		MaxLoad:  max,
+		NonEmpty: st.nonEmpty.Load(),
+		Allocs:   st.allocs.Load(),
+		Frees:    st.frees.Load(),
+	}
+}
+
+// AppendStripeTotals appends the per-stripe ball counts (one atomic
+// read per lock stripe, index order) to dst and returns it, so callers
+// on a hot path can reuse the slice across probes.
+func (st *Store) AppendStripeTotals(dst []int64) []int64 {
+	for i := range st.shards {
+		dst = append(dst, st.shards[i].total.Load())
+	}
+	return dst
+}
+
 // Stats is a cheap O(1) summary of the store's counters.
 type Stats struct {
 	N        int   `json:"n"`

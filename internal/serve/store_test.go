@@ -395,3 +395,98 @@ func TestRestoreRoundTrip(t *testing.T) {
 		t.Fatal("restore accepted a negative load")
 	}
 }
+
+func TestLoadSummaryMatchesSnapshot(t *testing.T) {
+	r := rng.New(7)
+	for _, tc := range []struct{ n, shards, churn int }{
+		{1, 1, 50}, {64, 8, 500}, {1000, 16, 5000},
+	} {
+		st := NewStoreShards(tc.n, tc.shards)
+		check := func() {
+			sum := st.LoadSummary()
+			v := st.Snapshot()
+			if sum.N != tc.n {
+				t.Fatalf("n=%d: summary N %d", tc.n, sum.N)
+			}
+			if sum.MaxLoad != v.MaxLoad() {
+				t.Fatalf("n=%d: summary max %d, snapshot max %d", tc.n, sum.MaxLoad, v.MaxLoad())
+			}
+			if sum.Total != int64(v.Total()) || sum.Total != st.Total() {
+				t.Fatalf("n=%d: summary total %d, snapshot %d, counter %d", tc.n, sum.Total, v.Total(), st.Total())
+			}
+			if sum.NonEmpty != int64(v.NonEmpty()) {
+				t.Fatalf("n=%d: summary nonempty %d, snapshot %d", tc.n, sum.NonEmpty, v.NonEmpty())
+			}
+			if sum.Allocs != st.Allocs() || sum.Frees != st.Frees() {
+				t.Fatalf("n=%d: summary clocks (%d,%d) vs store (%d,%d)", tc.n, sum.Allocs, sum.Frees, st.Allocs(), st.Frees())
+			}
+			var stripes []int64
+			stripes = st.AppendStripeTotals(stripes[:0])
+			if len(stripes) != st.Shards() {
+				t.Fatalf("n=%d: %d stripe totals for %d stripes", tc.n, len(stripes), st.Shards())
+			}
+			var sumStripes int64
+			for _, s := range stripes {
+				sumStripes += s
+			}
+			if sumStripes != sum.Total {
+				t.Fatalf("n=%d: stripe totals sum %d, total %d", tc.n, sumStripes, sum.Total)
+			}
+		}
+		check() // empty store: MaxLoad 0
+		st.FillBalanced(3 * tc.n / 2)
+		check()
+		st.Crash(r.Intn(tc.n), 17)
+		check()
+		for i := 0; i < tc.churn; i++ {
+			if r.Bool() {
+				st.Alloc(r.Intn(tc.n))
+			} else if _, err := st.FreeBall(r); err != nil && err != ErrEmpty {
+				t.Fatal(err)
+			}
+			if i%97 == 0 {
+				check()
+			}
+		}
+		check()
+	}
+}
+
+func TestLoadSummaryConcurrent(t *testing.T) {
+	st := NewStoreShards(512, 16)
+	st.FillBalanced(2048)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.NewStream(11, uint64(w))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st.Alloc(r.Intn(512))
+				if _, err := st.FreeBall(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Under churn the digest cannot be an exact cut, but every field
+	// must stay within the bounds the closed-loop traffic implies.
+	for i := 0; i < 200; i++ {
+		sum := st.LoadSummary()
+		if sum.MaxLoad < 1 || sum.NonEmpty < 1 {
+			t.Fatalf("digest lost the balls: %+v", sum)
+		}
+		if sum.Total < 2048-8 || sum.Total > 2048+8 {
+			t.Fatalf("closed-loop total drifted: %+v", sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -8,11 +8,15 @@
 #   4. kill -9 again, restart with the traffic driver, and assert the
 #      recovery detector re-fires (/healthz recovered:true).
 #
-# Usage: scripts/recovery_drill.sh [port]   (default 8123)
+# Usage: scripts/recovery_drill.sh [port]
+#
+# With no argument the daemon binds an ephemeral port (-addr :0) and
+# publishes the resolved address through -port-file, so concurrent CI
+# jobs can never collide; pass a port to pin it.
 set -euo pipefail
 
-PORT="${1:-8123}"
-ADDR="127.0.0.1:${PORT}"
+PORT="${1:-0}"
+ADDR="" # resolved from the port file after each start
 N=4096
 CRASH_K=1024
 
@@ -49,9 +53,19 @@ wait_healthy() {
 }
 
 start_daemon() { # args: extra flags...
-  "$WORK/dynallocd" -n "$N" -addr "$ADDR" -wal-dir "$WALDIR" -fsync always \
+  rm -f "$WORK/http.port"
+  "$WORK/dynallocd" -n "$N" -addr "127.0.0.1:${PORT}" \
+    -port-file "$WORK/http.port" -wal-dir "$WALDIR" -fsync always \
     -check-interval 250ms "$@" >"$WORK/log" 2>&1 &
   PID=$!
+  for _ in $(seq 1 50); do
+    [ -s "$WORK/http.port" ] && break
+    sleep 0.2
+  done
+  if [ ! -s "$WORK/http.port" ]; then
+    say "daemon never published its port"; return 1
+  fi
+  ADDR="$(cat "$WORK/http.port")"
   wait_healthy
 }
 
