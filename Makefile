@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill chaos-drill cluster-drill explore explore-full cover clean
+.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill failover-drill chaos-drill cluster-drill explore explore-full cover clean
 
 all: build vet test
 
@@ -50,6 +50,13 @@ serve-drill: build
 # state survived and the detector re-fires (docs/SERVING.md).
 recovery-drill: build
 	./scripts/recovery_drill.sh
+
+# Failover drill: kill -9 a streaming primary, promote its hot standby
+# via POST /promote, verify the state transferred bit for bit and the
+# detector re-fires within 8x the Theorem 1 budget
+# (docs/REPLICATION.md). Same flow as the failover-drill CI job.
+failover-drill: build
+	./scripts/failover_drill.sh
 
 # Multi-node drill: 3 durable shards behind dynrouter — crash through
 # the router, kill -9 a shard mid-traffic (zero client errors, d-1

@@ -11,6 +11,7 @@ import (
 	"dynalloc/internal/loadvec"
 	"dynalloc/internal/par"
 	"dynalloc/internal/process"
+	"dynalloc/internal/replica"
 	"dynalloc/internal/rng"
 	"dynalloc/internal/router"
 	"dynalloc/internal/rules"
@@ -208,6 +209,64 @@ func suiteWorkloads(quick bool) []workload {
 			}
 		}
 	}
+	replicaStream := func() func(uint64, int) {
+		return func(seed uint64, trials int) {
+			// Replication pipeline throughput: `trials` records through the
+			// full ship path — tail reads off the primary's sealed
+			// segments, frame encode/decode, the follower's local append,
+			// and the warm-store apply. Fsync off on both sides so the
+			// number is the pipeline cost, not the disk's.
+			pdir, err := os.MkdirTemp("", "bench-rep-p-*")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(pdir)
+			sdir, err := os.MkdirTemp("", "bench-rep-s-*")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(sdir)
+			const n = 1 << 16
+			l, err := wal.Open(wal.Options{Dir: pdir, Fsync: wal.FsyncNever, SegmentBytes: 4 << 20})
+			if err != nil {
+				panic(err)
+			}
+			r := rng.New(seed)
+			recs := make([]wal.Record, 0, 512)
+			for i := 0; i < trials; {
+				recs = recs[:0]
+				for len(recs) < cap(recs) && i < trials {
+					i++
+					recs = append(recs, wal.Record{Op: wal.OpAlloc, Bin: uint32(r.Intn(n)), K: 1, Seq: uint64(i)})
+				}
+				if err := l.AppendBatch(recs); err != nil {
+					panic(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				panic(err)
+			}
+			sst := serve.NewStoreShards(n, 64)
+			f, _, err := replica.NewFollower(replica.FollowerConfig{
+				Store: sst, Dir: sdir, Fsync: wal.FsyncNever, SegmentBytes: 4 << 20,
+			})
+			if err != nil {
+				panic(err)
+			}
+			sh := replica.NewShipper(replica.ShipperConfig{Dir: pdir, BatchRecords: 256}, 0)
+			caught, err := sh.Pump(f.Deliver)
+			if err != nil {
+				panic(err)
+			}
+			if !caught {
+				panic("replica/stream: ship did not catch up")
+			}
+			sh.Close()
+			if err := f.Close(); err != nil {
+				panic(err)
+			}
+		}
+	}
 	// startCluster boots `shards` in-process dgram shard servers on
 	// loopback listeners plus a Router over them. Shared by the router
 	// workloads; the fleet lives for the rest of the process (the bench
@@ -321,6 +380,7 @@ func suiteWorkloads(quick bool) []workload {
 		{"wal/append", pick(100_000, 1_000_000), walAppend()},
 		{"wal/append-batch/b=512", pick(100_000, 1_000_000), walAppendBatch(512)},
 		{"wal/replay", pick(100_000, 1_000_000), walReplay()},
+		{"replica/stream", pick(100_000, 1_000_000), replicaStream()},
 		{"router/admit/shards=3/w=8", pick(50_000, 200_000), routerAdmit(1024, 3, 2, 8, 16)},
 		{"dgram/roundtrip", pick(20_000, 100_000), dgramRoundTrip(1024)},
 	}

@@ -29,6 +29,16 @@
 // -drive, -chaos-min-episodes and -chaos-budget-mult turn the run
 // into a self-checking drill.
 //
+// Replication (see docs/REPLICATION.md): with -replica-listen the
+// daemon also serves its WAL directory as a replication stream that a
+// hot standby — a second dynallocd started with -replicate-from ADDR —
+// subscribes to, persists, and continuously replays into a warm store.
+// A standby serves read-only endpoints plus POST /promote (409 while
+// the primary still heartbeats, unless force=1 fences it through the
+// stream); promotion re-arms a journal and detector on the standby's
+// own directory and, when -dgram-addr is set, binds the shard listener
+// so a router revives the shard at the same address.
+//
 // Durability (-wal-dir DIR, see docs/SERVING.md): every mutation is
 // appended to a write-ahead log, checkpoints are taken at boot, on
 // -checkpoint-every ticks, on POST /checkpoint, and at shutdown; a
@@ -46,6 +56,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -62,6 +73,7 @@ import (
 
 	"dynalloc/internal/metrics"
 	"dynalloc/internal/process"
+	"dynalloc/internal/replica"
 	"dynalloc/internal/rng"
 	"dynalloc/internal/router"
 	"dynalloc/internal/serve"
@@ -103,6 +115,10 @@ func main() {
 		walStall   = flag.Duration("wal-stall-timeout", 0, "drop a mutation's WAL record after waiting this long on a stalled writer (0: block, full backpressure)")
 		walBatch   = flag.Int("wal-max-batch", 0, "max records per group-commit WAL batch (0: default 512)")
 
+		repListen = flag.String("replica-listen", "", "serve the WAL as a replication stream on this address (needs -wal-dir; port 0: ephemeral)")
+		repFile   = flag.String("replica-port-file", "", "write the resolved replication listen address to this file once listening")
+		repFrom   = flag.String("replicate-from", "", "run as a hot standby of the primary's -replica-listen address (needs -wal-dir)")
+
 		chaos       = flag.Bool("chaos", false, "fire Poisson-timed catastrophes while serving/driving (docs/CHAOS.md)")
 		chaosRate   = flag.Float64("chaos-rate", 0.5, "mean catastrophes per second under -chaos")
 		chaosFaults = flag.String("chaos-faults", "", "comma-separated catastrophe kinds under -chaos: crash,stall,enospc (empty: all available; stall/enospc need -wal-dir)")
@@ -129,8 +145,10 @@ func main() {
 		checkInterval: *checkIntvl,
 		walDir:        *walDir, ckptEvery: *ckptEvery,
 		fsync: *fsyncPol, fsyncInterval: *fsyncIntvl, walStall: *walStall,
-		walMaxBatch: *walBatch,
-		chaos:       *chaos, chaosRate: *chaosRate, chaosFaults: *chaosFaults,
+		walMaxBatch:   *walBatch,
+		replicaListen: *repListen, replicaPortFile: *repFile,
+		replicateFrom: *repFrom,
+		chaos:         *chaos, chaosRate: *chaosRate, chaosFaults: *chaosFaults,
 		chaosMinEpisodes: *chaosMinEp, chaosBudgetMult: *chaosMult,
 	})
 	if err := stopProf(); err != nil {
@@ -171,6 +189,10 @@ type options struct {
 	fsyncInterval time.Duration
 	walStall      time.Duration
 	walMaxBatch   int
+
+	replicaListen   string
+	replicaPortFile string
+	replicateFrom   string
 
 	chaos            bool
 	chaosRate        float64
@@ -226,6 +248,12 @@ func run(opt options) int {
 		st = serve.NewStore(opt.n)
 	}
 
+	// A hot standby is a different daemon shape: no seeding, no driver —
+	// just the follower replaying the primary's stream until promoted.
+	if opt.replicateFrom != "" {
+		return runReplica(st, pol, sc, opt)
+	}
+
 	// Durability: restore the store from -wal-dir if it holds state,
 	// seed it balanced otherwise, then attach the journal so every
 	// mutation from here on is logged. The boot checkpoint makes the
@@ -233,6 +261,7 @@ func run(opt options) int {
 	// without it a fresh boot's balls would exist nowhere on disk.
 	var j *serve.Journal
 	var faultFS *vfs.FaultFS // chaos mode's disk-fault seam on the WAL dir
+	walFS := vfs.FS(vfs.OS)  // the FS the WAL dir is reached through (replication reads it too)
 	if opt.walDir != "" {
 		fp, err := wal.ParseFsyncPolicy(opt.fsync)
 		if err != nil {
@@ -254,7 +283,8 @@ func run(opt options) int {
 			// FS) runs behind the fault seam so the injector can arm
 			// stalls and ENOSPC against a live daemon.
 			faultFS = vfs.NewFaultFS(vfs.OS)
-			walOpts.FS = faultFS
+			walFS = faultFS
+			walOpts.FS = walFS
 		}
 		log, err := wal.Open(walOpts)
 		if err != nil {
@@ -293,7 +323,9 @@ func run(opt options) int {
 	defer cancel()
 
 	srv := newServer(st, det, pol, sc, opt.seed)
-	srv.j = j
+	if j != nil {
+		srv.jp.Store(j)
+	}
 	var httpDone chan error
 	if opt.addr != "" {
 		httpDone, err = srv.serve(ctx, opt.addr, opt.portFile)
@@ -312,28 +344,60 @@ func run(opt options) int {
 	var dgramSrv *router.Server
 	var dgramDone chan error
 	if opt.dgramAddr != "" {
-		ln, lerr := net.Listen("tcp", opt.dgramAddr)
-		if lerr != nil {
+		var dgAddr net.Addr
+		dgramSrv, dgAddr, dgramDone, err = startDgram(opt.dgramAddr, opt.dgramPortFile, router.ServerConfig{
+			Store: st, Policy: pol, Scenario: sc, Seed: opt.seed, Detector: det,
+		})
+		if err != nil {
 			if j != nil {
 				j.Close()
 			}
-			return fail(fmt.Errorf("dgram listen: %w", lerr))
+			return fail(err)
 		}
-		if opt.dgramPortFile != "" {
-			if werr := writePortFile(opt.dgramPortFile, ln.Addr().String()); werr != nil {
-				ln.Close()
-				if j != nil {
-					j.Close()
+		fmt.Printf("dynallocd: dgram listening on %s\n", dgAddr)
+	}
+
+	// The replication stream: followers subscribe here and tail the same
+	// WAL directory the journal writes. OnPromote is the fence a forced
+	// promotion pulls — stop admitting, flush the journal, and hand the
+	// final durable seq to the streamer to acknowledge with.
+	var repStr *replica.Streamer
+	var repDone chan error
+	if opt.replicaListen != "" {
+		if j == nil {
+			return fail(fmt.Errorf("-replica-listen needs -wal-dir (the stream ships the WAL)"))
+		}
+		repStr, err = replica.NewStreamer(replica.StreamerConfig{
+			FS: walFS, Dir: opt.walDir, LastSeq: j.LastSeq,
+			OnPromote: func(force bool) (uint64, error) {
+				srv.draining.Store(true)
+				if dgramSrv != nil {
+					dgramSrv.SetDraining(true)
 				}
+				j.Drain()
+				fmt.Println("dynallocd: fenced by a promoting follower; refusing mutations")
+				return j.LastSeq(), nil
+			},
+		})
+		if err != nil {
+			j.Close()
+			return fail(err)
+		}
+		ln, lerr := net.Listen("tcp", opt.replicaListen)
+		if lerr != nil {
+			j.Close()
+			return fail(fmt.Errorf("replica listen: %w", lerr))
+		}
+		if opt.replicaPortFile != "" {
+			if werr := writePortFile(opt.replicaPortFile, ln.Addr().String()); werr != nil {
+				ln.Close()
+				j.Close()
 				return fail(werr)
 			}
 		}
-		dgramSrv = router.NewServer(router.ServerConfig{
-			Store: st, Policy: pol, Scenario: sc, Seed: opt.seed, Detector: det,
-		})
-		dgramDone = make(chan error, 1)
-		go func() { dgramDone <- dgramSrv.Serve(ln) }()
-		fmt.Printf("dynallocd: dgram listening on %s\n", ln.Addr())
+		repDone = make(chan error, 1)
+		go func() { repDone <- repStr.Serve(ln) }()
+		fmt.Printf("dynallocd: replication stream listening on %s\n", ln.Addr())
 	}
 
 	var ckptWG sync.WaitGroup
@@ -419,6 +483,19 @@ func run(opt options) int {
 		}
 	}
 
+	// Stop the replication stream before the final checkpoint: a
+	// follower mid-pump holds segment handles, and the final truncation
+	// should not race a tail read.
+	if repStr != nil {
+		repStr.Close()
+		if err := <-repDone; err != nil {
+			fmt.Fprintln(os.Stderr, "dynallocd: replica stream:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+
 	// Stop the injector before the final checkpoint: its shutdown path
 	// clears any armed disk fault, so the checkpoint lands on a healthy
 	// filesystem.
@@ -454,6 +531,191 @@ func run(opt options) int {
 					code = 1
 				}
 			}
+		}
+	}
+	return code
+}
+
+// startDgram binds the binary shard-protocol listener, publishes its
+// resolved address, and serves it. Shared between boot and the
+// promotion path (a promoted standby binds the same -dgram-addr the
+// dead primary held, so a router's health loop revives the shard
+// there).
+func startDgram(addr, portFile string, cfg router.ServerConfig) (*router.Server, net.Addr, chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dgram listen: %w", err)
+	}
+	if portFile != "" {
+		if err := writePortFile(portFile, ln.Addr().String()); err != nil {
+			ln.Close()
+			return nil, nil, nil, err
+		}
+	}
+	srv := router.NewServer(cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return srv, ln.Addr(), done, nil
+}
+
+// runReplica is the hot-standby daemon shape: a Follower subscribed to
+// the primary's replication stream, replaying into the warm store and
+// persisting its own log copy, with HTTP serving the replication view
+// and POST /promote. Promotion re-arms a journal + detector on the
+// follower's own directory and (when -dgram-addr is set) binds the
+// shard listener — from then on the daemon is an ordinary primary.
+func runReplica(st *serve.Store, pol serve.Policy, sc process.Scenario, opt options) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "dynallocd:", err)
+		return 2
+	}
+	if opt.walDir == "" {
+		return fail(fmt.Errorf("-replicate-from needs -wal-dir (the replica persists its own log copy)"))
+	}
+	if opt.drive || opt.chaos || opt.crashK > 0 || opt.replicaListen != "" {
+		return fail(fmt.Errorf("-replicate-from excludes -drive/-chaos/-crash/-replica-listen until promotion"))
+	}
+	fp, err := wal.ParseFsyncPolicy(opt.fsync)
+	if err != nil {
+		return fail(err)
+	}
+	f, res, err := replica.NewFollower(replica.FollowerConfig{
+		Store: st, Dir: opt.walDir, Fsync: fp,
+		CheckpointEvery: 4096,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if res.Restored {
+		fmt.Printf("dynallocd: replica restored %d balls from %s (seq %d)\n",
+			st.Total(), opt.walDir, f.AppliedSeq())
+	}
+	fmt.Printf("dynallocd: replica of %s: n=%d rule=%s scenario=%s wal-dir=%s\n",
+		opt.replicateFrom, opt.n, pol.Name(), sc, opt.walDir)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	srv := newServer(st, nil, pol, sc, opt.seed)
+	srv.fol = f
+
+	// Promotion: stop the stream (fencing a live primary if forced),
+	// then re-arm everything a primary boot sets up — journal with a
+	// fresh checkpoint, detector with a promotion fault noted, and the
+	// shard listener the router revives this address through. The
+	// detector is installed last: its presence flips the mutation gate.
+	var promoteMu sync.Mutex
+	var pDgram *router.Server
+	var pDgramDone chan error
+	srv.promote = func(force bool) (replica.PromoteResult, error) {
+		promoteMu.Lock()
+		defer promoteMu.Unlock()
+		pres, err := f.Promote(force)
+		if err != nil || srv.detector() != nil {
+			return pres, err // refused, or an idempotent re-promote
+		}
+		log, err := wal.Open(wal.Options{Dir: opt.walDir, Fsync: fp, FsyncInterval: opt.fsyncInterval})
+		if err != nil {
+			return pres, fmt.Errorf("re-arm wal: %w", err)
+		}
+		jo := serve.JournalOptions{StallTimeout: opt.walStall, MaxBatch: opt.walMaxBatch}
+		if fp == wal.FsyncInterval {
+			jo.SyncEvery = opt.fsyncInterval
+		}
+		j := serve.NewJournal(st, log, pres.LastSeq, jo)
+		if _, _, err := j.Checkpoint(); err != nil {
+			j.Close()
+			return pres, fmt.Errorf("promotion checkpoint: %w", err)
+		}
+		warnMaint(j, "promotion checkpoint")
+		target, err := serve.NewTarget(pol, sc, opt.n, int(st.Total()), opt.slack)
+		if err != nil {
+			j.Close()
+			return pres, err
+		}
+		det := serve.NewDetector(st, target)
+		det.AttachEpisodes(serve.NewEpisodeTracker(target.BudgetSteps))
+		det.NoteFault("promote") // the fail-over IS a disruption episode
+		srv.jp.Store(j)
+		srv.det.Store(det)
+		if opt.dgramAddr != "" {
+			dg, dgAddr, done, derr := startDgram(opt.dgramAddr, opt.dgramPortFile, router.ServerConfig{
+				Store: st, Policy: pol, Scenario: sc, Seed: opt.seed, Detector: det,
+			})
+			if derr != nil {
+				fmt.Fprintln(os.Stderr, "dynallocd: promote:", derr)
+			} else {
+				pDgram, pDgramDone = dg, done
+				fmt.Printf("dynallocd: dgram listening on %s\n", dgAddr)
+			}
+		}
+		fmt.Printf("dynallocd: promoted at seq %d (forced=%v, %d frees skipped in replay)\n",
+			pres.LastSeq, pres.Forced, pres.SkippedFrees)
+		return pres, nil
+	}
+
+	var httpDone chan error
+	if opt.addr != "" {
+		httpDone, err = srv.serve(ctx, opt.addr, opt.portFile)
+		if err != nil {
+			f.Close()
+			return fail(err)
+		}
+	}
+
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		f.Run(ctx, opt.replicateFrom)
+	}()
+
+	code := 0
+	if httpDone != nil {
+		srv.watch(ctx, opt.checkInterval)
+		if err := <-httpDone; err != nil {
+			fmt.Fprintln(os.Stderr, "dynallocd:", err)
+			code = 1
+		}
+	} else {
+		<-ctx.Done()
+	}
+	cancel()
+	<-runDone
+
+	promoteMu.Lock()
+	defer promoteMu.Unlock()
+	if pDgram != nil {
+		pDgram.SetDraining(true)
+		pDgram.Close()
+		if err := <-pDgramDone; err != nil {
+			fmt.Fprintln(os.Stderr, "dynallocd: dgram:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if j := srv.journal(); j != nil {
+		// Promoted: shut down exactly like a primary — final checkpoint,
+		// then close the WAL.
+		if snap, _, err := j.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynallocd: final checkpoint:", err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Printf("dynallocd: final checkpoint at seq %d (%d balls)\n", snap.Seq, st.Total())
+		}
+		warnMaint(j, "final checkpoint")
+		if err := j.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynallocd: wal close:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	} else if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "dynallocd: replica close:", err)
+		if code == 0 {
+			code = 1
 		}
 	}
 	return code
@@ -535,12 +797,18 @@ func reportChaos(det *serve.Detector, target serve.Target, opt options, res serv
 }
 
 // server is the HTTP face of the store: admissions, frees, fault
-// injection, and the detector's view of the state.
+// injection, and the detector's view of the state. In replica mode
+// (fol != nil) the detector and journal start nil and are installed
+// atomically by promotion — their presence IS the "promoted" state the
+// mutation gate checks.
 type server struct {
 	st  *serve.Store
-	det *serve.Detector
+	det atomic.Pointer[serve.Detector]
 	sc  process.Scenario
-	j   *serve.Journal // nil when durability is off
+	jp  atomic.Pointer[serve.Journal] // nil when durability is off
+
+	fol     *replica.Follower // non-nil in replica mode
+	promote func(force bool) (replica.PromoteResult, error)
 
 	// draining flips on when shutdown starts: mutation endpoints refuse
 	// with 503 so the final checkpoint captures a quiesced store.
@@ -551,17 +819,24 @@ type server struct {
 	r   *rng.RNG
 }
 
+func (s *server) detector() *serve.Detector { return s.det.Load() }
+func (s *server) journal() *serve.Journal   { return s.jp.Load() }
+
 // httpStreamOffset keeps the HTTP admission rng stream disjoint from
 // the drive workers' decision streams (streams 0..W-1) and their pacing
 // streams (offset 1<<32).
 const httpStreamOffset = 1 << 33
 
 func newServer(st *serve.Store, det *serve.Detector, pol serve.Policy, sc process.Scenario, seed uint64) *server {
-	return &server{
-		st: st, det: det, sc: sc,
+	s := &server{
+		st: st, sc: sc,
 		pol: pol.Clone(),
 		r:   rng.NewStream(seed, httpStreamOffset),
 	}
+	if det != nil {
+		s.det.Store(det)
+	}
+	return s
 }
 
 func (s *server) routes() http.Handler {
@@ -570,6 +845,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/free", s.handleFree)
 	mux.HandleFunc("/crash", s.handleCrash)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/promote", s.handlePromote)
 	mux.HandleFunc("/state", s.handleState)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -628,7 +904,9 @@ func writePortFile(path, addr string) error {
 }
 
 // watch runs periodic detector checks until ctx is done, so the
-// recovered gauge stays fresh even when no driver is stepping the store.
+// recovered gauge stays fresh even when no driver is stepping the
+// store. An un-promoted replica has no detector yet; the tick resumes
+// checking the moment promotion installs one.
 func (s *server) watch(ctx context.Context, every time.Duration) {
 	if every <= 0 {
 		every = time.Second
@@ -640,7 +918,9 @@ func (s *server) watch(ctx context.Context, every time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			s.det.Check()
+			if det := s.detector(); det != nil {
+				det.Check()
+			}
 		}
 	}
 }
@@ -665,12 +945,22 @@ func (s *server) refuseDraining(w http.ResponseWriter) bool {
 	return true
 }
 
+// refuseReplica rejects mutations on an un-promoted replica: the
+// stream is the only writer until POST /promote installs a detector.
+func (s *server) refuseReplica(w http.ResponseWriter) bool {
+	if s.fol == nil || s.detector() != nil {
+		return false
+	}
+	writeErr(w, http.StatusConflict, fmt.Errorf("replica: not promoted (POST /promote to take over)"))
+	return true
+}
+
 func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.refuseDraining(w) {
+	if s.refuseDraining(w) || s.refuseReplica(w) {
 		return
 	}
 	s.mu.Lock()
@@ -685,7 +975,7 @@ func (s *server) handleFree(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.refuseDraining(w) {
+	if s.refuseDraining(w) || s.refuseReplica(w) {
 		return
 	}
 	var bin, load int
@@ -723,7 +1013,7 @@ func (s *server) handleCrash(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.refuseDraining(w) {
+	if s.refuseDraining(w) || s.refuseReplica(w) {
 		return
 	}
 	q := r.URL.Query()
@@ -738,7 +1028,9 @@ func (s *server) handleCrash(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	load := s.st.Crash(bin, k)
-	s.det.MarkDisrupted()
+	if det := s.detector(); det != nil {
+		det.MarkDisrupted()
+	}
 	writeJSON(w, http.StatusOK, map[string]int{"bin": bin, "load": load, "added": k})
 }
 
@@ -749,11 +1041,15 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.j == nil {
+	if s.refuseReplica(w) {
+		return
+	}
+	j := s.journal()
+	if j == nil {
 		writeErr(w, http.StatusConflict, fmt.Errorf("durability disabled (-wal-dir not set)"))
 		return
 	}
-	snap, path, err := s.j.Checkpoint()
+	snap, path, err := j.Checkpoint()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -763,7 +1059,7 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	// The snapshot above is durable even when post-write maintenance
 	// (pruning, truncation) failed; report that as a warning, not a 500.
-	if merr := s.j.MaintErr(); merr != nil {
+	if merr := j.MaintErr(); merr != nil {
 		resp["maintenance_error"] = merr.Error()
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -774,7 +1070,29 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	status := s.det.Check()
+	det := s.detector()
+	if det == nil {
+		// An un-promoted replica has no detector: report the replication
+		// view instead, with the same store-shape fields the drill diffs.
+		rs := s.fol.Status()
+		if r.URL.Query().Get("summary") != "" {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"n": s.st.N(), "m": s.st.Total(), "role": "replica", "replica": rs,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"n":        s.st.N(),
+			"shards":   s.st.Shards(),
+			"role":     "replica",
+			"scenario": s.sc.String(),
+			"replica":  rs,
+			"stats":    s.st.Stats(),
+			"loads":    s.st.LoadsCopy(),
+		})
+		return
+	}
+	status := det.Check()
 	if r.URL.Query().Get("summary") != "" {
 		// The cheap polling form: no load vector — but with the episode
 		// aggregate, which is how the chaos drills watch MTTR accrue.
@@ -785,14 +1103,14 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 			"gap":       status.Gap,
 			"recovered": status.Recovered,
 		}
-		if tr := s.det.Episodes(); tr != nil {
+		if tr := det.Episodes(); tr != nil {
 			out["episodes"] = tr.Summary()
 		}
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
-	ep, episodes := s.det.LastEpisode()
-	target := s.det.Target()
+	ep, episodes := det.LastEpisode()
+	target := det.Target()
 	s.mu.Lock()
 	name := s.pol.Name()
 	s.mu.Unlock()
@@ -808,22 +1126,63 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 		"last_episode": ep,
 		"loads":        s.st.LoadsCopy(),
 	}
-	if tr := s.det.Episodes(); tr != nil {
+	if tr := det.Episodes(); tr != nil {
 		state["episode_summary"] = tr.Summary()
 	}
-	if s.j != nil {
-		state["wal_last_seq"] = s.j.LastSeq()
+	if j := s.journal(); j != nil {
+		state["wal_last_seq"] = j.LastSeq()
+	}
+	if s.fol != nil {
+		state["replica"] = s.fol.Status() // promoted standby: shows its lineage
 	}
 	writeJSON(w, http.StatusOK, state)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := s.det.Check()
+	det := s.detector()
+	if det == nil {
+		rs := s.fol.Status()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "role": "replica",
+			"connected": rs.Connected, "lag_seq": rs.LagSeq,
+		})
+		return
+	}
+	status := det.Check()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":        true,
 		"recovered": status.Recovered,
 		"max_load":  status.MaxLoad,
 		"steps":     status.Steps,
+	})
+}
+
+// handlePromote turns a hot standby into the serving primary. Refused
+// with 409 while the primary still heartbeats unless force=1, which
+// fences the primary through the stream first (docs/REPLICATION.md).
+func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.refuseDraining(w) {
+		return
+	}
+	if s.fol == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("not a replica (-replicate-from not set)"))
+		return
+	}
+	res, err := s.promote(r.URL.Query().Get("force") != "")
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, replica.ErrPrimaryAlive) {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"last_seq": res.LastSeq, "forced": res.Forced, "skipped_frees": res.SkippedFrees,
 	})
 }
 

@@ -83,8 +83,14 @@ func TestDecodeErrors(t *testing.T) {
 		{"crc torn", good[:len(good)-1], ErrTruncated},
 		{"bad magic", corrupt(0, 0x00), ErrMagic},
 		{"version skew", corrupt(1, Version+1), ErrVersion},
-		{"type zero", corrupt(2, 0), ErrType},
-		{"type unknown", corrupt(2, byte(maxType)+1), ErrType},
+		// A flipped type byte without a matching CRC is corruption, not
+		// version skew: the CRC verdict comes first.
+		{"type zero, bad crc", corrupt(2, 0), ErrCRC},
+		{"type unknown, bad crc", corrupt(2, byte(maxType)+1), ErrCRC},
+		// A properly framed frame of a type this build does not speak is
+		// ErrType — observable version skew, not a silent skip.
+		{"type zero, well framed", frame(Type(0), []byte("payload")), ErrType},
+		{"type unknown, well framed", frame(maxType+1, []byte("payload")), ErrType},
 		{"oversized length", oversize, ErrTooLarge},
 		{"flipped payload bit", corrupt(HeaderSize, 'P'^0x40), ErrCRC},
 		{"flipped reserved byte", corrupt(3, 0xFF), ErrCRC},
@@ -121,6 +127,36 @@ func TestDecodeFrameRest(t *testing.T) {
 	t2, _, rest, err := DecodeFrame(rest)
 	if err != nil || t2 != TState || len(rest) != 0 {
 		t.Fatalf("second frame: %v %v, %d rest", t2, err, len(rest))
+	}
+}
+
+// TestUnknownTypeSkippable pins the version-skew contract: an
+// unknown-but-well-framed frame surfaces ErrType with rest advanced
+// past it, so both the slice decoder and the stream reader can report
+// the skew and keep decoding the frames that follow.
+func TestUnknownTypeSkippable(t *testing.T) {
+	b := frame(maxType+1, []byte("from the future"))
+	b = AppendFrame(b, TProbe, nil)
+
+	_, _, rest, err := DecodeFrame(b)
+	if !errors.Is(err, ErrType) {
+		t.Fatalf("unknown type: got %v, want ErrType", err)
+	}
+	t2, _, rest, err := DecodeFrame(rest)
+	if err != nil || t2 != TProbe || len(rest) != 0 {
+		t.Fatalf("frame after skew: %v %v, %d rest", t2, err, len(rest))
+	}
+
+	r := NewReader(bytes.NewReader(b))
+	if _, _, err := r.ReadFrame(); !errors.Is(err, ErrType) {
+		t.Fatalf("stream unknown type: got %v, want ErrType", err)
+	}
+	typ, _, err := r.ReadFrame()
+	if err != nil || typ != TProbe {
+		t.Fatalf("stream frame after skew: %v %v", typ, err)
+	}
+	if _, _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("stream end after skew: got %v, want io.EOF", err)
 	}
 }
 

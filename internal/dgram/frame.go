@@ -87,7 +87,42 @@ const (
 	// TErr is the error reply to any request: ErrReply.
 	TErr Type = 11
 
-	maxType = TErr
+	// Replication types (internal/replica). A follower opens the
+	// conversation with TSubscribe; the primary answers with a stream
+	// of TSnapshot / TSegHdr / TRecBatch frames and idles with
+	// THeartbeat. TPromote travels follower→primary as a best-effort
+	// stand-down fence.
+
+	// TSubscribe asks the primary to stream WAL records after a seq.
+	// Payload: SubscribeReq. Replies: a TSnapshot and/or TSegHdr +
+	// TRecBatch stream, then THeartbeat while caught up.
+	TSubscribe Type = 12
+	// TSegHdr announces a segment boundary in the stream: the follower
+	// seals its current segment and opens one with the carried firstSeq.
+	// Payload: SegHdr.
+	TSegHdr Type = 13
+	// TRecBatch carries a batch of WAL records in seq order.
+	// Payload: RecBatch.
+	TRecBatch Type = 14
+	// THeartbeat reports the primary's durable seq while the stream is
+	// caught up; the follower derives replication lag from it.
+	// Payload: Heartbeat.
+	THeartbeat Type = 15
+	// TPromote is the follower's stand-down fence: sent best-effort to
+	// a still-live primary before a forced promotion. Payload:
+	// PromoteReq. Reply: TPromoteOK.
+	TPromote Type = 16
+	// TPromoteOK acknowledges a TPromote with the primary's final
+	// durable seq, letting the follower catch up before taking over.
+	// Payload: PromoteOK.
+	TPromoteOK Type = 17
+	// TSnapshot bootstraps a follower whose local log predates the
+	// primary's retained segments (or is empty: seeded balls never hit
+	// the WAL, only the boot checkpoint). Payload: SnapshotMsg — a full
+	// store image as of a seq, like TStateOK plus counters.
+	TSnapshot Type = 18
+
+	maxType = TSnapshot
 )
 
 func (t Type) String() string {
@@ -114,6 +149,20 @@ func (t Type) String() string {
 		return "STATE_OK"
 	case TErr:
 		return "ERR"
+	case TSubscribe:
+		return "SUBSCRIBE"
+	case TSegHdr:
+		return "SEG_HDR"
+	case TRecBatch:
+		return "REC_BATCH"
+	case THeartbeat:
+		return "HEARTBEAT"
+	case TPromote:
+		return "PROMOTE"
+	case TPromoteOK:
+		return "PROMOTE_OK"
+	case TSnapshot:
+		return "SNAPSHOT"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -127,7 +176,10 @@ var (
 	// ErrVersion: a well-formed frame of a protocol version this
 	// build does not speak.
 	ErrVersion = errors.New("dgram: protocol version mismatch")
-	// ErrType: an unknown frame type.
+	// ErrType: a well-framed frame (magic, version, and CRC all good)
+	// of a type this build does not speak — version skew, not
+	// corruption. DecodeFrame returns rest advanced past the frame, so
+	// a stream can surface the skew and keep decoding.
 	ErrType = errors.New("dgram: unknown frame type")
 	// ErrTooLarge: the length prefix exceeds MaxPayload.
 	ErrTooLarge = errors.New("dgram: frame payload exceeds limit")
@@ -171,10 +223,6 @@ func DecodeFrame(b []byte) (t Type, payload, rest []byte, err error) {
 	if b[1] != Version {
 		return 0, nil, b, fmt.Errorf("%w: got %d, speak %d", ErrVersion, b[1], Version)
 	}
-	t = Type(b[2])
-	if t == 0 || t > maxType {
-		return 0, nil, b, fmt.Errorf("%w: %d", ErrType, uint8(b[2]))
-	}
 	n := binary.LittleEndian.Uint32(b[4:8])
 	if n > MaxPayload {
 		return 0, nil, b, fmt.Errorf("%w: length prefix %d", ErrTooLarge, n)
@@ -187,6 +235,14 @@ func DecodeFrame(b []byte) (t Type, payload, rest []byte, err error) {
 	want := binary.LittleEndian.Uint32(b[HeaderSize+int(n) : total])
 	if crc32.Checksum(body, crcTable) != want {
 		return 0, nil, b, ErrCRC
+	}
+	// Type is checked only after the CRC passes: a corrupted type byte
+	// is ErrCRC, so ErrType always means genuine version skew — a
+	// well-framed frame from a build that speaks types we don't. The
+	// frame's extent is known and verified, so rest advances past it.
+	t = Type(b[2])
+	if t == 0 || t > maxType {
+		return 0, nil, b[total:], fmt.Errorf("%w: %d", ErrType, uint8(b[2]))
 	}
 	return t, b[HeaderSize : HeaderSize+int(n)], b[total:], nil
 }
@@ -227,9 +283,9 @@ func (fr *Reader) decodable() bool {
 	if b[0] != Magic || b[1] != Version {
 		return true
 	}
-	if t := Type(b[2]); t == 0 || t > maxType {
-		return true
-	}
+	// An unknown type is NOT decidable from the header alone: the
+	// decoder verifies the CRC before ruling on the type, so the whole
+	// frame must be buffered first.
 	n := binary.LittleEndian.Uint32(b[4:8])
 	if n > MaxPayload {
 		return true
@@ -245,6 +301,12 @@ func (fr *Reader) ReadFrame() (Type, []byte, error) {
 		if fr.decodable() {
 			t, payload, rest, err := DecodeFrame(fr.buf[fr.pos:fr.end])
 			if err != nil {
+				// An unknown-but-well-framed frame (version skew) has a
+				// verified extent; advance past it so the caller can
+				// report the skew and keep reading the stream.
+				if errors.Is(err, ErrType) {
+					fr.pos = fr.end - len(rest)
+				}
 				return 0, nil, err
 			}
 			fr.pos = fr.end - len(rest)

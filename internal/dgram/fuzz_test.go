@@ -3,8 +3,11 @@ package dgram
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
+
+	"dynalloc/internal/wal"
 )
 
 // FuzzDecodeFrame feeds arbitrary bytes through both decoders (slice
@@ -24,8 +27,21 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, TState, nil))
 	f.Add(AppendFrame(nil, TStateOK, AppendStateReply(nil, StateReply{Allocs: 9, Frees: 4, Loads: []int32{1, 0, 2}})))
 	f.Add(AppendFrame(nil, TErr, AppendErrReply(nil, ErrReply{Code: CodeEmpty, Msg: "empty"})))
+	// Replication frames (internal/replica).
+	f.Add(AppendFrame(nil, TSubscribe, AppendSubscribeReq(nil, SubscribeReq{AfterSeq: 42})))
+	f.Add(AppendFrame(nil, TSegHdr, AppendSegHdr(nil, SegHdr{FirstSeq: 43})))
+	f.Add(AppendFrame(nil, TRecBatch, AppendRecBatch(nil, []wal.Record{
+		{Op: wal.OpAlloc, Bin: 7, K: 1, Seq: 43},
+		{Op: wal.OpFree, Bin: 7, K: 1, Seq: 44},
+		{Op: wal.OpCrash, Bin: 0, K: 512, Seq: 45},
+	})))
+	f.Add(AppendFrame(nil, THeartbeat, AppendHeartbeat(nil, Heartbeat{LastSeq: 45})))
+	f.Add(AppendFrame(nil, TPromote, AppendPromoteReq(nil, PromoteReq{Force: true})))
+	f.Add(AppendFrame(nil, TPromoteOK, AppendPromoteOK(nil, PromoteOK{LastSeq: 45})))
+	f.Add(AppendFrame(nil, TSnapshot, AppendSnapshotMsg(nil, SnapshotMsg{Seq: 45, Allocs: 40, Frees: 4, Loads: []int32{3, 0, 1}})))
 	// Mutation bait: a frame claiming a huge payload, a torn frame, a
-	// frame from the future, and two frames back to back.
+	// frame from the future (version skew), an unknown-but-well-framed
+	// type (ErrType skew), and two frames back to back.
 	huge := AppendFrame(nil, TProbe, nil)
 	binary.LittleEndian.PutUint32(huge[4:8], MaxPayload+1)
 	f.Add(huge)
@@ -33,6 +49,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	skew := AppendFrame(nil, TProbe, nil)
 	skew[1] = Version + 1
 	f.Add(skew)
+	f.Add(AppendFrame(nil, maxType+1, []byte("future type")))
 	f.Add(AppendFrame(AppendFrame(nil, TProbe, nil), TState, nil))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
@@ -72,11 +89,35 @@ func FuzzDecodeFrame(f *testing.F) {
 				_, _ = DecodeStateReply(payload, nil)
 			case TErr:
 				_, _ = DecodeErrReply(payload)
+			case TSubscribe:
+				_, _ = DecodeSubscribeReq(payload)
+			case TSegHdr:
+				_, _ = DecodeSegHdr(payload)
+			case TRecBatch:
+				_, _ = DecodeRecBatch(payload, nil)
+			case THeartbeat:
+				_, _ = DecodeHeartbeat(payload)
+			case TPromote:
+				_, _ = DecodePromoteReq(payload)
+			case TPromoteOK:
+				_, _ = DecodePromoteOK(payload)
+			case TSnapshot:
+				_, _ = DecodeSnapshotMsg(payload, nil)
 			}
 			return
 		}
 		if serr == nil {
 			t.Fatalf("slice decoder rejected (%v) what the stream reader accepted", err)
+		}
+		// ErrType is the one error with a verified frame extent: both
+		// decoders must agree on it and skip exactly the frame.
+		if errors.Is(err, ErrType) {
+			if !errors.Is(serr, ErrType) {
+				t.Fatalf("stream reader: got %v, want ErrType like the slice decoder", serr)
+			}
+			if len(rest) >= len(b) {
+				t.Fatal("ErrType did not advance past the frame")
+			}
 		}
 		if len(b) == 0 && serr != io.EOF {
 			t.Fatalf("empty stream: got %v, want io.EOF", serr)

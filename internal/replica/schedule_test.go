@@ -1,0 +1,127 @@
+package replica
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"dynalloc/internal/rng"
+	"dynalloc/internal/wal"
+)
+
+// Randomized-but-deterministic replication schedules: each seed fully
+// determines the mutation stream, the ship/disconnect points, the
+// crash kind and position, and the fsync policies — so any failure
+// reproduces with the one-liner printed in its message:
+//
+//	go test ./internal/replica -run Schedules -replica.seed=<seed>
+var (
+	replicaSeed      = flag.Int64("replica.seed", 0, "run exactly one replication schedule (0 = the default sweep)")
+	replicaSchedules = flag.Int("replica.schedules", 24, "number of seeds in the default sweep")
+)
+
+func TestReplicationSchedules(t *testing.T) {
+	if *replicaSeed != 0 {
+		runSchedule(t, *replicaSeed)
+		return
+	}
+	const base = int64(0xD1CE)
+	for i := 0; i < *replicaSchedules; i++ {
+		seed := base + int64(i)*7919
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { runSchedule(t, seed) })
+	}
+}
+
+// runSchedule plays one seeded scenario: a primary and a standby with
+// random mutation bursts, partial ships, power cuts on either side,
+// checkpoint truncation, and lying fsyncs — then quiesces, ships to
+// caught-up, and requires full bit-exact convergence.
+func runSchedule(t *testing.T, seed int64) {
+	repro := fmt.Sprintf("re-run with -replica.seed=%d", seed)
+	r := rng.New(uint64(seed))
+
+	fsync := wal.FsyncAlways
+	if r.Bool() {
+		fsync = wal.FsyncNever // primary power cuts lose the tail: divergence territory
+	}
+	p := newPrimary(t, 1+r.Intn(8), fsync)
+	s := newStandby(t)
+
+	phases := 3 + r.Intn(5)
+	for i := 0; i < phases; i++ {
+		p.mutate(r, 10+r.Intn(60))
+		// Under FsyncNever the drained batches sit in the log's bufio;
+		// seal so the tail reader can see them (still not durable).
+		if fsync == wal.FsyncNever {
+			if err := p.l.Seal(); err != nil {
+				t.Fatalf("seal: %v (%s)", err, repro)
+			}
+		}
+		switch r.Intn(5) {
+		case 0: // clean full ship
+			ship(t, p, s, 0)
+		case 1: // subscription dies mid-stream, then the standby loses power
+			ship(t, p, s, 1+r.Intn(6))
+			s = s.powerCut(t)
+		case 2: // primary checkpoints twice: truncation may outrun the standby
+			p.checkpoint()
+			p.mutate(r, 5+r.Intn(20))
+			p.checkpoint()
+			ship(t, p, s, 0)
+		case 3: // primary power-cut restart (lossy under FsyncNever)
+			p.powerCutRestart()
+			ship(t, p, s, 0)
+		case 4: // the standby's disk lies about an fsync, then power cuts
+			s.fs.LieOnSync(r.Intn(4))
+			ship(t, p, s, 1+r.Intn(8))
+			s = s.powerCut(t)
+		}
+	}
+
+	// Quiesce and converge.
+	p.mutate(r, 5+r.Intn(20))
+	if fsync == wal.FsyncNever {
+		if err := p.l.Seal(); err != nil {
+			t.Fatalf("final seal: %v (%s)", err, repro)
+		}
+	}
+	if _, caught := ship(t, p, s, 0); !caught {
+		t.Fatalf("final ship did not catch up (%s)", repro)
+	}
+	assertConverged(t, p, s, repro)
+}
+
+// TestFollowerDoubleCrashBitExact is the pinned double-fault scenario:
+// the standby power-cuts twice in a row mid-replay — once inside the
+// bootstrap snapshot's follow-up batches, once again right after
+// resubscribing — and must still converge to a warm store that is
+// bit-exact both with the primary and with a reference replay of its
+// own directory.
+func TestFollowerDoubleCrashBitExact(t *testing.T) {
+	r := rng.New(0xDB1)
+	p := newPrimary(t, 5, wal.FsyncAlways)
+	s := newStandby(t)
+	p.mutate(r, 150)
+
+	// First crash: a handful of frames into the stream.
+	if n, caught := ship(t, p, s, 4); caught {
+		t.Fatalf("truncated ship (%d frames) claims caught up", n)
+	}
+	s = s.powerCut(t)
+	mid := s.f.AppliedSeq()
+
+	// Second crash: immediately after resubscribing from the restored
+	// seq, a few frames further in.
+	if _, caught := ship(t, p, s, 3); caught {
+		t.Fatal("second truncated ship claims caught up")
+	}
+	s = s.powerCut(t)
+	if got := s.f.AppliedSeq(); got < mid {
+		t.Fatalf("second restart regressed below the first: %d < %d", got, mid)
+	}
+
+	if _, caught := ship(t, p, s, 0); !caught {
+		t.Fatal("final ship did not catch up")
+	}
+	assertConverged(t, p, s, "double crash")
+}

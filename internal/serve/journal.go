@@ -544,26 +544,42 @@ func RestoreFS(st *Store, fsys vfs.FS, dir string) (RestoreResult, error) {
 	return res, nil
 }
 
-// applyRecord replays one WAL record into the store.
+// applyRecord replays one WAL record into the store, folding the
+// skipped-free count into res.
 func applyRecord(st *Store, rec wal.Record, res *RestoreResult) error {
+	skipped, err := Apply(st, rec)
+	if skipped {
+		res.SkippedFrees++
+	}
+	return err
+}
+
+// Apply replays one WAL record into st — the warm-replay hook shared
+// by restore and by a replication follower continuously applying the
+// primary's stream. skippedFree reports a free that hit an
+// already-empty bin (possible only against a forged or divergent log;
+// counted, never fatal — see RestoreFS). The store must not have a
+// journal hook installed, or the replayed mutation would be journaled
+// again.
+func Apply(st *Store, rec wal.Record) (skippedFree bool, err error) {
 	bin := int(rec.Bin)
 	if bin < 0 || bin >= st.N() {
-		return fmt.Errorf("serve: replay record seq %d targets bin %d of %d", rec.Seq, bin, st.N())
+		return false, fmt.Errorf("serve: replay record seq %d targets bin %d of %d", rec.Seq, bin, st.N())
 	}
 	switch rec.Op {
 	case wal.OpAlloc:
 		st.Alloc(bin)
 	case wal.OpFree:
 		if _, err := st.FreeBin(bin); err != nil {
-			res.SkippedFrees++
+			return true, nil
 		}
 	case wal.OpCrash:
 		if rec.K < 0 {
-			return fmt.Errorf("serve: replay crash record seq %d has k=%d", rec.Seq, rec.K)
+			return false, fmt.Errorf("serve: replay crash record seq %d has k=%d", rec.Seq, rec.K)
 		}
 		st.Crash(bin, int(rec.K))
 	default:
-		return fmt.Errorf("serve: replay record seq %d has unknown op %v", rec.Seq, rec.Op)
+		return false, fmt.Errorf("serve: replay record seq %d has unknown op %v", rec.Seq, rec.Op)
 	}
-	return nil
+	return false, nil
 }

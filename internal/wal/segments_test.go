@@ -1,0 +1,232 @@
+package wal
+
+import (
+	"testing"
+)
+
+// collectTail drains a TailReader until it reports caught-up, a gap,
+// or an error, returning every delivered record and the segment
+// firstSeqs announced along the way.
+func collectTail(t *testing.T, tr *TailReader, max int) (recs []Record, segs []uint64, last TailResult) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		res, err := tr.Next(max)
+		if err != nil {
+			t.Fatalf("tail next: %v", err)
+		}
+		switch res.Event {
+		case TailRecords:
+			recs = append(recs, res.Records...)
+		case TailSegment:
+			segs = append(segs, res.FirstSeq)
+		case TailCaughtUp, TailGap:
+			return recs, segs, res
+		}
+	}
+	t.Fatal("tail never caught up")
+	return nil, nil, TailResult{}
+}
+
+// TestSegmentsExcludesDead is the regression test for the segment
+// iterator's contract: `.dead.N` aside-renamed segments (the corpse a
+// crash collision leaves behind) never appear in Segments, so the
+// replication streamer can never ship a dead timeline.
+func TestSegmentsExcludesDead(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})
+	appendN(t, l, 1, 20) // tiny segments: several rotations
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := SegmentsFS(fs, "/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %d", len(segs))
+	}
+
+	// Manufacture the collision layout: rename the first segment aside
+	// the way createSegmentFile does, then put a fresh segment at the
+	// same name (as a healed restart would).
+	dead := segs[0].Path + ".dead.0"
+	if err := fs.Rename(segs[0].Path, dead); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := SegmentsFS(fs, "/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(segs)-1 {
+		t.Fatalf("after aside-rename: %d segments, want %d", len(after), len(segs)-1)
+	}
+	for _, s := range after {
+		if s.Path == dead || s.Path == segs[0].Path {
+			t.Fatalf("dead segment %s leaked into Segments", s.Path)
+		}
+	}
+
+	// The tail reader must not walk it either: with the head segment
+	// dead, the remaining head opens past afterSeq+1 — a gap, never a
+	// silent replay of the dead timeline.
+	tr := NewTailReaderFS(fs, "/wal", 0)
+	defer tr.Close()
+	_, _, last := collectTail(t, tr, 8)
+	if last.Event != TailGap {
+		t.Fatalf("tail over dead head segment: got event %d, want TailGap", last.Event)
+	}
+
+	// Segment metadata sanity on the surviving files.
+	for i, s := range after {
+		if s.Size <= segHeaderSize {
+			t.Fatalf("segment %d: size %d", i, s.Size)
+		}
+		if i > 0 && after[i-1].FirstSeq >= s.FirstSeq {
+			t.Fatalf("segments out of order: %d then %d", after[i-1].FirstSeq, s.FirstSeq)
+		}
+	}
+}
+
+// TestTailReaderFollowsLiveLog drives the tail reader interleaved with
+// a live writer: catch-up from the middle, segment boundaries
+// announced in order, appended bytes picked up after a caught-up
+// report, and seal-then-reopen rotation followed seamlessly.
+func TestTailReaderFollowsLiveLog(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})
+	appendN(t, l, 1, 10)
+	if err := l.Sync(); err != nil { // flush the open segment's bufio tail
+		t.Fatal(err)
+	}
+
+	const after = 4
+	tr := NewTailReaderFS(fs, "/wal", after)
+	defer tr.Close()
+
+	recs, segs, last := collectTail(t, tr, 3)
+	if last.Event != TailCaughtUp {
+		t.Fatalf("want caught up, got %d", last.Event)
+	}
+	if len(segs) == 0 || segs[0] != 1 {
+		t.Fatalf("segment announcements %v, want first = 1", segs)
+	}
+	for i, r := range recs {
+		if want := uint64(after + 1 + i); r.Seq != want {
+			t.Fatalf("record %d: seq %d, want %d", i, r.Seq, want)
+		}
+	}
+	if want := uint64(10 - after); uint64(len(recs)) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+
+	// The writer keeps going while the reader is parked at the tail;
+	// Seal forces a rotation mid-stream.
+	appendN(t, l, 11, 13)
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 14, 30)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs2, _, last2 := collectTail(t, tr, 4)
+	if last2.Event != TailCaughtUp {
+		t.Fatalf("want caught up after growth, got %d", last2.Event)
+	}
+	for i, r := range recs2 {
+		if want := uint64(11 + i); r.Seq != want {
+			t.Fatalf("post-growth record %d: seq %d, want %d", i, r.Seq, want)
+		}
+	}
+	if len(recs2) != 20 {
+		t.Fatalf("got %d post-growth records, want 20", len(recs2))
+	}
+	if got := tr.Covered(); got != 30 {
+		t.Fatalf("covered = %d, want 30", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailReaderTruncationGap pins the resync trigger: when the
+// primary truncates segments the subscriber still needs, the tail
+// reports a gap instead of silently skipping records.
+func TestTailReaderTruncationGap(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})
+	appendN(t, l, 1, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop everything through seq 24 (all fully-covered sealed
+	// segments), as checkpoint maintenance would.
+	l2 := testOpen(t, fs, Options{Fsync: FsyncNever})
+	if _, err := l2.TruncateThrough(24); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh subscriber from 0 can no longer be served from the log.
+	tr := NewTailReaderFS(fs, "/wal", 0)
+	defer tr.Close()
+	_, _, last := collectTail(t, tr, 8)
+	if last.Event != TailGap {
+		t.Fatalf("want gap after truncation, got %d", last.Event)
+	}
+
+	// One already past the truncation point streams fine.
+	tr2 := NewTailReaderFS(fs, "/wal", 24)
+	defer tr2.Close()
+	recs, _, last2 := collectTail(t, tr2, 8)
+	if last2.Event != TailCaughtUp {
+		t.Fatalf("want caught up, got %d", last2.Event)
+	}
+	if len(recs) != 16 || recs[0].Seq != 25 || recs[len(recs)-1].Seq != 40 {
+		t.Fatalf("got %d records [%d..%d], want 16 [25..40]", len(recs), recs[0].Seq, recs[len(recs)-1].Seq)
+	}
+}
+
+// TestTailReaderPartialRecord feeds the reader a record split across
+// two writes (the shape a bufio flush boundary produces) and checks it
+// holds the partial until the rest arrives.
+func TestTailReaderPartialRecord(t *testing.T) {
+	fs := testFS()
+	fs.MkdirAll("/t")
+	f, err := fs.Create("/t/" + segmentName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic[:])
+	hdr[8] = 1 // firstSeq = 1, little endian
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	var buf [RecordSize]byte
+	Record{Op: OpAlloc, Bin: 3, K: 1, Seq: 1}.encode(buf[:])
+
+	tr := NewTailReaderFS(fs, "/t", 0)
+	defer tr.Close()
+
+	// First half of the record: reader must report caught-up, not torn.
+	if _, err := f.Write(buf[:10]); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, last := collectTail(t, tr, 4)
+	if last.Event != TailCaughtUp || len(recs) != 0 {
+		t.Fatalf("half record: event %d with %d records", last.Event, len(recs))
+	}
+
+	// Second half: the record completes.
+	if _, err := f.Write(buf[10:]); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, last = collectTail(t, tr, 4)
+	if last.Event != TailCaughtUp || len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("completed record: event %d, records %v", last.Event, recs)
+	}
+	f.Close()
+}
