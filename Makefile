@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill failover-drill chaos-drill cluster-drill explore explore-full cover clean
+.PHONY: all build vet test race race-all alloc-budget bench bench-json bench-check profile experiments experiments-full serve-drill recovery-drill failover-drill chaos-drill cluster-drill explore explore-full cover clean
 
 all: build vet test
 
@@ -21,6 +21,13 @@ race:
 # The full sweep CI runs on one matrix leg.
 race-all:
 	$(GO) test -race ./...
+
+# Allocation budgets on the batched admission pipeline: AllocsPerRun
+# gates pinning the engine lane at 0 allocs/pass and the durable lane
+# at a fixed ceiling. No -race: the budgets skip themselves under race
+# instrumentation, which allocates. Same leg as the alloc-budget CI job.
+alloc-budget:
+	$(GO) test ./internal/serve -run AllocBudget -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

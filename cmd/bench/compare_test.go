@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"path/filepath"
 	"testing"
 	"time"
@@ -69,13 +70,29 @@ func TestCompareDetectsAllocRegression(t *testing.T) {
 	}
 }
 
-func TestCompareZeroAllocBaselineIgnored(t *testing.T) {
-	// A zero-alloc baseline cannot express a percentage change; it must
-	// not divide by zero or flag spuriously.
+func TestCompareZeroAllocBaselineRegression(t *testing.T) {
+	// A zero-alloc baseline has no percentage to compare against, but a
+	// workload that claims 0 allocs/op and starts allocating is exactly
+	// the regression the allocs gate exists for: 0 -> anything past the
+	// runtime-noise floor must fail at any threshold, without dividing
+	// by zero.
 	old := mkSuite(res("a", 1000, 0))
-	new := mkSuite(res("a", 1000, 5))
-	if regs, _ := Compare(old, new, 25); len(regs) != 0 {
-		t.Fatalf("zero baseline flagged: %v", regs)
+	new := mkSuite(res("a", 1000, zeroAllocNoiseFloor+1))
+	regs, _ := Compare(old, new, 25)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("regs = %v, want one allocs_per_op regression", regs)
+	}
+	if !math.IsInf(regs[0].PctChange, 1) {
+		t.Fatalf("pct = %v, want +Inf", regs[0].PctChange)
+	}
+	// Staying at zero is fine, at every threshold, and so is drift
+	// within the noise floor — the slow workloads run a handful of
+	// iterations per op, where stray runtime allocations land.
+	if regs, _ := Compare(old, mkSuite(res("a", 1000, 0)), 0); len(regs) != 0 {
+		t.Fatalf("0 -> 0 flagged: %v", regs)
+	}
+	if regs, _ := Compare(old, mkSuite(res("a", 1000, zeroAllocNoiseFloor)), 0); len(regs) != 0 {
+		t.Fatalf("0 -> noise floor flagged: %v", regs)
 	}
 }
 

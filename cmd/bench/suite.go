@@ -121,6 +121,71 @@ func suiteWorkloads(quick bool) []workload {
 			}
 		}
 	}
+	serveAdmitBatch := func(n, batch int) func(uint64, int) {
+		// The batched admission lane, steady state: one Batcher driving
+		// closed-loop Scenario A super-phases of `batch` phases in the
+		// calling goroutine. Store, batcher and rng are created once and
+		// reused across passes (the persistent-fleet pattern the router
+		// workloads use), so allocs/op is the lane's true hot-path count:
+		// 0. That zero is load-bearing — the regenerated baseline pins it
+		// and cmd/bench -compare fails any 0 -> >0 allocs change (see
+		// compare.go); the TestAllocBudget tier gates the same invariant
+		// per pass.
+		var (
+			once sync.Once
+			bt   *serve.Batcher
+			r    *rng.RNG
+		)
+		return func(seed uint64, trials int) {
+			once.Do(func() {
+				st := serve.NewStoreShards(n, 64)
+				st.FillBalanced(n)
+				bt = serve.NewBatcher(st, serve.NewABKUPolicy(2), process.ScenarioA, batch)
+				r = rng.NewStream(seed, 0)
+			})
+			for done := 0; done < trials; {
+				k, err := bt.Pass(r, trials-done)
+				if err != nil {
+					panic(err)
+				}
+				done += k
+			}
+		}
+	}
+	serveDurableAdmitBatch := func(n, workers, batch int) func(uint64, int) {
+		return func(seed uint64, trials int) {
+			// serve/durable-admit on the batch lane: engine workers drive
+			// Batch-sized super-phases whose admissions reach the journal
+			// through the run-based push (one seq reservation and one
+			// close-guard per shard group) and then the group-commit
+			// writer. The delta against serve/durable-admit is what
+			// batching buys end-to-end under FsyncAlways.
+			dir, err := os.MkdirTemp("", "bench-durable-batch-*")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			st := serve.NewStoreShards(n, 64)
+			st.FillBalanced(n)
+			l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncAlways, SegmentBytes: 4 << 20})
+			if err != nil {
+				panic(err)
+			}
+			j := serve.NewJournal(st, l, 0, serve.JournalOptions{Buffer: 4096})
+			eng := serve.NewEngine(serve.Config{
+				Store: st, Policy: serve.NewABKUPolicy(2), Scenario: process.ScenarioA,
+				Workers: workers, Seed: seed, MaxSteps: int64(trials), Batch: batch,
+			})
+			eng.Run(context.Background())
+			j.Drain()
+			if err := j.Err(); err != nil {
+				panic(err)
+			}
+			if err := j.Close(); err != nil {
+				panic(err)
+			}
+		}
+	}
 	walAppend := func() func(uint64, int) {
 		return func(seed uint64, trials int) {
 			// Sequential append throughput of the durability log: `trials`
@@ -377,6 +442,8 @@ func suiteWorkloads(quick bool) []workload {
 		{"serve/admit/n=1e4/w=8", pick(50_000, 500_000), serveAdmit(10_000, 8)},
 		{"serve/admit/n=1e5/w=8", pick(50_000, 500_000), serveAdmit(100_000, 8)},
 		{"serve/durable-admit/n=1e4/w=8", pick(10_000, 100_000), serveDurableAdmit(10_000, 8)},
+		{"serve/admit-batch/n=1e4/b=64", pick(100_000, 1_000_000), serveAdmitBatch(10_000, 64)},
+		{"serve/durable-admit-batch/n=1e4/w=8/b=64", pick(10_000, 100_000), serveDurableAdmitBatch(10_000, 8, 64)},
 		{"wal/append", pick(100_000, 1_000_000), walAppend()},
 		{"wal/append-batch/b=512", pick(100_000, 1_000_000), walAppendBatch(512)},
 		{"wal/replay", pick(100_000, 1_000_000), walReplay()},

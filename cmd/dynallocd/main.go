@@ -100,6 +100,7 @@ func main() {
 		slack    = flag.Int("slack", 1, "recovery threshold slack above the fluid-limit prediction")
 
 		drive      = flag.Bool("drive", false, "run the built-in traffic driver")
+		batch      = flag.Int("batch", 0, "drive phases per batched admission pass (0 or 1: per-phase lane; see docs/SERVING.md)")
 		rate       = flag.Float64("rate", 0, "drive arrival rate per second, 0 = closed loop")
 		crashK     = flag.Int("crash", 0, "fault injection: add this many balls to one bin before driving")
 		crashBin   = flag.Int("crash-bin", 0, "bin the -crash balls land in")
@@ -140,7 +141,7 @@ func main() {
 		n: *n, m: *m,
 		ruleSpec: *ruleSpec, d: *d, x: *x, beta: *beta, scenario: *scen,
 		seed: *seed, workers: *workers, shards: *shards, slack: *slack,
-		drive: *drive, rate: *rate, crashK: *crashK, crashBin: *crashBin,
+		drive: *drive, batch: *batch, rate: *rate, crashK: *crashK, crashBin: *crashBin,
 		maxSteps: *maxSteps, stay: *stay, checkEvery: *checkEvery,
 		checkInterval: *checkIntvl,
 		walDir:        *walDir, ckptEvery: *ckptEvery,
@@ -176,6 +177,7 @@ type options struct {
 	shards        int
 	slack         int
 	drive         bool
+	batch         int
 	rate          float64
 	crashK        int
 	crashBin      int
@@ -745,6 +747,7 @@ func runDrive(ctx context.Context, st *serve.Store, det *serve.Detector, pol ser
 	eng := serve.NewEngine(serve.Config{
 		Store: st, Policy: pol, Scenario: sc,
 		Workers: opt.workers, Seed: opt.seed, Rate: opt.rate,
+		Batch:    opt.batch,
 		MaxSteps: maxSteps, Detector: det, CheckEvery: opt.checkEvery,
 		// Under chaos the drive is the traffic the store self-stabilizes
 		// through: it must keep running across every episode, not stop
@@ -814,9 +817,17 @@ type server struct {
 	// with 503 so the final checkpoint captures a quiesced store.
 	draining atomic.Bool
 
-	mu  sync.Mutex // guards pol and r (the HTTP admission stream)
+	mu  sync.Mutex // guards pol, r and the batch scratch below
 	pol serve.Policy
 	r   *rng.RNG
+
+	// Batch-lane scratch for /alloc?count=N: picks and admissions go
+	// through serve.BatchPolicy + Store.AdmitBatch in one pass, reusing
+	// these across requests (under mu).
+	bpol       serve.BatchPolicy // nil when pol has no batch path
+	admitBins  []int
+	admitLoads []int32
+	admitSc    serve.AdmitScratch
 }
 
 func (s *server) detector() *serve.Detector { return s.det.Load() }
@@ -833,6 +844,7 @@ func newServer(st *serve.Store, det *serve.Detector, pol serve.Policy, sc proces
 		pol: pol.Clone(),
 		r:   rng.NewStream(seed, httpStreamOffset),
 	}
+	s.bpol, _ = s.pol.(serve.BatchPolicy)
 	if det != nil {
 		s.det.Store(det)
 	}
@@ -963,11 +975,57 @@ func (s *server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) || s.refuseReplica(w) {
 		return
 	}
+	count := 1
+	if q := r.URL.Query().Get("count"); q != "" {
+		var err error
+		count, err = strconv.Atoi(q)
+		if err != nil || count < 1 || count > 1<<20 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad count %q (want 1..%d)", q, 1<<20))
+			return
+		}
+	}
+	if count == 1 {
+		s.mu.Lock()
+		bin, probes := s.pol.Pick(s.st, s.r)
+		s.mu.Unlock()
+		load := s.st.Alloc(bin)
+		writeJSON(w, http.StatusOK, map[string]int{"bin": bin, "load": load, "probes": probes})
+		return
+	}
+	// count > 1: the batch lane — picks drawn in one PickBatch pass,
+	// admissions applied by one Store.AdmitBatch (the choices within
+	// the batch do not see the batch's own admissions, as everywhere
+	// on the batch lane).
 	s.mu.Lock()
-	bin, probes := s.pol.Pick(s.st, s.r)
+	if cap(s.admitBins) < count {
+		s.admitBins = make([]int, count)
+		s.admitLoads = make([]int32, count)
+	}
+	bins := s.admitBins[:count]
+	loads := s.admitLoads[:count]
+	probes := 0
+	if s.bpol != nil {
+		probes = s.bpol.PickBatch(s.st, s.r, bins)
+	} else {
+		for i := range bins {
+			var m int
+			bins[i], m = s.pol.Pick(s.st, s.r)
+			probes += m
+		}
+	}
+	s.st.AdmitBatch(bins, loads, &s.admitSc)
+	// Copy out of the scratch before releasing mu; this surface is
+	// JSON (it allocates regardless — the zero-alloc lane is dgram),
+	// and a slow client must not hold up the admission stream.
+	respBins := append([]int(nil), bins...)
+	respLoads := append([]int32(nil), loads...)
 	s.mu.Unlock()
-	load := s.st.Alloc(bin)
-	writeJSON(w, http.StatusOK, map[string]int{"bin": bin, "load": load, "probes": probes})
+	writeJSON(w, http.StatusOK, struct {
+		Count  int     `json:"count"`
+		Probes int     `json:"probes"`
+		Bins   []int   `json:"bins"`
+		Loads  []int32 `json:"loads"`
+	}{count, probes, respBins, respLoads})
 }
 
 func (s *server) handleFree(w http.ResponseWriter, r *http.Request) {

@@ -43,6 +43,12 @@ import (
 // streams (1<<32), and the HTTP admission stream (1<<33).
 const serverStreamOffset = 1 << 34
 
+// admitChunk bounds the per-connection batch-lane scratch: an ADMIT
+// request's Count is admitted in chunks of this many balls through
+// Store.AdmitBatch (the choices within a chunk do not see the chunk's
+// own admissions — the pipelining the router client already accepts).
+const admitChunk = 256
+
 // ServerConfig wires a shard's dgram listener to its store.
 type ServerConfig struct {
 	Store    *serve.Store
@@ -164,6 +170,7 @@ func (s *Server) handle(c net.Conn) {
 	defer s.dropConn(c)
 	st := s.cfg.Store
 	pol := s.cfg.Policy.Clone()
+	bpol, _ := pol.(serve.BatchPolicy)
 	r := rng.NewStream(s.cfg.Seed, serverStreamOffset+s.connSeq.Add(1))
 	fr := dgram.NewReader(c)
 	fw := dgram.NewWriter(c)
@@ -171,6 +178,14 @@ func (s *Server) handle(c net.Conn) {
 	var payload []byte        // reply payload scratch
 	var pairs []dgram.BinLoad // admit/free pair scratch
 	var loads []int32         // STATE loads scratch
+
+	// ADMIT batch-lane scratch: requests are chunked through
+	// Store.AdmitBatch in admitChunk slices, so a connection's steady
+	// admission stream stays zero-alloc with bounded scratch no matter
+	// how large a Count the peer asks for.
+	var admitBins [admitChunk]int
+	var admitLoads [admitChunk]int32
+	var admitScratch serve.AdmitScratch
 
 	reply := func(t dgram.Type, p []byte) bool {
 		if err := fw.WriteFrame(t, p); err != nil {
@@ -224,10 +239,24 @@ func (s *Server) handle(c net.Conn) {
 				continue
 			}
 			pairs = pairs[:0]
-			for i := uint32(0); i < q.Count; i++ {
-				bin, _ := pol.Pick(st, r)
-				load := st.Alloc(bin)
-				pairs = append(pairs, dgram.BinLoad{Bin: uint32(bin), Load: int32(load)})
+			for left := q.Count; left > 0; {
+				n := int(left)
+				if n > admitChunk {
+					n = admitChunk
+				}
+				bins := admitBins[:n]
+				if bpol != nil {
+					bpol.PickBatch(st, r, bins)
+				} else {
+					for i := range bins {
+						bins[i], _ = pol.Pick(st, r)
+					}
+				}
+				st.AdmitBatch(bins, admitLoads[:n], &admitScratch)
+				for i := range bins {
+					pairs = append(pairs, dgram.BinLoad{Bin: uint32(bins[i]), Load: admitLoads[i]})
+				}
+				left -= uint32(n)
 			}
 			payload = dgram.AppendBinLoads(payload[:0], pairs)
 			if !reply(dgram.TAdmitOK, payload) {

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+	"dynalloc/internal/simfs"
+	"dynalloc/internal/wal"
+)
+
+// The allocation-budget tier: testing.AllocsPerRun gates on the
+// batched admission pipeline. The engine (non-durable) lane must run
+// at literally zero heap allocations per pass in steady state — the
+// claim ROADMAP item 1 closes and BENCH_baseline.json pins for the
+// serve/admit-batch workload — and the durable lane gets an explicit
+// ceiling instead of a vibe. These tests run on a dedicated CI leg
+// (`go test ./internal/serve -run AllocBudget -count=1`, no -race:
+// race instrumentation allocates) and skip themselves under -race so
+// the ordinary race legs stay green.
+
+// budgetPolicies is the shipped policy set the budgets hold for.
+func budgetPolicies() []Policy {
+	return []Policy{
+		NewABKUPolicy(1), // uniform
+		NewABKUPolicy(2),
+		NewADAPPolicy(rules.SliceThresholds{1, 2, 2, 3}),
+		NewMixedPolicy(0.5),
+	}
+}
+
+// warmBatcher builds a loaded store + batcher and runs enough passes
+// to grow every piece of reusable scratch to steady state.
+func warmBatcher(pol Policy, sc process.Scenario, batch int) (*Batcher, *rng.RNG) {
+	st := NewStoreShards(1<<12, 64)
+	st.FillBalanced(1 << 12)
+	bt := NewBatcher(st, pol, sc, batch)
+	r := rng.New(0xA110C)
+	for i := 0; i < 8; i++ {
+		if _, err := bt.Pass(r, batch); err != nil {
+			panic(err)
+		}
+	}
+	return bt, r
+}
+
+func TestAllocBudgetAdmitBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under -race instrumentation")
+	}
+	for _, sc := range []process.Scenario{process.ScenarioA, process.ScenarioB} {
+		for _, pol := range budgetPolicies() {
+			t.Run(fmt.Sprintf("%v/%s", sc, pol.Name()), func(t *testing.T) {
+				bt, r := warmBatcher(pol, sc, 64)
+				avg := testing.AllocsPerRun(50, func() {
+					if _, err := bt.Pass(r, 64); err != nil {
+						panic(err)
+					}
+				})
+				if avg != 0 {
+					t.Errorf("batched admit pass: %v allocs/pass, want exactly 0", avg)
+				}
+			})
+		}
+	}
+}
+
+// The engine lane's zero must survive metrics collection being on —
+// cmd/bench runs with metrics enabled, and the baseline's 0 allocs/op
+// is measured there. The Batcher pre-resolves its counters for this.
+func TestAllocBudgetAdmitBatchMetricsOn(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under -race instrumentation")
+	}
+	metrics.Enable()
+	defer metrics.Disable()
+	bt, r := warmBatcher(NewABKUPolicy(2), process.ScenarioA, 64)
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := bt.Pass(r, 64); err != nil {
+			panic(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("batched admit pass with metrics on: %v allocs/pass, want exactly 0", avg)
+	}
+}
+
+// The durable lane cannot be literally zero — the WAL writes through a
+// filesystem — but it gets a pinned ceiling so regressions surface as
+// a failing number, not a slow drift. The journal runs in SyncWriter
+// mode on simfs: deterministic, GC-stable, no disk. One run is a
+// 64-phase pass plus a Drain that appends ~128 records (64 frees + 64
+// allocs) in MaxBatch chunks; measured cost is ~1 alloc/run (segment
+// buffer growth inside simfs, amortized), so the ceiling of 8 is
+// generous headroom for GC timing — while still two orders of
+// magnitude below a per-record allocation (128/run).
+func TestAllocBudgetDurableAdmitBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under -race instrumentation")
+	}
+	fs := simfs.New()
+	l, err := wal.Open(wal.Options{Dir: "/wal", FS: fs, Fsync: wal.FsyncNever, SegmentBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStoreShards(1<<12, 64)
+	st.FillBalanced(1 << 12)
+	j := NewJournal(st, l, 0, JournalOptions{Buffer: 1024, SyncWriter: true, MaxBatch: 512})
+	defer j.Close()
+	bt := NewBatcher(st, NewABKUPolicy(2), process.ScenarioA, 64)
+	r := rng.New(0xD00D)
+	for i := 0; i < 8; i++ {
+		if _, err := bt.Pass(r, 64); err != nil {
+			t.Fatal(err)
+		}
+		j.Drain()
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := bt.Pass(r, 64); err != nil {
+			panic(err)
+		}
+		j.Drain()
+	})
+	const ceiling = 8.0
+	if avg > ceiling {
+		t.Errorf("durable batched admit pass: %v allocs/pass, ceiling %v", avg, ceiling)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,499 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dynalloc/internal/process"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/rules"
+	"dynalloc/internal/stats"
+	"dynalloc/internal/wal"
+)
+
+// recEvent is one observed hook call.
+type recEvent struct {
+	op  wal.Op
+	bin int
+}
+
+// recHook records every per-ball hook call, in order.
+type recHook struct{ events []recEvent }
+
+func (h *recHook) OnAlloc(bin int)    { h.events = append(h.events, recEvent{wal.OpAlloc, bin}) }
+func (h *recHook) OnFree(bin int)     { h.events = append(h.events, recEvent{wal.OpFree, bin}) }
+func (h *recHook) OnCrash(bin, k int) { h.events = append(h.events, recEvent{wal.OpCrash, bin}) }
+
+// recBatchHook additionally records OnAllocRun runs (copying the
+// scratch-owned slice, as the BatchStoreHook contract requires).
+type recBatchHook struct {
+	recHook
+	runs [][]int
+}
+
+func (h *recBatchHook) OnAllocRun(bins []int) {
+	h.runs = append(h.runs, append([]int(nil), bins...))
+	for _, b := range bins {
+		h.events = append(h.events, recEvent{wal.OpAlloc, b})
+	}
+}
+
+// shipped policies for the equivalence battery, keyed by name.
+func shippedPolicies() []Policy {
+	return []Policy{
+		NewABKUPolicy(1),
+		NewABKUPolicy(2),
+		NewABKUPolicy(3),
+		NewADAPPolicy(rules.SliceThresholds{1, 2, 2, 3}),
+		NewMixedPolicy(0.5),
+	}
+}
+
+// TestAdmitBatchMatchesSequentialAllocs is the core property test:
+// over randomized load vectors, shard geometries and batch contents
+// (duplicates included), AdmitBatch must be observationally equivalent
+// to len(bins) sequential Alloc calls — same final state and counters,
+// same per-ball load results, same per-bin hook event counts — and
+// Order() must be a shard-grouped, within-shard-stable permutation of
+// the entries whose load results are consistent with the apply order.
+func TestAdmitBatchMatchesSequentialAllocs(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		r := rng.New(0xBA7C4 + uint64(trial))
+		n := 1 + r.Intn(200)
+		shards := 1 << r.Intn(5)
+		if shards > n {
+			shards = 1
+		}
+		batchStore := NewStoreShards(n, shards)
+		seqStore := NewStoreShards(n, shards)
+		// Random initial fill, identical on both stores.
+		for b := 0; b < n; b++ {
+			if k := r.Intn(4); k > 0 {
+				batchStore.Crash(b, k)
+				seqStore.Crash(b, k)
+			}
+		}
+		bh := &recBatchHook{}
+		sh := &recHook{}
+		batchStore.SetHook(bh)
+		seqStore.SetHook(sh)
+
+		k := 1 + r.Intn(300)
+		bins := make([]int, k)
+		for i := range bins {
+			bins[i] = r.Intn(n)
+		}
+		batchLoads := make([]int32, k)
+		var sc AdmitScratch
+		batchStore.AdmitBatch(bins, batchLoads, &sc)
+
+		seqLoads := make([]int32, k)
+		for i, b := range bins {
+			seqLoads[i] = int32(seqStore.Alloc(b))
+		}
+
+		// Final state and counters agree exactly.
+		if !reflect.DeepEqual(batchStore.LoadsCopy(), seqStore.LoadsCopy()) {
+			t.Fatalf("trial %d: loads diverge\nbatch=%v\nseq=%v", trial, batchStore.LoadsCopy(), seqStore.LoadsCopy())
+		}
+		bs, ss := batchStore.Stats(), seqStore.Stats()
+		if bs != ss {
+			t.Fatalf("trial %d: stats diverge: batch=%+v seq=%+v", trial, bs, ss)
+		}
+
+		// Per-ball load results: same bin, same multiset of loads, and
+		// within one bin the sorted loads must match (each admission to a
+		// bin yields a distinct consecutive load, in apply order).
+		perBin := map[int][]int32{}
+		for i, b := range bins {
+			perBin[b] = append(perBin[b], batchLoads[i])
+		}
+		perBinSeq := map[int][]int32{}
+		for i, b := range bins {
+			perBinSeq[b] = append(perBinSeq[b], seqLoads[i])
+		}
+		for b, bl := range perBin {
+			sl := perBinSeq[b]
+			// Entry order within a bin == apply order within a bin (the
+			// shard chain is FIFO), so the load sequences match directly.
+			if !reflect.DeepEqual(bl, sl) {
+				t.Fatalf("trial %d bin %d: per-ball loads diverge: batch=%v seq=%v", trial, b, bl, sl)
+			}
+		}
+
+		// Hook events: equal per-bin counts (order across bins may differ
+		// by shard grouping; per-bin order is trivially equal since every
+		// event of a bin is the same record).
+		count := func(evs []recEvent) map[recEvent]int {
+			m := map[recEvent]int{}
+			for _, e := range evs {
+				m[e]++
+			}
+			return m
+		}
+		if !reflect.DeepEqual(count(bh.events), count(sh.events)) {
+			t.Fatalf("trial %d: hook events diverge: batch=%v seq=%v", trial, count(bh.events), count(sh.events))
+		}
+
+		// The batch hook's runs concatenate to exactly Order()'s bins, and
+		// each run stays within a single shard.
+		var runCat []int
+		for _, run := range bh.runs {
+			s0 := batchStore.ShardOf(run[0])
+			for _, b := range run {
+				if batchStore.ShardOf(b) != s0 {
+					t.Fatalf("trial %d: run %v crosses shards", trial, run)
+				}
+			}
+			runCat = append(runCat, run...)
+		}
+		order := sc.Order()
+		if len(order) != k {
+			t.Fatalf("trial %d: Order() has %d entries, want %d", trial, len(order), k)
+		}
+		seen := make([]bool, k)
+		for pos, e := range order {
+			if seen[e] {
+				t.Fatalf("trial %d: Order() repeats entry %d", trial, e)
+			}
+			seen[e] = true
+			if runCat[pos] != bins[e] {
+				t.Fatalf("trial %d: apply order pos %d: hook saw bin %d, Order() says entry %d (bin %d)",
+					trial, pos, runCat[pos], e, bins[e])
+			}
+		}
+		// Within-shard stability: entries of the same shard appear in
+		// Order() in entry order.
+		lastPerShard := map[int]int32{}
+		for _, e := range order {
+			si := batchStore.ShardOf(bins[e])
+			if prev, ok := lastPerShard[si]; ok && e < prev {
+				t.Fatalf("trial %d: shard %d applied entry %d after %d (not FIFO)", trial, si, e, prev)
+			}
+			lastPerShard[si] = e
+		}
+	}
+}
+
+// TestAdmitBatchPlainHookFallback: a hook without OnAllocRun receives
+// ordinary per-ball OnAlloc calls from AdmitBatch, in apply order.
+func TestAdmitBatchPlainHookFallback(t *testing.T) {
+	st := NewStoreShards(32, 4)
+	h := &recHook{}
+	st.SetHook(h)
+	bins := []int{0, 31, 8, 0, 16, 9}
+	var sc AdmitScratch
+	st.AdmitBatch(bins, nil, &sc)
+	if len(h.events) != len(bins) {
+		t.Fatalf("plain hook saw %d events, want %d", len(h.events), len(bins))
+	}
+	for pos, e := range sc.Order() {
+		if h.events[pos] != (recEvent{wal.OpAlloc, bins[e]}) {
+			t.Fatalf("event %d = %+v, want alloc of bin %d", pos, h.events[pos], bins[e])
+		}
+	}
+}
+
+// TestPickBatchMatchesSequentialPicks pins the strongest form of the
+// batch pick path's equivalence: same stream, bit-identical choices.
+func TestPickBatchMatchesSequentialPicks(t *testing.T) {
+	st := loadStore(statLoads, 4)
+	for _, pol := range shippedPolicies() {
+		t.Run(pol.Name(), func(t *testing.T) {
+			bp, ok := pol.(BatchPolicy)
+			if !ok {
+				t.Fatalf("%s does not implement BatchPolicy", pol.Name())
+			}
+			r1 := rng.New(0x9E1EC7)
+			r2 := rng.New(0x9E1EC7)
+			batched := make([]int, 257)
+			probes := bp.PickBatch(st, r1, batched)
+			seqProbes := 0
+			for i := range batched {
+				b, m := pol.Pick(st, r2)
+				seqProbes += m
+				if b != batched[i] {
+					t.Fatalf("choice %d: batch=%d sequential=%d", i, batched[i], b)
+				}
+			}
+			if probes != seqProbes {
+				t.Fatalf("probes: batch=%d sequential=%d", probes, seqProbes)
+			}
+		})
+	}
+}
+
+// twoSampleChi2 runs a chi-square homogeneity test on two per-bin
+// count vectors (null: both samples drawn from the same distribution).
+func twoSampleChi2(a, b []int) (stat float64, df int) {
+	var na, nb float64
+	for i := range a {
+		na += float64(a[i])
+		nb += float64(b[i])
+	}
+	for i := range a {
+		tot := float64(a[i] + b[i])
+		if tot == 0 {
+			continue
+		}
+		ea := tot * na / (na + nb)
+		eb := tot * nb / (na + nb)
+		stat += (float64(a[i]) - ea) * (float64(a[i]) - ea) / ea
+		stat += (float64(b[i]) - eb) * (float64(b[i]) - eb) / eb
+		df++
+	}
+	return stat, df - 1
+}
+
+// TestBatchLaneChoiceDistribution drives the full batched admit path
+// (PickBatch + AdmitBatch, undone after every batch so the load vector
+// stays frozen and the null hypothesis is exact) against the
+// sequential path under an independent stream, and requires the
+// destination distributions to agree by chi-square homogeneity for
+// every shipped policy. The bit-equality test above is stronger for
+// the pick path alone; this one exercises the whole lane, including
+// the store apply.
+func TestBatchLaneChoiceDistribution(t *testing.T) {
+	const batch = 64
+	for _, pol := range shippedPolicies() {
+		t.Run(pol.Name(), func(t *testing.T) {
+			st := loadStore(statLoads, 4)
+			bp := pol.(BatchPolicy)
+			r1 := rng.New(0xC0117)
+			r2 := rng.New(0xD157)
+
+			batchCounts := make([]int, st.N())
+			bins := make([]int, batch)
+			var sc AdmitScratch
+			for drawn := 0; drawn < statDraws; drawn += batch {
+				bp.PickBatch(st, r1, bins)
+				st.AdmitBatch(bins, nil, &sc)
+				for _, b := range bins {
+					batchCounts[b]++
+					if _, err := st.FreeBin(b); err != nil { // undo
+						t.Fatal(err)
+					}
+				}
+			}
+			seqCounts := make([]int, st.N())
+			for d := 0; d < statDraws; d++ {
+				b, _ := pol.Pick(st, r2)
+				st.Alloc(b)
+				seqCounts[b]++
+				if _, err := st.FreeBin(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stat, df := twoSampleChi2(batchCounts, seqCounts)
+			p := stats.ChiSquareSurvival(stat, df)
+			if p < statAlpha {
+				t.Errorf("batched vs sequential choices diverge: chi2=%.2f df=%d p=%.2g\nbatch=%v\nseq=%v",
+					stat, df, p, batchCounts, seqCounts)
+			}
+		})
+	}
+}
+
+// TestAdmitBatchJournalSeqOrder pins the invariant the crash-schedule
+// explorer leans on: with a Journal installed, the WAL records of one
+// AdmitBatch land with consecutive seqs whose bin sequence equals the
+// batch's bins permuted by AdmitScratch.Order().
+func TestAdmitBatchJournalSeqOrder(t *testing.T) {
+	st, j, fs, dir := newJournaled(t, 32, 4, wal.Options{SegmentBytes: 1 << 20})
+	bins := []int{0, 31, 8, 0, 16, 9, 24, 1, 1}
+	var sc AdmitScratch
+	st.AdmitBatch(bins, nil, &sc)
+	j.Drain()
+	if err := j.Close(); err != nil { // flush the log's write buffer to the fs
+		t.Fatal(err)
+	}
+	var got []int
+	if _, err := wal.ReplayFS(fs, dir, 0, func(rec wal.Record) error {
+		got = append(got, int(rec.Bin))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, 0, len(bins))
+	for _, e := range sc.Order() {
+		want = append(want, bins[e])
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("WAL bin sequence %v, want apply order %v", got, want)
+	}
+}
+
+// TestEngineBatchLaneDrives: the engine's Batch config drives exactly
+// MaxSteps phases through the batch lane and preserves mass.
+func TestEngineBatchLaneDrives(t *testing.T) {
+	for _, sc := range []process.Scenario{process.ScenarioA, process.ScenarioB} {
+		t.Run(fmt.Sprintf("%v", sc), func(t *testing.T) {
+			st := NewStoreShards(256, 8)
+			st.FillBalanced(256)
+			eng := NewEngine(Config{
+				Store: st, Policy: NewABKUPolicy(2), Scenario: sc,
+				Workers: 1, Seed: 42, MaxSteps: 10_000, Batch: 64,
+			})
+			res := eng.Run(context.Background())
+			if res.Steps != 10_000 {
+				t.Fatalf("steps = %d, want 10000", res.Steps)
+			}
+			if st.Total() != 256 {
+				t.Fatalf("total = %d, want 256 (closed loop preserves mass)", st.Total())
+			}
+			if st.Allocs() != 10_000 || st.Frees() != 10_000 {
+				t.Fatalf("allocs=%d frees=%d, want 10000 each", st.Allocs(), st.Frees())
+			}
+		})
+	}
+}
+
+// TestEngineBatchDetectorCadence: the detector still fires on the
+// CheckEvery cadence when steps advance by whole passes. The pass size
+// (48) never lands a step count on a multiple of CheckEvery (100), so
+// a naive t%CheckEvery==0 check would never fire; the crossing check
+// must stop the drive at the first pass that crosses the boundary.
+func TestEngineBatchDetectorCadence(t *testing.T) {
+	st := NewStoreShards(64, 4)
+	st.FillBalanced(64)
+	// A permissive target: the very first check observes recovery.
+	det := NewDetector(st, Target{PredictedMax: 64, Slack: 64})
+	eng := NewEngine(Config{
+		Store: st, Policy: NewABKUPolicy(2), Scenario: process.ScenarioA,
+		Workers: 1, Seed: 7, MaxSteps: 100_000, Batch: 48,
+		Detector: det, CheckEvery: 100, StopOnRecovery: true,
+	})
+	res := eng.Run(context.Background())
+	if !res.Recovered {
+		t.Fatalf("detector never fired: steps=%d", res.Steps)
+	}
+	// First boundary is step 100; the pass crossing it ends at 144.
+	if res.Steps < 100 || res.Steps > 144 {
+		t.Fatalf("stopped at step %d, want within the first pass crossing step 100 (100..144)", res.Steps)
+	}
+}
+
+// TestAdmitBatchConcurrentMixedTraffic is the batch lane's entry in
+// the targeted -race leg: AdmitBatch racing FreeBall, FreeNonEmpty,
+// FreeBin, Crash, Snapshot and LoadSummary on one store, with full
+// accounting checks at the end (the counters must balance exactly —
+// torn counts under concurrency would show up here).
+func TestAdmitBatchConcurrentMixedTraffic(t *testing.T) {
+	const (
+		n      = 512
+		m      = 2048
+		iters  = 400
+		batch  = 32
+		admitW = 2
+	)
+	st := NewStoreShards(n, 8)
+	st.FillBalanced(m)
+
+	var admitted, freed, crashed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < admitW; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w) + 1)
+			pol := NewABKUPolicy(2).(BatchPolicy)
+			bins := make([]int, batch)
+			loads := make([]int32, batch)
+			var sc AdmitScratch
+			for i := 0; i < iters; i++ {
+				pol.PickBatch(st, r, bins)
+				st.AdmitBatch(bins, loads, &sc)
+				admitted.Add(batch)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // Scenario A departures
+		defer wg.Done()
+		r := rng.New(100)
+		for i := 0; i < iters*batch/2; i++ {
+			if _, err := st.FreeBall(r); err == nil {
+				freed.Add(1)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // Scenario B departures + targeted frees
+		defer wg.Done()
+		r := rng.New(200)
+		for i := 0; i < iters*batch/2; i++ {
+			if i%7 == 0 {
+				if _, err := st.FreeBin(r.Intn(n)); err == nil {
+					freed.Add(1)
+				}
+				continue
+			}
+			if _, err := st.FreeNonEmpty(r); err == nil {
+				freed.Add(1)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // crash injections
+		defer wg.Done()
+		r := rng.New(300)
+		for i := 0; i < iters/4; i++ {
+			k := 1 + r.Intn(8)
+			st.Crash(r.Intn(n), k)
+			crashed.Add(int64(k))
+		}
+	}()
+	wg.Add(1)
+	go func() { // readers
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_ = st.Snapshot()
+			_ = st.LoadSummary()
+			_ = st.Stats()
+		}
+	}()
+	wg.Wait()
+
+	loads := st.LoadsCopy()
+	var sum, nonEmpty int64
+	for _, l := range loads {
+		if l < 0 {
+			t.Fatalf("negative load %d", l)
+		}
+		sum += int64(l)
+		if l > 0 {
+			nonEmpty++
+		}
+	}
+	if got := st.Total(); got != sum {
+		t.Errorf("Total() = %d, sum of loads = %d", got, sum)
+	}
+	if got := st.NonEmpty(); got != nonEmpty {
+		t.Errorf("NonEmpty() = %d, counted %d", got, nonEmpty)
+	}
+	if got := st.Allocs(); got != admitted.Load() {
+		t.Errorf("Allocs() = %d, admitted %d", got, admitted.Load())
+	}
+	if got := st.Frees(); got != freed.Load() {
+		t.Errorf("Frees() = %d, freed %d", got, freed.Load())
+	}
+	if want := m + admitted.Load() + crashed.Load() - freed.Load(); sum != want {
+		t.Errorf("mass: sum=%d, want %d (m + admitted + crashed - freed)", sum, want)
+	}
+	var stripes []int64
+	for i, tot := range st.AppendStripeTotals(stripes) {
+		var shardSum int64
+		for b := 0; b < n; b++ {
+			if st.ShardOf(b) == i {
+				shardSum += int64(loads[b])
+			}
+		}
+		if tot != shardSum {
+			t.Errorf("stripe %d total %d, loads sum %d", i, tot, shardSum)
+		}
+	}
+}

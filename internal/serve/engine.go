@@ -46,6 +46,18 @@ type Config struct {
 	// StopOnRecovery stops the drive at the first detector check that
 	// observes the typical state.
 	StopOnRecovery bool
+
+	// Batch, when > 1, routes each worker through the batched admission
+	// lane: super-phases of up to Batch phases whose admissions are
+	// applied by one Store.AdmitBatch call (see Batcher), dropping the
+	// steady-state allocation cost of the drive loop to zero and — with
+	// a Journal installed — feeding the group-commit writer whole runs
+	// at a time. 0 or 1 keeps the per-phase path. Detector checks still
+	// fire on the CheckEvery cadence (at the pass that crosses it), and
+	// the final pass is clamped to the steps MaxSteps still allows; as
+	// in the per-phase lane the stop is cooperative, so concurrent
+	// workers can overshoot MaxSteps by at most one pass each.
+	Batch int
 }
 
 // Result summarizes one Engine.Run.
@@ -135,6 +147,10 @@ func (e *Engine) Run(ctx context.Context) Result {
 // drive is one worker's loop.
 func (e *Engine) drive(ctx context.Context, worker int, lat *metrics.Histogram) {
 	cfg := e.cfg
+	if cfg.Batch > 1 {
+		e.driveBatched(ctx, worker, lat)
+		return
+	}
 	// Each worker gets its own policy copy (the serve-side form of
 	// rules.CloneForWorker), so no mutable rule state is shared.
 	pol := cfg.Policy.Clone()
@@ -183,6 +199,91 @@ func (e *Engine) drive(ctx context.Context, worker int, lat *metrics.Histogram) 
 			return
 		}
 		if cfg.Detector != nil && t%cfg.CheckEvery == 0 {
+			s := cfg.Detector.Check()
+			if cfg.StopOnRecovery && s.Recovered {
+				e.halt.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// driveBatched is one worker's loop on the batch lane (Config.Batch
+// > 1): the same control surface as drive — halt flag, ctx polls,
+// open-loop pacing, MaxSteps, detector cadence — but phases execute in
+// Batcher passes. Pacing draws one exponential wait per pass, scaled
+// by the pass size, so the aggregate phase rate matches the per-phase
+// lane; the latency histogram records per-phase cost (pass wall time
+// divided by phases completed).
+func (e *Engine) driveBatched(ctx context.Context, worker int, lat *metrics.Histogram) {
+	cfg := e.cfg
+	bt := NewBatcher(cfg.Store, cfg.Policy, cfg.Scenario, cfg.Batch)
+	r := rng.NewStream(cfg.Seed, uint64(worker))
+	var pace *rng.RNG
+	var perWorkerRate float64
+	if cfg.Rate > 0 {
+		pace = rng.NewStream(cfg.Seed, uint64(worker)+pacingStreamOffset)
+		perWorkerRate = cfg.Rate / float64(cfg.Workers)
+	}
+	done := ctx.Done()
+	record := metrics.Enabled()
+
+	for i := 0; ; i++ {
+		if e.halt.Load() {
+			return
+		}
+		if i&15 == 0 {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+		k := cfg.Batch
+		if cfg.MaxSteps > 0 {
+			rem := cfg.MaxSteps - e.steps.Load()
+			if rem <= 0 {
+				e.halt.Store(true)
+				return
+			}
+			if int64(k) > rem {
+				k = int(rem)
+			}
+		}
+		if pace != nil {
+			sleep := time.Duration(pace.Exp() / perWorkerRate * float64(k) * float64(time.Second))
+			select {
+			case <-done:
+				return
+			case <-time.After(sleep):
+			}
+		}
+
+		var phases int
+		var err error
+		if record {
+			t0 := time.Now()
+			phases, err = bt.Pass(r, k)
+			if phases > 0 {
+				lat.Observe(time.Since(t0).Nanoseconds() / int64(phases))
+			}
+		} else {
+			phases, err = bt.Pass(r, k)
+		}
+		if phases == 0 {
+			if err != nil {
+				// Drained store, as in drive: stop rather than spin.
+				e.halt.Store(true)
+			}
+			return
+		}
+
+		t := e.steps.Add(int64(phases))
+		if err != nil || (cfg.MaxSteps > 0 && t >= cfg.MaxSteps) {
+			e.halt.Store(true)
+			return
+		}
+		if cfg.Detector != nil && t/cfg.CheckEvery != (t-int64(phases))/cfg.CheckEvery {
 			s := cfg.Detector.Check()
 			if cfg.StopOnRecovery && s.Recovered {
 				e.halt.Store(true)

@@ -290,6 +290,40 @@ func (j *Journal) push(op wal.Op, bin, k int) {
 	}
 	rec := wal.Record{Op: op, Bin: uint32(bin), K: int32(k), Seq: j.seq.Add(1)}
 	j.pending.Add(1)
+	j.enqueue(rec)
+}
+
+// OnAllocRun implements BatchStoreHook: the batched admission lane's
+// push. It reserves one contiguous seq range for the whole run and
+// enqueues the records in order — still under the shard lock that
+// applied them (see Store.AdmitBatch), so seq order equals mutation
+// order per bin and a Checkpoint holding every shard lock still
+// observes a stable seq. The per-push close guard and pending
+// accounting are paid once per run instead of once per ball, and the
+// writer's greedy group commit typically lands a whole run in one
+// wal.AppendBatch call.
+func (j *Journal) OnAllocRun(bins []int) {
+	n := len(bins)
+	if n == 0 {
+		return
+	}
+	j.closeMu.RLock()
+	defer j.closeMu.RUnlock()
+	if j.closed {
+		metrics.AddCounter("serve.journal.dropped", int64(n))
+		return
+	}
+	base := j.seq.Add(uint64(n)) - uint64(n)
+	j.pending.Add(int64(n))
+	for i, bin := range bins {
+		j.enqueue(wal.Record{Op: wal.OpAlloc, Bin: uint32(bin), K: 1, Seq: base + uint64(i) + 1})
+	}
+}
+
+// enqueue hands one record — already counted in pending, seq already
+// assigned — to the writer queue, honoring StallTimeout. The caller
+// holds closeMu.RLock, so the channel cannot be closed under us.
+func (j *Journal) enqueue(rec wal.Record) {
 	if j.opts.StallTimeout <= 0 {
 		j.ch <- rec
 		return

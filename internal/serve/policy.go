@@ -40,6 +40,20 @@ type Policy interface {
 	FluidModel(sc process.Scenario, cap int) *fluid.Model
 }
 
+// BatchPolicy is the batch-capable extension of Policy: PickBatch
+// fills bins with one destination per entry, drawing randomness in
+// exactly the order len(bins) sequential Pick calls would — stream for
+// stream, the batch lane is choice-identical to the per-ball lane, not
+// merely distribution-equal — and returns the total probe count.
+// Implementations must not allocate: PickBatch sits on the zero-alloc
+// admission hot path gated by the TestAllocBudget tier. All shipped
+// policies implement BatchPolicy; callers type-assert once and fall
+// back to per-ball Pick calls for policies that do not.
+type BatchPolicy interface {
+	Policy
+	PickBatch(st *Store, r *rng.RNG, bins []int) (probes int)
+}
+
 // maxAdmissionProbes caps a single admission's probe loop, mirroring
 // rules.maxAdaptiveProbes: a defense against mis-specified thresholds,
 // not a semantic limit.
@@ -88,6 +102,21 @@ func (p *adapPolicy) Pick(st *Store, r *rng.RNG) (int, int) {
 	panic(fmt.Sprintf("serve: %s did not place a ball within %d probes (thresholds too large?)", p.name, maxAdmissionProbes))
 }
 
+// PickBatch implements BatchPolicy. Each entry runs the same probe
+// loop as Pick against the live loads (direct method call, so no
+// interface dispatch or allocation per ball); within one batch, later
+// entries do not see earlier entries' admissions — the bounded
+// staleness every concurrent d-choice deployment already has.
+func (p *adapPolicy) PickBatch(st *Store, r *rng.RNG, bins []int) int {
+	probes := 0
+	for i := range bins {
+		b, m := p.Pick(st, r)
+		bins[i] = b
+		probes += m
+	}
+	return probes
+}
+
 func (p *adapPolicy) Clone() Policy {
 	return &adapPolicy{x: rules.CloneThresholds(p.x), name: p.name}
 }
@@ -127,6 +156,17 @@ func (p *mixedPolicy) Pick(st *Store, r *rng.RNG) (int, int) {
 		return b2, 2
 	}
 	return b1, 2
+}
+
+// PickBatch implements BatchPolicy; see adapPolicy.PickBatch.
+func (p *mixedPolicy) PickBatch(st *Store, r *rng.RNG, bins []int) int {
+	probes := 0
+	for i := range bins {
+		b, m := p.Pick(st, r)
+		bins[i] = b
+		probes += m
+	}
+	return probes
 }
 
 func (p *mixedPolicy) Clone() Policy { c := *p; return &c }

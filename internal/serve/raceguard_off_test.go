@@ -1,0 +1,6 @@
+//go:build !race
+
+package serve
+
+// See raceguard_on_test.go.
+const raceEnabled = false

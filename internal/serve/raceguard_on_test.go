@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether this test binary was built with -race.
+// The allocation-budget tier (allocbudget_test.go) skips itself under
+// race instrumentation, which inserts its own allocations; the budgets
+// run on a dedicated non-race CI leg.
+const raceEnabled = true

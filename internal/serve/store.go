@@ -69,6 +69,21 @@ type StoreHook interface {
 	OnCrash(bin, k int)
 }
 
+// BatchStoreHook is an optional StoreHook extension for the batched
+// admission lane: AdmitBatch hands each shard's group of admissions to
+// OnAllocRun in one call — with that shard's lock held, immediately
+// after the whole group is applied — instead of one OnAlloc per ball,
+// so per-push overhead (close guards, pending accounting, seq
+// reservation in the Journal) is paid once per group. The StoreHook
+// constraints apply unchanged, plus: bins is scratch owned by the
+// caller and must not be retained past the call. A hook that does not
+// implement this interface receives per-ball OnAlloc calls from
+// AdmitBatch, so batching never changes what a plain hook observes.
+type BatchStoreHook interface {
+	StoreHook
+	OnAllocRun(bins []int)
+}
+
 // Store is a concurrent bin store holding the live load vector of an
 // allocation service with n bins. All methods are safe for concurrent
 // use. Loads are int32; a single bin can therefore absorb ~2·10^9
@@ -182,8 +197,10 @@ func (st *Store) shardOf(b int) *shard { return &st.shards[b/st.shardSize] }
 // intended call sites.
 func (st *Store) SetHook(h StoreHook) { st.hook = h }
 
-// allocLocked adds one ball to bin b. Caller holds the shard lock.
-func (st *Store) allocLocked(sh *shard, b int) int32 {
+// allocBareLocked adds one ball to bin b without notifying the hook.
+// Caller holds the shard lock and is responsible for the hook call
+// (per ball, or per run via BatchStoreHook) before releasing it.
+func (st *Store) allocBareLocked(sh *shard, b int) int32 {
 	l := st.loads[b].Add(1)
 	if l == 1 {
 		st.nonEmpty.Add(1)
@@ -191,6 +208,12 @@ func (st *Store) allocLocked(sh *shard, b int) int32 {
 	sh.total.Add(1)
 	st.total.Add(1)
 	st.allocs.Add(1)
+	return l
+}
+
+// allocLocked adds one ball to bin b. Caller holds the shard lock.
+func (st *Store) allocLocked(sh *shard, b int) int32 {
+	l := st.allocBareLocked(sh, b)
 	if st.hook != nil {
 		st.hook.OnAlloc(b)
 	}
@@ -224,6 +247,136 @@ func (st *Store) Alloc(b int) int {
 	l := st.allocLocked(sh, b)
 	sh.mu.Unlock()
 	return int(l)
+}
+
+// ShardOf returns the index of the lock stripe bin b belongs to.
+func (st *Store) ShardOf(b int) int { return b / st.shardSize }
+
+// AdmitScratch is the reusable per-caller state of Store.AdmitBatch:
+// the per-shard chain heads/tails, the entry links, the list of
+// touched shards, and the shard-grouped apply order of the last batch.
+// The zero value is ready to use; the slices grow to the store's shard
+// count and the largest batch seen, after which AdmitBatch performs no
+// heap allocation. A scratch is single-caller state — never share one
+// between concurrent AdmitBatch calls.
+type AdmitScratch struct {
+	head    []int32 // per touched shard slot: 1-based index of its first entry
+	tail    []int32 // per touched shard slot: 1-based index of its last entry
+	next    []int32 // per entry: 1-based index of the next entry in its shard
+	touched []int32 // shard indices hit by the batch, in first-touch order
+	order   []int32 // entry indices in the order their admissions were applied
+	run     []int   // current shard's bins, handed to BatchStoreHook.OnAllocRun
+}
+
+// Order returns the entry indices of the most recent AdmitBatch in the
+// order their admissions were applied: grouped by shard (first-touch
+// order), stable within a shard. Because the Journal assigns sequence
+// numbers under the shard lock at apply time, this is exactly WAL seq
+// order — which is what the crash-schedule explorer needs to keep its
+// reference history aligned with what a power cut can tear. The slice
+// is valid until the next AdmitBatch call with this scratch.
+func (sc *AdmitScratch) Order() []int32 { return sc.order }
+
+// AdmitBatch admits one ball into bins[i] for every i. It is
+// observationally equivalent to len(bins) sequential Alloc calls —
+// same final loads, counters, per-ball load results, and per-bin hook
+// order — but takes one striped-lock acquisition per *touched shard*
+// per batch instead of one per ball. Entries are grouped by shard and
+// applied shard by shard in first-touch order, stable within a shard;
+// entries of different shards may commit out of entry order, which is
+// invisible to any observer because single-ball admissions to distinct
+// bins commute (every interleaving reaches the same state, and
+// concurrent readers could see any of them already). Use
+// sc.Order() when the true apply order matters.
+//
+// If loads is non-nil it must hold at least len(bins) entries;
+// loads[i] receives bin bins[i]'s load immediately after its
+// admission, exactly what the corresponding Alloc call would have
+// returned. AdmitBatch panics — before mutating anything — if any bin
+// is out of range.
+func (st *Store) AdmitBatch(bins []int, loads []int32, sc *AdmitScratch) {
+	n := len(bins)
+	if n == 0 {
+		return
+	}
+	for _, b := range bins {
+		if b < 0 || b >= st.n {
+			panic(fmt.Sprintf("serve: AdmitBatch bin %d out of range [0,%d)", b, st.n))
+		}
+	}
+	if n == 1 {
+		// No grouping to do; keep the single-ball fast path allocation-free
+		// without touching the scratch chains.
+		l := int32(st.Alloc(bins[0]))
+		if loads != nil {
+			loads[0] = l
+		}
+		sc.order = append(sc.order[:0], 0)
+		return
+	}
+	if len(sc.head) < len(st.shards) {
+		sc.head = make([]int32, len(st.shards))
+		sc.tail = make([]int32, len(st.shards))
+	}
+	if cap(sc.next) < n {
+		sc.next = make([]int32, n)
+	}
+	sc.next = sc.next[:n]
+	sc.touched = sc.touched[:0]
+	sc.order = sc.order[:0]
+
+	// Group entries into per-shard FIFO chains (1-based links; 0 = nil).
+	for i, b := range bins {
+		si := int32(b / st.shardSize)
+		sc.next[i] = 0
+		if sc.head[si] == 0 {
+			sc.head[si] = int32(i + 1)
+			sc.touched = append(sc.touched, si)
+		} else {
+			sc.next[sc.tail[si]-1] = int32(i + 1)
+		}
+		sc.tail[si] = int32(i + 1)
+	}
+
+	bh, _ := st.hook.(BatchStoreHook)
+	for _, si := range sc.touched {
+		sh := &st.shards[si]
+		sh.mu.Lock()
+		if bh != nil {
+			sc.run = sc.run[:0]
+			for e := sc.head[si]; e != 0; e = sc.next[e-1] {
+				i := int(e - 1)
+				l := st.allocBareLocked(sh, bins[i])
+				if loads != nil {
+					loads[i] = l
+				}
+				sc.order = append(sc.order, int32(i))
+				sc.run = append(sc.run, bins[i])
+			}
+			bh.OnAllocRun(sc.run)
+		} else if st.hook != nil {
+			for e := sc.head[si]; e != 0; e = sc.next[e-1] {
+				i := int(e - 1)
+				l := st.allocBareLocked(sh, bins[i])
+				if loads != nil {
+					loads[i] = l
+				}
+				sc.order = append(sc.order, int32(i))
+				st.hook.OnAlloc(bins[i])
+			}
+		} else {
+			for e := sc.head[si]; e != 0; e = sc.next[e-1] {
+				i := int(e - 1)
+				l := st.allocBareLocked(sh, bins[i])
+				if loads != nil {
+					loads[i] = l
+				}
+				sc.order = append(sc.order, int32(i))
+			}
+		}
+		sh.mu.Unlock()
+		sc.head[si], sc.tail[si] = 0, 0
+	}
 }
 
 // FreeBin removes one ball from the specific bin b and returns its new

@@ -27,6 +27,18 @@
 // batch replay as a clean contiguous prefix of the acknowledged
 // history.
 //
+// Admit-batched schedules (Config.AdmitBatch > 1, see
+// DefaultAdmitBatched) drive the batched admission pipeline: admission
+// traffic arrives in groups of several balls applied through
+// Store.AdmitBatch — one striped-lock acquisition per touched shard,
+// one seq-range reservation in the journal's batch hook — and the
+// armed power cut can land inside the store-apply/journal-push window
+// of a half-persisted group. The reference history records the group
+// in AdmitScratch.Order order, which is by construction the journal's
+// seq order, so the invariant sharpens to: a group torn mid-batch must
+// replay as a clean prefix OF THE APPLY ORDER, never a subset or a
+// reordering.
+//
 // Chaos schedules (Config.ChaosFaults > 0, see DefaultChaos) further
 // arm transient write-path faults at random points DURING traffic:
 // appends, fsyncs, segment creation and checkpoint renames fail while
@@ -94,6 +106,18 @@ type Config struct {
 	// vary within one burst).
 	MaxBatch int
 
+	// AdmitBatch, when > 1, drives admission traffic in groups of up to
+	// that many balls through Store.AdmitBatch instead of one Alloc per
+	// mutation, with the journal in deterministic SyncWriter mode (as
+	// in burst mode): the group's records reach the WAL through the
+	// batch hook's single seq-range reservation, so the armed power cut
+	// can land inside the store-apply/journal-push window of a
+	// half-persisted group. The reference history appends the group in
+	// AdmitScratch.Order order — the journal's seq order — so a torn
+	// group must replay as a clean prefix of the apply order. 0/1 is
+	// the per-ball configuration.
+	AdmitBatch int
+
 	// ChaosFaults, when > 0, arms that many transient write-path faults
 	// per round at pseudo-random points DURING traffic (see
 	// DefaultChaos): creates, writes, fsyncs and renames fail as on a
@@ -136,6 +160,20 @@ func DefaultBatched() Config {
 	c.Burst = 12
 	c.MaxBatch = 5
 	c.CheckpointEvery = 24 // a multiple of Burst: checkpoints fire at drained boundaries
+	return c
+}
+
+// DefaultAdmitBatched returns the batched-admission sweep the test
+// suite runs alongside DefaultBatched: admissions arrive in groups of
+// up to 6 balls applied through Store.AdmitBatch and journaled through
+// the batch hook's one seq-range reservation, drained as SyncWriter
+// batches of up to 4 records over the same tiny segments — so the
+// power cut regularly lands between a group's store apply and the
+// moment its last record is durable.
+func DefaultAdmitBatched() Config {
+	c := Default()
+	c.AdmitBatch = 6
+	c.MaxBatch = 4
 	return c
 }
 
@@ -189,26 +227,36 @@ func (c Config) withDefaults() Config {
 	if c.Burst > 1 && c.MaxBatch <= 0 {
 		c.MaxBatch = DefaultBatched().MaxBatch
 	}
+	if c.AdmitBatch > 1 && c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultAdmitBatched().MaxBatch
+	}
 	return c
 }
 
 // Violation is one durability-invariant failure, carrying everything
 // needed to reproduce it.
 type Violation struct {
-	Seed     uint64
-	Schedule int
-	Round    int    // crash/restore cycle the failure surfaced in
-	Burst    int    // Config.Burst the schedule ran with (0/1 = per-record)
-	MaxBatch int    // Config.MaxBatch in burst mode
-	Chaos    int    // Config.ChaosFaults the schedule ran with (0 = none)
-	Msg      string // what broke
+	Seed       uint64
+	Schedule   int
+	Round      int    // crash/restore cycle the failure surfaced in
+	Burst      int    // Config.Burst the schedule ran with (0/1 = per-record)
+	AdmitBatch int    // Config.AdmitBatch the schedule ran with (0/1 = per-ball)
+	MaxBatch   int    // Config.MaxBatch in burst/admit-batch mode
+	Chaos      int    // Config.ChaosFaults the schedule ran with (0 = none)
+	Msg        string // what broke
 }
 
 // Error implements error.
 func (v *Violation) Error() string {
 	var mode string
 	if v.Burst > 1 {
-		mode = fmt.Sprintf(" burst=%d maxbatch=%d", v.Burst, v.MaxBatch)
+		mode = fmt.Sprintf(" burst=%d", v.Burst)
+	}
+	if v.AdmitBatch > 1 {
+		mode += fmt.Sprintf(" admitbatch=%d", v.AdmitBatch)
+	}
+	if v.Burst > 1 || v.AdmitBatch > 1 {
+		mode += fmt.Sprintf(" maxbatch=%d", v.MaxBatch)
 	}
 	if v.Chaos > 0 {
 		mode += fmt.Sprintf(" chaos=%d", v.Chaos)
@@ -222,7 +270,13 @@ func (v *Violation) Repro() string {
 	repro := fmt.Sprintf("go test ./internal/simfs/explore -run TestReplaySchedule -explore.seed=%d -explore.schedule=%d",
 		v.Seed, v.Schedule)
 	if v.Burst > 1 {
-		repro += fmt.Sprintf(" -explore.burst=%d -explore.maxbatch=%d", v.Burst, v.MaxBatch)
+		repro += fmt.Sprintf(" -explore.burst=%d", v.Burst)
+	}
+	if v.AdmitBatch > 1 {
+		repro += fmt.Sprintf(" -explore.admitbatch=%d", v.AdmitBatch)
+	}
+	if v.Burst > 1 || v.AdmitBatch > 1 {
+		repro += fmt.Sprintf(" -explore.maxbatch=%d", v.MaxBatch)
 	}
 	if v.Chaos > 0 {
 		repro += fmt.Sprintf(" -explore.chaos=%d", v.Chaos)
@@ -239,6 +293,7 @@ type Stats struct {
 	Checkpoints    int   // checkpoints that completed successfully
 	MidOpCuts      int   // rounds whose armed crash point fired during traffic
 	TornCuts       int   // power cuts that left at least one torn tail
+	BatchedAdmits  int64 // admission groups of >= 2 balls driven through Store.AdmitBatch
 	FaultsArmed    int64 // chaos faults armed (ChaosFaults per round)
 	DegradedRounds int   // rounds where a chaos fault wedged the journal before the cut
 }
@@ -250,6 +305,7 @@ func (s *Stats) add(o Stats) {
 	s.Checkpoints += o.Checkpoints
 	s.MidOpCuts += o.MidOpCuts
 	s.TornCuts += o.TornCuts
+	s.BatchedAdmits += o.BatchedAdmits
 	s.FaultsArmed += o.FaultsArmed
 	s.DegradedRounds += o.DegradedRounds
 }
@@ -313,13 +369,14 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 	var stats Stats
 	fail := func(round int, format string, args ...any) (*Violation, Stats) {
 		return &Violation{
-			Seed:     cfg.Seed,
-			Schedule: schedule,
-			Round:    round,
-			Burst:    cfg.Burst,
-			MaxBatch: cfg.MaxBatch,
-			Chaos:    cfg.ChaosFaults,
-			Msg:      fmt.Sprintf(format, args...),
+			Seed:       cfg.Seed,
+			Schedule:   schedule,
+			Round:      round,
+			Burst:      cfg.Burst,
+			AdmitBatch: cfg.AdmitBatch,
+			MaxBatch:   cfg.MaxBatch,
+			Chaos:      cfg.ChaosFaults,
+			Msg:        fmt.Sprintf(format, args...),
 		}, stats
 	}
 
@@ -338,13 +395,14 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 			return nil, err
 		}
 		jo := serve.JournalOptions{Buffer: 8}
-		if cfg.Burst > 1 {
+		if cfg.Burst > 1 || cfg.AdmitBatch > 1 {
 			// SyncWriter keeps batch boundaries a deterministic function
 			// of the schedule: Drain appends the queued burst from this
 			// goroutine in MaxBatch chunks. Buffer must cover a full
-			// burst of pushes between drains.
+			// burst of pushes between drains, plus the overshoot of an
+			// admission group straddling the last burst boundary.
 			jo = serve.JournalOptions{
-				Buffer:     2 * cfg.Burst,
+				Buffer:     2*(cfg.Burst+cfg.AdmitBatch) + 8,
 				MaxBatch:   cfg.MaxBatch,
 				SyncWriter: true,
 			}
@@ -368,6 +426,13 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 	if burst < 1 {
 		burst = 1
 	}
+	var (
+		admitBins []int
+		admitSc   serve.AdmitScratch
+	)
+	if cfg.AdmitBatch > 1 {
+		admitBins = make([]int, cfg.AdmitBatch)
+	}
 
 	for round := 0; round < cfg.Rounds; round++ {
 		// Arm the crash at a pseudo-random upcoming FS operation. A
@@ -377,10 +442,12 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 		// cut at a quiet boundary) the rest — both worth covering. A
 		// batched round consumes far fewer FS ops per mutation (one
 		// write + one fsync covers a whole batch), so its span is
-		// proportionally tighter.
+		// proportionally tighter; admission groups sit in between.
 		span := 4 * cfg.OpsPerRound
 		if burst > 1 {
 			span = 2 * cfg.OpsPerRound
+		} else if cfg.AdmitBatch > 1 {
+			span = 3 * cfg.OpsPerRound
 		}
 		fs.CrashAfterOps(1 + r.Intn(span))
 
@@ -395,10 +462,18 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 		}
 		degraded := false
 
-		for i := 0; i < cfg.OpsPerRound && !fs.Crashed(); i++ {
-			driveOne(r, st, &ref)
-			stats.StoreOps++
-			if (i+1)%burst != 0 && i+1 != cfg.OpsPerRound {
+		// The drive loop advances by mutation GROUPS: driveSome applies
+		// 1 mutation (or, in admit-batch mode, up to AdmitBatch
+		// admissions in one Store.AdmitBatch) and returns how many. The
+		// drain and checkpoint conditions are boundary CROSSINGS of the
+		// post-op count, which reduce exactly to the old modular checks
+		// when every group has size 1 — per-record and burst schedules
+		// replay bit-identically to the pre-AdmitBatch explorer.
+		for c := 0; c < cfg.OpsPerRound && !fs.Crashed(); {
+			prev := c
+			c += driveSome(r, st, &ref, admitBins, &admitSc, cfg.AdmitBatch, cfg.OpsPerRound-c, &stats)
+			stats.StoreOps += int64(c - prev)
+			if c/burst == prev/burst && c < cfg.OpsPerRound {
 				continue // mid-burst: keep queueing, no drain yet
 			}
 			j.Drain()
@@ -408,7 +483,7 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 			if !fs.Crashed() && j.Err() != nil {
 				degraded = true // a chaos fault, not the cut, wedged an ack
 			}
-			if cfg.CheckpointEvery > 0 && (i+1)%cfg.CheckpointEvery == 0 && !fs.Crashed() {
+			if cfg.CheckpointEvery > 0 && c/cfg.CheckpointEvery != prev/cfg.CheckpointEvery && !fs.Crashed() {
 				// A cut can land anywhere inside the checkpoint write or
 				// its prune/truncate maintenance; failure is part of the
 				// schedule, not of the invariant.
@@ -476,11 +551,18 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 	return nil, stats
 }
 
-// driveOne applies one pseudo-random mutation to the store and records
-// it in ref iff it was acknowledged (produced a WAL record). The mix
-// mirrors the serving workload: mostly admissions, a steady departure
-// stream through both scenario samplers, occasional crash dumps.
-func driveOne(r *rng.RNG, st *serve.Store, ref *[]refOp) {
+// driveSome applies one pseudo-random mutation group to the store and
+// records it in ref iff acknowledged (produced WAL records), returning
+// the number of mutations driven. The mix mirrors the serving
+// workload: mostly admissions, a steady departure stream through both
+// scenario samplers, occasional crash dumps. With admitBatch <= 1
+// every group has size 1 and the rng draws are identical to the
+// historical per-ball driver; with admitBatch > 1 the admission branch
+// drives a group of 1+Intn(admitBatch) balls (clamped to rem, the
+// mutations left in the round) through Store.AdmitBatch, and appends
+// the group's refOps in sc.Order() order — the order the batch hook
+// assigned their WAL seqs.
+func driveSome(r *rng.RNG, st *serve.Store, ref *[]refOp, bins []int, sc *serve.AdmitScratch, admitBatch, rem int, stats *Stats) int {
 	switch p := r.Intn(10); {
 	case p == 0: // fault injection: dump k balls into one bin
 		bin, k := r.Intn(st.N()), 1+r.Intn(4)
@@ -498,10 +580,31 @@ func driveOne(r *rng.RNG, st *serve.Store, ref *[]refOp) {
 			*ref = append(*ref, refOp{wal.OpFree, bin, 1})
 		}
 	default: // admission
-		bin := r.Intn(st.N())
-		st.Alloc(bin)
-		*ref = append(*ref, refOp{wal.OpAlloc, bin, 1})
+		if admitBatch <= 1 {
+			bin := r.Intn(st.N())
+			st.Alloc(bin)
+			*ref = append(*ref, refOp{wal.OpAlloc, bin, 1})
+			break
+		}
+		g := 1 + r.Intn(admitBatch)
+		if g > rem {
+			g = rem
+		}
+		for i := 0; i < g; i++ {
+			bins[i] = r.Intn(st.N())
+		}
+		st.AdmitBatch(bins[:g], nil, sc)
+		// Journal seqs were reserved in apply order, not submission
+		// order; the reference history must match them index for index.
+		for _, idx := range sc.Order() {
+			*ref = append(*ref, refOp{wal.OpAlloc, bins[idx], 1})
+		}
+		if g > 1 {
+			stats.BatchedAdmits++
+		}
+		return g
 	}
+	return 1
 }
 
 // diffAgainstRef replays the acknowledged history into a fresh store

@@ -15,11 +15,12 @@ import (
 // `go test ... -run TestReplaySchedule -explore.seed=S -explore.schedule=K`
 // command; these flags feed that entry point.
 var (
-	exploreSeed     = flag.Uint64("explore.seed", 1, "root seed for TestReplaySchedule")
-	exploreSchedule = flag.Int("explore.schedule", -1, "schedule index for TestReplaySchedule (-1 skips)")
-	exploreBurst    = flag.Int("explore.burst", 0, "burst size for TestReplaySchedule (0/1 replays per-record)")
-	exploreMaxBatch = flag.Int("explore.maxbatch", 0, "journal batch ceiling for TestReplaySchedule burst mode")
-	exploreChaos    = flag.Int("explore.chaos", 0, "chaos faults per round for TestReplaySchedule (0 = none)")
+	exploreSeed       = flag.Uint64("explore.seed", 1, "root seed for TestReplaySchedule")
+	exploreSchedule   = flag.Int("explore.schedule", -1, "schedule index for TestReplaySchedule (-1 skips)")
+	exploreBurst      = flag.Int("explore.burst", 0, "burst size for TestReplaySchedule (0/1 replays per-record)")
+	exploreAdmitBatch = flag.Int("explore.admitbatch", 0, "admission group ceiling for TestReplaySchedule (0/1 replays per-ball)")
+	exploreMaxBatch   = flag.Int("explore.maxbatch", 0, "journal batch ceiling for TestReplaySchedule burst/admit-batch mode")
+	exploreChaos      = flag.Int("explore.chaos", 0, "chaos faults per round for TestReplaySchedule (0 = none)")
 
 	// exploreSchedules overrides the sweep width of every TestExplore*
 	// sweep; the nightly soak passes -explore.schedules=10000.
@@ -135,6 +136,75 @@ func TestExploreBatched(t *testing.T) {
 	}
 	if testing.Short() && elapsed > 30*time.Second {
 		t.Fatalf("short batched sweep took %v, budget 30s", elapsed)
+	}
+}
+
+// TestExploreAdmitBatched sweeps the batched admission pipeline:
+// admission traffic arrives in groups of up to 6 balls driven through
+// Store.AdmitBatch, journaled through the batch hook's single
+// seq-range reservation, so the armed power cut regularly lands in the
+// store-apply/journal-push window with a group half-persisted. The
+// reference history follows AdmitScratch.Order — the invariant demands
+// a torn group replay as a clean prefix of the APPLY order, which is
+// exactly what would break if AdmitBatch's per-shard application and
+// the batch hook's seq reservation ever disagreed.
+func TestExploreAdmitBatched(t *testing.T) {
+	cfg := explore.DefaultAdmitBatched()
+	cfg.Seed = *exploreSeed
+	cfg.Schedules = sweepSchedules(cfg.Schedules)
+
+	start := time.Now()
+	res := explore.Explore(cfg)
+	elapsed := time.Since(start)
+	t.Logf("explored %d admit-batched schedules in %v: %+v", res.Schedules, elapsed, res.Stats)
+
+	if res.Schedules != cfg.Schedules {
+		t.Errorf("ran %d schedules, want %d", res.Schedules, cfg.Schedules)
+	}
+	if want := cfg.Schedules * cfg.Rounds; res.Stats.Restores != want {
+		t.Errorf("restores = %d, want %d", res.Stats.Restores, want)
+	}
+	// The sweep is vacuous unless it actually drives multi-ball groups
+	// AND cuts power mid-traffic: a healthy round fits many admission
+	// groups, so demand at least one per round on average, plus the
+	// usual mid-cut / torn-tail / checkpoint coverage floors.
+	if want := int64(cfg.Schedules * cfg.Rounds); res.Stats.BatchedAdmits < want {
+		t.Errorf("only %d batched admits across %d rounds; admission groups are not forming", res.Stats.BatchedAdmits, want)
+	}
+	if res.Stats.MidOpCuts < cfg.Schedules/4 {
+		t.Errorf("only %d/%d rounds cut mid-traffic; crash points are not landing", res.Stats.MidOpCuts, cfg.Schedules*cfg.Rounds)
+	}
+	if res.Stats.TornCuts < cfg.Schedules/8 {
+		t.Errorf("only %d torn cuts; power cuts are not tearing admission groups", res.Stats.TornCuts)
+	}
+	if res.Stats.Checkpoints < cfg.Schedules {
+		t.Errorf("only %d checkpoints completed; checkpoint path unexercised", res.Stats.Checkpoints)
+	}
+
+	if res.Failed() {
+		writeReproArtifact(t, res)
+		t.Fatalf("durability violations:\n%s", res.Report())
+	}
+	if testing.Short() && elapsed > 30*time.Second {
+		t.Fatalf("short admit-batched sweep took %v, budget 30s", elapsed)
+	}
+}
+
+// TestExploreAdmitBatchedDeterministic: admission group sizes, bin
+// choices and the seq order the batch hook reserves are all pure
+// functions of the schedule, so two identical admit-batched sweeps
+// must be bit-identical — the property every -explore.admitbatch
+// repro line depends on.
+func TestExploreAdmitBatchedDeterministic(t *testing.T) {
+	cfg := explore.DefaultAdmitBatched()
+	cfg.Schedules = 40
+	a := explore.Explore(cfg)
+	b := explore.Explore(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical admit-batched explorations diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Failed() {
+		t.Fatalf("admit-batched determinism sweep hit violations:\n%s", a.Report())
 	}
 }
 
@@ -263,12 +333,17 @@ func TestReplaySchedule(t *testing.T) {
 		cfg.Burst = *exploreBurst
 		cfg.MaxBatch = *exploreMaxBatch
 	}
+	if *exploreAdmitBatch > 1 {
+		cfg.AdmitBatch = *exploreAdmitBatch
+		cfg.MaxBatch = *exploreMaxBatch
+	}
 	cfg.Seed = *exploreSeed
 	cfg.ChaosFaults = *exploreChaos
 	if v := explore.RunSchedule(cfg, *exploreSchedule); v != nil {
 		t.Fatalf("%v\n\t%s", v, v.Repro())
 	}
-	t.Logf("seed=%d schedule=%d burst=%d chaos=%d passes", cfg.Seed, *exploreSchedule, cfg.Burst, cfg.ChaosFaults)
+	t.Logf("seed=%d schedule=%d burst=%d admitbatch=%d chaos=%d passes",
+		cfg.Seed, *exploreSchedule, cfg.Burst, cfg.AdmitBatch, cfg.ChaosFaults)
 }
 
 // TestExploreDeterministic runs the same sweep twice and demands
@@ -315,6 +390,36 @@ func TestExploreFindsLegacyTornStopBug(t *testing.T) {
 
 	// ...and the very same schedule must pass once the fix is back —
 	// pinning the violation on the mutation, not on the harness.
+	wal.SetLegacyTornStopForTest(false)
+	if v2 := explore.RunSchedule(cfg, v.Schedule); v2 != nil {
+		t.Fatalf("schedule %d fails even without the mutation: %v", v.Schedule, v2)
+	}
+}
+
+// TestExploreAdmitBatchedFindsLegacyTornStopBug is the same mutation
+// self-check through the batched admission pipeline: the admit-batched
+// sweep must also rediscover the torn-stop defect, proving its
+// mid-group power cuts produce torn multi-record tails the replay
+// actually has to survive.
+func TestExploreAdmitBatchedFindsLegacyTornStopBug(t *testing.T) {
+	wal.SetLegacyTornStopForTest(true)
+	defer wal.SetLegacyTornStopForTest(false)
+
+	cfg := explore.DefaultAdmitBatched()
+	cfg.Schedules = 120
+	cfg.MaxViolations = 1
+	res := explore.Explore(cfg)
+	if !res.Failed() {
+		t.Fatalf("admit-batched explorer missed the reintroduced torn-stop bug in %d schedules", cfg.Schedules)
+	}
+	v := res.Violations[0]
+	t.Logf("rediscovered after %d admit-batched schedules: %v", res.Schedules, &v)
+
+	rv := explore.RunSchedule(cfg, v.Schedule)
+	if rv == nil || rv.Round != v.Round || rv.Msg != v.Msg {
+		t.Fatalf("repro did not replay: got %v, want %v", rv, &v)
+	}
+
 	wal.SetLegacyTornStopForTest(false)
 	if v2 := explore.RunSchedule(cfg, v.Schedule); v2 != nil {
 		t.Fatalf("schedule %d fails even without the mutation: %v", v.Schedule, v2)
