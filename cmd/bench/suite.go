@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 
+	"dynalloc/internal/checkpoint"
 	"dynalloc/internal/core"
 	"dynalloc/internal/edgeorient"
 	"dynalloc/internal/loadvec"
@@ -16,6 +17,7 @@ import (
 	"dynalloc/internal/router"
 	"dynalloc/internal/rules"
 	"dynalloc/internal/serve"
+	"dynalloc/internal/simfs"
 	"dynalloc/internal/wal"
 )
 
@@ -274,6 +276,136 @@ func suiteWorkloads(quick bool) []workload {
 			}
 		}
 	}
+	walReplayParallel := func() func(uint64, int) {
+		// Restore-only throughput through the parallel pipeline: the WAL
+		// fixture is built once (the persistent-fixture pattern the router
+		// workloads use) and every pass replays it into a fresh store with
+		// the default worker count. wal/replay above pays the append that
+		// builds its log *plus* a sequential replay every pass, so the
+		// ns/op ratio between the two is the headline restore win the
+		// acceptance gate checks (>= 3x on the CI runner).
+		var (
+			once sync.Once
+			dir  string
+		)
+		return func(seed uint64, trials int) {
+			once.Do(func() {
+				var err error
+				dir, err = os.MkdirTemp("", "bench-replay-par-*")
+				if err != nil {
+					panic(err)
+				}
+				l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever, SegmentBytes: 4 << 20})
+				if err != nil {
+					panic(err)
+				}
+				r := rng.New(seed)
+				recs := make([]wal.Record, 0, 512)
+				for i := 0; i < trials; {
+					recs = recs[:0]
+					for len(recs) < cap(recs) && i < trials {
+						i++
+						recs = append(recs, wal.Record{Op: wal.OpAlloc, Bin: uint32(r.Intn(1 << 16)), K: 1, Seq: uint64(i)})
+					}
+					if err := l.AppendBatch(recs); err != nil {
+						panic(err)
+					}
+				}
+				if err := l.Close(); err != nil {
+					panic(err)
+				}
+			})
+			st := serve.NewStoreShards(1<<16, 64)
+			if _, err := serve.RestoreOpts(st, dir, serve.RestoreOptions{}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	serveRestore := func(n int) func(uint64, int) {
+		// Cold-start restore end to end — newest checkpoint load, parallel
+		// WAL-suffix replay, stale fence — into a fresh n-bin store. The
+		// durable fixture (journaled traffic with a mid-stream striped
+		// checkpoint) is built once; every pass is one full boot. The
+		// regenerated baseline pins this workload's allocs/op too, so the
+		// restore path can't quietly grow a per-record allocation.
+		var (
+			once sync.Once
+			dir  string
+		)
+		return func(seed uint64, trials int) {
+			once.Do(func() {
+				var err error
+				dir, err = os.MkdirTemp("", "bench-restore-*")
+				if err != nil {
+					panic(err)
+				}
+				st := serve.NewStoreShards(n, 64)
+				l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNever, SegmentBytes: 4 << 20})
+				if err != nil {
+					panic(err)
+				}
+				j := serve.NewJournal(st, l, 0, serve.JournalOptions{Buffer: 4096})
+				r := rng.New(seed)
+				for i := 0; i < trials; i++ {
+					st.Alloc(r.Intn(n))
+					if i == trials/2 {
+						// Mid-stream striped checkpoint: restore loads it and
+						// replays only the suffix, like a real boot.
+						if _, _, err := j.Checkpoint(); err != nil {
+							panic(err)
+						}
+					}
+				}
+				if err := j.Close(); err != nil {
+					panic(err)
+				}
+			})
+			st := serve.NewStoreShards(n, 64)
+			if _, err := serve.RestoreOpts(st, dir, serve.RestoreOptions{}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	checkpointRoundTrip := func(n, stripes int) func(uint64, int) {
+		// Sectioned-checkpoint codec throughput: one WriteFS + LoadLatestFS
+		// of an n-bin striped snapshot per trial, on the simulated
+		// filesystem so the number is encode + CRC + decode, not the disk.
+		// The seq never changes, so the rename overwrites one file and the
+		// directory never grows.
+		var (
+			once sync.Once
+			fs   *simfs.FS
+			snap checkpoint.Snapshot
+		)
+		return func(seed uint64, trials int) {
+			once.Do(func() {
+				fs = simfs.New()
+				r := rng.New(seed)
+				loads := make([]int32, n)
+				for i := range loads {
+					loads[i] = int32(r.Uint64n(8))
+				}
+				secs := make([]checkpoint.Section, stripes)
+				per := (n + stripes - 1) / stripes
+				for i := range secs {
+					hi := (i + 1) * per
+					if hi > n {
+						hi = n
+					}
+					secs[i] = checkpoint.Section{Lo: i * per, Hi: hi, Watermark: 1000}
+				}
+				snap = checkpoint.Snapshot{Seq: 1000, Allocs: int64(n), Loads: loads, Sections: secs}
+			})
+			for i := 0; i < trials; i++ {
+				if _, err := checkpoint.WriteFS(fs, "/ckpt", snap); err != nil {
+					panic(err)
+				}
+				if _, _, err := checkpoint.LoadLatestFS(fs, "/ckpt"); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
 	replicaStream := func() func(uint64, int) {
 		return func(seed uint64, trials int) {
 			// Replication pipeline throughput: `trials` records through the
@@ -447,6 +579,9 @@ func suiteWorkloads(quick bool) []workload {
 		{"wal/append", pick(100_000, 1_000_000), walAppend()},
 		{"wal/append-batch/b=512", pick(100_000, 1_000_000), walAppendBatch(512)},
 		{"wal/replay", pick(100_000, 1_000_000), walReplay()},
+		{"wal/replay-parallel", pick(100_000, 1_000_000), walReplayParallel()},
+		{"serve/restore/n=1e5", pick(100_000, 1_000_000), serveRestore(100_000)},
+		{"checkpoint/roundtrip", pick(200, 1_000), checkpointRoundTrip(100_000, 64)},
 		{"replica/stream", pick(100_000, 1_000_000), replicaStream()},
 		{"router/admit/shards=3/w=8", pick(50_000, 200_000), routerAdmit(1024, 3, 2, 8, 16)},
 		{"dgram/roundtrip", pick(20_000, 100_000), dgramRoundTrip(1024)},

@@ -35,11 +35,21 @@ var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint found")
 // Snapshot is one point-in-time state of the store: the per-bin loads
 // and the service counters, consistent as of WAL sequence number Seq
 // (every record with seq <= Seq is reflected, none with seq > Seq is).
+//
+// A striped checkpoint additionally carries Sections — per-stripe seq
+// watermarks from copies taken under the store's stripe locks one at a
+// time instead of under a stop-the-world cut. Seq is then the MINIMUM
+// section watermark, which keeps the v1 reading true (everything with
+// seq <= Seq is reflected in its section) and so keeps WAL truncation
+// through Seq sound; restore filters replayed records per section with
+// WatermarkFor. Empty Sections (format v1 files, replica snapshots)
+// mean one uniform watermark: Seq.
 type Snapshot struct {
-	Seq    uint64
-	Allocs int64
-	Frees  int64
-	Loads  []int32
+	Seq      uint64
+	Allocs   int64
+	Frees    int64
+	Loads    []int32
+	Sections []Section
 }
 
 // magic identifies a checkpoint file (format version 1).
@@ -81,8 +91,13 @@ func encode(s Snapshot) []byte {
 	return buf
 }
 
-// decode parses and validates a checkpoint file's bytes.
+// decode parses and validates a checkpoint file's bytes, dispatching
+// on the magic: v1 (one flat CRC-covered blob) or v2 (sectioned, see
+// sections.go).
 func decode(buf []byte) (Snapshot, error) {
+	if len(buf) >= 8 && [8]byte(buf[:8]) == magicV2 {
+		return decodeV2(buf)
+	}
 	if len(buf) < headerSize+4 {
 		return Snapshot{}, errors.New("checkpoint: file too short")
 	}
@@ -117,6 +132,13 @@ func Write(dir string, s Snapshot) (string, error) { return WriteFS(vfs.OS, dir,
 // returns the file path. The write path is temp file -> fsync ->
 // rename -> directory fsync, so the named file is either absent or
 // complete. Stray temp files from crashed writers are swept first.
+//
+// A sectioned snapshot (Sections non-empty) is written in format v2:
+// the sections are encoded — CRCs computed in parallel — and each
+// section's payload goes out in its own Write call. A crash between
+// section writes therefore tears only the invisible temp file; the
+// rename that publishes the checkpoint happens strictly after every
+// section and the fsync.
 func WriteFS(fsys vfs.FS, dir string, s Snapshot) (string, error) {
 	defer metrics.Span("checkpoint.write_ns")()
 	if err := fsys.MkdirAll(dir); err != nil {
@@ -128,7 +150,21 @@ func WriteFS(fsys vfs.FS, dir string, s Snapshot) (string, error) {
 		}
 	}
 
-	buf := encode(s)
+	var chunks [][]byte
+	if len(s.Sections) > 0 {
+		var err error
+		chunks, err = encodeV2(s)
+		if err != nil {
+			return "", err
+		}
+		metrics.SetGauge("checkpoint.stripe.sections", float64(len(s.Sections)))
+	} else {
+		chunks = [][]byte{encode(s)}
+	}
+	size := 0
+	for _, c := range chunks {
+		size += len(c)
+	}
 	path := filepath.Join(dir, fileName(s.Seq))
 	tmp, err := fsys.CreateTemp(dir, fileName(s.Seq)+".tmp-*")
 	if err != nil {
@@ -136,9 +172,11 @@ func WriteFS(fsys vfs.FS, dir string, s Snapshot) (string, error) {
 	}
 	tmpName := tmp.Name()
 	cleanup := func() { tmp.Close(); fsys.Remove(tmpName) }
-	if _, err := tmp.Write(buf); err != nil {
-		cleanup()
-		return "", fmt.Errorf("checkpoint: write: %w", err)
+	for _, c := range chunks {
+		if _, err := tmp.Write(c); err != nil {
+			cleanup()
+			return "", fmt.Errorf("checkpoint: write: %w", err)
+		}
 	}
 	if err := tmp.Sync(); err != nil {
 		cleanup()
@@ -157,7 +195,7 @@ func WriteFS(fsys vfs.FS, dir string, s Snapshot) (string, error) {
 	// back to the previous checkpoint — consistent, just older.
 	fsys.SyncDir(dir)
 	metrics.AddCounter("checkpoint.writes", 1)
-	metrics.SetGauge("checkpoint.bytes", float64(len(buf)))
+	metrics.SetGauge("checkpoint.bytes", float64(size))
 	metrics.SetGauge("checkpoint.seq", float64(s.Seq))
 	return path, nil
 }

@@ -311,16 +311,15 @@ func (f *Follower) applyBatch(recs []wal.Record) error {
 	if err := f.log.AppendBatch(fresh); err != nil {
 		return fmt.Errorf("replica: persist batch: %w", err)
 	}
-	var skipped int64
+	// One batch-applier call instead of a per-record serve.Apply loop:
+	// one stripe-lock acquisition per touched stripe, per-bin order
+	// preserved (see serve.ApplyRecords).
+	skipped, err := serve.ApplyRecords(f.cfg.Store, fresh)
+	if err != nil {
+		return fmt.Errorf("replica: apply: %w", err)
+	}
 	maxSeq := applied
 	for _, r := range fresh {
-		sk, err := serve.Apply(f.cfg.Store, r)
-		if err != nil {
-			return fmt.Errorf("replica: apply: %w", err)
-		}
-		if sk {
-			skipped++
-		}
 		if r.Seq > maxSeq {
 			maxSeq = r.Seq
 		}

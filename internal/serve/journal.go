@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,7 +8,6 @@ import (
 
 	"dynalloc/internal/checkpoint"
 	"dynalloc/internal/metrics"
-	"dynalloc/internal/vfs"
 	"dynalloc/internal/wal"
 )
 
@@ -88,12 +86,12 @@ func (o *JournalOptions) fill() {
 // burst of mutations shares one mutex acquisition, one buffered
 // write, and (under wal.FsyncAlways) one fsync.
 //
-// Checkpoint stops the world (all shard locks, microseconds for any
-// realistic n), captures the loads plus the seq of the last enqueued
-// record, and writes the snapshot through internal/checkpoint; the
-// snapshot is exact because seq assignment happens under the same
-// locks. WAL segments fully covered by the oldest retained checkpoint
-// are deleted afterwards.
+// Checkpoint walks the lock stripes one at a time — no stop-the-world
+// cut — capturing each stripe's loads, counters, and a per-stripe seq
+// watermark under that stripe's lock alone; the cut is exact because
+// seq assignment happens under the same locks (see Checkpoint for the
+// argument). WAL segments fully covered by the oldest retained
+// checkpoint are deleted afterwards.
 //
 // A WAL append error does not stop the service: the first error is
 // retained (Err), subsequent records are still drained (and counted
@@ -401,32 +399,76 @@ func (j *Journal) OnFree(bin int) { j.push(wal.OpFree, bin, 1) }
 // OnCrash implements StoreHook.
 func (j *Journal) OnCrash(bin, k int) { j.push(wal.OpCrash, bin, k) }
 
-// Checkpoint stops the world, captures an exact snapshot (loads,
-// counters, covered seq), persists it, prunes old checkpoints and
-// truncates WAL segments the oldest retained checkpoint covers. It
-// returns the snapshot and the file it was written to. Only a failure
-// to persist the snapshot is an error: once the snapshot file is
-// durable, pruning and truncation are maintenance, and their failure
-// (say, one unremovable old file) is recorded in MaintErr and retried
-// by the next checkpoint instead of being returned — a successful
-// checkpoint must never look fatal.
+// Checkpoint captures a striped snapshot — no stop-the-world cut —
+// persists it, prunes old checkpoints and truncates WAL segments the
+// oldest retained checkpoint covers. It returns the snapshot and the
+// file it was written to. Only a failure to persist the snapshot is an
+// error: once the snapshot file is durable, pruning and truncation are
+// maintenance, and their failure (say, one unremovable old file) is
+// recorded in MaintErr and retried by the next checkpoint instead of
+// being returned — a successful checkpoint must never look fatal.
+//
+// The striped cut walks the store's lock stripes one at a time: each
+// stripe's loads and counters are copied under that stripe's lock
+// alone, so admissions on other stripes never stall for longer than
+// one stripe copy. The per-stripe seq fence is j.seq read UNDER the
+// stripe lock: every record targeting the stripe with a seq at or
+// below that read is already applied (seq assignment — including the
+// batch hook's range reservation — happens under the stripe lock,
+// after the mutation), and any later record draws a strictly higher
+// seq. Each stripe therefore becomes a checkpoint Section with an
+// exact watermark; Snapshot.Seq is the minimum watermark, preserving
+// the v1 truncation contract, and restore filters replayed records per
+// section (see RestoreFS).
 func (j *Journal) Checkpoint() (checkpoint.Snapshot, string, error) {
 	j.ckptMu.Lock()
 	defer j.ckptMu.Unlock()
 
 	st := j.st
 	loads := make([]int32, st.n)
-	st.lockAll()
-	for b := range loads {
-		loads[b] = st.loads[b].Load()
+	sections := make([]checkpoint.Section, 0, len(st.shards))
+	var allocs, frees int64
+	minWm := ^uint64(0)
+	var copyNs, maxHoldNs int64
+	for i := range st.shards {
+		sh := &st.shards[i]
+		if sh.lo == sh.hi {
+			continue // empty trailing stripe (shards > bins geometry)
+		}
+		t0 := time.Now()
+		sh.mu.Lock()
+		for b := sh.lo; b < sh.hi; b++ {
+			loads[b] = st.loads[b].Load()
+		}
+		wm := j.seq.Load()
+		a, f := sh.allocs.Load(), sh.frees.Load()
+		sh.mu.Unlock()
+		hold := time.Since(t0).Nanoseconds()
+		copyNs += hold
+		if hold > maxHoldNs {
+			maxHoldNs = hold
+		}
+		sections = append(sections, checkpoint.Section{Lo: sh.lo, Hi: sh.hi, Watermark: wm})
+		allocs += a
+		frees += f
+		if wm < minWm {
+			minWm = wm
+		}
 	}
+	if minWm == ^uint64(0) {
+		minWm = j.seq.Load()
+	}
+	metrics.AddCounter("checkpoint.stripe.copies", int64(len(sections)))
+	metrics.ObserveTimer("checkpoint.stripe.copy_ns", time.Duration(copyNs))
+	metrics.SetGauge("checkpoint.stripe.max_hold_ns", float64(maxHoldNs))
+
 	snap := checkpoint.Snapshot{
-		Seq:    j.seq.Load(),
-		Allocs: st.allocs.Load(),
-		Frees:  st.frees.Load(),
-		Loads:  loads,
+		Seq:      minWm,
+		Allocs:   allocs,
+		Frees:    frees,
+		Loads:    loads,
+		Sections: sections,
 	}
-	st.unlockAll()
 
 	path, err := checkpoint.WriteFS(j.log.FS(), j.log.Dir(), snap)
 	if err != nil {
@@ -496,124 +538,4 @@ func (j *Journal) Close() error {
 		return err
 	}
 	return j.Err()
-}
-
-// RestoreResult reports what Restore rebuilt.
-type RestoreResult struct {
-	Restored       bool   // any durable state was found
-	CheckpointSeq  uint64 // seq covered by the loaded checkpoint (0 if none)
-	CheckpointPath string // file the checkpoint came from ("" if none)
-	Replayed       int64  // WAL records applied on top of the checkpoint
-	SkippedFrees   int64  // replayed frees that hit an already-empty bin
-	Torn           bool   // replay stopped at a torn/corrupted record
-	LastSeq        uint64 // seq the rebuilt state is consistent with
-	StaleRemoved   int    // unreachable post-gap segments pruned (see wal.RemoveStaleFS)
-}
-
-// Restore rebuilds st from the durability directory: load the newest
-// valid checkpoint (if any), then replay the WAL suffix with
-// seq > checkpoint seq. Call it on a fresh store before any traffic
-// and before NewJournal (replayed mutations must not re-journal).
-// Restore runs against the real filesystem; RestoreFS is the same
-// against any vfs.FS.
-//
-// Replay is defensive the same way the paper's processes are: a free
-// whose bin is already empty (possible only against a forged or
-// hand-edited log — per-bin order makes it impossible in our own) is
-// skipped and counted, never fatal, so an adversarially bad WAL still
-// yields *a* state the process can recover from.
-func Restore(st *Store, dir string) (RestoreResult, error) {
-	return RestoreFS(st, vfs.OS, dir)
-}
-
-// RestoreFS is Restore against an explicit filesystem.
-func RestoreFS(st *Store, fsys vfs.FS, dir string) (RestoreResult, error) {
-	defer metrics.Span("checkpoint.restore_ns")()
-	var res RestoreResult
-
-	snap, path, err := checkpoint.LoadLatestFS(fsys, dir)
-	switch {
-	case err == nil:
-		if err := st.Restore(snap.Loads, snap.Allocs, snap.Frees); err != nil {
-			return res, fmt.Errorf("serve: restore %s: %w", path, err)
-		}
-		res.Restored = true
-		res.CheckpointSeq = snap.Seq
-		res.CheckpointPath = path
-		res.LastSeq = snap.Seq
-	case errors.Is(err, checkpoint.ErrNoCheckpoint):
-		// Fresh (or checkpoint-less) directory: replay from the start.
-	default:
-		return res, err
-	}
-
-	stats, err := wal.ReplayFS(fsys, dir, res.CheckpointSeq, func(rec wal.Record) error {
-		return applyRecord(st, rec, &res)
-	})
-	if err != nil {
-		return res, err
-	}
-	res.Torn = stats.Torn
-	res.Replayed = stats.Applied
-	if stats.LastSeq > res.LastSeq {
-		res.LastSeq = stats.LastSeq
-	}
-	if stats.Applied > 0 {
-		res.Restored = true
-	}
-	metrics.AddCounter("wal.replay.records", stats.Applied)
-	metrics.AddCounter("wal.replay.skipped_frees", res.SkippedFrees)
-
-	// Replay may have stopped short of the on-disk max at a seq gap (an
-	// aborted append dropped a record; everything past it was never
-	// acknowledged durable). The unreachable suffix must go NOW, before
-	// the journal reopens: new records reuse seqs from LastSeq+1, and a
-	// stale segment left behind would overlap the new history and feed a
-	// future replay records from the dead timeline.
-	removed, err := wal.RemoveStaleFS(fsys, dir, res.LastSeq)
-	res.StaleRemoved = removed
-	if err != nil {
-		return res, fmt.Errorf("serve: restore: %w", err)
-	}
-	return res, nil
-}
-
-// applyRecord replays one WAL record into the store, folding the
-// skipped-free count into res.
-func applyRecord(st *Store, rec wal.Record, res *RestoreResult) error {
-	skipped, err := Apply(st, rec)
-	if skipped {
-		res.SkippedFrees++
-	}
-	return err
-}
-
-// Apply replays one WAL record into st — the warm-replay hook shared
-// by restore and by a replication follower continuously applying the
-// primary's stream. skippedFree reports a free that hit an
-// already-empty bin (possible only against a forged or divergent log;
-// counted, never fatal — see RestoreFS). The store must not have a
-// journal hook installed, or the replayed mutation would be journaled
-// again.
-func Apply(st *Store, rec wal.Record) (skippedFree bool, err error) {
-	bin := int(rec.Bin)
-	if bin < 0 || bin >= st.N() {
-		return false, fmt.Errorf("serve: replay record seq %d targets bin %d of %d", rec.Seq, bin, st.N())
-	}
-	switch rec.Op {
-	case wal.OpAlloc:
-		st.Alloc(bin)
-	case wal.OpFree:
-		if _, err := st.FreeBin(bin); err != nil {
-			return true, nil
-		}
-	case wal.OpCrash:
-		if rec.K < 0 {
-			return false, fmt.Errorf("serve: replay crash record seq %d has k=%d", rec.Seq, rec.K)
-		}
-		st.Crash(bin, int(rec.K))
-	default:
-		return false, fmt.Errorf("serve: replay record seq %d has unknown op %v", rec.Seq, rec.Op)
-	}
-	return false, nil
 }

@@ -1,0 +1,378 @@
+// Cold-start restore: load the newest valid checkpoint, replay the WAL
+// suffix, fence the unreachable tail. This file is the parallel form of
+// that pipeline — wal.ReplayPipelineFS partitions records by the
+// store's lock stripes and a batch applier applies each stripe's
+// records, in file order, on one worker — plus the sequential fallback
+// (Workers <= 1) that drives the exact same applier through the classic
+// wal.ReplayFS walk, which is what the equivalence suite pins the
+// parallel path against.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dynalloc/internal/checkpoint"
+	"dynalloc/internal/metrics"
+	"dynalloc/internal/vfs"
+	"dynalloc/internal/wal"
+)
+
+// RestoreOptions tunes the restore pipeline.
+type RestoreOptions struct {
+	// Workers is the number of parallel apply workers for WAL replay.
+	// 0 means DefaultRestoreWorkers(); 1 forces the classic sequential
+	// replay (same applier, same final state — the parallel path is
+	// bit-exact against it). The effective count is clamped to the
+	// store's stripe count, since a stripe is the unit of partitioning.
+	Workers int
+}
+
+// DefaultRestoreWorkers is the worker count Restore uses when the
+// caller does not pin one: GOMAXPROCS clamped to [2, 8]. The floor of 2
+// keeps the pipeline (read-ahead, decode, apply overlap) on even a
+// single-core runner, where overlapping segment reads with CRC checks
+// and applies still wins; the ceiling reflects that replay saturates on
+// lock stripes and memory bandwidth well before high core counts.
+func DefaultRestoreWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// RestoreResult reports what Restore rebuilt, and how long each restore
+// phase took (the MTTR decomposition the drills print).
+type RestoreResult struct {
+	Restored       bool   // any durable state was found
+	CheckpointSeq  uint64 // seq covered by the loaded checkpoint (0 if none)
+	CheckpointPath string // file the checkpoint came from ("" if none)
+	Replayed       int64  // WAL records applied on top of the checkpoint
+	SkippedFrees   int64  // replayed frees that hit an already-empty bin
+	Torn           bool   // replay stopped at a torn/corrupted record
+	LastSeq        uint64 // seq the rebuilt state is consistent with
+	StaleRemoved   int    // unreachable post-gap segments pruned (see wal.RemoveStaleFS)
+
+	Workers      int   // apply workers the replay ran with
+	CheckpointNs int64 // loading + installing the checkpoint
+	ReplayNs     int64 // replaying the WAL suffix
+	FenceNs      int64 // fencing the stale post-gap suffix
+}
+
+// Restore rebuilds st from the durability directory: load the newest
+// valid checkpoint (if any), then replay the WAL suffix with
+// seq > checkpoint seq. Call it on a fresh store before any traffic
+// and before NewJournal (replayed mutations must not re-journal).
+// Restore runs against the real filesystem with the default worker
+// count; RestoreFS is the same against any vfs.FS, and RestoreFSOpts
+// additionally pins the options.
+//
+// Replay is defensive the same way the paper's processes are: a free
+// whose bin is already empty (possible only against a forged or
+// hand-edited log — per-bin order makes it impossible in our own) is
+// skipped and counted, never fatal, so an adversarially bad WAL still
+// yields *a* state the process can recover from.
+func Restore(st *Store, dir string) (RestoreResult, error) {
+	return RestoreFS(st, vfs.OS, dir)
+}
+
+// RestoreOpts is Restore with explicit options.
+func RestoreOpts(st *Store, dir string, opts RestoreOptions) (RestoreResult, error) {
+	return RestoreFSOpts(st, vfs.OS, dir, opts)
+}
+
+// RestoreFS is Restore against an explicit filesystem.
+func RestoreFS(st *Store, fsys vfs.FS, dir string) (RestoreResult, error) {
+	return RestoreFSOpts(st, fsys, dir, RestoreOptions{})
+}
+
+// RestoreFSOpts is the full restore pipeline. With Workers > 1 the WAL
+// suffix is replayed by wal.ReplayPipelineFS — segment read-ahead and
+// record decode overlap with application, and records fan out to
+// Workers appliers partitioned by the store's lock stripes, so the
+// final state (loads, counters, and every RestoreResult field except
+// the timings) is bit-identical to the sequential replay. A sectioned
+// checkpoint (see Journal.Checkpoint) additionally filters each
+// replayed record against its stripe's seq watermark, so records
+// already reflected in the stripe's copy are not applied twice.
+func RestoreFSOpts(st *Store, fsys vfs.FS, dir string, opts RestoreOptions) (RestoreResult, error) {
+	defer metrics.Span("checkpoint.restore_ns")()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = DefaultRestoreWorkers()
+	}
+	if workers > st.Shards() {
+		workers = st.Shards()
+	}
+	var res RestoreResult
+	res.Workers = workers
+
+	t0 := time.Now()
+	snap, path, err := checkpoint.LoadLatestFS(fsys, dir)
+	switch {
+	case err == nil:
+		if err := st.Restore(snap.Loads, snap.Allocs, snap.Frees); err != nil {
+			return res, fmt.Errorf("serve: restore %s: %w", path, err)
+		}
+		res.Restored = true
+		res.CheckpointSeq = snap.Seq
+		res.CheckpointPath = path
+		res.LastSeq = snap.Seq
+	case errors.Is(err, checkpoint.ErrNoCheckpoint):
+		// Fresh (or checkpoint-less) directory: replay from the start.
+	default:
+		return res, err
+	}
+	res.CheckpointNs = time.Since(t0).Nanoseconds()
+
+	ap := newReplayApplier(st, &snap, workers)
+	t0 = time.Now()
+	var stats wal.ReplayStats
+	if workers > 1 {
+		stats, err = wal.ReplayPipelineFS(fsys, dir, res.CheckpointSeq, wal.PipelineOptions{
+			Workers:    workers,
+			Partition:  func(rec wal.Record) int { return int(rec.Bin) / st.shardSize },
+			ApplyBatch: ap.applyBatch,
+		})
+	} else {
+		metrics.SetGauge("wal.replay.workers", 1)
+		stats, err = wal.ReplayFS(fsys, dir, res.CheckpointSeq, ap.applyOne)
+	}
+	res.ReplayNs = time.Since(t0).Nanoseconds()
+	res.Replayed = ap.applied.Load()
+	res.SkippedFrees = ap.skippedFrees.Load()
+	if err != nil {
+		return res, err
+	}
+	res.Torn = stats.Torn
+	if stats.LastSeq > res.LastSeq {
+		res.LastSeq = stats.LastSeq
+	}
+	if stats.Applied > 0 {
+		res.Restored = true
+	}
+	metrics.AddCounter("wal.replay.records", res.Replayed)
+	metrics.AddCounter("wal.replay.skipped_frees", res.SkippedFrees)
+
+	// Replay may have stopped short of the on-disk max at a seq gap (an
+	// aborted append dropped a record; everything past it was never
+	// acknowledged durable). The unreachable suffix must go NOW, before
+	// the journal reopens: new records reuse seqs from LastSeq+1, and a
+	// stale segment left behind would overlap the new history and feed a
+	// future replay records from the dead timeline.
+	t0 = time.Now()
+	removed, err := wal.RemoveStaleFS(fsys, dir, res.LastSeq)
+	res.FenceNs = time.Since(t0).Nanoseconds()
+	res.StaleRemoved = removed
+	if err != nil {
+		return res, fmt.Errorf("serve: restore: %w", err)
+	}
+	return res, nil
+}
+
+// replayApplier applies batches of replayed WAL records into the store
+// with one stripe-lock acquisition per touched stripe per batch, and
+// one delta flush of the global counters per stripe group — the same
+// chain-grouping technique as Store.AdmitBatch. It is safe for
+// concurrent batches as long as no stripe's records are in flight on
+// two workers at once, which is exactly what the pipeline's
+// stripe-to-worker partition guarantees. The store must not have a
+// journal hook installed (replayed mutations must not re-journal);
+// applier writes bypass the hook entirely.
+type replayApplier struct {
+	st   *Store
+	snap *checkpoint.Snapshot // non-nil only when stripes have distinct watermarks
+
+	applied      atomic.Int64 // records past the seq/watermark filters
+	skippedFrees atomic.Int64 // frees that hit an already-empty bin
+
+	scratch []applyScratch
+}
+
+// applyScratch is one worker's reusable grouping state: per-stripe
+// chain heads/tails (1-based; 0 = nil), per-record links, and the
+// stripes touched by the current batch.
+type applyScratch struct {
+	head    []int32
+	tail    []int32
+	next    []int32
+	touched []int32
+	one     [1]wal.Record // applyOne's batch buffer (sequential path only)
+}
+
+// newReplayApplier builds an applier for workers concurrent lanes. The
+// snapshot is consulted per record only when its sections carry
+// watermarks above Seq — a v1 or quiesced checkpoint skips the lookup
+// entirely.
+func newReplayApplier(st *Store, snap *checkpoint.Snapshot, workers int) *replayApplier {
+	a := &replayApplier{st: st, scratch: make([]applyScratch, workers)}
+	if snap.MaxWatermark() > snap.Seq {
+		a.snap = snap
+	}
+	return a
+}
+
+// applyOne drives the applier from the sequential wal.ReplayFS walk —
+// one single-record batch per callback, so both replay paths share
+// every semantic (watermark filter, skipped frees, counter updates)
+// by construction.
+func (a *replayApplier) applyOne(rec wal.Record) error {
+	sc := &a.scratch[0]
+	sc.one[0] = rec
+	return a.applyBatch(0, sc.one[:])
+}
+
+// applyBatch applies one pipeline batch on worker w. Records are
+// grouped into per-stripe chains first (preserving in-batch order, so
+// per-bin order survives), then each stripe group is applied under one
+// lock acquisition; per-stripe and global counters take one delta add
+// per group instead of one per record. An error aborts the batch with
+// the store state unspecified, matching the replay contract.
+func (a *replayApplier) applyBatch(w int, recs []wal.Record) error {
+	st := a.st
+	sc := &a.scratch[w]
+	if len(sc.head) < len(st.shards) {
+		sc.head = make([]int32, len(st.shards))
+		sc.tail = make([]int32, len(st.shards))
+	}
+	if cap(sc.next) < len(recs) {
+		sc.next = make([]int32, len(recs))
+	}
+	sc.next = sc.next[:len(recs)]
+	sc.touched = sc.touched[:0]
+
+	var applied int64
+	for i, rec := range recs {
+		bin := int(rec.Bin)
+		if bin < 0 || bin >= st.n {
+			for _, si := range sc.touched {
+				sc.head[si], sc.tail[si] = 0, 0
+			}
+			return fmt.Errorf("serve: replay record seq %d targets bin %d of %d", rec.Seq, bin, st.n)
+		}
+		if a.snap != nil && rec.Seq <= a.snap.WatermarkFor(bin) {
+			continue // already reflected in the stripe's checkpoint section
+		}
+		si := int32(bin / st.shardSize)
+		sc.next[i] = 0
+		if sc.head[si] == 0 {
+			sc.head[si] = int32(i + 1)
+			sc.touched = append(sc.touched, si)
+		} else {
+			sc.next[sc.tail[si]-1] = int32(i + 1)
+		}
+		sc.tail[si] = int32(i + 1)
+		applied++
+	}
+
+	var skipped int64
+	var err error
+	for _, si := range sc.touched {
+		if err != nil {
+			sc.head[si], sc.tail[si] = 0, 0
+			continue
+		}
+		sh := &st.shards[si]
+		var total, allocs, frees, nonEmpty int64
+		sh.mu.Lock()
+		for e := sc.head[si]; e != 0 && err == nil; e = sc.next[e-1] {
+			rec := recs[e-1]
+			bin := int(rec.Bin)
+			switch rec.Op {
+			case wal.OpAlloc:
+				if st.loads[bin].Add(1) == 1 {
+					nonEmpty++
+				}
+				total++
+				allocs++
+			case wal.OpFree:
+				if st.loads[bin].Load() == 0 {
+					skipped++
+					continue
+				}
+				if st.loads[bin].Add(-1) == 0 {
+					nonEmpty--
+				}
+				total--
+				frees++
+			case wal.OpCrash:
+				if rec.K < 0 {
+					err = fmt.Errorf("serve: replay crash record seq %d has k=%d", rec.Seq, rec.K)
+					continue
+				}
+				if rec.K == 0 {
+					continue
+				}
+				if st.loads[bin].Add(rec.K) == rec.K {
+					nonEmpty++
+				}
+				total += int64(rec.K)
+			default:
+				err = fmt.Errorf("serve: replay record seq %d has unknown op %v", rec.Seq, rec.Op)
+			}
+		}
+		sh.total.Add(total)
+		sh.allocs.Add(allocs)
+		sh.frees.Add(frees)
+		sh.mu.Unlock()
+		st.total.Add(total)
+		st.nonEmpty.Add(nonEmpty)
+		st.allocs.Add(allocs)
+		st.frees.Add(frees)
+		sc.head[si], sc.tail[si] = 0, 0
+	}
+	a.applied.Add(applied)
+	a.skippedFrees.Add(skipped)
+	return err
+}
+
+// ApplyRecords replays a batch of WAL records into st through the same
+// batch applier restore uses — one stripe-lock acquisition per touched
+// stripe, per-bin order preserved — and reports how many frees hit an
+// already-empty bin. It is the warm-replay entry point for a
+// replication follower applying the primary's record batches and for
+// the explorer's reference replay. Single caller at a time; the store
+// must not have a journal hook installed.
+func ApplyRecords(st *Store, recs []wal.Record) (skippedFrees int64, err error) {
+	var snap checkpoint.Snapshot
+	ap := newReplayApplier(st, &snap, 1)
+	err = ap.applyBatch(0, recs)
+	return ap.skippedFrees.Load(), err
+}
+
+// Apply replays one WAL record into st — the warm-replay hook shared
+// by restore and by a replication follower continuously applying the
+// primary's stream. skippedFree reports a free that hit an
+// already-empty bin (possible only against a forged or divergent log;
+// counted, never fatal — see RestoreFS). The store must not have a
+// journal hook installed, or the replayed mutation would be journaled
+// again.
+func Apply(st *Store, rec wal.Record) (skippedFree bool, err error) {
+	bin := int(rec.Bin)
+	if bin < 0 || bin >= st.N() {
+		return false, fmt.Errorf("serve: replay record seq %d targets bin %d of %d", rec.Seq, bin, st.N())
+	}
+	switch rec.Op {
+	case wal.OpAlloc:
+		st.Alloc(bin)
+	case wal.OpFree:
+		if _, err := st.FreeBin(bin); err != nil {
+			return true, nil
+		}
+	case wal.OpCrash:
+		if rec.K < 0 {
+			return false, fmt.Errorf("serve: replay crash record seq %d has k=%d", rec.Seq, rec.K)
+		}
+		st.Crash(bin, int(rec.K))
+	default:
+		return false, fmt.Errorf("serve: replay record seq %d has unknown op %v", rec.Seq, rec.Op)
+	}
+	return false, nil
+}

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dynalloc/internal/checkpoint"
+	"dynalloc/internal/rng"
+	"dynalloc/internal/wal"
+)
+
+// diffResults compares two RestoreResults on every field except the
+// worker count and the phase timings (those legitimately differ across
+// restore modes). Empty string means equal.
+func diffResults(a, b RestoreResult) string {
+	a.Workers, b.Workers = 0, 0
+	a.CheckpointNs, b.CheckpointNs = 0, 0
+	a.ReplayNs, b.ReplayNs = 0, 0
+	a.FenceNs, b.FenceNs = 0, 0
+	if a != b {
+		return fmt.Sprintf("%+v vs %+v", a, b)
+	}
+	return ""
+}
+
+// assertStoresEqual compares every externally observable piece of
+// store state two restore modes must agree on.
+func assertStoresEqual(t *testing.T, what string, a, b *Store) {
+	t.Helper()
+	if a.Total() != b.Total() || a.NonEmpty() != b.NonEmpty() ||
+		a.Allocs() != b.Allocs() || a.Frees() != b.Frees() {
+		t.Fatalf("%s: counters total=%d/%d nonEmpty=%d/%d allocs=%d/%d frees=%d/%d",
+			what, a.Total(), b.Total(), a.NonEmpty(), b.NonEmpty(),
+			a.Allocs(), b.Allocs(), a.Frees(), b.Frees())
+	}
+	la, lb := a.LoadsCopy(), b.LoadsCopy()
+	for bin := range la {
+		if la[bin] != lb[bin] {
+			t.Fatalf("%s: bin %d loads %d vs %d", what, bin, la[bin], lb[bin])
+		}
+	}
+}
+
+// TestParallelRestoreMatchesSequential is the serve-level equivalence
+// property: randomized journaled traffic with mid-stream (striped)
+// checkpoints, then a restore at workers=1 and at several parallel
+// widths — every RestoreResult field except timings and the full store
+// state must be bit-identical. The explorer sweeps the same property
+// across randomized crash schedules; this pins it on dense layouts
+// with exact worker counts.
+func TestParallelRestoreMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		const n, shards = 64, 8
+		st, j, fs, dir := newJournaled(t, n, shards, wal.Options{})
+		r := rng.New(uint64(seed))
+		for i := 0; i < 600; i++ {
+			switch {
+			case r.Float64() < 0.55:
+				st.Alloc(int(r.Uint64n(n)))
+			case r.Float64() < 0.5:
+				st.FreeBin(int(r.Uint64n(n))) // may fail on empty: fine
+			default:
+				st.Crash(int(r.Uint64n(n)), int(r.Uint64n(4)))
+			}
+			if i%180 == 99 {
+				if _, _, err := j.Checkpoint(); err != nil {
+					t.Fatalf("seed %d: checkpoint: %v", seed, err)
+				}
+			}
+		}
+		want := st.LoadsCopy()
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		seqSt := NewStoreShards(n, shards)
+		seqRes, err := RestoreFSOpts(seqSt, fs.Clone(), dir, RestoreOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: sequential restore: %v", seed, err)
+		}
+		got := seqSt.LoadsCopy()
+		for b := range want {
+			if got[b] != want[b] {
+				t.Fatalf("seed %d: sequential restore bin %d = %d, live store %d", seed, b, got[b], want[b])
+			}
+		}
+		for _, workers := range []int{2, 3, shards, shards + 5} {
+			parSt := NewStoreShards(n, shards)
+			parRes, err := RestoreFSOpts(parSt, fs.Clone(), dir, RestoreOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if msg := diffResults(parRes, seqRes); msg != "" {
+				t.Fatalf("seed %d workers %d: results diverge: %s", seed, workers, msg)
+			}
+			assertStoresEqual(t, fmt.Sprintf("seed %d workers %d", seed, workers), parSt, seqSt)
+			if wantW := min(workers, shards); parRes.Workers != wantW {
+				t.Fatalf("seed %d: ran with %d workers, want %d (clamped)", seed, parRes.Workers, wantW)
+			}
+		}
+	}
+}
+
+// TestStripedCheckpointCarriesSections pins the striped checkpoint's
+// on-disk shape: one section per non-empty stripe, tiling the bins,
+// with Seq = the minimum watermark — the truncation-soundness
+// invariant — and restore consuming it back to the exact live state.
+func TestStripedCheckpointCarriesSections(t *testing.T) {
+	const n, shards = 32, 4
+	st, j, fs, dir := newJournaled(t, n, shards, wal.Options{})
+	for i := 0; i < 200; i++ {
+		st.Alloc(i % n)
+	}
+	written, path, err := j.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, gotPath, err := checkpoint.LoadLatestFS(fs, dir)
+	if err != nil || gotPath != path {
+		t.Fatalf("LoadLatest: %q, %v; want %q", gotPath, err, path)
+	}
+	if len(snap.Sections) != shards {
+		t.Fatalf("checkpoint has %d sections, want one per stripe (%d)", len(snap.Sections), shards)
+	}
+	minWm := ^uint64(0)
+	prev := 0
+	for i, sec := range snap.Sections {
+		if sec.Lo != prev || sec.Hi <= sec.Lo {
+			t.Fatalf("section %d [%d,%d) does not tile (prev end %d)", i, sec.Lo, sec.Hi, prev)
+		}
+		prev = sec.Hi
+		if sec.Watermark < minWm {
+			minWm = sec.Watermark
+		}
+	}
+	if prev != n {
+		t.Fatalf("sections cover %d of %d bins", prev, n)
+	}
+	if snap.Seq != minWm || written.Seq != snap.Seq {
+		t.Fatalf("Seq %d (Checkpoint returned %d), min watermark %d: truncation invariant broken", snap.Seq, written.Seq, minWm)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStoreShards(n, shards)
+	if _, err := RestoreFS(fresh, fs, dir); err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, "sectioned restore", fresh, st)
+}
+
+// TestStripedCheckpointUnderConcurrentTraffic checkpoints repeatedly
+// while mutator goroutines hammer the journaled store — the striped
+// snapshot holds only one stripe lock at a time, so traffic keeps
+// flowing mid-checkpoint. Every checkpoint written during the storm
+// must restore (with the WAL suffix on top) to the final state, in
+// both restore modes.
+func TestStripedCheckpointUnderConcurrentTraffic(t *testing.T) {
+	const n, shards = 128, 8
+	st, j, fs, dir := newJournaled(t, n, shards, wal.Options{SegmentBytes: 1 << 16})
+	st.FillBalanced(n)
+
+	var mutators sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		mutators.Add(1)
+		go func(g int) {
+			defer mutators.Done()
+			r := rng.New(uint64(100 + g))
+			for i := 0; i < 4000; i++ {
+				if r.Float64() < 0.6 {
+					st.Alloc(int(r.Uint64n(n)))
+				} else {
+					st.FreeBin(int(r.Uint64n(n)))
+				}
+			}
+		}(g)
+	}
+	stopCh := make(chan struct{})
+	ckptDone := make(chan int)
+	go func() {
+		taken := 0
+		for {
+			select {
+			case <-stopCh:
+				ckptDone <- taken
+				return
+			default:
+			}
+			if _, _, err := j.Checkpoint(); err != nil {
+				t.Errorf("checkpoint under traffic: %v", err)
+				ckptDone <- taken
+				return
+			}
+			taken++
+		}
+	}()
+	mutators.Wait()
+	close(stopCh)
+	if taken := <-ckptDone; taken == 0 && !t.Failed() {
+		t.Fatal("no checkpoint completed during the traffic storm")
+	}
+
+	want := st.LoadsCopy()
+	wantAllocs, wantFrees := st.Allocs(), st.Frees()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, shards} {
+		fresh := NewStoreShards(n, shards)
+		res, err := RestoreFSOpts(fresh, fs.Clone(), dir, RestoreOptions{Workers: workers})
+		if err != nil || !res.Restored {
+			t.Fatalf("workers=%d: restore %+v, %v", workers, res, err)
+		}
+		got := fresh.LoadsCopy()
+		for b := range want {
+			if got[b] != want[b] {
+				t.Fatalf("workers=%d: bin %d restored %d, want %d", workers, b, got[b], want[b])
+			}
+		}
+		if fresh.Allocs() != wantAllocs || fresh.Frees() != wantFrees {
+			t.Fatalf("workers=%d: clocks %d/%d want %d/%d", workers, fresh.Allocs(), fresh.Frees(), wantAllocs, wantFrees)
+		}
+	}
+}
+
+// TestApplyRecordsMatchesApply pins the follower's batched warm-apply
+// against the one-record Apply it replaced, including the forged-log
+// skipped-free path.
+func TestApplyRecordsMatchesApply(t *testing.T) {
+	const n = 48
+	r := rng.New(7)
+	var recs []wal.Record
+	for i := 0; i < 500; i++ {
+		rec := wal.Record{Bin: uint32(r.Uint64n(n)), K: 1, Seq: uint64(i + 1)}
+		switch {
+		case r.Float64() < 0.5:
+			rec.Op = wal.OpAlloc
+		case r.Float64() < 0.7:
+			rec.Op = wal.OpFree // often hits empty bins: the skip path
+		default:
+			rec.Op = wal.OpCrash
+			rec.K = int32(r.Uint64n(5))
+		}
+		recs = append(recs, rec)
+	}
+
+	one := NewStoreShards(n, 4)
+	var oneSkipped int64
+	for _, rec := range recs {
+		skipped, err := Apply(one, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skipped {
+			oneSkipped++
+		}
+	}
+
+	batched := NewStoreShards(n, 4)
+	var gotSkipped int64
+	for lo := 0; lo < len(recs); lo += 64 {
+		hi := min(lo+64, len(recs))
+		skipped, err := ApplyRecords(batched, recs[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSkipped += skipped
+	}
+
+	if gotSkipped != oneSkipped {
+		t.Fatalf("skipped frees: batched %d, per-record %d", gotSkipped, oneSkipped)
+	}
+	if oneSkipped == 0 {
+		t.Fatal("schedule never hit the skipped-free path; weaken the free bias")
+	}
+	assertStoresEqual(t, "batched vs per-record apply", batched, one)
+}
+
+// TestApplyRecordsErrors: the batch applier reports malformed records
+// with the same errors as the one-record path, and an error aborts the
+// batch.
+func TestApplyRecordsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  wal.Record
+		want string
+	}{
+		{"bin out of range", wal.Record{Op: wal.OpAlloc, Bin: 99, K: 1, Seq: 5}, "targets bin 99 of 8"},
+		{"negative crash", wal.Record{Op: wal.OpCrash, Bin: 1, K: -2, Seq: 5}, "has k=-2"},
+		{"unknown op", wal.Record{Op: 77, Bin: 1, K: 1, Seq: 5}, "unknown op"},
+	}
+	for _, tc := range cases {
+		st := NewStoreShards(8, 2)
+		_, batchErr := ApplyRecords(st, []wal.Record{
+			{Op: wal.OpAlloc, Bin: 0, K: 1, Seq: 4},
+			tc.rec,
+		})
+		if batchErr == nil || !strings.Contains(batchErr.Error(), tc.want) {
+			t.Fatalf("%s: ApplyRecords err = %v, want %q", tc.name, batchErr, tc.want)
+		}
+		_, oneErr := Apply(NewStoreShards(8, 2), tc.rec)
+		if oneErr == nil || !strings.Contains(oneErr.Error(), tc.want) {
+			t.Fatalf("%s: Apply err = %v, want %q", tc.name, oneErr, tc.want)
+		}
+	}
+}

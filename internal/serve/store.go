@@ -46,14 +46,21 @@ var ErrEmptyBin = errors.New("serve: bin is empty")
 // shard is one lock stripe of the store. The mutex guards all mutations
 // of the bins in [lo, hi); total mirrors the ball count of those bins
 // and is additionally readable lock-free (atomic) so Scenario A shard
-// selection does not serialize on the stripe locks. The pad keeps
-// adjacent shards off one cache line.
+// selection does not serialize on the stripe locks. allocs/frees count
+// the stripe's completed admissions/departures: they are bumped under
+// the stripe lock alongside the global counters, so a striped
+// checkpoint reading them under each lock gets an exact per-section
+// counter cut without stopping the world (only the SUM over stripes is
+// persisted, which is why Restore may rebase the whole total onto one
+// stripe). The pad keeps adjacent shards off one cache line.
 type shard struct {
-	mu    sync.Mutex
-	total atomic.Int64
-	lo    int
-	hi    int
-	_     [24]byte
+	mu     sync.Mutex
+	total  atomic.Int64
+	allocs atomic.Int64
+	frees  atomic.Int64
+	lo     int
+	hi     int
+	_      [8]byte
 }
 
 // StoreHook observes committed store mutations. Implementations are
@@ -206,6 +213,7 @@ func (st *Store) allocBareLocked(sh *shard, b int) int32 {
 		st.nonEmpty.Add(1)
 	}
 	sh.total.Add(1)
+	sh.allocs.Add(1)
 	st.total.Add(1)
 	st.allocs.Add(1)
 	return l
@@ -228,6 +236,7 @@ func (st *Store) freeLocked(sh *shard, b int) int32 {
 		st.nonEmpty.Add(-1)
 	}
 	sh.total.Add(-1)
+	sh.frees.Add(1)
 	st.total.Add(-1)
 	st.frees.Add(1)
 	if st.hook != nil {
@@ -664,7 +673,16 @@ func (st *Store) Restore(loads []int32, allocs, frees int64) error {
 	var total, nonEmpty int64
 	for i := range st.shards {
 		st.shards[i].total.Store(0)
+		st.shards[i].allocs.Store(0)
+		st.shards[i].frees.Store(0)
 	}
+	// The restored totals cannot be attributed to individual stripes
+	// (the snapshot persists only the sums), so they rebase onto stripe
+	// 0: per-stripe counts stop being meaningful, but the sum over
+	// stripes — the only thing a striped checkpoint persists — stays
+	// exact as subsequent mutations bump their own stripes.
+	st.shards[0].allocs.Store(allocs)
+	st.shards[0].frees.Store(frees)
 	for b, l := range loads {
 		if l < 0 {
 			return fmt.Errorf("serve: restore bin %d has negative load %d", b, l)

@@ -118,6 +118,17 @@ type Config struct {
 	// the per-ball configuration.
 	AdmitBatch int
 
+	// RestoreWorkers is the apply-worker count every restore in the
+	// schedule runs with (0 means the suite default of 2, so sweeps
+	// exercise the parallel replay pipeline by default; 1 forces the
+	// classic sequential replay). With workers > 1 every restore is
+	// additionally cross-checked: a second, sequential restore runs
+	// against a clone of the post-cut filesystem and the two stores and
+	// RestoreResults (minus timings) must match bit for bit — the
+	// parallel ≡ sequential equivalence property, checked across every
+	// crash shape the sweep produces.
+	RestoreWorkers int
+
 	// ChaosFaults, when > 0, arms that many transient write-path faults
 	// per round at pseudo-random points DURING traffic (see
 	// DefaultChaos): creates, writes, fsyncs and renames fail as on a
@@ -147,6 +158,7 @@ func Default() Config {
 		CheckpointEvery: 25,
 		SegmentBytes:    8 * wal.RecordSize, // rotate every ~8 records
 		MaxViolations:   8,
+		RestoreWorkers:  2,
 	}
 }
 
@@ -224,6 +236,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxViolations <= 0 {
 		c.MaxViolations = d.MaxViolations
 	}
+	if c.RestoreWorkers <= 0 {
+		c.RestoreWorkers = d.RestoreWorkers
+	}
 	if c.Burst > 1 && c.MaxBatch <= 0 {
 		c.MaxBatch = DefaultBatched().MaxBatch
 	}
@@ -243,6 +258,7 @@ type Violation struct {
 	AdmitBatch int    // Config.AdmitBatch the schedule ran with (0/1 = per-ball)
 	MaxBatch   int    // Config.MaxBatch in burst/admit-batch mode
 	Chaos      int    // Config.ChaosFaults the schedule ran with (0 = none)
+	Workers    int    // Config.RestoreWorkers the schedule restored with
 	Msg        string // what broke
 }
 
@@ -260,6 +276,9 @@ func (v *Violation) Error() string {
 	}
 	if v.Chaos > 0 {
 		mode += fmt.Sprintf(" chaos=%d", v.Chaos)
+	}
+	if v.Workers != 0 && v.Workers != Default().RestoreWorkers {
+		mode += fmt.Sprintf(" workers=%d", v.Workers)
 	}
 	return fmt.Sprintf("durability violation at seed=%d schedule=%d round=%d%s: %s",
 		v.Seed, v.Schedule, v.Round, mode, v.Msg)
@@ -281,6 +300,9 @@ func (v *Violation) Repro() string {
 	if v.Chaos > 0 {
 		repro += fmt.Sprintf(" -explore.chaos=%d", v.Chaos)
 	}
+	if v.Workers != 0 && v.Workers != Default().RestoreWorkers {
+		repro += fmt.Sprintf(" -explore.workers=%d", v.Workers)
+	}
 	return repro
 }
 
@@ -296,6 +318,7 @@ type Stats struct {
 	BatchedAdmits  int64 // admission groups of >= 2 balls driven through Store.AdmitBatch
 	FaultsArmed    int64 // chaos faults armed (ChaosFaults per round)
 	DegradedRounds int   // rounds where a chaos fault wedged the journal before the cut
+	EquivChecks    int   // parallel-vs-sequential restore cross-checks performed
 }
 
 func (s *Stats) add(o Stats) {
@@ -308,6 +331,7 @@ func (s *Stats) add(o Stats) {
 	s.BatchedAdmits += o.BatchedAdmits
 	s.FaultsArmed += o.FaultsArmed
 	s.DegradedRounds += o.DegradedRounds
+	s.EquivChecks += o.EquivChecks
 }
 
 // Result is what Explore found.
@@ -376,6 +400,7 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 			AdmitBatch: cfg.AdmitBatch,
 			MaxBatch:   cfg.MaxBatch,
 			Chaos:      cfg.ChaosFaults,
+			Workers:    cfg.RestoreWorkers,
 			Msg:        fmt.Sprintf(format, args...),
 		}, stats
 	}
@@ -511,13 +536,35 @@ func runSchedule(cfg Config, schedule int) (*Violation, Stats) {
 			return keep
 		})
 
-		// Restart: fresh store, restore from whatever survived.
+		// Restart: fresh store, restore from whatever survived. With
+		// workers > 1 the sequential reference restore runs first,
+		// against a clone of the cut filesystem (restore mutates it:
+		// the stale-suffix fence removes segments), so both paths see
+		// the identical crash shape.
+		var (
+			seqSt  *serve.Store
+			seqRes serve.RestoreResult
+		)
+		if cfg.RestoreWorkers > 1 {
+			seqSt = serve.NewStoreShards(cfg.Bins, cfg.Shards)
+			sr, err := serve.RestoreFSOpts(seqSt, fs.Clone(), dir, serve.RestoreOptions{Workers: 1})
+			if err != nil {
+				return fail(round, "sequential reference restore failed: %v", err)
+			}
+			seqRes = sr
+		}
 		st = serve.NewStoreShards(cfg.Bins, cfg.Shards)
-		res, err := serve.RestoreFS(st, fs, dir)
+		res, err := serve.RestoreFSOpts(st, fs, dir, serve.RestoreOptions{Workers: cfg.RestoreWorkers})
 		stats.Restores++
 		stats.FSOps = fs.OpCount()
 		if err != nil {
 			return fail(round, "restore failed: %v", err)
+		}
+		if seqSt != nil {
+			stats.EquivChecks++
+			if msg := diffRestoreModes(st, res, seqSt, seqRes); msg != "" {
+				return fail(round, "parallel restore (workers=%d) diverges from sequential: %s", cfg.RestoreWorkers, msg)
+			}
 		}
 		if res.LastSeq < durable {
 			return fail(round, "lost fsynced mutations: restored through seq %d, but seq %d was acknowledged durable", res.LastSeq, durable)
@@ -607,22 +654,22 @@ func driveSome(r *rng.RNG, st *serve.Store, ref *[]refOp, bins []int, sc *serve.
 	return 1
 }
 
-// diffAgainstRef replays the acknowledged history into a fresh store
-// and compares it field by field with the restored one. Empty string
-// means identical.
+// diffAgainstRef replays the acknowledged history into a fresh store —
+// through serve.ApplyRecords, the same batch applier restore and the
+// replication follower use — and compares it field by field with the
+// restored one. Empty string means identical.
 func diffAgainstRef(got *serve.Store, ref []refOp, cfg Config) string {
 	want := serve.NewStoreShards(cfg.Bins, cfg.Shards)
+	recs := make([]wal.Record, len(ref))
 	for i, op := range ref {
-		switch op.op {
-		case wal.OpAlloc:
-			want.Alloc(op.bin)
-		case wal.OpFree:
-			if _, err := want.FreeBin(op.bin); err != nil {
-				return fmt.Sprintf("reference replay freed empty bin %d at seq %d", op.bin, i+1)
-			}
-		case wal.OpCrash:
-			want.Crash(op.bin, op.k)
-		}
+		recs[i] = wal.Record{Op: op.op, Bin: uint32(op.bin), K: int32(op.k), Seq: uint64(i + 1)}
+	}
+	skipped, err := serve.ApplyRecords(want, recs)
+	if err != nil {
+		return fmt.Sprintf("reference replay failed: %v", err)
+	}
+	if skipped != 0 {
+		return fmt.Sprintf("reference replay freed %d empty bins; the acknowledged history is not self-consistent", skipped)
 	}
 	gl, wl := got.LoadsCopy(), want.LoadsCopy()
 	for b := range wl {
@@ -638,6 +685,49 @@ func diffAgainstRef(got *serve.Store, ref []refOp, cfg Config) string {
 	}
 	if got.Frees() != want.Frees() {
 		return fmt.Sprintf("frees = %d, want %d", got.Frees(), want.Frees())
+	}
+	return ""
+}
+
+// diffRestoreModes compares a parallel restore against the sequential
+// reference restore of the same cut filesystem: every RestoreResult
+// field except the timings and worker count, then the stores' loads and
+// counters. Empty string means bit-identical — the equivalence property
+// the parallel pipeline promises.
+func diffRestoreModes(par *serve.Store, pr serve.RestoreResult, seq *serve.Store, sr serve.RestoreResult) string {
+	switch {
+	case pr.Restored != sr.Restored:
+		return fmt.Sprintf("Restored = %v, sequential %v", pr.Restored, sr.Restored)
+	case pr.CheckpointSeq != sr.CheckpointSeq:
+		return fmt.Sprintf("CheckpointSeq = %d, sequential %d", pr.CheckpointSeq, sr.CheckpointSeq)
+	case pr.CheckpointPath != sr.CheckpointPath:
+		return fmt.Sprintf("CheckpointPath = %q, sequential %q", pr.CheckpointPath, sr.CheckpointPath)
+	case pr.Replayed != sr.Replayed:
+		return fmt.Sprintf("Replayed = %d, sequential %d", pr.Replayed, sr.Replayed)
+	case pr.SkippedFrees != sr.SkippedFrees:
+		return fmt.Sprintf("SkippedFrees = %d, sequential %d", pr.SkippedFrees, sr.SkippedFrees)
+	case pr.Torn != sr.Torn:
+		return fmt.Sprintf("Torn = %v, sequential %v", pr.Torn, sr.Torn)
+	case pr.LastSeq != sr.LastSeq:
+		return fmt.Sprintf("LastSeq = %d, sequential %d", pr.LastSeq, sr.LastSeq)
+	case pr.StaleRemoved != sr.StaleRemoved:
+		return fmt.Sprintf("StaleRemoved = %d, sequential %d", pr.StaleRemoved, sr.StaleRemoved)
+	}
+	pl, sl := par.LoadsCopy(), seq.LoadsCopy()
+	for b := range sl {
+		if pl[b] != sl[b] {
+			return fmt.Sprintf("bin %d load = %d, sequential %d", b, pl[b], sl[b])
+		}
+	}
+	switch {
+	case par.Total() != seq.Total():
+		return fmt.Sprintf("total = %d, sequential %d", par.Total(), seq.Total())
+	case par.NonEmpty() != seq.NonEmpty():
+		return fmt.Sprintf("nonEmpty = %d, sequential %d", par.NonEmpty(), seq.NonEmpty())
+	case par.Allocs() != seq.Allocs():
+		return fmt.Sprintf("allocs = %d, sequential %d", par.Allocs(), seq.Allocs())
+	case par.Frees() != seq.Frees():
+		return fmt.Sprintf("frees = %d, sequential %d", par.Frees(), seq.Frees())
 	}
 	return ""
 }

@@ -21,6 +21,7 @@ var (
 	exploreAdmitBatch = flag.Int("explore.admitbatch", 0, "admission group ceiling for TestReplaySchedule (0/1 replays per-ball)")
 	exploreMaxBatch   = flag.Int("explore.maxbatch", 0, "journal batch ceiling for TestReplaySchedule burst/admit-batch mode")
 	exploreChaos      = flag.Int("explore.chaos", 0, "chaos faults per round for TestReplaySchedule (0 = none)")
+	exploreWorkers    = flag.Int("explore.workers", 0, "restore apply workers for TestReplaySchedule (0 = suite default, 1 = sequential)")
 
 	// exploreSchedules overrides the sweep width of every TestExplore*
 	// sweep; the nightly soak passes -explore.schedules=10000.
@@ -85,6 +86,12 @@ func TestExplore(t *testing.T) {
 	}
 	if res.Stats.Checkpoints < cfg.Schedules {
 		t.Errorf("only %d checkpoints completed; checkpoint path unexercised", res.Stats.Checkpoints)
+	}
+	// Every restore runs with the default 2 parallel workers and is
+	// cross-checked against a sequential restore of the same cut — the
+	// sweep doubles as the parallel ≡ sequential equivalence suite.
+	if want := cfg.Schedules * cfg.Rounds; res.Stats.EquivChecks != want {
+		t.Errorf("equivalence checks = %d, want %d; parallel restores are not being cross-checked", res.Stats.EquivChecks, want)
 	}
 
 	if res.Failed() {
@@ -339,6 +346,9 @@ func TestReplaySchedule(t *testing.T) {
 	}
 	cfg.Seed = *exploreSeed
 	cfg.ChaosFaults = *exploreChaos
+	if *exploreWorkers > 0 {
+		cfg.RestoreWorkers = *exploreWorkers
+	}
 	if v := explore.RunSchedule(cfg, *exploreSchedule); v != nil {
 		t.Fatalf("%v\n\t%s", v, v.Repro())
 	}

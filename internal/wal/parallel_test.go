@@ -1,0 +1,335 @@
+package wal
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"dynalloc/internal/simfs"
+)
+
+// pipelineRun drives ReplayPipelineFS with a recording applier and
+// returns the per-worker record streams (each in arrival order) plus
+// the stats. Partitioning is by bin, so which worker owns a record is
+// independent of segment layout — like the serve layer's stripe
+// mapping.
+func pipelineRun(t *testing.T, fs *simfs.FS, dir string, afterSeq uint64, workers int) ([][]Record, ReplayStats, error) {
+	t.Helper()
+	streams := make([][]Record, workers)
+	var mu sync.Mutex
+	stats, err := ReplayPipelineFS(fs, dir, afterSeq, PipelineOptions{
+		Workers:   workers,
+		Partition: func(r Record) int { return int(r.Bin) },
+		ApplyBatch: func(w int, recs []Record) error {
+			mu.Lock()
+			streams[w] = append(streams[w], recs...)
+			mu.Unlock()
+			return nil
+		},
+	})
+	return streams, stats, err
+}
+
+// checkParity asserts the pipeline replay of dir is indistinguishable
+// from the sequential ReplayFS at every worker count: identical stats,
+// and each worker observing exactly its partitions' records in file
+// order. Every crash-shape test below funnels through here, so the
+// validator's torn-tail / seq-gap / continuity decisions are pinned
+// against the sequential walk they must mirror.
+func checkParity(t *testing.T, fs *simfs.FS, dir string, afterSeq uint64) {
+	t.Helper()
+	want, wantStats := collect(t, fs, dir, afterSeq)
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		streams, stats, err := pipelineRun(t, fs, dir, afterSeq, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: pipeline error: %v", workers, err)
+		}
+		if stats != wantStats {
+			t.Fatalf("workers=%d: stats %+v, sequential %+v", workers, stats, wantStats)
+		}
+		for w, got := range streams {
+			var exp []Record
+			for _, r := range want {
+				if int(r.Bin)%workers == w {
+					exp = append(exp, r)
+				}
+			}
+			if len(got) != len(exp) {
+				t.Fatalf("workers=%d worker %d: %d records, want %d", workers, w, len(got), len(exp))
+			}
+			for i := range got {
+				if got[i] != exp[i] {
+					t.Fatalf("workers=%d worker %d record %d: got %+v want %+v", workers, w, i, got[i], exp[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPipelineParityCleanRotation(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})
+	appendN(t, l, 1, 100) // tiny segments: a dozen rotations
+	l.Close()
+	checkParity(t, fs, l.Dir(), 0)
+	checkParity(t, fs, l.Dir(), 25) // afterSeq filter
+	checkParity(t, fs, l.Dir(), 1000)
+}
+
+func TestPipelineParityEmptyDir(t *testing.T) {
+	fs := testFS()
+	checkParity(t, fs, "/wal", 0)
+}
+
+func TestPipelineParityTornTail(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l, 1, 50)
+	l.Close()
+	segs, _ := listSegments(fs, l.Dir())
+	if err := fs.Truncate(segs[0], int64(segHeaderSize+48*RecordSize+RecordSize/2)); err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, fs, l.Dir(), 0)
+}
+
+func TestPipelineParityCorruptedCRC(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})
+	appendN(t, l, 1, 60)
+	l.Close()
+	segs, _ := listSegments(fs, l.Dir())
+	if err := fs.Corrupt(segs[1], segHeaderSize+2*RecordSize+3, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, fs, l.Dir(), 0)
+}
+
+func TestPipelineParityBadSegmentHeader(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: segHeaderSize + 4*RecordSize})
+	appendN(t, l, 1, 6)
+	l.Close()
+	segs, _ := listSegments(fs, l.Dir())
+	if err := fs.Corrupt(segs[1], 0, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, fs, l.Dir(), 0)
+}
+
+// TestPipelineParityHealedTornSegment is the double-crash layout: run
+// 1's tail is torn, run 2's segment opens contiguously past it. Both
+// replays must walk through the tear into run 2's records.
+func TestPipelineParityHealedTornSegment(t *testing.T) {
+	fs := testFS()
+	dir := "/wal"
+	l1 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l1, 1, 10)
+	l1.Close()
+	segs, _ := listSegments(fs, dir)
+	fs.Truncate(segs[0], int64(segHeaderSize+9*RecordSize+RecordSize/2))
+	l2 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l2, 10, 25)
+	l2.Close()
+	checkParity(t, fs, dir, 0)
+}
+
+// TestPipelineParitySeqGap: the segment after the tear does NOT
+// continue the stream; both replays must stop at the last reachable
+// record, and both must accept the suffix when a checkpoint covers the
+// gap (afterSeq = 11).
+func TestPipelineParitySeqGap(t *testing.T) {
+	fs := testFS()
+	dir := "/wal"
+	l1 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l1, 1, 10)
+	l1.Close()
+	segs, _ := listSegments(fs, dir)
+	fs.Truncate(segs[0], int64(segHeaderSize+9*RecordSize+RecordSize/2))
+	l2 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l2, 12, 20)
+	l2.Close()
+	checkParity(t, fs, dir, 0)
+	checkParity(t, fs, dir, 11)
+}
+
+// TestPipelineParityTruncatedHead: a head segment opening past
+// afterSeq+1 is a gap from scratch but contiguous once the checkpoint
+// covers it — both replays must agree in both modes.
+func TestPipelineParityTruncatedHead(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: segHeaderSize + 10*RecordSize})
+	appendN(t, l, 1, 35)
+	if _, err := l.TruncateThrough(20); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	checkParity(t, fs, l.Dir(), 0)
+	checkParity(t, fs, l.Dir(), 20)
+	checkParity(t, fs, l.Dir(), 30)
+}
+
+// TestPipelineParityLegacyHooks pins that the pipeline honors the
+// explorer's mutation hooks exactly like the sequential walk.
+func TestPipelineParityLegacyHooks(t *testing.T) {
+	fs := testFS()
+	dir := "/wal"
+	l1 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l1, 1, 10)
+	l1.Close()
+	segs, _ := listSegments(fs, dir)
+	fs.Truncate(segs[0], int64(segHeaderSize+9*RecordSize+RecordSize/2))
+	l2 := testOpen(t, fs, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l2, 12, 20)
+	l2.Close()
+
+	SetLegacyTornStopForTest(true)
+	checkParity(t, fs, dir, 0)
+	SetLegacyTornStopForTest(false)
+
+	SetLegacyGapSkipForTest(true)
+	checkParity(t, fs, dir, 0)
+	SetLegacyGapSkipForTest(false)
+}
+
+// TestPipelineApplyErrorAborts: an ApplyBatch error must surface from
+// ReplayPipelineFS and stop the replay (later batches are drained, not
+// applied).
+func TestPipelineApplyErrorAborts(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})
+	appendN(t, l, 1, 80)
+	l.Close()
+
+	boom := errors.New("apply exploded")
+	var applied, calls int
+	var mu sync.Mutex
+	_, err := ReplayPipelineFS(fs, l.Dir(), 0, PipelineOptions{
+		Workers:   3,
+		Partition: func(r Record) int { return int(r.Bin) },
+		ApplyBatch: func(w int, recs []Record) error {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			for _, r := range recs {
+				if r.Seq == 30 {
+					return boom
+				}
+				applied++
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("pipeline error = %v, want the apply error", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if applied >= 80 {
+		t.Fatalf("replay did not stop: %d records applied over %d calls", applied, calls)
+	}
+}
+
+// TestPipelineOpenErrorIsFatal: a segment that cannot be opened fails
+// the replay with the same error ReplayFS reports, after the sound
+// prefix was applied.
+func TestPipelineOpenErrorIsFatal(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: segHeaderSize + 4*RecordSize})
+	appendN(t, l, 1, 10)
+	l.Close()
+	segs, _ := listSegments(fs, l.Dir())
+	if len(segs) < 2 {
+		t.Fatalf("want >= 2 segments, got %d", len(segs))
+	}
+
+	// Replay opens segments strictly in order, so the 2nd Open is the
+	// second segment — in both the sequential walk and the pipeline's
+	// read-ahead stage. Faults are one-shot; arm one per run.
+	fs.FailOp(simfs.OpOpen, 2, nil)
+	_, seqErr := ReplayFS(fs, l.Dir(), 0, func(Record) error { return nil })
+	if seqErr == nil {
+		t.Fatal("sequential replay survived the open fault")
+	}
+
+	fs.FailOp(simfs.OpOpen, 2, nil)
+	streams, _, err := pipelineRun(t, fs, l.Dir(), 0, 2)
+	if err == nil || !strings.Contains(err.Error(), "wal: replay:") {
+		t.Fatalf("pipeline error = %v, want a replay open error like %v", err, seqErr)
+	}
+	got := 0
+	for _, s := range streams {
+		got += len(s)
+	}
+	if got != 4 {
+		t.Fatalf("applied %d records before the fatal segment, want the first segment's 4", got)
+	}
+}
+
+// TestPipelineNilPartitionAndApply: nil Partition routes everything to
+// worker 0; nil ApplyBatch counts without applying. Stats must still
+// match the sequential walk.
+func TestPipelineNilPartitionAndApply(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever})
+	appendN(t, l, 1, 40)
+	l.Close()
+	_, wantStats := collect(t, fs, l.Dir(), 0)
+
+	var mu sync.Mutex
+	var got []Record
+	stats, err := ReplayPipelineFS(fs, l.Dir(), 0, PipelineOptions{
+		Workers: 4,
+		ApplyBatch: func(w int, recs []Record) error {
+			if w != 0 {
+				t.Errorf("nil Partition sent a batch to worker %d", w)
+			}
+			mu.Lock()
+			got = append(got, recs...)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil || stats != wantStats {
+		t.Fatalf("nil partition: stats %+v, %v; want %+v", stats, err, wantStats)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("worker 0 saw out-of-order seq %d at %d", r.Seq, i)
+		}
+	}
+
+	// nil ApplyBatch scans without applying: Applied stays 0 (nothing
+	// was handed to an applier), every other stat matches.
+	scanStats := wantStats
+	scanStats.Applied = 0
+	stats, err = ReplayPipelineFS(fs, l.Dir(), 0, PipelineOptions{Workers: 3})
+	if err != nil || stats != scanStats {
+		t.Fatalf("nil ApplyBatch: stats %+v, %v; want %+v", stats, err, scanStats)
+	}
+}
+
+// TestPipelineNegativePartitionWraps: a Partition returning negatives
+// (id % workers in Go keeps the sign) still lands on a valid worker.
+func TestPipelineNegativePartitionWraps(t *testing.T) {
+	fs := testFS()
+	l := testOpen(t, fs, Options{Fsync: FsyncNever, SegmentBytes: 1 << 20})
+	appendN(t, l, 1, 10)
+	l.Close()
+	var n int
+	var mu sync.Mutex
+	stats, err := ReplayPipelineFS(fs, l.Dir(), 0, PipelineOptions{
+		Workers:   4,
+		Partition: func(r Record) int { return -int(r.Bin) },
+		ApplyBatch: func(w int, recs []Record) error {
+			mu.Lock()
+			n += len(recs)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil || stats.Applied != 10 || n != 10 {
+		t.Fatalf("negative partition: stats %+v, %d applied, %v", stats, n, err)
+	}
+}

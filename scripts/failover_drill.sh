@@ -165,6 +165,44 @@ if ! jq -e '.episodes.last.steps <= 8 * .episodes.budget_steps' "$WORK/summary.j
 fi
 say "recovery episode within 8x budget"
 
+say "phase 6: kill -9 the promoted primary, restart on its wal-dir, check the parallel restore"
+curl -sf "http://$SADDR/state" >"$WORK/state_promoted.json"
+kill -9 "$STBY_PID"; wait "$STBY_PID" 2>/dev/null || true; STBY_PID=""
+"$WORK/dynallocd" -n "$N" -addr 127.0.0.1:0 -port-file "$WORK/revived.port" \
+  -wal-dir "$WORK/standby-wal" -fsync always \
+  >"$WORK/revived.log" 2>&1 &
+STBY_PID=$!
+wait_file "$WORK/revived.port"
+RADDR="$(cat "$WORK/revived.port")"
+for _ in $(seq 1 50); do
+  curl -sf "http://$RADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+# The restart restores through the parallel replay pipeline; the boot
+# log prints the restore-phase breakdown (checkpoint load / WAL replay /
+# stale-suffix fence) and the worker count, which must be > 1.
+if ! grep -E 'restore breakdown: checkpoint .*, replay .*, fence .*, workers [0-9]+' "$WORK/revived.log"; then
+  say "revived-primary log is missing the restore-phase breakdown"; exit 1
+fi
+RESTORE_WORKERS="$(grep -oE 'restore breakdown: .* workers [0-9]+' "$WORK/revived.log" | grep -oE '[0-9]+$' | tail -1)"
+if [ "${RESTORE_WORKERS:-0}" -le 1 ]; then
+  say "restore ran with workers=$RESTORE_WORKERS; expected a parallel (>1) replay"; exit 1
+fi
+say "restore breakdown present, replay ran with $RESTORE_WORKERS workers"
+
+curl -sf "http://$RADDR/state" >"$WORK/state_revived.json"
+for field in .loads .n '.stats.total' '.stats.allocs' '.stats.frees'; do
+  if ! diff <(jq -S "$field" "$WORK/state_promoted.json") \
+            <(jq -S "$field" "$WORK/state_revived.json") >/dev/null; then
+    say "MISMATCH in $field across the post-promotion restart"
+    diff <(jq -S "$field" "$WORK/state_promoted.json") \
+         <(jq -S "$field" "$WORK/state_revived.json") >&2 || true
+    exit 1
+  fi
+done
+say "promoted state survived its own kill -9 exactly (parallel restore)"
+
 kill "$STBY_PID" 2>/dev/null || true
 wait "$STBY_PID" 2>/dev/null || true
 STBY_PID=""

@@ -81,6 +81,19 @@ kill -9 "$PID"; wait "$PID" 2>/dev/null || true; PID=""
 start_daemon
 curl -sf "http://$ADDR/state" >"$WORK/state_after.json"
 
+# The restart restores through the parallel replay pipeline; the boot
+# log prints the restore-phase breakdown (checkpoint load / WAL replay /
+# stale-suffix fence) and the worker count, which must be > 1 — a
+# sequential restore here means the pipeline silently fell back.
+if ! grep -E 'restore breakdown: checkpoint .*, replay .*, fence .*, workers [0-9]+' "$WORK/log"; then
+  say "restart log is missing the restore-phase breakdown"; exit 1
+fi
+RESTORE_WORKERS="$(grep -oE 'restore breakdown: .* workers [0-9]+' "$WORK/log" | grep -oE '[0-9]+$' | tail -1)"
+if [ "${RESTORE_WORKERS:-0}" -le 1 ]; then
+  say "restore ran with workers=$RESTORE_WORKERS; expected a parallel (>1) replay"; exit 1
+fi
+say "restore breakdown present, replay ran with $RESTORE_WORKERS workers"
+
 # The load vector and ball/op counters must survive the hard kill
 # bit for bit (-fsync always: nothing in flight is lost).
 for field in .loads .n '.stats.total' '.stats.allocs' '.stats.frees'; do
